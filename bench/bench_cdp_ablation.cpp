@@ -1,0 +1,125 @@
+// §V-C ablations: what the CDP restrictions cost.
+//
+// (1) Restricted O(n*r) CDP (segment sizes in {floor, ceil}) vs the
+//     general O(n^2*r) DP and the exact binary-search contiguous
+//     partition: quality ratio and wall-clock.
+// (2) Hierarchical chunking: solution quality and wall-clock vs chunk
+//     size — the mechanism that keeps CDP inside the 50 ms placement
+//     budget at scale.
+//
+// Flags: --trials=N (default 5) --quick
+#include "bench_util.hpp"
+
+#include <chrono>
+
+#include "amr/common/stats.hpp"
+#include "amr/placement/cdp.hpp"
+#include "amr/placement/chunked_cdp.hpp"
+#include "amr/placement/metrics.hpp"
+#include "amr/workloads/synthetic.hpp"
+
+namespace {
+
+template <typename Fn>
+double timed_ms(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amr;
+  using namespace amr::bench;
+  const Flags flags(argc, argv);
+  const auto trials = static_cast<std::int32_t>(
+      flags.get_int("trials", flags.quick() ? 2 : 5));
+
+  print_header("SV-C ablation 1: CDP variants (quality vs cost)");
+  std::printf("%8s %8s | %12s %12s | %10s %10s %10s\n", "blocks", "ranks",
+              "restr/exact", "general/ex", "restr-ms", "general-ms",
+              "bsearch-ms");
+  print_rule();
+  const CdpPolicy restricted(CdpMode::kRestricted);
+  const CdpPolicy general(CdpMode::kGeneral);
+  const CdpPolicy bsearch(CdpMode::kBinarySearch);
+  // Bounded-variability costs, as in scalebench: unbounded tails pin the
+  // makespan to one block and hide the differences being measured.
+  SyntheticCostParams cost_params;
+  cost_params.clamp_max_ratio = 3.0;
+  // ~2.2 blocks/rank (Table I final counts): mixed segment sizes give
+  // the restricted DP real ordering freedom.
+  for (const auto& [blocks, ranks] :
+       std::vector<std::pair<std::size_t, std::int32_t>>{
+           {281, 128}, {1126, 512}, {2252, 1024}}) {
+    RunningStats q_restricted;
+    RunningStats q_general;
+    RunningStats t_restricted;
+    RunningStats t_general;
+    RunningStats t_bsearch;
+    for (std::int32_t t = 0; t < trials; ++t) {
+      Rng rng(hash64(blocks * 17 + static_cast<std::uint64_t>(t)));
+      const auto costs = synthetic_costs(
+          blocks, CostDistribution::kGaussian, rng, cost_params);
+      std::vector<std::int32_t> sizes_r;
+      std::vector<std::int32_t> sizes_g;
+      std::vector<std::int32_t> sizes_b;
+      t_restricted.add(
+          timed_ms([&] { sizes_r = restricted.segment_sizes(costs, ranks); }));
+      t_general.add(
+          timed_ms([&] { sizes_g = general.segment_sizes(costs, ranks); }));
+      t_bsearch.add(
+          timed_ms([&] { sizes_b = bsearch.segment_sizes(costs, ranks); }));
+      const double exact = segments_makespan(costs, sizes_b);
+      q_restricted.add(segments_makespan(costs, sizes_r) / exact);
+      q_general.add(segments_makespan(costs, sizes_g) / exact);
+    }
+    std::printf("%8zu %8d | %12.4f %12.4f | %10.3f %10.3f %10.3f\n",
+                blocks, ranks, q_restricted.mean(), q_general.mean(),
+                t_restricted.mean(), t_general.mean(), t_bsearch.mean());
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nThe size restriction trades some contiguous-optimal makespan "
+      "(more under heavy-tailed costs, where hot blocks collide along "
+      "the SFC) for a collapsed DP cost and balanced block counts -- a "
+      "property the exact partition does not guarantee and which the "
+      "migration budget relies on.\n");
+
+  print_header("SV-C ablation 2: hierarchical chunking");
+  std::printf("%8s %8s %10s | %14s %10s\n", "blocks", "ranks", "chunk",
+              "makespan/cdp", "wall-ms");
+  print_rule();
+  for (const auto& [blocks, ranks] :
+       std::vector<std::pair<std::size_t, std::int32_t>>{{6144, 4096},
+                                                         {24576, 16384}}) {
+    Rng rng(hash64(blocks));
+    SyntheticCostParams cost_params;
+    cost_params.clamp_max_ratio = 3.0;
+    const auto costs = synthetic_costs(
+        blocks, CostDistribution::kExponential, rng, cost_params);
+    // Unchunked reference (restricted CDP on the whole instance) only
+    // where feasible.
+    double reference = -1.0;
+    if (ranks <= 4096) {
+      const auto sizes = restricted.segment_sizes(costs, ranks);
+      reference = segments_makespan(costs, sizes);
+    }
+    for (const std::int32_t chunk : {256, 512, 1024}) {
+      const ChunkedCdpPolicy chunked(chunk);
+      Placement p;
+      const double wall =
+          timed_ms([&] { p = chunked.place(costs, ranks); });
+      const double ms = load_metrics(costs, p, ranks).makespan;
+      std::printf("%8zu %8d %10d | %14.4f %10.3f\n", blocks, ranks, chunk,
+                  reference > 0 ? ms / reference : 0.0, wall);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n(makespan/cdp = 0 where the unchunked reference exceeds "
+              "the DP state cap; paper: chunking has minimal quality "
+              "impact since CDP output is only CPLX's starting point)\n");
+  return 0;
+}

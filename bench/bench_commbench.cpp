@@ -1,0 +1,88 @@
+// commbench reproduction (paper §VI-C, Fig 7a): boundary-exchange round
+// latency vs placement locality.
+//
+// Constructs octree meshes with realistic (spatially correlated random)
+// refinement at 1-2 blocks per rank, derives the 26-neighbor P2P pattern
+// with face/edge/vertex-scaled message sizes, and measures round latency
+// under CPLX placements from X=0 to X=100. Results are averaged over
+// several random meshes per policy; cold-start rounds and >10 ms outliers
+// are discarded, as in the paper.
+//
+// Flags: --max-ranks=N (default 2048) --rounds=N (default 30)
+//        --meshes=N (default 3) --quick
+#include "bench_util.hpp"
+
+#include "amr/common/stats.hpp"
+#include "amr/mesh/generators.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/sim/exchange_bench.hpp"
+#include "amr/workloads/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amr;
+  using namespace amr::bench;
+  const Flags flags(argc, argv);
+  const std::int64_t max_ranks =
+      flags.get_int("max-ranks", flags.quick() ? 512 : 2048);
+  const auto rounds = static_cast<std::int32_t>(
+      flags.get_int("rounds", flags.quick() ? 10 : 30));
+  const auto meshes = static_cast<std::int32_t>(
+      flags.get_int("meshes", flags.quick() ? 2 : 3));
+
+  std::vector<std::int64_t> scales;
+  for (std::int64_t r = 512; r <= max_ranks; r *= 2) scales.push_back(r);
+  const std::vector<int> xs{0, 25, 50, 75, 100};
+
+  print_header("Fig 7a (commbench): round latency vs locality (X)");
+  std::printf("%8s |", "ranks");
+  for (const int x : xs) std::printf("   cpl%-3d      ", x);
+  std::printf("\n%8s |", "");
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    std::printf("  ms     (sd)  ");
+  std::printf("\n");
+  print_rule();
+
+  for (const std::int64_t ranks : scales) {
+    std::printf("%8lld |", static_cast<long long>(ranks));
+    for (const int x : xs) {
+      RunningStats latency;
+      std::int32_t discarded = 0;
+      for (std::int32_t m = 0; m < meshes; ++m) {
+        AmrMesh mesh(grid_for_ranks(ranks));
+        Rng rng(hash64(static_cast<std::uint64_t>(ranks) * 1000 +
+                       static_cast<std::uint64_t>(m)));
+        grow_to_block_count(mesh, rng,
+                            static_cast<std::size_t>(ranks * 3 / 2), 2);
+        // Placement costs: commbench has no compute, but CPLX needs a
+        // cost vector; use realistic synthetic costs so CDP/LPT have
+        // something to balance (affects which blocks move).
+        Rng cost_rng = rng.split(0xc0);
+        const auto costs = synthetic_costs(
+            mesh.size(), CostDistribution::kExponential, cost_rng);
+        const PolicyPtr policy = make_policy("cpl" + std::to_string(x));
+        const Placement placement =
+            policy->place(costs, static_cast<std::int32_t>(ranks));
+
+        ExchangeRoundsConfig cfg;
+        cfg.nranks = static_cast<std::int32_t>(ranks);
+        cfg.ranks_per_node = 16;
+        cfg.rounds = rounds;
+        cfg.seed = hash64(static_cast<std::uint64_t>(m) + 7);
+        const auto result = run_exchange_rounds(mesh, placement, cfg);
+        discarded += result.rounds_discarded;
+        for (const double l : result.round_latency_ms) latency.add(l);
+      }
+      std::printf(" %6.3f (%5.3f)", latency.mean(), latency.stddev());
+      (void)discarded;
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\npaper shapes: latency differences are modest (+-0.5 ms); at "
+      "small scales locality (low X) wins, while at larger scales an "
+      "intermediate X wins because strict locality clusters face-"
+      "neighbor traffic into per-node hotspots.\n");
+  return 0;
+}

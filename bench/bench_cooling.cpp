@@ -1,0 +1,127 @@
+// §VI-B sidebar reproduction: workload sensitivity of placement gains.
+//
+// "While we also studied placement in other codes, such as a galaxy
+// cooling setup in AthenaPK, results were directionally similar: codes
+// with high compute variability benefit more from better placement, and
+// vice-versa."
+//
+// Three workload regimes, same policies: the cooling-flow clump (high,
+// persistent spatial variability), the default Sedov blast (moderate),
+// and a near-uniform Sedov variant (low variability). Gains from CPLX
+// should order accordingly.
+//
+// Flags: --ranks=N (default 128) --steps=N --quick
+#include "bench_util.hpp"
+
+#include "amr/common/stats.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/sim/simulation.hpp"
+#include "amr/workloads/cooling.hpp"
+#include "amr/workloads/sedov.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amr;
+  using namespace amr::bench;
+  const Flags flags(argc, argv);
+  const auto ranks = static_cast<std::int32_t>(
+      flags.get_int("ranks", flags.quick() ? 64 : 128));
+  const std::int64_t steps = flags.get_int("steps", flags.quick() ? 20 : 50);
+
+  auto run = [&](Workload& workload, const std::string& policy_name) {
+    SimulationConfig cfg;
+    cfg.nranks = ranks;
+    cfg.ranks_per_node = 16;
+    cfg.root_grid = grid_for_ranks(ranks);
+    cfg.steps = steps;
+    cfg.collect_telemetry = false;
+    // Measured-cost placements are adopted when imbalance warrants it —
+    // the trigger a production deployment would pair with CPLX, and the
+    // reason a flat workload never pays the locality cost.
+    cfg.trigger.kind = RebalanceTriggerKind::kImbalance;
+    cfg.trigger.imbalance_threshold = 1.2;
+    const PolicyPtr policy = make_policy(policy_name);
+    Simulation sim(cfg, workload, *policy);
+    return sim.run();
+  };
+
+  print_header("workload sensitivity: placement gains vs variability");
+  std::printf("%-22s %12s %10s %10s %10s %10s\n", "workload",
+              "baseline (s)", "cpl0", "cpl50", "best-gain", "imb(base)");
+  print_rule();
+
+  struct Row {
+    const char* name;
+    double base;
+    double cpl0;
+    double cpl50;
+    double imbalance;
+  };
+  std::vector<Row> rows;
+
+  {
+    CoolingParams cp;  // high, persistent variability
+    cp.clump_boost = 8.0;
+    CoolingWorkload a(cp);
+    CoolingWorkload b(cp);
+    CoolingWorkload c(cp);
+    const RunReport base = run(a, "baseline");
+    const RunReport local = run(c, "cpl0");
+    const RunReport best = run(b, "cpl50");
+    double imb = 0;
+    {
+      RunningStats s;
+      for (const double v : base.rank_compute_seconds) s.add(v);
+      imb = s.max() / s.mean();
+    }
+    rows.push_back({"cooling (high var)", base.wall_seconds,
+                    local.wall_seconds, best.wall_seconds, imb});
+  }
+  {
+    SedovParams sp;  // moderate variability (default)
+    sp.total_steps = steps;
+    SedovWorkload a(sp);
+    SedovWorkload b(sp);
+    SedovWorkload c(sp);
+    const RunReport base = run(a, "baseline");
+    const RunReport local = run(c, "cpl0");
+    const RunReport best = run(b, "cpl50");
+    RunningStats s;
+    for (const double v : base.rank_compute_seconds) s.add(v);
+    rows.push_back({"sedov (moderate var)", base.wall_seconds,
+                    local.wall_seconds, best.wall_seconds,
+                    s.max() / s.mean()});
+  }
+  {
+    SedovParams sp;  // near-uniform costs
+    sp.total_steps = steps;
+    sp.front_boost = 0.2;
+    sp.noise_sigma = 0.01;
+    sp.hot_fraction = 0.0;
+    sp.jitter_sigma = 0.01;
+    SedovWorkload a(sp);
+    SedovWorkload b(sp);
+    SedovWorkload c(sp);
+    const RunReport base = run(a, "baseline");
+    const RunReport local = run(c, "cpl0");
+    const RunReport best = run(b, "cpl50");
+    RunningStats s;
+    for (const double v : base.rank_compute_seconds) s.add(v);
+    rows.push_back({"sedov-flat (low var)", base.wall_seconds,
+                    local.wall_seconds, best.wall_seconds,
+                    s.max() / s.mean()});
+  }
+
+  for (const Row& row : rows) {
+    const double best = std::min(row.cpl0, row.cpl50);
+    std::printf("%-22s %12.4f %10.4f %10.4f %9.1f%% %10.3f\n", row.name,
+                row.base, row.cpl0, row.cpl50,
+                100.0 * (row.base - best) / row.base, row.imbalance);
+  }
+  std::printf(
+      "\npaper claim: gains order by compute variability -- the high-"
+      "variability cooling clump benefits most, the flat workload has "
+      "nothing for placement to balance, so any X > 0 only pays the "
+      "locality cost -- the right operating point there is X = 0, and "
+      "picking X per workload is exactly the paper's Lesson 5.\n");
+  return 0;
+}

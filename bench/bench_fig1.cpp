@@ -1,0 +1,132 @@
+// Fig 1 reproduction: telemetry challenges in AMR codes.
+//
+// (Top) Work (per-rank message volume) vs boundary communication time,
+// per (round, rank) sample: the untuned stack (small shm queue, ACK-loss
+// recovery blocking the NIC) shows poor correlation; the tuned stack
+// restores it.
+//
+// (Bottom) MPI_Wait spike timeline: ACK-loss recovery inflates average
+// collective/round time ~3x; the drain-queue mitigation removes the
+// spikes without touching delivery.
+//
+// Flags: --ranks=N (default 128) --rounds=N (default 60) --quick
+#include "bench_util.hpp"
+
+#include "amr/common/stats.hpp"
+#include "amr/mesh/generators.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/sim/exchange_bench.hpp"
+#include "amr/telemetry/detectors.hpp"
+
+namespace {
+
+using namespace amr;
+
+std::vector<double> per_rank_bytes(const AmrMesh& mesh, const Placement& p,
+                                   std::int32_t ranks) {
+  const auto work =
+      build_step_work(mesh, p, std::vector<TimeNs>(mesh.size(), 0), ranks);
+  std::vector<double> bytes;
+  bytes.reserve(work.size());
+  for (const auto& w : work) {
+    double b = static_cast<double>(w.local_copy_bytes);
+    for (const auto& s : w.sends) b += static_cast<double>(s.bytes);
+    bytes.push_back(b);
+  }
+  return bytes;
+}
+
+CorrelationReport scatter_correlation(
+    const std::vector<double>& rank_bytes,
+    const std::vector<std::vector<double>>& samples) {
+  std::vector<double> work;
+  std::vector<double> time;
+  for (const auto& round : samples) {
+    for (std::size_t r = 0; r < round.size(); ++r) {
+      work.push_back(rank_bytes[r]);
+      time.push_back(round[r]);
+    }
+  }
+  return correlation_report(work, time);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amr::bench;
+  const Flags flags(argc, argv);
+  const auto ranks =
+      static_cast<std::int32_t>(flags.get_int("ranks", flags.quick() ? 32 : 128));
+  const auto rounds =
+      static_cast<std::int32_t>(flags.get_int("rounds", flags.quick() ? 20 : 60));
+
+  AmrMesh mesh(grid_for_ranks(ranks));
+  Rng mesh_rng(11);
+  grow_to_block_count(mesh, mesh_rng, static_cast<std::size_t>(2 * ranks),
+                      2);
+  const std::vector<double> uniform(mesh.size(), 1.0);
+  const Placement placement =
+      make_policy("baseline")->place(uniform, ranks);
+  const auto rank_bytes = per_rank_bytes(mesh, placement, ranks);
+
+  auto run = [&](const FabricParams& fabric) {
+    ExchangeRoundsConfig cfg;
+    cfg.nranks = ranks;
+    cfg.ranks_per_node = 16;
+    cfg.rounds = rounds;
+    cfg.fabric = fabric;
+    cfg.outlier_cutoff = sec(10.0);  // keep spikes: they ARE the story
+    return run_exchange_rounds(mesh, placement, cfg);
+  };
+
+  print_header("Fig 1 (top): work vs communication-time correlation");
+  FabricParams untuned = FabricParams::untuned();
+  const auto before = run(untuned);
+  const auto after = run(FabricParams::tuned());
+  const CorrelationReport r_before =
+      scatter_correlation(rank_bytes, before.round_rank_active_ms);
+  const CorrelationReport r_after =
+      scatter_correlation(rank_bytes, after.round_rank_active_ms);
+  std::printf("%-22s %10s %26s\n", "config", "pearson-r",
+              "comm-ms by work quartile");
+  print_rule();
+  std::printf("%-22s %10.3f    %6.3f %6.3f %6.3f %6.3f\n",
+              "untuned (Fig 1a pre)", r_before.pearson,
+              r_before.quartile_means[0], r_before.quartile_means[1],
+              r_before.quartile_means[2], r_before.quartile_means[3]);
+  std::printf("%-22s %10.3f    %6.3f %6.3f %6.3f %6.3f\n",
+              "tuned   (Fig 1a post)", r_after.pearson,
+              r_after.quartile_means[0], r_after.quartile_means[1],
+              r_after.quartile_means[2], r_after.quartile_means[3]);
+  std::printf("\npaper shape: tuning turns a noisy cloud into a clear "
+              "work->time trend.\n");
+
+  print_header("Fig 1 (bottom): MPI_Wait spikes and the drain queue");
+  // Sparse losses: a fraction of rounds hit the recovery path, so the
+  // pathology presents as spikes on a clean baseline (as in Fig 1b)
+  // rather than as a uniform floor.
+  FabricParams spiky = FabricParams::tuned();
+  spiky.ack_loss_prob = 5e-4;
+  spiky.drain_queue_enabled = false;
+  const auto with_spikes = run(spiky);
+  FabricParams drained = spiky;
+  drained.drain_queue_enabled = true;
+  const auto with_drain = run(drained);
+
+  const SpikeReport spike_report =
+      detect_spikes(with_spikes.round_latency_ms);
+  const double mean_spiky = mean(with_spikes.round_latency_ms);
+  const double mean_drained = mean(with_drain.round_latency_ms);
+  std::printf("%-28s %12s %10s\n", "config", "avg round ms", "spikes");
+  print_rule();
+  std::printf("%-28s %12.3f %10zu\n", "ACK loss, blocking recovery",
+              mean_spiky, spike_report.spike_indices.size());
+  std::printf("%-28s %12.3f %10zu\n", "ACK loss, drain queue",
+              mean_drained,
+              detect_spikes(with_drain.round_latency_ms)
+                  .spike_indices.size());
+  std::printf("\ninflation removed by drain queue: %.2fx (paper: ~3x on "
+              "average collective time)\n",
+              mean_drained > 0 ? mean_spiky / mean_drained : 0.0);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fig 2 reproduction: profiling data from runs affected by CPU throttling.
+//
+// Injects thermal throttling (4x compute inflation) on a subset of nodes:
+// per-rank compute inflates in clusters of 16 (one node), synchronization
+// swallows the majority of runtime, and pruning the affected nodes
+// recovers a multiple of end-to-end runtime (paper: 10h -> 2.5h).
+//
+// Flags: --ranks=N (default 256) --steps=N --bad-nodes=N --quick
+#include "bench_util.hpp"
+
+#include "amr/placement/registry.hpp"
+#include "amr/sim/simulation.hpp"
+#include "amr/telemetry/detectors.hpp"
+#include "amr/workloads/sedov.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amr;
+  using namespace amr::bench;
+  const Flags flags(argc, argv);
+  const auto ranks = static_cast<std::int32_t>(
+      flags.get_int("ranks", flags.quick() ? 64 : 256));
+  const std::int64_t steps = flags.get_int("steps", flags.quick() ? 20 : 50);
+  const auto bad_nodes = static_cast<std::int32_t>(
+      flags.get_int("bad-nodes", std::max(1, ranks / 16 / 8)));
+
+  auto run = [&](bool throttled, std::vector<double>* rank_compute) {
+    SimulationConfig cfg;
+    cfg.nranks = ranks;
+    cfg.ranks_per_node = 16;
+    cfg.root_grid = grid_for_ranks(ranks);
+    cfg.steps = steps;
+    cfg.collect_telemetry = false;
+    if (throttled) {
+      Rng rng(99);
+      cfg.faults.add_throttle(
+          {.nodes = pick_victim_nodes(ranks / 16, bad_nodes, rng),
+           .factor = 4.0});
+    }
+    SedovParams sp;
+    sp.total_steps = steps;
+    SedovWorkload sedov(sp);
+    const PolicyPtr policy = make_policy("baseline");
+    Simulation sim(cfg, sedov, *policy);
+    const RunReport r = sim.run();
+    if (rank_compute != nullptr) *rank_compute = r.rank_compute_seconds;
+    return r;
+  };
+
+  print_header("Fig 2: CPU throttling profile and the effect of pruning");
+  std::vector<double> rank_compute;
+  const RunReport bad = run(true, &rank_compute);
+  const RunReport pruned = run(false, nullptr);
+
+  auto share = [](const RunReport& r, double phase) {
+    return 100.0 * phase / r.phases.total();
+  };
+  std::printf("%-26s %10s %9s %9s %9s\n", "config", "wall (s)", "comp%",
+              "sync%", "comm%");
+  print_rule();
+  std::printf("%-26s %10.3f %8.1f%% %8.1f%% %8.1f%%\n",
+              "throttled nodes present", bad.wall_seconds,
+              share(bad, bad.phases.compute), share(bad, bad.phases.sync),
+              share(bad, bad.phases.comm));
+  std::printf("%-26s %10.3f %8.1f%% %8.1f%% %8.1f%%\n",
+              "pruned (healthy only)", pruned.wall_seconds,
+              share(pruned, pruned.phases.compute),
+              share(pruned, pruned.phases.sync),
+              share(pruned, pruned.phases.comm));
+  std::printf("\nruntime recovered by pruning: %.2fx (paper: ~3-4x)\n",
+              bad.wall_seconds / pruned.wall_seconds);
+
+  // The diagnostic signature: per-rank compute, clustered by node.
+  const ClusterTopology topo(ranks, 16);
+  const ThrottleReport detect = detect_throttling(rank_compute, topo);
+  std::printf("\nper-rank compute scan: %zu ranks flagged (inflation "
+              "%.1fx), flagged nodes:",
+              detect.flagged_ranks.size(), detect.flagged_mean_inflation);
+  for (const auto n : detect.flagged_nodes) std::printf(" %d", n);
+  std::printf("\nflagged ranks appear in clusters of 16 (whole nodes) -- "
+              "the hardware, not the physics.\n");
+
+  // Compact per-node compute profile (the Fig 2 bar chart).
+  std::printf("\nper-node mean compute seconds:\n");
+  for (std::int32_t node = 0; node < topo.num_nodes(); ++node) {
+    double sum = 0.0;
+    for (const auto r : topo.ranks_on_node(node))
+      sum += rank_compute[static_cast<std::size_t>(r)];
+    const double nodemean =
+        sum / static_cast<double>(topo.ranks_on_node(node).size());
+    std::printf("  node %3d %8.3f ", node, nodemean);
+    const int bar = static_cast<int>(nodemean * 200 /
+                                     std::max(1e-9, bad.wall_seconds));
+    for (int i = 0; i < bar && i < 60; ++i) std::printf("#");
+    std::printf("\n");
+  }
+  return 0;
+}

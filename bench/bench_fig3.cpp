@@ -1,0 +1,101 @@
+// Fig 3 reproduction: rankwise boundary communication performance across
+// the two software-stack optimizations.
+//
+// Three configurations, applied cumulatively as in the paper:
+//   untuned   compute-first task order + small shm queue + ACK blocking
+//   +reorder  sends prioritized in the task schedule
+//   +queue    shm queue enlarged, drain queue enabled (fully tuned)
+//
+// Reports per-rank mean boundary comm time and cross-round variance: the
+// reordering cuts wait noise and reveals the underlying per-rank trend;
+// queue tuning then shrinks the residual variance.
+//
+// Flags: --ranks=N (default 128) --rounds=N --quick
+#include "bench_util.hpp"
+
+#include "amr/common/stats.hpp"
+#include "amr/mesh/generators.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/sim/exchange_bench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amr;
+  using namespace amr::bench;
+  const Flags flags(argc, argv);
+  const auto ranks = static_cast<std::int32_t>(
+      flags.get_int("ranks", flags.quick() ? 32 : 128));
+  const auto rounds = static_cast<std::int32_t>(
+      flags.get_int("rounds", flags.quick() ? 15 : 50));
+
+  AmrMesh mesh(grid_for_ranks(ranks));
+  Rng mesh_rng(13);
+  grow_to_block_count(mesh, mesh_rng, static_cast<std::size_t>(2 * ranks),
+                      2);
+  const std::vector<double> uniform(mesh.size(), 1.0);
+  const Placement placement =
+      make_policy("baseline")->place(uniform, ranks);
+
+  auto run = [&](TaskOrdering ordering, const FabricParams& fabric) {
+    ExchangeRoundsConfig cfg;
+    cfg.nranks = ranks;
+    cfg.ranks_per_node = 16;
+    cfg.rounds = rounds;
+    cfg.ordering = ordering;
+    cfg.fabric = fabric;
+    cfg.outlier_cutoff = sec(10.0);
+    // Mild compute preceding the exchange: without it, send order cannot
+    // matter (nothing delays the sends).
+    cfg.compute_cost = [](std::size_t block, std::int32_t round, Rng& rng) {
+      (void)block;
+      (void)round;
+      return us(150.0) + static_cast<TimeNs>(rng.exponential(60e3));
+    };
+    return run_exchange_rounds(mesh, placement, cfg);
+  };
+
+  FabricParams untuned = FabricParams::untuned();
+  untuned.ack_loss_prob = 0.01;
+  const auto a = run(TaskOrdering::kComputeFirst, untuned);
+  const auto b = run(TaskOrdering::kSendFirst, untuned);
+  const auto c = run(TaskOrdering::kSendFirst, FabricParams::tuned());
+
+  auto summarize = [](const ExchangeRoundsResult& r) {
+    RunningStats mean_stats;
+    RunningStats cv_stats;
+    for (std::size_t i = 0; i < r.rank_comm_ms.size(); ++i) {
+      mean_stats.add(r.rank_comm_ms[i]);
+      cv_stats.add(r.rank_comm_cv[i]);
+    }
+    return std::make_pair(mean_stats, cv_stats);
+  };
+
+  print_header("Fig 3: rankwise boundary comm, cumulative optimizations");
+  std::printf("%-28s %12s %14s %14s\n", "config", "mean comm ms",
+              "across-rank sd", "mean round cv");
+  print_rule();
+  const struct {
+    const char* name;
+    const ExchangeRoundsResult& r;
+  } rows[] = {{"untuned (compute-first)", a},
+              {"+ send prioritization", b},
+              {"+ queue tuning (tuned)", c}};
+  for (const auto& row : rows) {
+    const auto [mean_stats, cv_stats] = summarize(row.r);
+    std::printf("%-28s %12.4f %14.4f %14.3f\n", row.name,
+                mean_stats.mean(), mean_stats.stddev(), cv_stats.mean());
+  }
+
+  std::printf("\nper-rank mean comm time, first 16 ranks (ms):\n");
+  std::printf("%-28s", "config");
+  for (int r = 0; r < 16 && r < ranks; ++r) std::printf(" r%02d  ", r);
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("%-28s", row.name);
+    for (int r = 0; r < 16 && r < ranks; ++r)
+      std::printf("%6.3f", row.r.rank_comm_ms[static_cast<std::size_t>(r)]);
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: reordering reduces noise and reveals the "
+              "per-rank trend; queue tuning shrinks residual variance.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig 4 / §IV-D reproduction: critical paths within synchronization
+// windows.
+//
+// Validates the paper's principle — with one P2P round per window, at
+// most two ranks are implicated in the critical path — and quantifies the
+// two strategies it motivates:
+//   (a) operation ordering: send-first shortens two-rank paths by
+//       dispatching the releasing message early;
+//   (b) the one-rank/two-rank split shifts with compute imbalance.
+//
+// Flags: --ranks=N (default 128) --steps=N --quick
+#include "bench_util.hpp"
+
+#include "amr/placement/registry.hpp"
+#include "amr/sim/simulation.hpp"
+#include "amr/workloads/sedov.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amr;
+  using namespace amr::bench;
+  const Flags flags(argc, argv);
+  const auto ranks = static_cast<std::int32_t>(
+      flags.get_int("ranks", flags.quick() ? 32 : 128));
+  const std::int64_t steps = flags.get_int("steps", flags.quick() ? 20 : 60);
+
+  auto run = [&](TaskOrdering ordering, double front_boost) {
+    SimulationConfig cfg;
+    cfg.nranks = ranks;
+    cfg.ranks_per_node = 16;
+    cfg.root_grid = grid_for_ranks(ranks);
+    cfg.steps = steps;
+    cfg.ordering = ordering;
+    cfg.collect_telemetry = false;
+    SedovParams sp;
+    sp.total_steps = steps;
+    sp.front_boost = front_boost;
+    SedovWorkload sedov(sp);
+    const PolicyPtr policy = make_policy("baseline");
+    Simulation sim(cfg, sedov, *policy);
+    return sim.run();
+  };
+
+  print_header("Fig 4 / SIV-D: critical-path structure of sync windows");
+  std::printf("%-34s %8s %8s %8s %12s %12s\n", "config", "windows",
+              "1-rank", "2-rank", "stragglr-wait", "window-ms");
+  print_rule();
+
+  const struct {
+    const char* name;
+    TaskOrdering ordering;
+    double boost;
+  } configs[] = {
+      {"balanced, compute-first", TaskOrdering::kComputeFirst, 0.5},
+      {"balanced, send-first", TaskOrdering::kSendFirst, 0.5},
+      {"imbalanced, compute-first", TaskOrdering::kComputeFirst, 5.0},
+      {"imbalanced, send-first", TaskOrdering::kSendFirst, 5.0},
+  };
+
+  double wait_compute_first = 0.0;
+  double wait_send_first = 0.0;
+  for (const auto& c : configs) {
+    const RunReport r = run(c.ordering, c.boost);
+    const CriticalPathStats& cp = r.critical_path;
+    std::printf("%-34s %8lld %8lld %8lld %10.3fms %10.3fms\n", c.name,
+                static_cast<long long>(cp.windows),
+                static_cast<long long>(cp.one_rank_paths),
+                static_cast<long long>(cp.two_rank_paths),
+                cp.straggler_wait_ms.mean(), cp.window_ms.mean());
+    if (c.boost == 5.0 && c.ordering == TaskOrdering::kComputeFirst)
+      wait_compute_first = cp.straggler_wait_ms.mean();
+    if (c.boost == 5.0 && c.ordering == TaskOrdering::kSendFirst)
+      wait_send_first = cp.straggler_wait_ms.mean();
+    std::fflush(stdout);
+  }
+
+  std::printf("\nkey principle: every window classifies as a one- or "
+              "two-rank path -- never more (Lamport happened-before over "
+              "a single P2P round).\n");
+  if (wait_compute_first > 0)
+    std::printf("send prioritization cuts straggler MPI-wait on the "
+                "critical path by %.1f%% in the imbalanced regime.\n",
+                100.0 * (wait_compute_first - wait_send_first) /
+                    wait_compute_first);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Fig 6 reproduction: Sedov Blast Wave runtime statistics across scales
+// and placement policies.
+//
+// (a) Total runtime decomposed into compute / comm / sync / rebalance for
+//     {baseline, cpl0, cpl25, cpl50, cpl75, cpl100} at each scale:
+//     baseline sync share grows with scale (35% -> 50%), every CPLX
+//     variant beats baseline, runtime is U-shaped in X, compute is flat.
+// (b) Comm and sync time normalized to baseline at the smallest and
+//     largest scale: comm rises with X, sync falls.
+// (c) Local (intra-node) vs remote (inter-node) MPI message counts,
+//     normalized to baseline total: remote share grows with X.
+//
+// Flags: --steps=N (default 80) --max-ranks=N (default 4096) --quick
+#include "bench_util.hpp"
+
+#include <map>
+
+#include "amr/placement/registry.hpp"
+#include "amr/sim/simulation.hpp"
+#include "amr/workloads/sedov.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amr;
+  using namespace amr::bench;
+  const Flags flags(argc, argv);
+  const std::int64_t steps = flags.get_int("steps", flags.quick() ? 30 : 80);
+  const std::int64_t max_ranks =
+      flags.get_int("max-ranks", flags.quick() ? 512 : 4096);
+
+  std::vector<std::int64_t> scales;
+  for (std::int64_t r = 512; r <= max_ranks; r *= 2) scales.push_back(r);
+  if (scales.empty()) scales.push_back(max_ranks);
+  const auto policies = evaluation_policy_names();
+
+  std::map<std::pair<std::int64_t, std::string>, RunReport> reports;
+
+  print_header("Fig 6a: runtime by phase, policies x scales (seconds)");
+  for (const std::int64_t ranks : scales) {
+    std::printf("\n-- %lld ranks --\n", static_cast<long long>(ranks));
+    std::printf("%-10s %9s %9s %9s %9s %9s | %7s %7s\n", "policy", "total",
+                "compute", "comm", "sync", "rebal", "vs-base", "sync%");
+    print_rule();
+    double baseline_total = 0.0;
+    for (const auto& name : policies) {
+      SimulationConfig cfg;
+      cfg.nranks = static_cast<std::int32_t>(ranks);
+      cfg.ranks_per_node = 16;
+      cfg.root_grid = grid_for_ranks(ranks);
+      cfg.steps = steps;
+      cfg.collect_telemetry = false;
+      SedovParams sp;
+      sp.total_steps = steps;
+      SedovWorkload sedov(sp);
+      const PolicyPtr policy = make_policy(name);
+      Simulation sim(cfg, sedov, *policy);
+      const RunReport r = sim.run();
+      reports.emplace(std::make_pair(ranks, name), r);
+
+      const double total = r.phases.total();
+      if (name == "baseline") baseline_total = total;
+      std::printf("%-10s %9.3f %9.3f %9.3f %9.3f %9.3f | %+6.1f%% %6.1f%%\n",
+                  name.c_str(), total, r.phases.compute, r.phases.comm,
+                  r.phases.sync, r.phases.rebalance,
+                  100.0 * (total - baseline_total) / baseline_total,
+                  100.0 * r.phases.sync / total);
+      std::fflush(stdout);
+    }
+  }
+
+  print_header(
+      "Fig 6b: comm & sync normalized to baseline (smallest/largest "
+      "scale)");
+  std::printf("%-10s", "policy");
+  for (const std::int64_t ranks : {scales.front(), scales.back()})
+    std::printf("  | %5lldr comm  sync", static_cast<long long>(ranks));
+  std::printf("\n");
+  print_rule();
+  for (const auto& name : policies) {
+    std::printf("%-10s", name.c_str());
+    for (const std::int64_t ranks : {scales.front(), scales.back()}) {
+      const RunReport& base = reports.at({ranks, "baseline"});
+      const RunReport& r = reports.at({ranks, name});
+      std::printf("  |      %6.3f %6.3f", r.phases.comm / base.phases.comm,
+                  r.phases.sync / base.phases.sync);
+    }
+    std::printf("\n");
+  }
+
+  print_header(
+      "Fig 6c: local vs remote MPI messages, normalized to baseline "
+      "total");
+  std::printf("%-10s", "policy");
+  for (const std::int64_t ranks : {scales.front(), scales.back()})
+    std::printf("  | %5lldr local remot rem%%",
+                static_cast<long long>(ranks));
+  std::printf("\n");
+  print_rule();
+  for (const auto& name : policies) {
+    std::printf("%-10s", name.c_str());
+    for (const std::int64_t ranks : {scales.front(), scales.back()}) {
+      const RunReport& base = reports.at({ranks, "baseline"});
+      const RunReport& r = reports.at({ranks, name});
+      const double base_total =
+          static_cast<double>(base.msgs_local + base.msgs_remote);
+      const double remote_share =
+          100.0 * static_cast<double>(r.msgs_remote) /
+          static_cast<double>(r.msgs_local + r.msgs_remote);
+      std::printf("  |      %6.3f %6.3f %4.0f%%",
+                  static_cast<double>(r.msgs_local) / base_total,
+                  static_cast<double>(r.msgs_remote) / base_total,
+                  remote_share);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shapes: all CPLX variants beat baseline with the "
+              "gap widening at scale (up to ~21.6%% at 4096); runtime is "
+              "U-shaped in X; compute flat; comm up / sync down with X; "
+              "remote share grows with X and is already a majority for "
+              "baseline at 4096 ranks (paper: 64%%).\n");
+  return 0;
+}

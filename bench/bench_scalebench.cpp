@@ -1,0 +1,116 @@
+// scalebench reproduction (paper §VI-C, Fig 7b/7c): placement quality and
+// computation overhead from 512 to 128K ranks.
+//
+// (b) Normalized makespan per policy for exponential / Gaussian /
+//     power-law block costs at 1-2 blocks per rank: CPL100 (LPT) is best;
+//     CPL0/CPL25 capture the bulk of the benefit with far more locality.
+// (c) Placement computation wall-clock vs scale: ~10 ms up to 16K ranks,
+//     ~100 ms at 128K; hierarchical chunking keeps CDP-based policies in
+//     budget.
+//
+// Flags: --max-ranks=N (default 131072) --trials=N (default 3) --quick
+#include "bench_util.hpp"
+
+#include <chrono>
+
+#include "amr/common/stats.hpp"
+#include "amr/placement/metrics.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/workloads/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amr;
+  using namespace amr::bench;
+  const Flags flags(argc, argv);
+  const std::int64_t max_ranks =
+      flags.get_int("max-ranks", flags.quick() ? 8192 : 131072);
+  const auto trials = static_cast<std::int32_t>(
+      flags.get_int("trials", flags.quick() ? 2 : 3));
+
+  std::vector<std::int64_t> scales;
+  for (std::int64_t r = 512; r <= max_ranks; r *= 4) scales.push_back(r);
+  if (scales.back() != max_ranks) scales.push_back(max_ranks);
+
+  // "Variability bounds chosen to create meaningful balancing
+  // opportunities while remaining within realistic AMR ranges" (§VI-C):
+  // at 1-2 blocks per rank an unbounded tail pins the makespan to the
+  // single hottest block and no policy can matter.
+  SyntheticCostParams cost_params;
+  cost_params.clamp_max_ratio = 3.0;
+  const std::vector<std::string> policies{"baseline", "cpl0", "cpl25",
+                                          "cpl50", "cpl75", "cpl100"};
+  const std::vector<CostDistribution> dists{CostDistribution::kExponential,
+                                            CostDistribution::kGaussian,
+                                            CostDistribution::kPowerLaw};
+
+  print_header("Fig 7b (scalebench): normalized makespan by policy");
+  std::printf("(makespan / mean-load; 1.0 = perfect balance; averaged "
+              "over %d trials at ~2.2 blocks/rank)\n\n",
+              trials);
+  for (const auto dist : dists) {
+    std::printf("-- %s costs --\n", to_string(dist));
+    std::printf("%8s |", "ranks");
+    for (const auto& p : policies) std::printf(" %8s", p.c_str());
+    std::printf("\n");
+    print_rule();
+    for (const std::int64_t ranks : scales) {
+      std::printf("%8lld |", static_cast<long long>(ranks));
+      for (const auto& name : policies) {
+        RunningStats imbalance;
+        for (std::int32_t t = 0; t < trials; ++t) {
+          Rng rng(hash64(static_cast<std::uint64_t>(ranks) * 31 +
+                         static_cast<std::uint64_t>(t) * 7 +
+                         static_cast<std::uint64_t>(dist)));
+          const std::size_t blocks =
+              static_cast<std::size_t>(ranks) * 11 / 5;
+          const auto costs = synthetic_costs(blocks, dist, rng, cost_params);
+          const PolicyPtr policy = make_policy(name);
+          const Placement p =
+              policy->place(costs, static_cast<std::int32_t>(ranks));
+          imbalance.add(
+              load_metrics(costs, p, static_cast<std::int32_t>(ranks))
+                  .imbalance);
+        }
+        std::printf(" %8.3f", imbalance.mean());
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  print_header("Fig 7c (scalebench): placement computation time (ms)");
+  std::printf("%8s |", "ranks");
+  for (const auto& p : policies) std::printf(" %8s", p.c_str());
+  std::printf("\n");
+  print_rule();
+  for (const std::int64_t ranks : scales) {
+    std::printf("%8lld |", static_cast<long long>(ranks));
+    for (const auto& name : policies) {
+      RunningStats wall_ms;
+      for (std::int32_t t = 0; t < trials; ++t) {
+        Rng rng(hash64(static_cast<std::uint64_t>(ranks) * 131 +
+                       static_cast<std::uint64_t>(t)));
+        const std::size_t blocks = static_cast<std::size_t>(ranks) * 11 / 5;
+        const auto costs =
+            synthetic_costs(blocks, CostDistribution::kExponential, rng, cost_params);
+        const PolicyPtr policy = make_policy(name);
+        const auto t0 = std::chrono::steady_clock::now();
+        const Placement p =
+            policy->place(costs, static_cast<std::int32_t>(ranks));
+        const auto t1 = std::chrono::steady_clock::now();
+        wall_ms.add(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        (void)p;
+      }
+      std::printf(" %8.3f", wall_ms.mean());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shapes: LPT lowest makespan everywhere; cpl25 "
+              "captures most of the gain; placement compute stays ~10 ms "
+              "to 16K ranks and ~100 ms at 128K (50 ms budget: chunk or "
+              "zone beyond 64K).\n");
+  return 0;
+}

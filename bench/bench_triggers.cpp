@@ -1,0 +1,91 @@
+// Rebalance-trigger ablation (paper §II-B "Redistribution"; Meta-Balancer
+// [60] in related work).
+//
+// "The frequency depends on the underlying physics — some problems
+// require frequent adaptation, others are more stable." For a stable
+// (cooling-flow) workload whose imbalance comes from a static hot clump,
+// this bench compares trigger strategies on redistribution count,
+// rebalance overhead, and end-to-end runtime: rebalancing only on mesh
+// change leaves the initial uniform-cost placement in force forever;
+// periodic and imbalance-threshold triggers pay migration to adopt the
+// telemetry-informed placement.
+//
+// Flags: --ranks=N (default 128) --steps=N --quick
+#include "bench_util.hpp"
+
+#include "amr/placement/registry.hpp"
+#include "amr/sim/simulation.hpp"
+#include "amr/workloads/cooling.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amr;
+  using namespace amr::bench;
+  const Flags flags(argc, argv);
+  const auto ranks = static_cast<std::int32_t>(
+      flags.get_int("ranks", flags.quick() ? 64 : 128));
+  const std::int64_t steps = flags.get_int("steps", flags.quick() ? 25 : 60);
+
+  auto run = [&](const RebalanceTrigger& trigger) {
+    SimulationConfig cfg;
+    cfg.nranks = ranks;
+    cfg.ranks_per_node = 16;
+    cfg.root_grid = grid_for_ranks(ranks);
+    cfg.steps = steps;
+    cfg.collect_telemetry = false;
+    cfg.trigger = trigger;
+    CoolingParams cp;
+    cp.max_level = 1;
+    CoolingWorkload cooling(cp);
+    const auto policy = make_policy("cpl50");
+    Simulation sim(cfg, cooling, *policy);
+    return sim.run();
+  };
+
+  print_header("rebalance-trigger ablation (static cooling-flow clump)");
+  std::printf("%-24s %8s %10s %10s %10s %10s\n", "trigger", "lb-calls",
+              "moved", "rebal (s)", "sync (s)", "total (s)");
+  print_rule();
+
+  RebalanceTrigger on_change;  // default
+
+  RebalanceTrigger periodic;
+  periodic.kind = RebalanceTriggerKind::kPeriodic;
+  periodic.period = 10;
+
+  RebalanceTrigger sensitive;
+  sensitive.kind = RebalanceTriggerKind::kImbalance;
+  sensitive.imbalance_threshold = 1.15;
+
+  RebalanceTrigger tolerant;
+  tolerant.kind = RebalanceTriggerKind::kImbalance;
+  tolerant.imbalance_threshold = 2.50;
+
+  const struct {
+    const char* name;
+    const RebalanceTrigger& trigger;
+  } rows[] = {
+      {"on-mesh-change (default)", on_change},
+      {"periodic/10", periodic},
+      {"imbalance>1.15", sensitive},
+      {"imbalance>2.50", tolerant},
+  };
+  for (const auto& row : rows) {
+    const RunReport r = run(row.trigger);
+    std::printf("%-24s %8lld %10lld %10.4f %10.4f %10.4f\n", row.name,
+                static_cast<long long>(r.lb_invocations),
+                static_cast<long long>(r.blocks_migrated),
+                r.phases.rebalance, r.phases.sync, r.phases.total());
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nreading: the default trigger rebalances once (at the step-0 "
+      "refinement) using uniform costs, so the telemetry-informed "
+      "placement is never adopted and sync stays high. A threshold below "
+      "the policy's achievable balance re-fires every step (migration "
+      "churn for no sync gain); a threshold above the steady-state "
+      "imbalance never fires at all. The periodic trigger lands the sync "
+      "win at a fraction of the churn -- but the right setting is "
+      "workload-specific tuning, as the paper's Lesson 2 warns.\n");
+  return 0;
+}

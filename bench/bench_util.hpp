@@ -1,0 +1,84 @@
+// Shared helpers for the per-figure bench harnesses: tiny flag parser,
+// scale lists, and the paper's rank->root-grid mapping (Table I: one
+// 16^3-cell block per rank initially, so the root grid holds exactly
+// `ranks` blocks).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "amr/mesh/coords.hpp"
+
+namespace amr::bench {
+
+/// --flag=value parser; unrecognized flags abort with usage.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool has(const std::string& name) const {
+    return find(name) != nullptr || flag_set(name);
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t def) const {
+    const char* v = find(name);
+    return v != nullptr ? std::atoll(v) : def;
+  }
+
+  double get_double(const std::string& name, double def) const {
+    const char* v = find(name);
+    return v != nullptr ? std::atof(v) : def;
+  }
+
+  /// True if --quick was passed: benches shrink scales/steps for smoke
+  /// runs while preserving orderings.
+  bool quick() const { return flag_set("quick"); }
+
+ private:
+  const char* find(const std::string& name) const {
+    const std::string prefix = "--" + name + "=";
+    for (const auto& a : args_)
+      if (a.rfind(prefix, 0) == 0) return a.c_str() + prefix.size();
+    return nullptr;
+  }
+  bool flag_set(const std::string& name) const {
+    const std::string flag = "--" + name;
+    for (const auto& a : args_)
+      if (a == flag) return true;
+    return false;
+  }
+  std::vector<std::string> args_;
+};
+
+/// Paper Table I mesh sizes: 512 -> 128^3 cells = 8^3 root blocks of
+/// 16^3 cells, 1024 -> 8x8x16, 2048 -> 8x16x16, 4096 -> 16^3;
+/// other powers of two continue the doubling pattern.
+inline RootGrid grid_for_ranks(std::int64_t ranks) {
+  std::uint32_t nx = 1;
+  std::uint32_t ny = 1;
+  std::uint32_t nz = 1;
+  int axis = 2;  // grow z first: 8x8x16 at 1024 like the paper
+  for (std::int64_t r = ranks; r > 1; r /= 2) {
+    (axis == 0 ? nx : axis == 1 ? ny : nz) *= 2;
+    axis = (axis + 2) % 3;
+  }
+  return RootGrid{nx, ny, nz};
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+}  // namespace amr::bench

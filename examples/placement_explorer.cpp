@@ -1,0 +1,79 @@
+// Placement explorer: sweep the CPLX X parameter over a user-chosen cost
+// distribution and print the full tradeoff curve — the tool you would use
+// to pick X for a new code or cluster (paper §VI-C: "commbench provides a
+// practical mechanism for empirically selecting X").
+//
+// Usage: ./placement_explorer [dist] [blocks] [ranks] [seed]
+//   dist    exponential | gaussian | powerlaw   (default exponential)
+//   blocks  number of mesh blocks              (default 2x ranks)
+//   ranks   number of ranks                    (default 512)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "amr/common/rng.hpp"
+#include "amr/mesh/generators.hpp"
+#include "amr/placement/metrics.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/topo/topology.hpp"
+#include "amr/workloads/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amr;
+  CostDistribution dist = CostDistribution::kExponential;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "gaussian") == 0)
+      dist = CostDistribution::kGaussian;
+    else if (std::strcmp(argv[1], "powerlaw") == 0)
+      dist = CostDistribution::kPowerLaw;
+    else if (std::strcmp(argv[1], "exponential") != 0) {
+      std::fprintf(stderr,
+                   "unknown distribution %s (want exponential | gaussian "
+                   "| powerlaw)\n",
+                   argv[1]);
+      return 1;
+    }
+  }
+  const std::int32_t ranks = argc > 3 ? std::atoi(argv[3]) : 512;
+  const std::size_t blocks =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2]))
+               : static_cast<std::size_t>(2 * ranks);
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                                      : 1234;
+
+  // A mesh with roughly the requested number of blocks, so locality
+  // metrics reflect real neighbor structure rather than a synthetic line.
+  AmrMesh mesh(RootGrid{8, 8, 8});
+  Rng mesh_rng(seed);
+  grow_to_block_count(mesh, mesh_rng, blocks, 3);
+  Rng cost_rng(seed + 1);
+  const auto costs = synthetic_costs(mesh.size(), dist, cost_rng);
+  const ClusterTopology topo(ranks, 16);
+
+  std::printf("placement explorer: %s costs, %zu blocks, %d ranks\n",
+              to_string(dist), mesh.size(), ranks);
+  std::printf("%-10s %10s %10s %12s %12s %10s\n", "policy", "makespan",
+              "imbalance", "remote-frac", "memcpy-msgs", "moved");
+
+  const PolicyPtr baseline = make_policy("baseline");
+  const Placement base = baseline->place(costs, ranks);
+  const std::vector<std::string> lineup{
+      "baseline", "cpl0",  "cpl10", "cpl25", "cpl50",
+      "cpl75",    "cpl90", "cpl100"};
+  for (const auto& name : lineup) {
+    const PolicyPtr policy = make_policy(name);
+    const Placement p = policy->place(costs, ranks);
+    const LoadMetrics load = load_metrics(costs, p, ranks);
+    const CommMetrics comm = comm_metrics(mesh, p, topo);
+    std::printf("%-10s %10.3f %10.3f %12.3f %12lld %10lld\n", name.c_str(),
+                load.makespan, load.imbalance, comm.remote_fraction(),
+                static_cast<long long>(comm.msgs_intra_rank),
+                static_cast<long long>(moved_blocks(base, p)));
+  }
+  std::printf(
+      "\nmoved = blocks leaving their baseline rank (migration cost of\n"
+      "adopting the policy mid-run). Pick the smallest X whose makespan\n"
+      "is close to cpl100's; the paper found X in [25, 50] optimal.\n");
+  return 0;
+}

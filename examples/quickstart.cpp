@@ -1,0 +1,67 @@
+// Quickstart: the public API in ~60 lines.
+//
+// Build an adaptively refined mesh, measure (synthetic) per-block costs,
+// compare placement policies on load balance and communication locality,
+// and pick an operating point on the CPLX tradeoff curve.
+//
+// Run: ./quickstart
+#include <cmath>
+#include <cstdio>
+
+#include "amr/common/rng.hpp"
+#include "amr/mesh/generators.hpp"
+#include "amr/mesh/mesh.hpp"
+#include "amr/placement/metrics.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/topo/topology.hpp"
+
+int main() {
+  using namespace amr;
+
+  // 1. A mesh: 8x8x8 root blocks, refined around a spherical shock shell
+  //    (what a Sedov-style problem does mid-run).
+  AmrMesh mesh(RootGrid{8, 8, 8});
+  refine_shell(mesh, {0.5, 0.5, 0.5}, /*radius=*/0.3, /*half_width=*/0.06,
+               /*max_level=*/1);
+  std::printf("mesh: %zu blocks, max level %d\n", mesh.size(),
+              mesh.max_level_present());
+
+  // 2. Per-block compute costs as telemetry would measure them: blocks
+  //    near the shock front cost more (steep gradients -> more solver
+  //    iterations), with lognormal kernel noise.
+  Rng rng(42);
+  std::vector<double> costs(mesh.size());
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    const auto c = mesh.bounds(b).center();
+    const double dx = c[0] - 0.5;
+    const double dy = c[1] - 0.5;
+    const double dz = c[2] - 0.5;
+    const double d = std::sqrt(dx * dx + dy * dy + dz * dz);
+    const double front = std::exp(-0.5 * (d - 0.3) * (d - 0.3) / 0.01);
+    costs[b] = (1.0 + 3.0 * front) * rng.lognormal(0.0, 0.2);
+  }
+
+  // 3. Compare the paper's policy line-up on a 512-rank, 16-ranks/node
+  //    cluster: makespan (straggler bound) vs locality (remote traffic).
+  const std::int32_t ranks = 512;
+  const ClusterTopology topo(ranks, 16);
+  std::printf("\n%-10s %9s %10s %12s %12s\n", "policy", "makespan",
+              "imbalance", "remote-msgs", "contiguity");
+  for (const auto& name : evaluation_policy_names()) {
+    const PolicyPtr policy = make_policy(name);
+    const Placement p = policy->place(costs, ranks);
+    const LoadMetrics load = load_metrics(costs, p, ranks);
+    const CommMetrics comm = comm_metrics(mesh, p, topo);
+    std::printf("%-10s %9.3f %10.3f %12lld %12.3f\n", name.c_str(),
+                load.makespan, load.imbalance,
+                static_cast<long long>(comm.msgs_inter_node),
+                contiguity_fraction(p));
+  }
+
+  std::printf(
+      "\nReading the table: X=0 preserves locality (high contiguity, few\n"
+      "remote messages) but tolerates imbalance; X=100 is pure LPT.\n"
+      "Intermediate X captures most of the balance gain at a fraction of\n"
+      "the locality cost -- the CPLX tradeoff (paper Fig 6).\n");
+  return 0;
+}

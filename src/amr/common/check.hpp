@@ -1,0 +1,38 @@
+// Invariant checking that stays enabled in Release builds.
+//
+// The simulator's correctness depends on invariants (event ordering, octree
+// 2:1 balance, request lifecycles) whose violation would silently corrupt
+// measured results rather than crash. AMR_CHECK therefore never compiles
+// out; it costs a predictable branch and is kept off hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+
+namespace amr {
+
+[[noreturn]] inline void check_failed(const char* expr,
+                                      const char* msg,
+                                      const std::source_location loc) {
+  std::fprintf(stderr, "AMR_CHECK failed: (%s) %s\n  at %s:%u in %s\n", expr,
+               msg != nullptr ? msg : "", loc.file_name(),
+               static_cast<unsigned>(loc.line()), loc.function_name());
+  std::abort();
+}
+
+}  // namespace amr
+
+#define AMR_CHECK(expr)                                               \
+  do {                                                                \
+    if (!(expr)) [[unlikely]]                                         \
+      ::amr::check_failed(#expr, nullptr,                             \
+                          std::source_location::current());           \
+  } while (false)
+
+#define AMR_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) [[unlikely]]                                         \
+      ::amr::check_failed(#expr, (msg),                               \
+                          std::source_location::current());           \
+  } while (false)

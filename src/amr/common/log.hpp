@@ -1,0 +1,34 @@
+// Minimal leveled logger for the library; benches and examples use it for
+// progress reporting. Thread-unsafe by design (the simulator is
+// single-threaded and deterministic).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace amr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. Prefer the AMR_LOG_* macros which skip argument
+/// evaluation when the level is suppressed.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace amr
+
+#define AMR_LOG_AT(lvl, ...)                       \
+  do {                                             \
+    if (static_cast<int>(lvl) >=                   \
+        static_cast<int>(::amr::log_level()))      \
+      ::amr::log_message((lvl), __VA_ARGS__);      \
+  } while (false)
+
+#define AMR_LOG_DEBUG(...) AMR_LOG_AT(::amr::LogLevel::kDebug, __VA_ARGS__)
+#define AMR_LOG_INFO(...) AMR_LOG_AT(::amr::LogLevel::kInfo, __VA_ARGS__)
+#define AMR_LOG_WARN(...) AMR_LOG_AT(::amr::LogLevel::kWarn, __VA_ARGS__)
+#define AMR_LOG_ERROR(...) AMR_LOG_AT(::amr::LogLevel::kError, __VA_ARGS__)

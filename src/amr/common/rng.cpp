@@ -1,0 +1,102 @@
+#include "amr/common/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash64(std::uint64_t value) { return splitmix64(value); }
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro256** must not be seeded all-zero; splitmix64 guarantees a
+  // well-mixed nonzero state from any seed.
+  for (auto& s : s_) s = splitmix64(seed);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  AMR_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 == 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double mean) {
+  AMR_CHECK(mean > 0.0);
+  double u = uniform();
+  while (u == 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double x_min, double alpha) {
+  AMR_CHECK(x_min > 0.0 && alpha > 0.0);
+  double u = uniform();
+  while (u == 0.0) u = uniform();
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+Rng Rng::split(std::uint64_t salt) {
+  std::uint64_t mix = s_[0] ^ std::rotl(s_[3], 13) ^ salt;
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace amr

@@ -1,0 +1,63 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulator (cost noise, network jitter,
+// fault onset, mesh generation) draws from an amr::Rng seeded explicitly,
+// so runs are reproducible and experiments can report averages over
+// numbered seeds. The generator is xoshiro256**, seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+
+namespace amr {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix of a value (one splitmix64 round).
+std::uint64_t hash64(std::uint64_t value);
+
+/// xoshiro256** PRNG with explicit seeding and distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (mean = 1/lambda).
+  double exponential(double mean);
+
+  /// Pareto (power-law) with scale x_min and shape alpha (> 0).
+  double pareto(double x_min, double alpha);
+
+  /// Lognormal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli draw.
+  bool chance(double p);
+
+  /// Split off an independent stream (hash of current state + salt).
+  Rng split(std::uint64_t salt);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace amr

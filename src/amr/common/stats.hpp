@@ -1,0 +1,82 @@
+// Descriptive statistics used throughout telemetry analysis and the
+// benchmark harnesses: streaming moments (Welford), percentiles, Pearson
+// correlation, and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace amr {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  /// Sample variance (divides by n-1); 0 if fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  /// Coefficient of variation (stddev / mean); 0 if mean is 0.
+  double cv() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample, q in [0, 1], linear interpolation between order
+/// statistics. Copies and sorts internally; returns 0 for empty input.
+double percentile(std::span<const double> values, double q);
+
+double mean(std::span<const double> values);
+double stddev(std::span<const double> values);
+
+/// Pearson correlation coefficient; returns 0 if either side is constant
+/// or inputs are empty/mismatched in length.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Max/mean ratio (load imbalance factor); returns 0 for empty input.
+double imbalance_factor(std::span<const double> values);
+
+/// Fixed-width histogram over [lo, hi) with extra under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Render as an ASCII bar chart (for bench output).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace amr

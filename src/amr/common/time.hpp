@@ -1,0 +1,29 @@
+// Simulated-time representation.
+//
+// All simulator timestamps are integer nanoseconds. Integer time makes
+// discrete-event ordering exact and runs bit-identical across platforms,
+// which the telemetry tests rely on.
+#pragma once
+
+#include <cstdint>
+
+namespace amr {
+
+/// Simulated time in nanoseconds since the start of the run.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+constexpr TimeNs us(double v) { return static_cast<TimeNs>(v * kNsPerUs); }
+constexpr TimeNs ms(double v) { return static_cast<TimeNs>(v * kNsPerMs); }
+constexpr TimeNs sec(double v) { return static_cast<TimeNs>(v * kNsPerSec); }
+
+constexpr double to_us(TimeNs t) { return static_cast<double>(t) / kNsPerUs; }
+constexpr double to_ms(TimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+constexpr double to_sec(TimeNs t) {
+  return static_cast<double>(t) / kNsPerSec;
+}
+
+}  // namespace amr

@@ -1,0 +1,58 @@
+#include "amr/des/engine.hpp"
+
+namespace amr {
+
+void Engine::schedule_at(TimeNs t, EventHandler* handler,
+                         std::uint64_t tag) {
+  AMR_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  AMR_CHECK(handler != nullptr);
+  queue_.push(Event{t, next_seq_++, handler, tag});
+}
+
+void Engine::call_at(TimeNs t, std::function<void(Engine&)> fn) {
+  std::uint64_t slot;
+  if (!free_fn_slots_.empty()) {
+    slot = free_fn_slots_.back();
+    free_fn_slots_.pop_back();
+    fns_[slot] = std::move(fn);
+  } else {
+    slot = fns_.size();
+    fns_.push_back(std::move(fn));
+  }
+  schedule_at(t, &fn_handler_, slot);
+}
+
+void Engine::FnHandler::on_event(Engine& engine, std::uint64_t tag) {
+  // Move out first: the callback may schedule more events and grow fns_.
+  auto fn = std::move(engine.fns_[tag]);
+  engine.fns_[tag] = nullptr;
+  engine.free_fn_slots_.push_back(tag);
+  fn(engine);
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  const Event ev = queue_.top();
+  queue_.pop();
+  AMR_CHECK(ev.time >= now_);
+  now_ = ev.time;
+  ++processed_;
+  ev.handler->on_event(*this, ev.tag);
+  return true;
+}
+
+std::uint64_t Engine::run() {
+  const std::uint64_t start = processed_;
+  while (step()) {
+  }
+  return processed_ - start;
+}
+
+std::uint64_t Engine::run_until(TimeNs t_end) {
+  const std::uint64_t start = processed_;
+  while (!queue_.empty() && queue_.top().time <= t_end) step();
+  if (now_ < t_end) now_ = t_end;
+  return processed_ - start;
+}
+
+}  // namespace amr

@@ -1,0 +1,39 @@
+#include "amr/exec/critical_path.hpp"
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+std::int32_t CriticalPathAnalyzer::straggler_of(const StepResult& result) {
+  AMR_CHECK(!result.ranks.empty());
+  std::size_t straggler = 0;
+  for (std::size_t r = 1; r < result.ranks.size(); ++r) {
+    if (result.ranks[r].collective_entry >
+        result.ranks[straggler].collective_entry)
+      straggler = r;
+  }
+  return static_cast<std::int32_t>(straggler);
+}
+
+void CriticalPathAnalyzer::observe(const StepResult& result) {
+  const auto straggler =
+      static_cast<std::size_t>(straggler_of(result));
+  const RankStepStats& s = result.ranks[straggler];
+  const TimeNs window = result.wall_ns();
+  const TimeNs wait = s.recv_wait_ns + s.send_wait_ns;
+
+  ++stats_.windows;
+  stats_.window_ms.add(to_ms(window));
+  stats_.straggler_wait_ms.add(to_ms(wait));
+  stats_.straggler_compute_ms.add(to_ms(s.compute_ns));
+
+  const bool stalled =
+      window > 0 && static_cast<double>(wait) >
+                        wait_threshold_frac_ * static_cast<double>(window);
+  if (stalled && s.last_release_src >= 0 && s.recv_wait_ns >= s.send_wait_ns)
+    ++stats_.two_rank_paths;
+  else
+    ++stats_.one_rank_paths;
+}
+
+}  // namespace amr

@@ -1,0 +1,55 @@
+// Critical-path analysis of synchronization windows (paper §IV-D).
+//
+// The critical path is the dependent-task chain ending at the straggler's
+// collective entry. With one P2P round per window, at most two ranks are
+// implicated: either the straggler is purely compute-bound (one-rank
+// path) or it stalled waiting for a message, implicating exactly the
+// sender of the message that released the stall (two-rank path). The
+// analyzer classifies each executed window and accumulates the statistics
+// reported by bench_fig4_critpath.
+#pragma once
+
+#include <cstdint>
+
+#include "amr/common/stats.hpp"
+#include "amr/exec/step_executor.hpp"
+
+namespace amr {
+
+struct CriticalPathStats {
+  std::int64_t windows = 0;
+  std::int64_t one_rank_paths = 0;   ///< straggler compute-bound
+  std::int64_t two_rank_paths = 0;   ///< straggler stalled on one sender
+  RunningStats straggler_wait_ms;    ///< MPI wait on the critical path
+  RunningStats straggler_compute_ms;
+  RunningStats window_ms;
+
+  double two_rank_fraction() const {
+    return windows > 0
+               ? static_cast<double>(two_rank_paths) /
+                     static_cast<double>(windows)
+               : 0.0;
+  }
+};
+
+class CriticalPathAnalyzer {
+ public:
+  /// `wait_threshold_frac`: minimum fraction of the window the straggler
+  /// must have spent in MPI waits for the path to count as two-rank.
+  explicit CriticalPathAnalyzer(double wait_threshold_frac = 0.02)
+      : wait_threshold_frac_(wait_threshold_frac) {}
+
+  /// Classify one executed window.
+  void observe(const StepResult& result);
+
+  const CriticalPathStats& stats() const { return stats_; }
+
+  /// The straggler (latest collective entry) of a step result.
+  static std::int32_t straggler_of(const StepResult& result);
+
+ private:
+  double wait_threshold_frac_;
+  CriticalPathStats stats_;
+};
+
+}  // namespace amr

@@ -1,0 +1,447 @@
+#include "amr/exec/overlap.hpp"
+
+#include <algorithm>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+namespace {
+
+/// Shared scaffolding for the work builders: per-rank slots and the
+/// directed neighbor message sweep.
+template <typename EmitSend>
+void sweep_messages(const AmrMesh& mesh, const Placement& placement,
+                    const MessageSizeModel& sizes,
+                    std::vector<OverlapRankWork>& work,
+                    std::span<const std::int32_t> slot_of_block,
+                    EmitSend&& emit_send) {
+  const auto& lists = mesh.neighbor_lists();
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    const std::int32_t src = placement[b];
+    auto& w = work[static_cast<std::size_t>(src)];
+    for (const Neighbor& n : lists[b]) {
+      const auto ni = static_cast<std::size_t>(n.index);
+      const std::int32_t dst = placement[ni];
+      const std::int64_t bytes = sizes.bytes(n.kind);
+      if (dst == src) {
+        w.local_copy_bytes += bytes;
+        ++w.local_copy_msgs;
+        continue;
+      }
+      emit_send(w, static_cast<std::int32_t>(b), dst, n.index, bytes);
+      auto& dw = work[static_cast<std::size_t>(dst)];
+      ++dw.expected_recvs;
+      BlockWork& target =
+          dw.blocks[static_cast<std::size_t>(slot_of_block[ni])];
+      ++target.expected_recvs;
+      target.recv_bytes += bytes;
+    }
+  }
+}
+
+std::vector<std::int32_t> make_slots(const AmrMesh& mesh,
+                                     const Placement& placement,
+                                     std::vector<OverlapRankWork>& work) {
+  std::vector<std::int32_t> slot_of_block(mesh.size(), -1);
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    auto& w = work[static_cast<std::size_t>(placement[b])];
+    slot_of_block[b] = static_cast<std::int32_t>(w.blocks.size());
+    w.blocks.push_back(BlockWork{});
+    w.blocks.back().block = static_cast<std::int32_t>(b);
+  }
+  return slot_of_block;
+}
+
+}  // namespace
+
+std::vector<OverlapRankWork> build_overlap_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    const MessageSizeModel& sizes) {
+  AMR_CHECK(placement.size() == mesh.size());
+  AMR_CHECK(block_costs.size() == mesh.size());
+  std::vector<OverlapRankWork> work(static_cast<std::size_t>(nranks));
+  const auto slots = make_slots(mesh, placement, work);
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    auto& w = work[static_cast<std::size_t>(placement[b])];
+    w.blocks[static_cast<std::size_t>(slots[b])].compute = block_costs[b];
+  }
+  // Previous-step ghosts: sends posted up-front at rank level.
+  sweep_messages(mesh, placement, sizes, work, slots,
+                 [](OverlapRankWork& w, std::int32_t /*src_block*/,
+                    std::int32_t dst, std::int32_t dst_block,
+                    std::int64_t bytes) {
+                   w.sends.push_back(OutMessage{dst, bytes, dst_block});
+                   w.send_dst_tags.push_back(dst_block);
+                 });
+  return work;
+}
+
+std::vector<OverlapRankWork> build_two_stage_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    double stage1_frac, const MessageSizeModel& sizes) {
+  AMR_CHECK(placement.size() == mesh.size());
+  AMR_CHECK(stage1_frac > 0.0 && stage1_frac < 1.0);
+  std::vector<OverlapRankWork> work(static_cast<std::size_t>(nranks));
+  const auto slots = make_slots(mesh, placement, work);
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    auto& blk = work[static_cast<std::size_t>(placement[b])]
+                    .blocks[static_cast<std::size_t>(slots[b])];
+    const auto stage1 = static_cast<TimeNs>(
+        static_cast<double>(block_costs[b]) * stage1_frac);
+    blk.compute = stage1;
+    blk.stage2_compute = block_costs[b] - stage1;
+  }
+  // Freshly produced ghosts: sends attach to the producing block.
+  sweep_messages(
+      mesh, placement, sizes, work, slots,
+      [&](OverlapRankWork& w, std::int32_t src_block, std::int32_t dst,
+          std::int32_t dst_block, std::int64_t bytes) {
+        BlockWork& producer =
+            w.blocks[static_cast<std::size_t>(slots[src_block])];
+        producer.sends.push_back(OutMessage{dst, bytes, dst_block});
+        producer.send_dst_tags.push_back(dst_block);
+      });
+  return work;
+}
+
+std::vector<RankStepWork> two_stage_bsp_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    double stage1_frac, const MessageSizeModel& sizes) {
+  // BSP rendering: stage-1 computes (before sends, via kComputeFirst),
+  // sends, wait, stage-2 computes, collective.
+  auto work = build_step_work(mesh, placement, block_costs, nranks, sizes);
+  for (auto& w : work) {
+    w.computes_after_wait.reserve(w.computes.size());
+    for (auto& c : w.computes) {
+      const auto stage1 = static_cast<TimeNs>(
+          static_cast<double>(c.duration) * stage1_frac);
+      w.computes_after_wait.push_back(
+          BlockCompute{c.block, c.duration - stage1});
+      c.duration = stage1;
+    }
+  }
+  return work;
+}
+
+class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
+                                                 public EventHandler {
+ public:
+  OverlapRankRuntime(std::int32_t rank, Comm& comm, ExecParams params)
+      : rank_(rank), comm_(comm), params_(params) {
+    comm_.set_endpoint(rank, this);
+  }
+
+  void begin_step(const OverlapRankWork& work, std::uint64_t window,
+                  TimeNs start) {
+    work_ = &work;
+    window_ = window;
+    state_ = State::kIdle;
+    arrived_.assign(work.blocks.size(), 0);
+    stage1_done_.assign(work.blocks.size(), false);
+    done_.assign(work.blocks.size(), false);
+    blocks_left_ = work.blocks.size();
+    pending_sends_.clear();
+    pending_tags_.clear();
+    // Up-front rank-level sends enter the queue immediately.
+    for (std::size_t i = 0; i < work.sends.size(); ++i) {
+      pending_sends_.push_back(work.sends[i]);
+      pending_tags_.push_back(work.send_dst_tags[i]);
+    }
+    send_head_ = 0;
+    copy_charged_ = false;
+    current_block_ = -1;
+    max_send_release_ = start;
+    stats_ = RankStepStats{};
+    step_done_ = false;
+    wait_start_ = start;
+  }
+
+  void start(Engine& engine) {
+    AMR_CHECK(state_ == State::kIdle);
+    state_ = State::kRunning;
+    engine.schedule_at(engine.now(), this, 0);
+  }
+
+  bool step_done() const { return step_done_; }
+  const RankStepStats& stats() const { return stats_; }
+
+  void on_event(Engine& engine, std::uint64_t /*tag*/) override {
+    switch (state_) {
+      case State::kRunning:
+        advance(engine);
+        return;
+      case State::kPostSend: {
+        const OutMessage& m = pending_sends_[send_head_];
+        const TimeNs release =
+            comm_.isend(rank_, m.dst_rank, m.bytes, window_, engine.now(),
+                        pending_tags_[send_head_]);
+        max_send_release_ = std::max(max_send_release_, release);
+        if (comm_.fabric().topology().same_node(rank_, m.dst_rank)) {
+          ++stats_.msgs_local;
+          stats_.bytes_local += m.bytes;
+        } else {
+          ++stats_.msgs_remote;
+          stats_.bytes_remote += m.bytes;
+        }
+        ++send_head_;
+        state_ = State::kRunning;
+        advance(engine);
+        return;
+      }
+      case State::kInCopy:
+        state_ = State::kRunning;
+        advance(engine);
+        return;
+      case State::kComputingStage1: {
+        const auto s = static_cast<std::size_t>(current_block_);
+        stage1_done_[s] = true;
+        const BlockWork& b = work_->blocks[s];
+        for (std::size_t i = 0; i < b.sends.size(); ++i) {
+          pending_sends_.push_back(b.sends[i]);
+          pending_tags_.push_back(b.send_dst_tags[i]);
+        }
+        if (b.stage2_compute == 0) {
+          done_[s] = true;
+          --blocks_left_;
+        }
+        current_block_ = -1;
+        state_ = State::kRunning;
+        advance(engine);
+        return;
+      }
+      case State::kComputingStage2: {
+        const auto s = static_cast<std::size_t>(current_block_);
+        done_[s] = true;
+        --blocks_left_;
+        current_block_ = -1;
+        state_ = State::kRunning;
+        advance(engine);
+        return;
+      }
+      case State::kWaitingSends:
+        stats_.send_wait_ns += engine.now() - wait_start_;
+        enter_collective(engine);
+        return;
+      case State::kIdle:
+      case State::kStalled:
+      case State::kInCollective:
+        AMR_CHECK_MSG(false, "unexpected continuation event");
+    }
+  }
+
+  void on_message(std::uint64_t window, TimeNs t, std::int32_t src,
+                  std::int64_t dst_tag) override {
+    if (window != window_) return;
+    AMR_CHECK(dst_tag >= 0);
+    const std::size_t slot =
+        static_cast<std::size_t>(slot_of(static_cast<std::int32_t>(dst_tag)));
+    ++arrived_[slot];
+    AMR_CHECK(arrived_[slot] <= work_->blocks[slot].expected_recvs);
+    if (state_ == State::kStalled && runnable_exists()) {
+      stats_.recv_wait_ns += t - wait_start_;
+      stats_.last_release_src = src;
+      state_ = State::kRunning;
+      advance(comm_.engine());
+    }
+  }
+
+  void on_recvs_ready(std::uint64_t, TimeNs, std::int32_t) override {
+    AMR_CHECK_MSG(false, "overlap runtime never blocks in wait_recvs");
+  }
+
+  void on_collective_done(std::uint64_t window, TimeNs t) override {
+    AMR_CHECK(window == window_);
+    AMR_CHECK(state_ == State::kInCollective);
+    stats_.sync_ns += t - stats_.collective_entry;
+    stats_.done_at = t;
+    state_ = State::kIdle;
+    step_done_ = true;
+  }
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle,
+    kRunning,
+    kPostSend,
+    kInCopy,
+    kComputingStage1,
+    kComputingStage2,
+    kStalled,
+    kWaitingSends,
+    kInCollective,
+  };
+
+  std::int32_t slot_of(std::int32_t block) const {
+    for (std::size_t s = 0; s < work_->blocks.size(); ++s)
+      if (work_->blocks[s].block == block)
+        return static_cast<std::int32_t>(s);
+    AMR_CHECK_MSG(false, "message for a block not on this rank");
+    return -1;
+  }
+
+  /// Stage-1 readiness: single-stage blocks are gated by their arrivals;
+  /// two-stage blocks start immediately.
+  bool stage1_ready(std::size_t s) const {
+    const BlockWork& b = work_->blocks[s];
+    if (stage1_done_[s]) return false;
+    if (b.stage2_compute > 0) return true;
+    return arrived_[s] >= b.expected_recvs;
+  }
+
+  bool stage2_ready(std::size_t s) const {
+    const BlockWork& b = work_->blocks[s];
+    return stage1_done_[s] && !done_[s] && b.stage2_compute > 0 &&
+           arrived_[s] >= b.expected_recvs;
+  }
+
+  bool runnable_exists() const {
+    if (send_head_ < pending_sends_.size()) return true;
+    for (std::size_t s = 0; s < work_->blocks.size(); ++s)
+      if (stage1_ready(s) || stage2_ready(s)) return true;
+    return false;
+  }
+
+  TimeNs pack_ns(std::int64_t bytes) const {
+    return static_cast<TimeNs>(static_cast<double>(bytes) /
+                               params_.pack_gbytes_per_sec);
+  }
+
+  void enter_collective(Engine& engine) {
+    state_ = State::kInCollective;
+    stats_.collective_entry = engine.now();
+    comm_.enter_collective(window_, rank_, engine.now());
+  }
+
+  void advance(Engine& engine) {
+    // Priority 1: drain pending sends (unblocks remote ranks).
+    if (send_head_ < pending_sends_.size()) {
+      const TimeNs pack = pack_ns(pending_sends_[send_head_].bytes) +
+                          params_.task_overhead;
+      stats_.pack_ns += pack;
+      state_ = State::kPostSend;
+      engine.schedule_after(pack, this, 0);
+      return;
+    }
+    // Priority 2: intra-rank ghost copies, once.
+    if (!copy_charged_) {
+      copy_charged_ = true;
+      if (work_->local_copy_bytes > 0) {
+        const auto copy = static_cast<TimeNs>(
+                              static_cast<double>(work_->local_copy_bytes) /
+                              params_.memcpy_gbytes_per_sec) +
+                          params_.task_overhead;
+        stats_.pack_ns += copy;
+        state_ = State::kInCopy;
+        engine.schedule_after(copy, this, 0);
+        return;
+      }
+    }
+    if (blocks_left_ > 0) {
+      // Priority 3: stage-1 work (produces sends others wait on).
+      for (std::size_t s = 0; s < work_->blocks.size(); ++s) {
+        if (!stage1_ready(s)) continue;
+        const BlockWork& b = work_->blocks[s];
+        current_block_ = static_cast<std::int32_t>(s);
+        // Single-stage blocks consume ghosts here: charge the unpack.
+        const TimeNs unpack =
+            b.stage2_compute == 0 ? pack_ns(b.recv_bytes) : 0;
+        stats_.compute_ns += b.compute + params_.task_overhead;
+        stats_.pack_ns += unpack;
+        state_ = State::kComputingStage1;
+        engine.schedule_after(b.compute + unpack + params_.task_overhead,
+                              this, 0);
+        return;
+      }
+      // Priority 4: ready stage-2 work.
+      for (std::size_t s = 0; s < work_->blocks.size(); ++s) {
+        if (!stage2_ready(s)) continue;
+        const BlockWork& b = work_->blocks[s];
+        current_block_ = static_cast<std::int32_t>(s);
+        const TimeNs unpack = pack_ns(b.recv_bytes);
+        stats_.compute_ns += b.stage2_compute + params_.task_overhead;
+        stats_.pack_ns += unpack;
+        state_ = State::kComputingStage2;
+        engine.schedule_after(
+            b.stage2_compute + unpack + params_.task_overhead, this, 0);
+        return;
+      }
+      // Nothing runnable: stall until a message readies a block.
+      wait_start_ = engine.now();
+      state_ = State::kStalled;
+      return;
+    }
+    // All blocks done: drain send requests, then the collective.
+    if (max_send_release_ > engine.now()) {
+      wait_start_ = engine.now();
+      state_ = State::kWaitingSends;
+      engine.schedule_at(max_send_release_, this, 0);
+      return;
+    }
+    enter_collective(engine);
+  }
+
+  std::int32_t rank_;
+  Comm& comm_;
+  ExecParams params_;
+
+  const OverlapRankWork* work_ = nullptr;
+  std::uint64_t window_ = 0;
+  State state_ = State::kIdle;
+  std::vector<OutMessage> pending_sends_;
+  std::vector<std::int64_t> pending_tags_;
+  std::size_t send_head_ = 0;
+  std::vector<std::int32_t> arrived_;
+  std::vector<bool> stage1_done_;
+  std::vector<bool> done_;
+  std::size_t blocks_left_ = 0;
+  std::int32_t current_block_ = -1;
+  bool copy_charged_ = false;
+  TimeNs max_send_release_ = 0;
+  TimeNs wait_start_ = 0;
+  RankStepStats stats_;
+  bool step_done_ = false;
+};
+
+OverlapExecutor::OverlapExecutor(Engine& engine, Comm& comm,
+                                 ExecParams params)
+    : engine_(engine), comm_(comm) {
+  runtimes_.reserve(static_cast<std::size_t>(comm.nranks()));
+  for (std::int32_t r = 0; r < comm.nranks(); ++r)
+    runtimes_.push_back(
+        std::make_unique<OverlapRankRuntime>(r, comm, params));
+}
+
+OverlapExecutor::~OverlapExecutor() = default;
+
+StepResult OverlapExecutor::execute(std::span<const OverlapRankWork> work,
+                                    std::uint64_t window) {
+  AMR_CHECK(work.size() == runtimes_.size());
+  StepResult result;
+  result.step_start = engine_.now();
+
+  std::vector<std::int32_t> expected(work.size());
+  for (std::size_t r = 0; r < work.size(); ++r)
+    expected[r] = work[r].expected_recvs;
+  comm_.begin_exchange(window, std::move(expected));
+
+  for (std::size_t r = 0; r < work.size(); ++r) {
+    runtimes_[r]->begin_step(work[r], window, result.step_start);
+    runtimes_[r]->start(engine_);
+  }
+  engine_.run();
+
+  result.ranks.reserve(work.size());
+  for (const auto& rt : runtimes_) {
+    AMR_CHECK_MSG(rt->step_done(), "rank did not complete overlap step");
+    result.ranks.push_back(rt->stats());
+  }
+  AMR_CHECK(comm_.exchange_complete(window));
+  comm_.end_exchange(window);
+  result.step_end = engine_.now();
+  return result;
+}
+
+}  // namespace amr

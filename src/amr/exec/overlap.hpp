@@ -1,0 +1,96 @@
+// Asynchronous (overlap) execution of a timestep (paper §IV-D, strategy
+// "Overlapping computation to hide wait stalls"; §II-A task-based
+// runtimes).
+//
+// Instead of the BSP schedule (compute everything, then wait for all
+// ghosts), work is tracked per block and the single-core rank runs
+// whichever block has its dependencies met, hiding remote stalls behind
+// independent work — when any exists. This is exactly where the paper's
+// counterintuitive locality tension appears: with strict locality
+// preservation, all of a rank's blocks can be waiting on the same remote
+// straggler, leaving nothing to overlap (bench_overlap measures this).
+//
+// Two dependency patterns are supported per block:
+//  * single-stage: `compute` consumes ghost data sent up-front by the
+//    rank (previous-step state); expected_recvs gates the compute.
+//  * two-stage (stage2_compute > 0): stage 1 runs immediately and its
+//    completion posts the block's `sends` (freshly produced ghosts);
+//    expected_recvs then gates stage 2 — the produce-exchange-consume
+//    chain of multi-stage integrators, where overlap actually matters.
+//
+// Rank-local scheduling priority: pending sends first (the paper's send
+// prioritization), then stage-1 work (produces more sends), then ready
+// stage-2 work; stall only when nothing is runnable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "amr/exec/step_executor.hpp"
+
+namespace amr {
+
+/// Per-block work description for the overlap runtime.
+struct BlockWork {
+  std::int32_t block = -1;
+  TimeNs compute = 0;           ///< stage-1 compute
+  TimeNs stage2_compute = 0;    ///< 0 = single-stage block
+  std::int32_t expected_recvs = 0;  ///< gates the ghost-consuming stage
+  std::int64_t recv_bytes = 0;      ///< unpack volume (charged there)
+  std::vector<OutMessage> sends;    ///< posted after stage-1 completes
+  std::vector<std::int64_t> send_dst_tags;  ///< dest block per send
+};
+
+struct OverlapRankWork {
+  std::vector<BlockWork> blocks;
+  std::vector<OutMessage> sends;        ///< posted up-front (prev state)
+  std::vector<std::int64_t> send_dst_tags;  ///< dest block per send
+  std::int64_t local_copy_bytes = 0;
+  std::int64_t local_copy_msgs = 0;
+  std::int32_t expected_recvs = 0;      ///< total (sum over blocks)
+};
+
+/// Build single-stage per-block work from mesh + placement (the overlap
+/// analogue of build_step_work; totals match it exactly).
+std::vector<OverlapRankWork> build_overlap_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    const MessageSizeModel& sizes = {});
+
+/// Build two-stage work: each block spends stage1_frac of its cost in
+/// stage 1, sends its ghosts, and the remainder in stage 2 gated on its
+/// neighbors' arrivals. Also usable by the BSP executor via
+/// two_stage_bsp_work (stage-2 computes land in computes_after_wait).
+std::vector<OverlapRankWork> build_two_stage_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    double stage1_frac, const MessageSizeModel& sizes = {});
+
+/// The BSP rendering of the same two-stage step: stage-1 computes, sends,
+/// wait-all, stage-2 computes, collective.
+std::vector<RankStepWork> two_stage_bsp_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    double stage1_frac, const MessageSizeModel& sizes = {});
+
+/// Executes steps under the overlap model. Produces the same StepResult
+/// telemetry as StepExecutor (recv_wait_ns = rank idle time with no
+/// runnable block).
+class OverlapExecutor {
+ public:
+  OverlapExecutor(Engine& engine, Comm& comm, ExecParams params = {});
+  ~OverlapExecutor();
+
+  StepResult execute(std::span<const OverlapRankWork> work,
+                     std::uint64_t window);
+
+ private:
+  class OverlapRankRuntime;
+  Engine& engine_;
+  Comm& comm_;
+  std::vector<std::unique_ptr<OverlapRankRuntime>> runtimes_;
+};
+
+}  // namespace amr

@@ -1,0 +1,185 @@
+#include "amr/exec/rank_runtime.hpp"
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+RankRuntime::RankRuntime(std::int32_t rank, Comm& comm, ExecParams params)
+    : rank_(rank), comm_(comm), params_(params) {
+  comm_.set_endpoint(rank, this);
+}
+
+TimeNs RankRuntime::pack_ns(std::int64_t bytes) const {
+  return static_cast<TimeNs>(static_cast<double>(bytes) /
+                             params_.pack_gbytes_per_sec);
+}
+
+void RankRuntime::begin_step(const RankStepWork& work,
+                             TaskOrdering ordering, std::uint64_t window,
+                             TimeNs start) {
+  tasks_.clear();
+  pc_ = 0;
+  window_ = window;
+  state_ = State::kIdle;
+  max_send_release_ = start;
+  step_done_ = false;
+  stats_ = RankStepStats{};
+  wait_start_ = start;
+
+  auto add_sends = [&] {
+    for (const OutMessage& m : work.sends)
+      tasks_.push_back(Task{TaskKind::kPackSend,
+                            pack_ns(m.bytes) + params_.task_overhead,
+                            m.dst_rank, m.bytes});
+    if (work.local_copy_bytes > 0) {
+      const auto copy = static_cast<TimeNs>(
+          static_cast<double>(work.local_copy_bytes) /
+          params_.memcpy_gbytes_per_sec);
+      tasks_.push_back(Task{TaskKind::kLocalCopy,
+                            copy + params_.task_overhead, -1,
+                            work.local_copy_bytes});
+    }
+  };
+  auto add_computes = [&] {
+    for (const BlockCompute& c : work.computes)
+      tasks_.push_back(Task{TaskKind::kCompute,
+                            c.duration + params_.task_overhead, -1, 0});
+  };
+
+  // The tuning lever of Fig 3/4b: where sends sit in the task schedule.
+  if (ordering == TaskOrdering::kSendFirst) {
+    add_sends();
+    add_computes();
+  } else {
+    add_computes();
+    add_sends();
+  }
+  tasks_.push_back(Task{TaskKind::kWaitRecvs, 0, -1, 0});
+  if (work.recv_bytes > 0)
+    tasks_.push_back(Task{TaskKind::kUnpack,
+                          pack_ns(work.recv_bytes) + params_.task_overhead,
+                          -1, work.recv_bytes});
+  for (const BlockCompute& c : work.computes_after_wait)
+    tasks_.push_back(Task{TaskKind::kCompute,
+                          c.duration + params_.task_overhead, -1, 0});
+  tasks_.push_back(Task{TaskKind::kWaitSends, 0, -1, 0});
+}
+
+void RankRuntime::start(Engine& engine) {
+  AMR_CHECK(state_ == State::kIdle);
+  state_ = State::kRunning;
+  // Begin at the configured start time (== engine.now() for lockstep
+  // steps); schedule rather than recurse so all ranks start fairly.
+  engine.schedule_at(engine.now(), this, 0);
+}
+
+void RankRuntime::on_event(Engine& engine, std::uint64_t /*tag*/) {
+  switch (state_) {
+    case State::kRunning:
+      advance(engine);
+      return;
+    case State::kInTask:
+      state_ = State::kRunning;
+      ++pc_;
+      advance(engine);
+      return;
+    case State::kPostSend: {
+      // Pack finished at now; the isend posts here.
+      const Task& t = tasks_[pc_];
+      const TimeNs release =
+          comm_.isend(rank_, t.dst, t.bytes, window_, engine.now());
+      max_send_release_ = std::max(max_send_release_, release);
+      if (comm_.fabric().topology().same_node(rank_, t.dst)) {
+        ++stats_.msgs_local;
+        stats_.bytes_local += t.bytes;
+      } else {
+        ++stats_.msgs_remote;
+        stats_.bytes_remote += t.bytes;
+      }
+      state_ = State::kRunning;
+      ++pc_;
+      advance(engine);
+      return;
+    }
+    case State::kWaitingSends: {
+      stats_.send_wait_ns += engine.now() - wait_start_;
+      state_ = State::kRunning;
+      ++pc_;
+      advance(engine);
+      return;
+    }
+    case State::kIdle:
+    case State::kWaitingRecvs:
+    case State::kInCollective:
+      AMR_CHECK_MSG(false, "unexpected continuation event");
+  }
+}
+
+void RankRuntime::advance(Engine& engine) {
+  while (pc_ < tasks_.size()) {
+    const Task& t = tasks_[pc_];
+    switch (t.kind) {
+      case TaskKind::kCompute:
+        stats_.compute_ns += t.duration;
+        state_ = State::kInTask;
+        engine.schedule_after(t.duration, this, 0);
+        return;
+      case TaskKind::kLocalCopy:
+      case TaskKind::kUnpack:
+        stats_.pack_ns += t.duration;
+        state_ = State::kInTask;
+        engine.schedule_after(t.duration, this, 0);
+        return;
+      case TaskKind::kPackSend:
+        stats_.pack_ns += t.duration;
+        state_ = State::kPostSend;
+        engine.schedule_after(t.duration, this, 0);
+        return;
+      case TaskKind::kWaitRecvs:
+        if (comm_.wait_recvs(rank_, window_, engine.now())) {
+          ++pc_;
+          continue;  // everything already arrived: zero wait
+        }
+        wait_start_ = engine.now();
+        state_ = State::kWaitingRecvs;
+        return;
+      case TaskKind::kWaitSends: {
+        if (max_send_release_ <= engine.now()) {
+          ++pc_;
+          continue;
+        }
+        wait_start_ = engine.now();
+        state_ = State::kWaitingSends;
+        engine.schedule_at(max_send_release_, this, 0);
+        return;
+      }
+    }
+  }
+  // All tasks done: enter the closing blocking collective.
+  state_ = State::kInCollective;
+  stats_.collective_entry = engine.now();
+  comm_.enter_collective(window_, rank_, engine.now());
+}
+
+void RankRuntime::on_recvs_ready(std::uint64_t window, TimeNs t,
+                                 std::int32_t releasing_src) {
+  AMR_CHECK(window == window_);
+  AMR_CHECK(state_ == State::kWaitingRecvs);
+  stats_.recv_wait_ns += t - wait_start_;
+  stats_.last_release_src = releasing_src;
+  state_ = State::kRunning;
+  ++pc_;
+  // We are inside the delivery event at time t; continue inline.
+  advance(comm_.engine());
+}
+
+void RankRuntime::on_collective_done(std::uint64_t window, TimeNs t) {
+  AMR_CHECK(window == window_);
+  AMR_CHECK(state_ == State::kInCollective);
+  stats_.sync_ns += t - stats_.collective_entry;
+  stats_.done_at = t;
+  state_ = State::kIdle;
+  step_done_ = true;
+}
+
+}  // namespace amr

@@ -1,0 +1,112 @@
+// Per-rank execution state machine.
+//
+// Each rank runs its step's task list sequentially on the DES: compute
+// kernels advance the rank's clock; pack+send tasks post messages to the
+// simulated fabric; waits park the rank until the Comm layer signals
+// arrivals; the closing blocking collective parks it until every rank has
+// entered. The per-phase accumulators it keeps are exactly the telemetry
+// the paper's collection layer records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amr/des/engine.hpp"
+#include "amr/exec/work.hpp"
+#include "amr/simmpi/comm.hpp"
+
+namespace amr {
+
+/// Software-stack timing constants for task execution.
+struct ExecParams {
+  double pack_gbytes_per_sec = 6.0;    ///< ghost pack/unpack bandwidth
+  double memcpy_gbytes_per_sec = 10.0; ///< intra-rank ghost copy bandwidth
+  TimeNs task_overhead = us(0.2);      ///< per-task runtime dispatch cost
+};
+
+/// Telemetry accumulated by one rank over one step.
+struct RankStepStats {
+  TimeNs compute_ns = 0;
+  TimeNs pack_ns = 0;        ///< pack + local copies (part of comm)
+  TimeNs recv_wait_ns = 0;
+  TimeNs send_wait_ns = 0;
+  TimeNs sync_ns = 0;
+  TimeNs collective_entry = 0;  ///< absolute entry time into the sync
+  TimeNs done_at = 0;           ///< absolute completion time
+  std::int64_t msgs_local = 0;    ///< intra-node (shm) sends
+  std::int64_t msgs_remote = 0;   ///< inter-node sends
+  std::int64_t bytes_local = 0;
+  std::int64_t bytes_remote = 0;
+  std::int32_t last_release_src = -1;  ///< sender ending the last stall
+
+  TimeNs comm_ns() const { return pack_ns + recv_wait_ns + send_wait_ns; }
+};
+
+class RankRuntime final : public RankEndpoint, public EventHandler {
+ public:
+  RankRuntime(std::int32_t rank, Comm& comm, ExecParams params);
+
+  /// Arm the rank for a step: build the task order from `work`, starting
+  /// at absolute time `start`. Exchange and collective use window ids
+  /// `window` (the executor opens/closes them).
+  void begin_step(const RankStepWork& work, TaskOrdering ordering,
+                  std::uint64_t window, TimeNs start);
+
+  /// Kick off execution (schedules the first advance).
+  void start(Engine& engine);
+
+  bool step_done() const { return step_done_; }
+  const RankStepStats& stats() const { return stats_; }
+  std::int32_t rank() const { return rank_; }
+
+  // RankEndpoint
+  void on_recvs_ready(std::uint64_t window, TimeNs t,
+                      std::int32_t releasing_src) override;
+  void on_collective_done(std::uint64_t window, TimeNs t) override;
+
+  // EventHandler (self-scheduled continuations)
+  void on_event(Engine& engine, std::uint64_t tag) override;
+
+ private:
+  enum class TaskKind : std::uint8_t {
+    kCompute,
+    kPackSend,
+    kLocalCopy,
+    kWaitRecvs,
+    kUnpack,
+    kWaitSends,
+  };
+  struct Task {
+    TaskKind kind;
+    TimeNs duration = 0;       // compute / copy / pack part of send
+    std::int32_t dst = -1;     // send target rank
+    std::int64_t bytes = 0;
+  };
+  enum class State : std::uint8_t {
+    kIdle,
+    kRunning,        // between events, advance() drives
+    kInTask,         // a timed task is in flight (continuation event)
+    kPostSend,       // pack done; isend fires on the continuation event
+    kWaitingRecvs,
+    kWaitingSends,
+    kInCollective,
+  };
+
+  void advance(Engine& engine);
+  TimeNs pack_ns(std::int64_t bytes) const;
+
+  std::int32_t rank_;
+  Comm& comm_;
+  ExecParams params_;
+
+  std::vector<Task> tasks_;
+  std::size_t pc_ = 0;
+  std::uint64_t window_ = 0;
+  State state_ = State::kIdle;
+  TimeNs wait_start_ = 0;
+  TimeNs max_send_release_ = 0;
+  bool step_done_ = false;
+  RankStepStats stats_;
+};
+
+}  // namespace amr

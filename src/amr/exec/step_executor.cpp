@@ -1,0 +1,44 @@
+#include "amr/exec/step_executor.hpp"
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+StepExecutor::StepExecutor(Engine& engine, Comm& comm, ExecParams params)
+    : engine_(engine), comm_(comm) {
+  runtimes_.reserve(static_cast<std::size_t>(comm.nranks()));
+  for (std::int32_t r = 0; r < comm.nranks(); ++r)
+    runtimes_.push_back(std::make_unique<RankRuntime>(r, comm, params));
+}
+
+StepResult StepExecutor::execute(std::span<const RankStepWork> work,
+                                 TaskOrdering ordering,
+                                 std::uint64_t window) {
+  AMR_CHECK(work.size() == runtimes_.size());
+  StepResult result;
+  result.step_start = engine_.now();
+
+  std::vector<std::int32_t> expected(work.size());
+  for (std::size_t r = 0; r < work.size(); ++r)
+    expected[r] = work[r].expected_recvs;
+  comm_.begin_exchange(window, std::move(expected));
+
+  for (std::size_t r = 0; r < work.size(); ++r) {
+    runtimes_[r]->begin_step(work[r], ordering, window,
+                             result.step_start);
+    runtimes_[r]->start(engine_);
+  }
+  engine_.run();
+
+  result.ranks.reserve(work.size());
+  for (const auto& rt : runtimes_) {
+    AMR_CHECK_MSG(rt->step_done(), "rank did not complete the step");
+    result.ranks.push_back(rt->stats());
+  }
+  AMR_CHECK(comm_.exchange_complete(window));
+  comm_.end_exchange(window);
+  result.step_end = engine_.now();
+  return result;
+}
+
+}  // namespace amr

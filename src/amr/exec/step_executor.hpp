@@ -1,0 +1,41 @@
+// BSP step execution across all ranks.
+//
+// One call = one synchronization window: open the exchange, arm every
+// rank's task list, drain the event queue, close the window. The result
+// carries per-rank phase telemetry plus window timing for critical-path
+// analysis.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "amr/exec/rank_runtime.hpp"
+
+namespace amr {
+
+struct StepResult {
+  std::vector<RankStepStats> ranks;
+  TimeNs step_start = 0;
+  TimeNs step_end = 0;  ///< collective completion (same for all ranks)
+
+  TimeNs wall_ns() const { return step_end - step_start; }
+};
+
+class StepExecutor {
+ public:
+  StepExecutor(Engine& engine, Comm& comm, ExecParams params = {});
+
+  /// Execute one step. `window` must be unique per call (use the step
+  /// number). All ranks start simultaneously at engine.now().
+  StepResult execute(std::span<const RankStepWork> work,
+                     TaskOrdering ordering, std::uint64_t window);
+
+ private:
+  Engine& engine_;
+  Comm& comm_;
+  std::vector<std::unique_ptr<RankRuntime>> runtimes_;
+};
+
+}  // namespace amr

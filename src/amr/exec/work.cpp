@@ -1,0 +1,48 @@
+#include "amr/exec/work.hpp"
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+std::vector<RankStepWork> build_step_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    const MessageSizeModel& sizes, bool include_flux) {
+  AMR_CHECK(placement.size() == mesh.size());
+  AMR_CHECK(block_costs.size() == mesh.size());
+  std::vector<RankStepWork> work(static_cast<std::size_t>(nranks));
+
+  const auto& lists = mesh.neighbor_lists();
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    const std::int32_t src = placement[b];
+    AMR_CHECK(src >= 0 && src < nranks);
+    auto& w = work[static_cast<std::size_t>(src)];
+    w.computes.push_back(
+        BlockCompute{static_cast<std::int32_t>(b), block_costs[b]});
+    for (const Neighbor& n : lists[b]) {
+      const std::int32_t dst =
+          placement[static_cast<std::size_t>(n.index)];
+      auto emit = [&](std::int64_t bytes) {
+        if (dst == src) {
+          w.local_copy_bytes += bytes;
+          ++w.local_copy_msgs;
+        } else {
+          w.sends.push_back(
+              OutMessage{dst, bytes, static_cast<std::int32_t>(b)});
+          ++work[static_cast<std::size_t>(dst)].expected_recvs;
+          work[static_cast<std::size_t>(dst)].recv_bytes += bytes;
+        }
+      };
+      emit(sizes.bytes(n.kind));
+      // Flux correction: a fine block sends one extra small message to
+      // each coarser face neighbor (conserved-quantity consistency,
+      // paper §II-B); exists only along refinement boundaries.
+      if (include_flux && n.kind == NeighborKind::kFace &&
+          n.level_diff == -1)
+        emit(sizes.flux_bytes());
+    }
+  }
+  return work;
+}
+
+}  // namespace amr

@@ -1,0 +1,66 @@
+// Per-rank, per-step work descriptions and their construction from a mesh
+// + placement.
+//
+// A timestep's work on a rank (paper §II-B): compute kernels on local
+// blocks, boundary-exchange messages to neighbor blocks (memcpy when
+// co-located, MPI otherwise), and the count of messages the rank will
+// receive. The task *ordering* is chosen later by the scheduler
+// (TaskOrdering) — that choice is the Fig 3/Fig 4b tuning lever.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "amr/common/time.hpp"
+#include "amr/mesh/mesh.hpp"
+#include "amr/placement/metrics.hpp"
+#include "amr/placement/policy.hpp"
+
+namespace amr {
+
+struct OutMessage {
+  std::int32_t dst_rank;
+  std::int64_t bytes;
+  std::int32_t src_block;
+};
+
+struct BlockCompute {
+  std::int32_t block;
+  TimeNs duration;
+};
+
+struct RankStepWork {
+  std::vector<BlockCompute> computes;
+  /// Computes that consume this step's arrivals (stage-2 kernels of a
+  /// multi-stage integrator); scheduled after the receive wait.
+  std::vector<BlockCompute> computes_after_wait;
+  std::vector<OutMessage> sends;        ///< to other ranks (shm or fabric)
+  std::int64_t local_copy_bytes = 0;    ///< intra-rank ghost memcpy volume
+  std::int64_t local_copy_msgs = 0;     ///< intra-rank neighbor pairs
+  std::int32_t expected_recvs = 0;
+  std::int64_t recv_bytes = 0;          ///< incoming ghost volume (unpack)
+};
+
+/// Task ordering policies (paper §IV-B "Task Reordering", Fig 4b).
+enum class TaskOrdering {
+  kComputeFirst,  ///< untuned: sends dispatched after compute
+  kSendFirst,     ///< tuned: prioritize sends to unblock remote waiters
+};
+
+constexpr const char* to_string(TaskOrdering o) {
+  return o == TaskOrdering::kComputeFirst ? "compute-first" : "send-first";
+}
+
+/// Build every rank's step work from the mesh, a placement, and per-block
+/// compute durations (already fault-adjusted). Boundary exchange sends one
+/// message per directed neighbor pair; message sizes follow `sizes`.
+/// With `include_flux`, fine blocks additionally send flux corrections to
+/// their coarser face neighbors (paper §II-B) — small peer-to-peer
+/// messages that exist only along refinement boundaries.
+std::vector<RankStepWork> build_step_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    const MessageSizeModel& sizes = {}, bool include_flux = false);
+
+}  // namespace amr

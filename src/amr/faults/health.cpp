@@ -1,0 +1,59 @@
+#include "amr/faults/health.hpp"
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+std::vector<std::int32_t> scan_sensors(const FaultInjector& injector,
+                                       std::int32_t num_nodes, Rng& rng,
+                                       double detection_prob) {
+  std::vector<std::int32_t> detected;
+  for (std::int32_t node = 0; node < num_nodes; ++node) {
+    if (injector.node_faulty(node) && rng.chance(detection_prob))
+      detected.push_back(node);
+  }
+  return detected;
+}
+
+NodePool::NodePool(std::int32_t total_nodes)
+    : total_nodes_(total_nodes),
+      blacklisted_(static_cast<std::size_t>(total_nodes), false) {
+  AMR_CHECK(total_nodes > 0);
+}
+
+void NodePool::blacklist(std::int32_t node) {
+  AMR_CHECK(node >= 0 && node < total_nodes_);
+  blacklisted_[static_cast<std::size_t>(node)] = true;
+}
+
+void NodePool::blacklist_all(const std::vector<std::int32_t>& nodes) {
+  for (const std::int32_t n : nodes) blacklist(n);
+}
+
+bool NodePool::is_blacklisted(std::int32_t node) const {
+  AMR_CHECK(node >= 0 && node < total_nodes_);
+  return blacklisted_[static_cast<std::size_t>(node)];
+}
+
+std::int32_t NodePool::healthy_count() const {
+  std::int32_t count = 0;
+  for (const bool b : blacklisted_)
+    if (!b) ++count;
+  return count;
+}
+
+std::vector<std::int32_t> NodePool::allocate(std::int32_t needed) const {
+  AMR_CHECK_MSG(needed <= healthy_count(),
+                "node pool exhausted; overprovision the allocation");
+  std::vector<std::int32_t> out;
+  out.reserve(static_cast<std::size_t>(needed));
+  for (std::int32_t node = 0;
+       node < total_nodes_ &&
+       out.size() < static_cast<std::size_t>(needed);
+       ++node) {
+    if (!blacklisted_[static_cast<std::size_t>(node)]) out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace amr

@@ -1,0 +1,45 @@
+// Launch-time health checking and node pruning.
+//
+// The paper's measurement-integrity workflow (§IV-A): overprovision the
+// node allocation, run pre/post-job health checks against hardware
+// indicators (syslog analogue = fault-injector sensors with a detection
+// probability), prune failing nodes from the run and blacklist them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amr/common/rng.hpp"
+#include "amr/faults/injector.hpp"
+
+namespace amr {
+
+/// Scan node sensors. Each faulty node is detected with probability
+/// `detection_prob` per scan (syslog indicators are not perfectly
+/// reliable; pre- AND post-job scans raise coverage).
+std::vector<std::int32_t> scan_sensors(const FaultInjector& injector,
+                                       std::int32_t num_nodes, Rng& rng,
+                                       double detection_prob = 1.0);
+
+/// Overprovisioned node pool with a persistent blacklist.
+class NodePool {
+ public:
+  explicit NodePool(std::int32_t total_nodes);
+
+  void blacklist(std::int32_t node);
+  void blacklist_all(const std::vector<std::int32_t>& nodes);
+  bool is_blacklisted(std::int32_t node) const;
+  std::int32_t total_nodes() const { return total_nodes_; }
+  std::int32_t healthy_count() const;
+
+  /// Allocate `needed` non-blacklisted nodes (lowest ids first, matching
+  /// a scheduler's deterministic fill). Fails if insufficient healthy
+  /// nodes remain — the reason the launch workflow overprovisions.
+  std::vector<std::int32_t> allocate(std::int32_t needed) const;
+
+ private:
+  std::int32_t total_nodes_;
+  std::vector<bool> blacklisted_;
+};
+
+}  // namespace amr

@@ -1,0 +1,61 @@
+#include "amr/faults/injector.hpp"
+
+#include <algorithm>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+void FaultInjector::add_throttle(ThrottleFault fault) {
+  AMR_CHECK(fault.factor >= 1.0);
+  throttles_.push_back(std::move(fault));
+}
+
+double FaultInjector::compute_multiplier(std::int32_t node,
+                                         std::int64_t step) const {
+  double multiplier = 1.0;
+  for (const auto& t : throttles_) {
+    if (step < t.onset_step) continue;
+    if (t.end_step >= 0 && step > t.end_step) continue;
+    if (std::find(t.nodes.begin(), t.nodes.end(), node) != t.nodes.end())
+      multiplier = std::max(multiplier, t.factor);
+  }
+  return multiplier;
+}
+
+bool FaultInjector::node_faulty(std::int32_t node) const {
+  for (const auto& t : throttles_)
+    if (std::find(t.nodes.begin(), t.nodes.end(), node) != t.nodes.end())
+      return true;
+  return false;
+}
+
+std::vector<std::int32_t> FaultInjector::faulty_nodes() const {
+  std::vector<std::int32_t> out;
+  for (const auto& t : throttles_)
+    for (const std::int32_t n : t.nodes)
+      if (std::find(out.begin(), out.end(), n) == out.end())
+        out.push_back(n);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::int32_t> pick_victim_nodes(std::int32_t nodes,
+                                            std::int32_t count, Rng& rng) {
+  AMR_CHECK(count >= 0 && count <= nodes);
+  std::vector<std::int32_t> pool(static_cast<std::size_t>(nodes));
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    pool[i] = static_cast<std::int32_t>(i);
+  // Partial Fisher-Yates.
+  for (std::int32_t i = 0; i < count; ++i) {
+    const auto j = i + static_cast<std::int32_t>(rng.uniform_int(
+                           static_cast<std::uint64_t>(nodes - i)));
+    std::swap(pool[static_cast<std::size_t>(i)],
+              pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(count));
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace amr

@@ -1,0 +1,47 @@
+// Hardware fault injection.
+//
+// Reproduces the fail-slow behaviours of paper §IV-A: thermal throttling
+// that inflates compute time on whole nodes ("clusters of 16 ranks",
+// Fig 2), with optional onset steps for transient degradation. The
+// injector answers "how slow is this node at this step"; the execution
+// layer multiplies block compute times by it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amr/common/rng.hpp"
+
+namespace amr {
+
+struct ThrottleFault {
+  std::vector<std::int32_t> nodes;
+  double factor = 4.0;          ///< compute time multiplier (paper: ~4x)
+  std::int64_t onset_step = 0;  ///< first affected step
+  std::int64_t end_step = -1;   ///< last affected step; -1 = forever
+};
+
+class FaultInjector {
+ public:
+  void add_throttle(ThrottleFault fault);
+
+  /// Compute-time multiplier for a node at a step (>= 1.0).
+  double compute_multiplier(std::int32_t node, std::int64_t step) const;
+
+  /// True if the node has any fault configured (regardless of step).
+  bool node_faulty(std::int32_t node) const;
+
+  /// All nodes with any configured fault.
+  std::vector<std::int32_t> faulty_nodes() const;
+
+  bool empty() const { return throttles_.empty(); }
+
+ private:
+  std::vector<ThrottleFault> throttles_;
+};
+
+/// Pick `count` distinct victim nodes deterministically from [0, nodes).
+std::vector<std::int32_t> pick_victim_nodes(std::int32_t nodes,
+                                            std::int32_t count, Rng& rng);
+
+}  // namespace amr

@@ -1,0 +1,109 @@
+// Logical block coordinates and geometric helpers.
+//
+// A mesh is a grid of nx×ny×nz root octrees over the unit cube. A block at
+// refinement level L occupies logical cell (x,y,z) of the (nx·2^L)×(ny·2^L)
+// ×(nz·2^L) grid. All blocks hold the same number of computational cells
+// regardless of level (paper §II-B), so refinement shrinks physical extent
+// but not per-block work.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+inline constexpr int kMaxLevel = 18;
+
+/// Logical coordinates of a block: refinement level plus position in the
+/// level's block grid.
+struct BlockCoord {
+  std::int32_t level = 0;
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint32_t z = 0;
+
+  friend bool operator==(const BlockCoord&, const BlockCoord&) = default;
+
+  BlockCoord parent() const {
+    AMR_CHECK(level > 0);
+    return {level - 1, x >> 1, y >> 1, z >> 1};
+  }
+
+  /// Child at octant (cx,cy,cz), each in {0,1}.
+  BlockCoord child(std::uint32_t cx, std::uint32_t cy,
+                   std::uint32_t cz) const {
+    return {level + 1, (x << 1) | cx, (y << 1) | cy, (z << 1) | cz};
+  }
+
+  /// Octant index of this block within its parent (0..7, Morton order).
+  std::uint32_t octant() const {
+    return (x & 1u) | ((y & 1u) << 1) | ((z & 1u) << 2);
+  }
+};
+
+/// Packed 64-bit key: 5 level bits + 3×19 coordinate bits. Uniquely
+/// identifies a node across levels; used for hash lookups.
+constexpr std::uint64_t block_key(const BlockCoord& c) {
+  return (static_cast<std::uint64_t>(c.level) << 57) |
+         (static_cast<std::uint64_t>(c.x) << 38) |
+         (static_cast<std::uint64_t>(c.y) << 19) |
+         static_cast<std::uint64_t>(c.z);
+}
+
+/// Dimensions of the root octree grid.
+struct RootGrid {
+  std::uint32_t nx = 1;
+  std::uint32_t ny = 1;
+  std::uint32_t nz = 1;
+
+  std::uint64_t count() const {
+    return static_cast<std::uint64_t>(nx) * ny * nz;
+  }
+};
+
+/// Physical axis-aligned bounding box in the unit cube.
+struct Aabb {
+  std::array<double, 3> lo{0, 0, 0};
+  std::array<double, 3> hi{1, 1, 1};
+
+  std::array<double, 3> center() const {
+    return {(lo[0] + hi[0]) / 2, (lo[1] + hi[1]) / 2, (lo[2] + hi[2]) / 2};
+  }
+};
+
+/// Physical bounds of a block; the root grid spans the unit cube.
+inline Aabb block_bounds(const BlockCoord& c, const RootGrid& grid) {
+  const double sx = 1.0 / static_cast<double>(grid.nx << c.level);
+  const double sy = 1.0 / static_cast<double>(grid.ny << c.level);
+  const double sz = 1.0 / static_cast<double>(grid.nz << c.level);
+  Aabb box;
+  box.lo = {c.x * sx, c.y * sy, c.z * sz};
+  box.hi = {(c.x + 1) * sx, (c.y + 1) * sy, (c.z + 1) * sz};
+  return box;
+}
+
+/// Neighbor adjacency class: how many dimensions the blocks touch in.
+/// 26 neighbors in 3D: 6 faces, 12 edges, 8 vertices (paper §II-B).
+enum class NeighborKind : std::uint8_t { kFace = 0, kEdge = 1, kVertex = 2 };
+
+/// Classify a direction vector with components in {-1,0,1}.
+constexpr NeighborKind classify_direction(int dx, int dy, int dz) {
+  const int touch = (dx != 0) + (dy != 0) + (dz != 0);
+  AMR_CHECK(touch >= 1 && touch <= 3);
+  return touch == 1 ? NeighborKind::kFace
+         : touch == 2 ? NeighborKind::kEdge
+                      : NeighborKind::kVertex;
+}
+
+constexpr const char* to_string(NeighborKind k) {
+  switch (k) {
+    case NeighborKind::kFace: return "face";
+    case NeighborKind::kEdge: return "edge";
+    case NeighborKind::kVertex: return "vertex";
+  }
+  return "?";
+}
+
+}  // namespace amr

@@ -1,0 +1,94 @@
+#include "amr/mesh/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amr {
+
+bool box_intersects_shell(const Aabb& box,
+                          const std::array<double, 3>& center, double radius,
+                          double half_width) {
+  // Distance from center to the box: 0 if inside.
+  double d2_min = 0.0;
+  double d2_max = 0.0;
+  for (int axis = 0; axis < 3; ++axis) {
+    const double lo = box.lo[axis] - center[axis];
+    const double hi = box.hi[axis] - center[axis];
+    const double near = (lo > 0.0) ? lo : (hi < 0.0 ? -hi : 0.0);
+    const double far = std::max(std::abs(lo), std::abs(hi));
+    d2_min += near * near;
+    d2_max += far * far;
+  }
+  const double r_lo = std::max(0.0, radius - half_width);
+  const double r_hi = radius + half_width;
+  return d2_min <= r_hi * r_hi && d2_max >= r_lo * r_lo;
+}
+
+std::size_t refine_where(AmrMesh& mesh,
+                         const std::function<bool(const Aabb&)>& pred,
+                         int max_level) {
+  std::size_t total = 0;
+  for (;;) {
+    std::vector<std::int32_t> tags;
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+      if (mesh.block(i).level < max_level && pred(mesh.bounds(i)))
+        tags.push_back(static_cast<std::int32_t>(i));
+    }
+    if (tags.empty()) return total;
+    const std::size_t refined = mesh.refine(tags);
+    if (refined == 0) return total;
+    total += refined;
+  }
+}
+
+std::size_t refine_shell(AmrMesh& mesh, const std::array<double, 3>& center,
+                         double radius, double half_width, int max_level) {
+  return refine_where(
+      mesh,
+      [&](const Aabb& box) {
+        return box_intersects_shell(box, center, radius, half_width);
+      },
+      max_level);
+}
+
+std::size_t refine_random(AmrMesh& mesh, Rng& rng, double p, int rounds,
+                          int max_level) {
+  std::size_t total = 0;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::int32_t> tags;
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+      if (mesh.block(i).level < max_level && rng.chance(p))
+        tags.push_back(static_cast<std::int32_t>(i));
+    }
+    total += mesh.refine(tags);
+  }
+  return total;
+}
+
+void grow_to_block_count(AmrMesh& mesh, Rng& rng, std::size_t target_blocks,
+                         int max_level) {
+  int guard = 0;
+  while (mesh.size() < target_blocks && guard++ < 1000) {
+    const std::array<double, 3> center{rng.uniform(), rng.uniform(),
+                                       rng.uniform()};
+    const double radius = rng.uniform(0.05, 0.3);
+    std::vector<std::int32_t> tags;
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+      if (mesh.block(i).level >= max_level) continue;
+      const auto c = mesh.bounds(i).center();
+      const double dx = c[0] - center[0];
+      const double dy = c[1] - center[1];
+      const double dz = c[2] - center[2];
+      if (dx * dx + dy * dy + dz * dz <= radius * radius)
+        tags.push_back(static_cast<std::int32_t>(i));
+    }
+    if (tags.empty()) continue;
+    // Refine only as many as needed to approach the target.
+    const std::size_t deficit = target_blocks - mesh.size();
+    const std::size_t cap = std::max<std::size_t>(1, deficit / 7);
+    if (tags.size() > cap) tags.resize(cap);
+    mesh.refine(tags);
+  }
+}
+
+}  // namespace amr

@@ -1,0 +1,43 @@
+// Mesh generators used by tests, microbenchmarks, and workloads:
+// predicate-driven refinement (the building block for physics tagging),
+// random refinement (commbench's "10 random meshes per policy"), and
+// spherical-shell refinement (the Sedov blast front).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "amr/common/rng.hpp"
+#include "amr/mesh/mesh.hpp"
+
+namespace amr {
+
+/// Refine every leaf for which `pred(bounds)` is true, repeatedly, until
+/// tagged leaves reach `max_level` or nothing is tagged. Returns total
+/// blocks refined (including 2:1 ripple).
+std::size_t refine_where(AmrMesh& mesh,
+                         const std::function<bool(const Aabb&)>& pred,
+                         int max_level);
+
+/// Refine blocks intersecting the spherical shell of radius `radius` and
+/// half-width `half_width` centered at `center`, up to `max_level`.
+std::size_t refine_shell(AmrMesh& mesh, const std::array<double, 3>& center,
+                         double radius, double half_width, int max_level);
+
+/// Randomly refine leaves with probability `p` per round for `rounds`
+/// rounds, capped at `max_level`. Produces realistic multi-level meshes
+/// for commbench.
+std::size_t refine_random(AmrMesh& mesh, Rng& rng, double p, int rounds,
+                          int max_level);
+
+/// Grow a mesh until it has at least `target_blocks` leaves by refining
+/// random spherical regions (keeps refinement spatially correlated, like
+/// physical meshes, rather than salt-and-pepper).
+void grow_to_block_count(AmrMesh& mesh, Rng& rng, std::size_t target_blocks,
+                         int max_level);
+
+/// True if the box intersects the closed shell [r-hw, r+hw] around center.
+bool box_intersects_shell(const Aabb& box, const std::array<double, 3>& center,
+                          double radius, double half_width);
+
+}  // namespace amr

@@ -1,0 +1,90 @@
+#include "amr/mesh/hilbert.hpp"
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+namespace {
+
+constexpr int kDims = 3;
+
+// Skilling, "Programming the Hilbert curve" (AIP 2004): converts axes to
+// the "transpose" form of the Hilbert index in place, and back.
+void axes_to_transpose(std::uint32_t x[kDims], int bits) {
+  for (std::uint32_t q = 1u << (bits - 1); q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < kDims; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert low bits of x[0]
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < kDims; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = 1u << (bits - 1); q > 1; q >>= 1)
+    if (x[kDims - 1] & q) t ^= q - 1;
+  for (int i = 0; i < kDims; ++i) x[i] ^= t;
+}
+
+void transpose_to_axes(std::uint32_t x[kDims], int bits) {
+  // Gray decode.
+  std::uint32_t t = x[kDims - 1] >> 1;
+  for (int i = kDims - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != (1u << bits); q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = kDims - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t swap = (x[0] ^ x[i]) & p;
+        x[0] ^= swap;
+        x[i] ^= swap;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t hilbert3_encode(std::uint32_t x, std::uint32_t y,
+                              std::uint32_t z, int bits) {
+  AMR_CHECK(bits >= 1 && bits <= kHilbertMaxBits);
+  AMR_CHECK(x < (1u << bits) && y < (1u << bits) && z < (1u << bits));
+  std::uint32_t axes[kDims] = {x, y, z};
+  axes_to_transpose(axes, bits);
+  // Interleave the transpose: bit b of axes[i] becomes bit
+  // (b*kDims + (kDims-1-i)) of the index.
+  std::uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      index = (index << 1) |
+              ((axes[i] >> static_cast<std::uint32_t>(b)) & 1u);
+    }
+  }
+  return index;
+}
+
+void hilbert3_decode(std::uint64_t index, int bits, std::uint32_t& x,
+                     std::uint32_t& y, std::uint32_t& z) {
+  AMR_CHECK(bits >= 1 && bits <= kHilbertMaxBits);
+  std::uint32_t axes[kDims] = {0, 0, 0};
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      const int shift = b * kDims + (kDims - 1 - i);
+      axes[i] |= static_cast<std::uint32_t>((index >> shift) & 1u)
+                 << static_cast<std::uint32_t>(b);
+    }
+  }
+  transpose_to_axes(axes, bits);
+  x = axes[0];
+  y = axes[1];
+  z = axes[2];
+}
+
+}  // namespace amr

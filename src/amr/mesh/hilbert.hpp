@@ -1,0 +1,26 @@
+// Hilbert space-filling curve in 3D (Skilling's transpose algorithm).
+//
+// The paper's placement substrate uses Z-order curves because they fall
+// out of octree DFS for free (§V-A), accepting that "some locality is
+// inevitably lost as dimensionality reduction is inherently lossy".
+// Hilbert curves trade a more expensive index computation for strictly
+// adjacent consecutive cells; amr-cplx supports both so the cost of that
+// choice is measurable (bench_sfc_ablation).
+#pragma once
+
+#include <cstdint>
+
+namespace amr {
+
+/// Max bits per dimension for the 3D Hilbert index (3*21 = 63 bits).
+inline constexpr int kHilbertMaxBits = 21;
+
+/// Map a 3D cell coordinate (each < 2^bits) to its Hilbert index.
+std::uint64_t hilbert3_encode(std::uint32_t x, std::uint32_t y,
+                              std::uint32_t z, int bits);
+
+/// Inverse of hilbert3_encode.
+void hilbert3_decode(std::uint64_t index, int bits, std::uint32_t& x,
+                     std::uint32_t& y, std::uint32_t& z);
+
+}  // namespace amr

@@ -1,0 +1,389 @@
+#include "amr/mesh/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "amr/mesh/hilbert.hpp"
+#include "amr/mesh/morton.hpp"
+
+namespace amr {
+namespace {
+
+/// SFC sort key: primary = curve key of the root octree, secondary = the
+/// block's position within its root tree. For Z-order, padding the local
+/// Morton key to kMaxLevel digits yields the index of the block's first
+/// descendant at kMaxLevel, which orders disjoint leaves exactly as a
+/// depth-first traversal does. For Hilbert the same construction is valid
+/// because every axis-aligned 2^k cube is a contiguous index range of the
+/// curve, so disjoint leaves map to disjoint ranges.
+struct SfcKey {
+  std::uint64_t root;
+  std::uint64_t path;
+
+  friend bool operator<(const SfcKey& a, const SfcKey& b) {
+    return a.root != b.root ? a.root < b.root : a.path < b.path;
+  }
+};
+
+SfcKey sfc_key(const BlockCoord& c, SfcKind kind) {
+  const std::uint32_t rx = c.x >> c.level;
+  const std::uint32_t ry = c.y >> c.level;
+  const std::uint32_t rz = c.z >> c.level;
+  const std::uint32_t lx = c.x - (rx << c.level);
+  const std::uint32_t ly = c.y - (ry << c.level);
+  const std::uint32_t lz = c.z - (rz << c.level);
+  if (kind == SfcKind::kHilbert) {
+    const int pad = kMaxLevel - c.level;
+    const std::uint64_t local = hilbert3_encode(
+        lx << pad, ly << pad, lz << pad, kMaxLevel);
+    return {morton3_encode(rx, ry, rz), local};
+  }
+  const std::uint64_t local = morton3_encode(lx, ly, lz);
+  return {morton3_encode(rx, ry, rz),
+          local << (3 * (kMaxLevel - c.level))};
+}
+
+constexpr int kStrength(NeighborKind k) { return static_cast<int>(k); }
+
+}  // namespace
+
+AmrMesh::AmrMesh(RootGrid grid, bool periodic, SfcKind sfc)
+    : grid_(grid), periodic_(periodic), sfc_(sfc) {
+  AMR_CHECK(grid.nx > 0 && grid.ny > 0 && grid.nz > 0);
+  leaves_.reserve(grid.count());
+  for (std::uint32_t z = 0; z < grid.nz; ++z)
+    for (std::uint32_t y = 0; y < grid.ny; ++y)
+      for (std::uint32_t x = 0; x < grid.nx; ++x)
+        leaves_.push_back(BlockCoord{0, x, y, z});
+  rebuild_order();
+}
+
+void AmrMesh::rebuild_order() {
+  std::sort(leaves_.begin(), leaves_.end(),
+            [this](const BlockCoord& a, const BlockCoord& b) {
+              return sfc_key(a, sfc_) < sfc_key(b, sfc_);
+            });
+  index_.clear();
+  index_.reserve(leaves_.size() * 2);
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    const bool inserted =
+        index_.emplace(block_key(leaves_[i]), static_cast<std::int32_t>(i))
+            .second;
+    AMR_CHECK_MSG(inserted, "duplicate leaf");
+  }
+  neighbor_cache_valid_ = false;
+}
+
+std::int32_t AmrMesh::find(const BlockCoord& c) const {
+  const auto it = index_.find(block_key(c));
+  return it != index_.end() ? it->second : -1;
+}
+
+std::int32_t AmrMesh::covering_in(
+    const std::unordered_map<std::uint64_t, std::int32_t>& index,
+    BlockCoord c) const {
+  for (;;) {
+    const auto it = index.find(block_key(c));
+    if (it != index.end()) return it->second;
+    if (c.level == 0) return -1;
+    c = c.parent();
+  }
+}
+
+std::int32_t AmrMesh::find_covering(BlockCoord c) const {
+  return covering_in(index_, c);
+}
+
+int AmrMesh::max_level_present() const {
+  int lvl = 0;
+  for (const auto& b : leaves_) lvl = std::max(lvl, b.level);
+  return lvl;
+}
+
+bool AmrMesh::neighbor_coord(const BlockCoord& b, int dx, int dy, int dz,
+                             BlockCoord& out) const {
+  const std::int64_t ex = static_cast<std::int64_t>(grid_.nx) << b.level;
+  const std::int64_t ey = static_cast<std::int64_t>(grid_.ny) << b.level;
+  const std::int64_t ez = static_cast<std::int64_t>(grid_.nz) << b.level;
+  std::int64_t nx = static_cast<std::int64_t>(b.x) + dx;
+  std::int64_t ny = static_cast<std::int64_t>(b.y) + dy;
+  std::int64_t nz = static_cast<std::int64_t>(b.z) + dz;
+  if (periodic_) {
+    nx = (nx + ex) % ex;
+    ny = (ny + ey) % ey;
+    nz = (nz + ez) % ez;
+  } else if (nx < 0 || ny < 0 || nz < 0 || nx >= ex || ny >= ey ||
+             nz >= ez) {
+    return false;
+  }
+  out = BlockCoord{b.level, static_cast<std::uint32_t>(nx),
+                   static_cast<std::uint32_t>(ny),
+                   static_cast<std::uint32_t>(nz)};
+  return true;
+}
+
+void AmrMesh::collect_neighbors(std::size_t id,
+                                std::vector<Neighbor>& out) const {
+  const BlockCoord& b = leaves_[id];
+  out.clear();
+  auto add = [&](std::int32_t idx, NeighborKind kind, std::int8_t diff) {
+    // Dedup against earlier directions: a coarse block can cover several
+    // directions; keep the strongest adjacency (face < edge < vertex in
+    // kStrength order, lower = stronger).
+    for (auto& n : out) {
+      if (n.index == idx) {
+        if (kStrength(kind) < kStrength(n.kind)) n.kind = kind;
+        return;
+      }
+    }
+    out.push_back(Neighbor{idx, kind, diff});
+  };
+
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        BlockCoord nb;
+        if (!neighbor_coord(b, dx, dy, dz, nb)) continue;
+        const NeighborKind kind = classify_direction(dx, dy, dz);
+        // Same level or coarser covering leaf.
+        const std::int32_t same = find(nb);
+        if (same >= 0) {
+          if (same != static_cast<std::int32_t>(id))
+            add(same, kind, 0);
+          continue;
+        }
+        const std::int32_t coarse = find_covering(nb);
+        if (coarse >= 0) {
+          AMR_CHECK_MSG(leaves_[coarse].level == b.level - 1,
+                        "2:1 balance violated (coarse side)");
+          if (coarse != static_cast<std::int32_t>(id))
+            add(coarse, kind, -1);
+          continue;
+        }
+        // Neighbor region is refined: enumerate the children of nb that
+        // touch this block (offset 0 on +axes, 1 on -axes, both on 0).
+        const std::uint32_t cx_lo = dx == 1 ? 0 : dx == -1 ? 1 : 0;
+        const std::uint32_t cx_hi = dx == 0 ? 1 : cx_lo;
+        const std::uint32_t cy_lo = dy == 1 ? 0 : dy == -1 ? 1 : 0;
+        const std::uint32_t cy_hi = dy == 0 ? 1 : cy_lo;
+        const std::uint32_t cz_lo = dz == 1 ? 0 : dz == -1 ? 1 : 0;
+        const std::uint32_t cz_hi = dz == 0 ? 1 : cz_lo;
+        bool found_any = false;
+        for (std::uint32_t cz = cz_lo; cz <= cz_hi; ++cz) {
+          for (std::uint32_t cy = cy_lo; cy <= cy_hi; ++cy) {
+            for (std::uint32_t cx = cx_lo; cx <= cx_hi; ++cx) {
+              const std::int32_t fine = find(nb.child(cx, cy, cz));
+              if (fine >= 0) {
+                add(fine, kind, +1);
+                found_any = true;
+              }
+            }
+          }
+        }
+        AMR_CHECK_MSG(found_any, "2:1 balance violated (fine side)");
+      }
+    }
+  }
+}
+
+const std::vector<std::vector<Neighbor>>& AmrMesh::neighbor_lists() const {
+  if (!neighbor_cache_valid_) {
+    neighbor_cache_.assign(leaves_.size(), {});
+    for (std::size_t i = 0; i < leaves_.size(); ++i)
+      collect_neighbors(i, neighbor_cache_[i]);
+    neighbor_cache_valid_ = true;
+  }
+  return neighbor_cache_;
+}
+
+std::size_t AmrMesh::refine(std::span<const std::int32_t> tagged) {
+  // Working set keyed by coordinates; block IDs go stale as we mutate.
+  std::unordered_set<std::uint64_t> to_refine;
+  for (std::int32_t id : tagged) {
+    AMR_CHECK(id >= 0 && static_cast<std::size_t>(id) < leaves_.size());
+    if (leaves_[id].level < kMaxLevel)
+      to_refine.insert(block_key(leaves_[id]));
+  }
+  if (to_refine.empty()) return 0;
+
+  // Leaf set by key for in-place edits.
+  std::unordered_map<std::uint64_t, BlockCoord> leafset;
+  leafset.reserve(leaves_.size() * 2);
+  for (const auto& b : leaves_) leafset.emplace(block_key(b), b);
+
+  auto covering = [&](BlockCoord c) -> const BlockCoord* {
+    for (;;) {
+      const auto it = leafset.find(block_key(c));
+      if (it != leafset.end()) return &it->second;
+      if (c.level == 0) return nullptr;
+      c = c.parent();
+    }
+  };
+
+  std::size_t refined = 0;
+  std::vector<std::uint64_t> wave(to_refine.begin(), to_refine.end());
+  std::unordered_set<std::uint64_t> scheduled = to_refine;
+  while (!wave.empty()) {
+    std::vector<std::uint64_t> next;
+    for (std::uint64_t key : wave) {
+      const auto it = leafset.find(key);
+      if (it == leafset.end()) continue;  // already replaced by ripple
+      const BlockCoord b = it->second;
+      leafset.erase(it);
+      ++refined;
+      for (std::uint32_t c = 0; c < 8; ++c) {
+        const BlockCoord ch = b.child(c & 1u, (c >> 1) & 1u, (c >> 2) & 1u);
+        leafset.emplace(block_key(ch), ch);
+      }
+      // Ripple: any neighbor coarser than b now violates 2:1 against the
+      // new children and must itself refine.
+      for (int dz = -1; dz <= 1; ++dz) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0 && dz == 0) continue;
+            BlockCoord nb;
+            if (!neighbor_coord(b, dx, dy, dz, nb)) continue;
+            const BlockCoord* cov = covering(nb);
+            if (cov != nullptr && cov->level < b.level) {
+              const std::uint64_t ck = block_key(*cov);
+              if (scheduled.insert(ck).second) next.push_back(ck);
+            }
+          }
+        }
+      }
+    }
+    wave = std::move(next);
+  }
+
+  leaves_.clear();
+  leaves_.reserve(leafset.size());
+  for (const auto& [key, b] : leafset) leaves_.push_back(b);
+  rebuild_order();
+  return refined;
+}
+
+std::size_t AmrMesh::coarsen(std::span<const std::int32_t> tagged) {
+  // Group tagged leaves by parent; a group collapses only if all eight
+  // siblings are tagged leaves.
+  std::unordered_map<std::uint64_t, int> group_count;
+  for (std::int32_t id : tagged) {
+    AMR_CHECK(id >= 0 && static_cast<std::size_t>(id) < leaves_.size());
+    const BlockCoord& b = leaves_[id];
+    if (b.level == 0) continue;
+    ++group_count[block_key(b.parent())];
+  }
+
+  std::vector<BlockCoord> parents;
+  for (const auto& [pkey, count] : group_count) {
+    if (count != 8) continue;
+    const std::int32_t some_child_level =
+        static_cast<std::int32_t>(pkey >> 57) + 1;
+    BlockCoord parent{some_child_level - 1,
+                      static_cast<std::uint32_t>((pkey >> 38) & 0x7ffff),
+                      static_cast<std::uint32_t>((pkey >> 19) & 0x7ffff),
+                      static_cast<std::uint32_t>(pkey & 0x7ffff)};
+    // Balance: after collapsing, the parent must not touch any leaf finer
+    // than level parent.level + 1, i.e. no child may currently have an
+    // external neighbor one level finer than itself.
+    bool ok = true;
+    for (std::uint32_t c = 0; c < 8 && ok; ++c) {
+      const BlockCoord ch =
+          parent.child(c & 1u, (c >> 1) & 1u, (c >> 2) & 1u);
+      for (int dz = -1; dz <= 1 && ok; ++dz) {
+        for (int dy = -1; dy <= 1 && ok; ++dy) {
+          for (int dx = -1; dx <= 1 && ok; ++dx) {
+            if (dx == 0 && dy == 0 && dz == 0) continue;
+            BlockCoord nb;
+            if (!neighbor_coord(ch, dx, dy, dz, nb)) continue;
+            if (nb.parent() == parent) continue;  // internal
+            if (find(nb) >= 0) continue;          // same level: fine
+            if (find_covering(nb) >= 0) continue; // coarser: fine
+            // Region is refined below ch's level -> collapsing violates.
+            ok = false;
+          }
+        }
+      }
+    }
+    if (ok) parents.push_back(parent);
+  }
+  if (parents.empty()) return 0;
+
+  std::unordered_set<std::uint64_t> removed;
+  for (const auto& p : parents)
+    for (std::uint32_t c = 0; c < 8; ++c)
+      removed.insert(
+          block_key(p.child(c & 1u, (c >> 1) & 1u, (c >> 2) & 1u)));
+
+  std::vector<BlockCoord> kept;
+  kept.reserve(leaves_.size());
+  for (const auto& b : leaves_)
+    if (!removed.contains(block_key(b))) kept.push_back(b);
+  for (const auto& p : parents) kept.push_back(p);
+  leaves_ = std::move(kept);
+  rebuild_order();
+  return parents.size();
+}
+
+void AmrMesh::refine_all(int levels) {
+  for (int i = 0; i < levels; ++i) {
+    std::vector<std::int32_t> all(leaves_.size());
+    for (std::size_t j = 0; j < all.size(); ++j)
+      all[j] = static_cast<std::int32_t>(j);
+    refine(all);
+  }
+}
+
+bool AmrMesh::check_balance() const {
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    const BlockCoord& b = leaves_[i];
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          BlockCoord nb;
+          if (!neighbor_coord(b, dx, dy, dz, nb)) continue;
+          if (find(nb) >= 0) continue;
+          const std::int32_t coarse = find_covering(nb);
+          if (coarse >= 0) {
+            if (leaves_[coarse].level < b.level - 1) return false;
+            continue;
+          }
+          // Refined region: verify no descendant deeper than level+1
+          // touches us. It suffices to check that all touching children
+          // exist as leaves.
+          const std::uint32_t cx_lo = dx == 1 ? 0 : dx == -1 ? 1 : 0;
+          const std::uint32_t cx_hi = dx == 0 ? 1 : cx_lo;
+          const std::uint32_t cy_lo = dy == 1 ? 0 : dy == -1 ? 1 : 0;
+          const std::uint32_t cy_hi = dy == 0 ? 1 : cy_lo;
+          const std::uint32_t cz_lo = dz == 1 ? 0 : dz == -1 ? 1 : 0;
+          const std::uint32_t cz_hi = dz == 0 ? 1 : cz_lo;
+          for (std::uint32_t cz = cz_lo; cz <= cz_hi; ++cz)
+            for (std::uint32_t cy = cy_lo; cy <= cy_hi; ++cy)
+              for (std::uint32_t cx = cx_lo; cx <= cx_hi; ++cx)
+                if (find(nb.child(cx, cy, cz)) < 0) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool AmrMesh::check_coverage() const {
+  // Volumes must sum to the whole domain, and no leaf may be an ancestor
+  // of another (the index would have caught exact duplicates already).
+  long double volume = 0.0L;
+  for (const auto& b : leaves_) {
+    volume += 1.0L / static_cast<long double>(grid_.count() *
+                                              (1ULL << (3 * b.level)));
+    BlockCoord c = b;
+    while (c.level > 0) {
+      c = c.parent();
+      if (find(c) >= 0) return false;
+    }
+  }
+  return std::abs(static_cast<double>(volume) - 1.0) < 1e-9;
+}
+
+}  // namespace amr

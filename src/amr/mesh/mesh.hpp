@@ -1,0 +1,108 @@
+// Block-based AMR mesh: a forest of octrees over a root grid, with leaf
+// blocks ordered by a Z-order space-filling curve (paper §V-A, Fig 5).
+//
+// The mesh maintains full 2:1 balance across all 26 neighbor directions,
+// so any two adjacent leaves differ by at most one refinement level. Block
+// IDs are positions in the SFC-ordered leaf vector and are reassigned
+// after every refine/coarsen, exactly as in the redistribution flow the
+// paper describes (IDs first, then placement, then migration).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "amr/mesh/coords.hpp"
+
+namespace amr {
+
+/// Directed adjacency entry: block -> neighbor.
+struct Neighbor {
+  std::int32_t index = -1;      ///< Neighbor's block ID (SFC position).
+  NeighborKind kind = NeighborKind::kFace;
+  std::int8_t level_diff = 0;   ///< neighbor.level - block.level (-1,0,+1).
+};
+
+/// Space-filling curve used for block ID assignment. Z-order is the
+/// octree-DFS default of production frameworks (paper Fig 5); Hilbert
+/// preserves strictly more locality at a higher indexing cost
+/// (bench_sfc_ablation quantifies the difference).
+enum class SfcKind : std::uint8_t { kZOrder = 0, kHilbert = 1 };
+
+constexpr const char* to_string(SfcKind kind) {
+  return kind == SfcKind::kZOrder ? "z-order" : "hilbert";
+}
+
+class AmrMesh {
+ public:
+  /// Create a mesh whose leaves are exactly the root grid (all level 0).
+  explicit AmrMesh(RootGrid grid, bool periodic = false,
+                   SfcKind sfc = SfcKind::kZOrder);
+
+  std::size_t size() const { return leaves_.size(); }
+  const BlockCoord& block(std::size_t id) const { return leaves_[id]; }
+  std::span<const BlockCoord> blocks() const { return leaves_; }
+  const RootGrid& root_grid() const { return grid_; }
+  bool periodic() const { return periodic_; }
+  SfcKind sfc_kind() const { return sfc_; }
+
+  /// Block ID of the leaf with the given coordinates, or -1.
+  std::int32_t find(const BlockCoord& c) const;
+
+  /// Leaf covering the region of `c` (c itself, or an ancestor), or -1 if
+  /// the region is outside the domain / not covered.
+  std::int32_t find_covering(BlockCoord c) const;
+
+  /// Physical bounds of a leaf block in the unit cube.
+  Aabb bounds(std::size_t id) const { return block_bounds(leaves_[id], grid_); }
+
+  int max_level_present() const;
+
+  /// Refine the tagged leaves (by block ID). Additional blocks may be
+  /// refined to restore 2:1 balance. Returns the total number of blocks
+  /// refined. Invalidates all block IDs and neighbor lists.
+  std::size_t refine(std::span<const std::int32_t> tagged);
+
+  /// Coarsen tagged leaves. A sibling group collapses only if all eight
+  /// siblings are tagged leaves and coarsening preserves 2:1 balance.
+  /// Returns the number of groups collapsed. Invalidates block IDs.
+  std::size_t coarsen(std::span<const std::int32_t> tagged);
+
+  /// Uniformly refine every leaf `levels` times.
+  void refine_all(int levels = 1);
+
+  /// All 26-direction neighbors of every leaf, directed, deduplicated
+  /// (a coarse block reachable through several directions is listed once,
+  /// with its strongest adjacency). Built lazily and cached per mesh
+  /// version.
+  const std::vector<std::vector<Neighbor>>& neighbor_lists() const;
+
+  /// Invariant: adjacent leaves differ by at most one level.
+  bool check_balance() const;
+
+  /// Invariant: leaves tile the domain exactly (no gaps, no overlaps).
+  bool check_coverage() const;
+
+ private:
+  void rebuild_order();
+  std::int32_t covering_in(
+      const std::unordered_map<std::uint64_t, std::int32_t>& index,
+      BlockCoord c) const;
+  /// Neighbor coordinates at the block's own level for direction d;
+  /// returns false if outside a non-periodic domain.
+  bool neighbor_coord(const BlockCoord& b, int dx, int dy, int dz,
+                      BlockCoord& out) const;
+  void collect_neighbors(std::size_t id,
+                         std::vector<Neighbor>& out) const;
+
+  RootGrid grid_;
+  bool periodic_;
+  SfcKind sfc_;
+  std::vector<BlockCoord> leaves_;                      // SFC order
+  std::unordered_map<std::uint64_t, std::int32_t> index_;  // key -> block ID
+  mutable std::vector<std::vector<Neighbor>> neighbor_cache_;
+  mutable bool neighbor_cache_valid_ = false;
+};
+
+}  // namespace amr

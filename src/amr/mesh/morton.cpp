@@ -1,0 +1,70 @@
+#include "amr/mesh/morton.hpp"
+
+namespace amr {
+namespace {
+
+// Spread the low 21 bits of v so consecutive bits land 3 apart.
+std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint32_t compact3(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffff;
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t spread2(std::uint64_t v) {
+  v &= 0x7fffffff;  // 31 bits
+  v = (v | (v << 16)) & 0x0000ffff0000ffffULL;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+std::uint32_t compact2(std::uint64_t v) {
+  v &= 0x5555555555555555ULL;
+  v = (v ^ (v >> 1)) & 0x3333333333333333ULL;
+  v = (v ^ (v >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v ^ (v >> 4)) & 0x00ff00ff00ff00ffULL;
+  v = (v ^ (v >> 8)) & 0x0000ffff0000ffffULL;
+  v = (v ^ (v >> 16)) & 0x7fffffff;
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t morton3_encode(std::uint32_t x, std::uint32_t y,
+                             std::uint32_t z) {
+  return spread3(x) | (spread3(y) << 1) | (spread3(z) << 2);
+}
+
+void morton3_decode(std::uint64_t key, std::uint32_t& x, std::uint32_t& y,
+                    std::uint32_t& z) {
+  x = compact3(key);
+  y = compact3(key >> 1);
+  z = compact3(key >> 2);
+}
+
+std::uint64_t morton2_encode(std::uint32_t x, std::uint32_t y) {
+  return spread2(x) | (spread2(y) << 1);
+}
+
+void morton2_decode(std::uint64_t key, std::uint32_t& x, std::uint32_t& y) {
+  x = compact2(key);
+  y = compact2(key >> 1);
+}
+
+}  // namespace amr

@@ -1,0 +1,28 @@
+// Morton (Z-order) encoding in 2 and 3 dimensions.
+//
+// Block-based AMR codes assign block IDs by a depth-first octree traversal,
+// which is equivalent to sorting blocks by their Morton key (paper §V-A,
+// Fig 5). Encoding supports up to 21 bits per dimension in 3D and 31 bits
+// in 2D, far beyond practical AMR refinement depths.
+#pragma once
+
+#include <cstdint>
+
+namespace amr {
+
+/// Interleave the low 21 bits of x,y,z into a 63-bit Morton key
+/// (x lowest: bit i of x goes to bit 3i of the result).
+std::uint64_t morton3_encode(std::uint32_t x, std::uint32_t y,
+                             std::uint32_t z);
+
+/// Inverse of morton3_encode.
+void morton3_decode(std::uint64_t key, std::uint32_t& x, std::uint32_t& y,
+                    std::uint32_t& z);
+
+/// Interleave the low 31 bits of x,y into a 62-bit Morton key.
+std::uint64_t morton2_encode(std::uint32_t x, std::uint32_t y);
+
+/// Inverse of morton2_encode.
+void morton2_decode(std::uint64_t key, std::uint32_t& x, std::uint32_t& y);
+
+}  // namespace amr

@@ -1,0 +1,129 @@
+// Simulated interconnect fabric.
+//
+// Models the two MPI transport paths of the paper's cluster (§IV-B) with
+// the tunables whose mis-configuration caused the observed telemetry
+// anomalies:
+//
+//  * Shared-memory path (intra-node): a bounded per-node queue. When the
+//    configured slot count is too small for the instantaneous message
+//    load, senders spin on retries — the contention that destroyed the
+//    work/comm-time correlation in Fig 1a until queue size was tuned
+//    (Fig 3, right).
+//  * Remote path (inter-node): per-node NIC serialization + base latency
+//    + jitter. With probability ack_loss_prob a message's fabric-level ACK
+//    goes missing; the default PSM-like recovery path then blocks the
+//    *sender's* request for ack_recovery_delay even though the data
+//    arrived — the MPI_Wait spikes of Fig 1b. The drain-queue mitigation
+//    releases the sender immediately and recovers in the background.
+//
+// The fabric is a timing oracle with internal state (NIC busy times, shm
+// slot occupancy): transfer() returns when the sender's request completes
+// and when the message is delivered; the simmpi layer turns those into
+// DES events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "amr/common/rng.hpp"
+#include "amr/common/time.hpp"
+#include "amr/topo/topology.hpp"
+
+namespace amr {
+
+struct FabricParams {
+  // Remote (inter-node) path: 40 Gbps-class fabric. Effective per-NIC
+  // goodput for small boundary messages sits well below line rate
+  // (per-message processing, PSM header/ack overheads).
+  TimeNs remote_latency = us(4.0);   ///< base one-way latency
+  double remote_gbytes_per_sec = 6.0;  ///< per-NIC byte bandwidth
+  /// Per-message NIC processing time (header/ACK handling, descriptor
+  /// ring). Boundary exchanges are small-message dominated (paper §II-B:
+  /// "latency-sensitive due to small message sizes"), so this — not byte
+  /// bandwidth — is what congests when placement goes remote.
+  TimeNs remote_per_msg = us(1.6);
+  TimeNs remote_jitter = us(0.6);    ///< uniform [0, jitter) per message
+
+  // Shared-memory (intra-node) path.
+  TimeNs shm_latency = us(0.5);
+  double shm_gbytes_per_sec = 8.0;
+  std::int32_t shm_queue_slots = 64;  ///< per-node queue depth (the knob)
+  TimeNs shm_retry_delay = us(8.0);  ///< backoff when all slots are busy
+
+  // ACK pathology (Fig 1b).
+  double ack_loss_prob = 0.0;
+  TimeNs ack_recovery_delay = ms(2.0);
+  bool drain_queue_enabled = false;   ///< our mitigation (§IV-B)
+
+  // Fixed software overhead of posting a send/recv.
+  TimeNs post_overhead = us(0.3);
+
+  /// Paper-cluster defaults after the tuning exercise: large shm queue,
+  /// no ACK pathology (drain queue active as belt-and-braces).
+  static FabricParams tuned();
+
+  /// The untuned initial configuration: small shm queue, ACK loss with
+  /// sender-blocking recovery.
+  static FabricParams untuned();
+};
+
+/// Outcome of one message transfer.
+struct TransferTiming {
+  TimeNs sender_release = 0;  ///< sender's request completes (MPI_Wait)
+  TimeNs delivery = 0;        ///< data available at the receiver
+  bool used_shm = false;
+  std::int32_t shm_retries = 0;
+  bool ack_lost = false;
+};
+
+/// Aggregate fabric counters (per run).
+struct FabricStats {
+  std::int64_t remote_msgs = 0;
+  std::int64_t shm_msgs = 0;
+  std::int64_t remote_bytes = 0;
+  std::int64_t shm_bytes = 0;
+  std::int64_t shm_retries = 0;
+  std::int64_t acks_lost = 0;
+  TimeNs ack_block_time = 0;  ///< total sender time lost to ACK recovery
+};
+
+class Fabric {
+ public:
+  Fabric(const ClusterTopology& topo, FabricParams params, Rng rng);
+
+  /// Compute timings for a message posted at `post_time` from src to dst
+  /// (ranks; must differ — intra-rank copies bypass the fabric). Advances
+  /// internal NIC/queue state; calls must be issued in nondecreasing
+  /// post_time order per source node for the NIC model to be physical
+  /// (the DES guarantees this).
+  TransferTiming transfer(std::int32_t src_rank, std::int32_t dst_rank,
+                          std::int64_t bytes, TimeNs post_time);
+
+  const FabricStats& stats() const { return stats_; }
+  const FabricParams& params() const { return params_; }
+  const ClusterTopology& topology() const { return topo_; }
+
+  /// Optional per-message observer (telemetry taps for Fig 1/3 benches).
+  using Observer = std::function<void(std::int32_t src, std::int32_t dst,
+                                      std::int64_t bytes,
+                                      const TransferTiming&)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+  /// Reset dynamic state (NIC busy times, shm slots, stats) for a fresh
+  /// measurement window without reconstructing the object.
+  void reset();
+
+ private:
+  TimeNs serialize_ns(std::int64_t bytes, double gbytes_per_sec) const;
+
+  const ClusterTopology& topo_;
+  FabricParams params_;
+  Rng rng_;
+  FabricStats stats_;
+  std::vector<TimeNs> nic_busy_until_;            // per node
+  std::vector<std::vector<TimeNs>> shm_slot_free_;  // per node, per slot
+  Observer observer_;
+};
+
+}  // namespace amr

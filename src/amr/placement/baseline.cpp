@@ -1,0 +1,44 @@
+#include "amr/placement/baseline.hpp"
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+Placement BaselinePolicy::place(std::span<const double> costs,
+                                std::int32_t nranks) const {
+  AMR_CHECK(nranks > 0);
+  const std::size_t n = costs.size();
+  Placement out(n);
+  const std::size_t r = static_cast<std::size_t>(nranks);
+  const std::size_t base = n / r;
+  const std::size_t extra = n % r;  // first `extra` ranks take one more
+  std::size_t block = 0;
+  for (std::size_t rank = 0; rank < r && block < n; ++rank) {
+    const std::size_t take = base + (rank < extra ? 1 : 0);
+    for (std::size_t i = 0; i < take && block < n; ++i)
+      out[block++] = static_cast<std::int32_t>(rank);
+  }
+  return out;
+}
+
+std::vector<double> rank_loads(std::span<const double> costs,
+                               const Placement& placement,
+                               std::int32_t nranks) {
+  AMR_CHECK(costs.size() == placement.size());
+  std::vector<double> loads(static_cast<std::size_t>(nranks), 0.0);
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    AMR_CHECK(placement[i] >= 0 && placement[i] < nranks);
+    loads[static_cast<std::size_t>(placement[i])] += costs[i];
+  }
+  return loads;
+}
+
+bool placement_valid(const Placement& placement, std::size_t num_blocks,
+                     std::int32_t nranks) {
+  if (placement.size() != num_blocks) return false;
+  for (const std::int32_t r : placement)
+    if (r < 0 || r >= nranks) return false;
+  return true;
+}
+
+}  // namespace amr

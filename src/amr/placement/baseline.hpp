@@ -1,0 +1,18 @@
+// Baseline placement: contiguous SFC ranges with balanced block counts
+// (paper §V-A2). Assigns ceil(n/r) blocks to the first n mod r ranks and
+// floor(n/r) to the rest, ignoring per-block costs entirely — the default
+// behaviour of production AMR frameworks.
+#pragma once
+
+#include "amr/placement/policy.hpp"
+
+namespace amr {
+
+class BaselinePolicy final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "baseline"; }
+  Placement place(std::span<const double> costs,
+                  std::int32_t nranks) const override;
+};
+
+}  // namespace amr

@@ -1,0 +1,247 @@
+#include "amr/placement/cdp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> prefix_sums(std::span<const double> costs) {
+  std::vector<double> pre(costs.size() + 1, 0.0);
+  for (std::size_t i = 0; i < costs.size(); ++i)
+    pre[i + 1] = pre[i] + costs[i];
+  return pre;
+}
+
+/// Paper's restricted DP: exactly `rem` segments of size ceil and
+/// (r - rem) of size floor. State: (segments placed k, ceil segments used
+/// j); value: min over orderings of the max segment cost. O(r·rem) time,
+/// O(r·rem) choice bytes, two rolling rows of values.
+std::vector<std::int32_t> restricted_sizes(std::span<const double> costs,
+                                           std::int32_t nranks) {
+  const auto n = static_cast<std::int64_t>(costs.size());
+  const auto r = static_cast<std::int64_t>(nranks);
+  const std::int64_t fl = n / r;
+  const std::int64_t rem = n % r;  // segments of size fl+1
+
+  const auto pre = prefix_sums(costs);
+  const std::int64_t jdim = rem + 1;
+  AMR_CHECK_MSG(r * jdim <= (1LL << 27),
+                "restricted CDP state too large; use ChunkedCdpPolicy");
+
+  std::vector<double> prev(static_cast<std::size_t>(jdim), kInf);
+  std::vector<double> cur(static_cast<std::size_t>(jdim), kInf);
+  // choice[k*jdim + j]: 1 if the k-th segment (1-based) was size fl+1.
+  std::vector<std::uint8_t> choice(
+      static_cast<std::size_t>((r + 1) * jdim), 0);
+  prev[0] = 0.0;
+
+  for (std::int64_t k = 1; k <= r; ++k) {
+    const std::int64_t j_lo = std::max<std::int64_t>(0, rem - (r - k));
+    const std::int64_t j_hi = std::min<std::int64_t>(k, rem);
+    std::fill(cur.begin(), cur.end(), kInf);
+    for (std::int64_t j = j_lo; j <= j_hi; ++j) {
+      const std::int64_t end = (k - j) * fl + j * (fl + 1);
+      // Last segment size fl (from state j) or fl+1 (from state j-1).
+      double best = kInf;
+      std::uint8_t pick = 0;
+      if (prev[static_cast<std::size_t>(j)] < kInf) {
+        const double seg = pre[static_cast<std::size_t>(end)] -
+                           pre[static_cast<std::size_t>(end - fl)];
+        best = std::max(prev[static_cast<std::size_t>(j)], seg);
+      }
+      if (j > 0 && prev[static_cast<std::size_t>(j - 1)] < kInf) {
+        const double seg = pre[static_cast<std::size_t>(end)] -
+                           pre[static_cast<std::size_t>(end - fl - 1)];
+        const double cand =
+            std::max(prev[static_cast<std::size_t>(j - 1)], seg);
+        if (cand < best) {
+          best = cand;
+          pick = 1;
+        }
+      }
+      cur[static_cast<std::size_t>(j)] = best;
+      choice[static_cast<std::size_t>(k * jdim + j)] = pick;
+    }
+    std::swap(prev, cur);
+  }
+  AMR_CHECK(prev[static_cast<std::size_t>(rem)] < kInf);
+
+  // Backtrack segment sizes.
+  std::vector<std::int32_t> sizes(static_cast<std::size_t>(r));
+  std::int64_t j = rem;
+  for (std::int64_t k = r; k >= 1; --k) {
+    const std::uint8_t pick =
+        choice[static_cast<std::size_t>(k * jdim + j)];
+    sizes[static_cast<std::size_t>(k - 1)] =
+        static_cast<std::int32_t>(fl + pick);
+    j -= pick;
+  }
+  AMR_CHECK(j == 0);
+  return sizes;
+}
+
+/// Textbook DP over arbitrary segment sizes:
+/// DP[i][k] = min_j max(DP[j][k-1], W[i]-W[j]).
+std::vector<std::int32_t> general_sizes(std::span<const double> costs,
+                                        std::int32_t nranks) {
+  const auto n = static_cast<std::int64_t>(costs.size());
+  const auto r = static_cast<std::int64_t>(nranks);
+  AMR_CHECK_MSG(n * n * r <= (1LL << 33),
+                "general CDP is O(n^2 r); instance too large");
+  const auto pre = prefix_sums(costs);
+
+  std::vector<double> prev(static_cast<std::size_t>(n + 1), kInf);
+  std::vector<double> cur(static_cast<std::size_t>(n + 1), kInf);
+  std::vector<std::int32_t> from(
+      static_cast<std::size_t>((r + 1) * (n + 1)), -1);
+  prev[0] = 0.0;
+
+  for (std::int64_t k = 1; k <= r; ++k) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    cur[0] = 0.0;  // zero blocks on k ranks is legal (empty segments)
+    from[static_cast<std::size_t>(k * (n + 1))] = 0;
+    for (std::int64_t i = 1; i <= n; ++i) {
+      double best = kInf;
+      std::int32_t arg = -1;
+      for (std::int64_t j = 0; j <= i; ++j) {
+        if (prev[static_cast<std::size_t>(j)] == kInf) continue;
+        const double seg = pre[static_cast<std::size_t>(i)] -
+                           pre[static_cast<std::size_t>(j)];
+        const double cand =
+            std::max(prev[static_cast<std::size_t>(j)], seg);
+        if (cand < best) {
+          best = cand;
+          arg = static_cast<std::int32_t>(j);
+        }
+      }
+      cur[static_cast<std::size_t>(i)] = best;
+      from[static_cast<std::size_t>(k * (n + 1) + i)] = arg;
+    }
+    std::swap(prev, cur);
+  }
+
+  std::vector<std::int32_t> sizes(static_cast<std::size_t>(r));
+  std::int64_t i = n;
+  for (std::int64_t k = r; k >= 1; --k) {
+    const std::int32_t j =
+        from[static_cast<std::size_t>(k * (n + 1) + i)];
+    AMR_CHECK(j >= 0);
+    sizes[static_cast<std::size_t>(k - 1)] =
+        static_cast<std::int32_t>(i - j);
+    i = j;
+  }
+  AMR_CHECK(i == 0);
+  return sizes;
+}
+
+/// Greedy feasibility: minimum number of segments with sum <= cap.
+/// Returns nranks+1 if any single block exceeds cap.
+std::int64_t segments_needed(std::span<const double> costs, double cap,
+                             std::int64_t limit) {
+  std::int64_t segs = 1;
+  double acc = 0.0;
+  for (const double c : costs) {
+    if (c > cap) return limit + 1;
+    if (acc + c > cap) {
+      if (++segs > limit) return limit + 1;
+      acc = c;
+    } else {
+      acc += c;
+    }
+  }
+  return segs;
+}
+
+std::vector<std::int32_t> binary_search_sizes(std::span<const double> costs,
+                                              std::int32_t nranks) {
+  const auto r = static_cast<std::int64_t>(nranks);
+  double lo = 0.0;
+  double hi = 0.0;
+  for (const double c : costs) {
+    lo = std::max(lo, c);
+    hi += c;
+  }
+  if (costs.empty()) return std::vector<std::int32_t>(
+      static_cast<std::size_t>(r), 0);
+  for (int iter = 0; iter < 100 && hi - lo > 1e-12 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (segments_needed(costs, mid, r) <= r)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  // Extract segments at cap = hi (feasible by construction).
+  std::vector<std::int32_t> sizes(static_cast<std::size_t>(r), 0);
+  std::size_t seg = 0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    if (acc + costs[i] > hi && sizes[seg] > 0) {
+      ++seg;
+      AMR_CHECK(seg < sizes.size());
+      acc = 0.0;
+    }
+    acc += costs[i];
+    ++sizes[seg];
+  }
+  return sizes;
+}
+
+}  // namespace
+
+std::string CdpPolicy::name() const {
+  switch (mode_) {
+    case CdpMode::kRestricted: return "cdp";
+    case CdpMode::kGeneral: return "cdp-general";
+    case CdpMode::kBinarySearch: return "cdp-bsearch";
+  }
+  return "cdp";
+}
+
+std::vector<std::int32_t> CdpPolicy::segment_sizes(
+    std::span<const double> costs, std::int32_t nranks) const {
+  AMR_CHECK(nranks > 0);
+  switch (mode_) {
+    case CdpMode::kRestricted: return restricted_sizes(costs, nranks);
+    case CdpMode::kGeneral: return general_sizes(costs, nranks);
+    case CdpMode::kBinarySearch: return binary_search_sizes(costs, nranks);
+  }
+  return {};
+}
+
+Placement CdpPolicy::place(std::span<const double> costs,
+                           std::int32_t nranks) const {
+  const auto sizes = segment_sizes(costs, nranks);
+  return segments_to_placement(sizes, costs.size());
+}
+
+Placement segments_to_placement(std::span<const std::int32_t> sizes,
+                                std::size_t num_blocks) {
+  Placement out;
+  out.reserve(num_blocks);
+  for (std::size_t rank = 0; rank < sizes.size(); ++rank)
+    for (std::int32_t i = 0; i < sizes[rank]; ++i)
+      out.push_back(static_cast<std::int32_t>(rank));
+  AMR_CHECK_MSG(out.size() == num_blocks,
+                "segment sizes do not cover all blocks");
+  return out;
+}
+
+double segments_makespan(std::span<const double> costs,
+                         std::span<const std::int32_t> sizes) {
+  double best = 0.0;
+  std::size_t at = 0;
+  for (const std::int32_t s : sizes) {
+    double acc = 0.0;
+    for (std::int32_t i = 0; i < s; ++i) acc += costs[at++];
+    best = std::max(best, acc);
+  }
+  AMR_CHECK(at == costs.size());
+  return best;
+}
+
+}  // namespace amr

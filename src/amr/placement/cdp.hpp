@@ -1,0 +1,50 @@
+// CDP: Contiguous-DP placement (paper §V-C).
+//
+// Partitions blocks (in SFC order) into r contiguous segments minimizing
+// the maximum segment cost, preserving exactly the locality structure of
+// the baseline while balancing measured load. Three modes:
+//
+//  kRestricted — the paper's O(n·r) optimization: segment sizes limited to
+//    floor(n/r) and ceil(n/r). Exactly (n mod r) segments get the larger
+//    size, so the DP state is (ranks placed, large segments used). This is
+//    the production CDP.
+//  kGeneral — the textbook O(n²·r) DP over arbitrary segment sizes;
+//    reference implementation for ablation (bench_cdp_ablation) and tests.
+//  kBinarySearch — exact arbitrary-size contiguous partition via binary
+//    search on the makespan with a greedy feasibility check, O(n·log).
+//    Used to quantify what the size restriction costs.
+#pragma once
+
+#include "amr/placement/policy.hpp"
+
+namespace amr {
+
+enum class CdpMode { kRestricted, kGeneral, kBinarySearch };
+
+class CdpPolicy final : public PlacementPolicy {
+ public:
+  explicit CdpPolicy(CdpMode mode = CdpMode::kRestricted) : mode_(mode) {}
+
+  std::string name() const override;
+  Placement place(std::span<const double> costs,
+                  std::int32_t nranks) const override;
+
+  /// Segment boundaries instead of a block->rank map: `sizes[k]` is the
+  /// number of blocks assigned to rank k. Exposed for ChunkedCdp and
+  /// tests.
+  std::vector<std::int32_t> segment_sizes(std::span<const double> costs,
+                                          std::int32_t nranks) const;
+
+ private:
+  CdpMode mode_;
+};
+
+/// Expand contiguous segment sizes into a block->rank placement.
+Placement segments_to_placement(std::span<const std::int32_t> sizes,
+                                std::size_t num_blocks);
+
+/// Max segment sum for given contiguous segment sizes.
+double segments_makespan(std::span<const double> costs,
+                         std::span<const std::int32_t> sizes);
+
+}  // namespace amr

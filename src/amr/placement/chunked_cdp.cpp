@@ -1,0 +1,63 @@
+#include "amr/placement/chunked_cdp.hpp"
+
+#include <algorithm>
+
+#include "amr/common/check.hpp"
+#include "amr/placement/cdp.hpp"
+
+namespace amr {
+
+std::string ChunkedCdpPolicy::name() const {
+  return "chunked-cdp/" + std::to_string(chunk_ranks_);
+}
+
+Placement ChunkedCdpPolicy::place(std::span<const double> costs,
+                                  std::int32_t nranks) const {
+  AMR_CHECK(nranks > 0 && chunk_ranks_ > 0);
+  const std::int32_t num_chunks =
+      (nranks + chunk_ranks_ - 1) / chunk_ranks_;
+  const CdpPolicy cdp(CdpMode::kRestricted);
+  if (num_chunks <= 1) return cdp.place(costs, nranks);
+
+  double total = 0.0;
+  for (const double c : costs) total += c;
+
+  Placement out(costs.size(), 0);
+  std::size_t block_at = 0;
+  std::int32_t rank_at = 0;
+  double cost_seen = 0.0;
+  for (std::int32_t chunk = 0; chunk < num_chunks; ++chunk) {
+    // Contiguous rank group for this chunk.
+    const std::int32_t group_ranks =
+        std::min(chunk_ranks_, nranks - rank_at);
+    // Cut the block range where cumulative cost reaches the group's
+    // proportional share (last chunk takes the remainder).
+    std::size_t block_end = costs.size();
+    if (chunk + 1 < num_chunks) {
+      const double target =
+          total * static_cast<double>(rank_at + group_ranks) /
+          static_cast<double>(nranks);
+      block_end = block_at;
+      double acc = cost_seen;
+      while (block_end < costs.size() && acc + costs[block_end] <= target) {
+        acc += costs[block_end];
+        ++block_end;
+      }
+      cost_seen = acc;
+      // Leave enough blocks for later chunks only if they'd otherwise be
+      // starved of even one block per remaining chunk (degenerate but
+      // keeps CDP well-formed for zero-cost tails).
+      block_end = std::min(block_end, costs.size());
+    }
+    const auto sub = costs.subspan(block_at, block_end - block_at);
+    const Placement local = cdp.place(sub, group_ranks);
+    for (std::size_t i = 0; i < local.size(); ++i)
+      out[block_at + i] = rank_at + local[i];
+    block_at = block_end;
+    rank_at += group_ranks;
+  }
+  AMR_CHECK(block_at == costs.size());
+  return out;
+}
+
+}  // namespace amr

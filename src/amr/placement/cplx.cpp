@@ -1,0 +1,91 @@
+#include "amr/placement/cplx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "amr/common/check.hpp"
+#include "amr/placement/chunked_cdp.hpp"
+#include "amr/placement/lpt.hpp"
+
+namespace amr {
+
+CplxPolicy::CplxPolicy(double x_percent, std::int32_t chunk_ranks)
+    : x_percent_(x_percent), chunk_ranks_(chunk_ranks) {
+  AMR_CHECK(x_percent >= 0.0 && x_percent <= 100.0);
+}
+
+std::string CplxPolicy::name() const {
+  return "cpl" + std::to_string(static_cast<int>(std::lround(x_percent_)));
+}
+
+Placement CplxPolicy::rebalance(std::span<const double> costs,
+                                const Placement& base, std::int32_t nranks,
+                                double x_percent) {
+  if (x_percent <= 0.0 || nranks < 2) return base;
+
+  auto selected_count = static_cast<std::int32_t>(
+      std::lround(x_percent / 100.0 * static_cast<double>(nranks)));
+  // Rebalancing needs at least one source and one destination.
+  selected_count = std::clamp(selected_count, 2, nranks);
+
+  // Sort ranks by descending load (ties by rank id for determinism).
+  const auto loads = rank_loads(costs, base, nranks);
+
+  // Guard: when the contiguous placement is already balanced (flat cost
+  // profiles, uniform default costs), breaking locality buys nothing —
+  // LPT over near-equal loads would scatter blocks for free. Skip.
+  {
+    double max_load = 0.0;
+    double sum = 0.0;
+    for (const double l : loads) {
+      max_load = std::max(max_load, l);
+      sum += l;
+    }
+    const double mean = sum / static_cast<double>(nranks);
+    if (mean <= 0.0 || max_load <= kRebalanceFloor * mean) return base;
+  }
+  std::vector<std::int32_t> order(static_cast<std::size_t>(nranks));
+  for (std::size_t r = 0; r < order.size(); ++r)
+    order[r] = static_cast<std::int32_t>(r);
+  std::sort(order.begin(), order.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              const double la = loads[static_cast<std::size_t>(a)];
+              const double lb = loads[static_cast<std::size_t>(b)];
+              return la != lb ? la > lb : a < b;
+            });
+
+  // X% of ranks, drawn from both ends: most-overloaded first.
+  const std::int32_t from_top = (selected_count + 1) / 2;
+  const std::int32_t from_bottom = selected_count / 2;
+  std::vector<std::int32_t> targets;
+  targets.reserve(static_cast<std::size_t>(selected_count));
+  for (std::int32_t i = 0; i < from_top; ++i)
+    targets.push_back(order[static_cast<std::size_t>(i)]);
+  for (std::int32_t i = 0; i < from_bottom; ++i)
+    targets.push_back(
+        order[order.size() - 1 - static_cast<std::size_t>(i)]);
+  std::sort(targets.begin(), targets.end());
+
+  std::vector<bool> is_target(static_cast<std::size_t>(nranks), false);
+  for (const std::int32_t r : targets)
+    is_target[static_cast<std::size_t>(r)] = true;
+
+  std::vector<std::int32_t> moved_blocks;
+  for (std::size_t b = 0; b < base.size(); ++b)
+    if (is_target[static_cast<std::size_t>(base[b])])
+      moved_blocks.push_back(static_cast<std::int32_t>(b));
+
+  Placement out = base;
+  if (!moved_blocks.empty())
+    LptPolicy::assign_subset(costs, moved_blocks, targets, out);
+  return out;
+}
+
+Placement CplxPolicy::place(std::span<const double> costs,
+                            std::int32_t nranks) const {
+  const ChunkedCdpPolicy cdp(chunk_ranks_);
+  const Placement base = cdp.place(costs, nranks);
+  return rebalance(costs, base, nranks, x_percent_);
+}
+
+}  // namespace amr

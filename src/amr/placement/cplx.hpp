@@ -1,0 +1,48 @@
+// CPLX: tunable hybrid placement (paper §V-D).
+//
+// Design principle: "it is easier to selectively break locality in a
+// contiguous placement than to restore locality in an arbitrary one".
+// CPLX starts from a (chunked) CDP placement, sorts ranks by load, selects
+// the X% most-imbalanced ranks — drawn from BOTH ends of the sorted list,
+// since rebalancing needs overloaded sources and underloaded destinations
+// — and re-places exactly those ranks' blocks with LPT. X=0 is pure CDP
+// (locality-preserving); X=100 is pure LPT (load-optimal).
+#pragma once
+
+#include "amr/placement/policy.hpp"
+
+namespace amr {
+
+class CplxPolicy final : public PlacementPolicy {
+ public:
+  /// @param x_percent  share of ranks rebalanced by LPT, 0..100.
+  /// @param chunk_ranks  chunk width of the underlying chunked CDP.
+  explicit CplxPolicy(double x_percent, std::int32_t chunk_ranks = 512);
+
+  std::string name() const override;
+  Placement place(std::span<const double> costs,
+                  std::int32_t nranks) const override;
+
+  double x_percent() const { return x_percent_; }
+
+  /// Below this imbalance (makespan / mean load), the LPT pass is skipped:
+  /// the contiguous placement is already balanced and breaking locality
+  /// would cost communication for nothing (uniform default costs, truly
+  /// flat profiles). Anything beyond this static floor is deliberately
+  /// NOT guarded: whether the locality cost pays off is an empirical,
+  /// workload-specific question (paper Lesson 5) answered by choosing X,
+  /// not by a hidden heuristic.
+  static constexpr double kRebalanceFloor = 1.05;
+
+  /// The LPT rebalance step on its own: given any placement, rebalance the
+  /// X% most over/under-loaded ranks. Exposed for tests and ablations.
+  static Placement rebalance(std::span<const double> costs,
+                             const Placement& base, std::int32_t nranks,
+                             double x_percent);
+
+ private:
+  double x_percent_;
+  std::int32_t chunk_ranks_;
+};
+
+}  // namespace amr

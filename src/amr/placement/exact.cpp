@@ -1,0 +1,130 @@
+#include "amr/placement/exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "amr/common/check.hpp"
+#include "amr/placement/lpt.hpp"
+
+namespace amr {
+namespace {
+
+struct Solver {
+  std::span<const double> costs;      // sorted descending
+  std::vector<std::int32_t> order;    // original indices, cost-desc
+  std::vector<double> suffix_sum;     // remaining cost from block i on
+  std::int32_t nranks;
+  std::uint64_t node_limit;
+
+  std::vector<double> loads;
+  std::vector<std::int32_t> assign;   // per sorted position
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::int32_t> best_assign;
+  std::uint64_t nodes = 0;
+  bool aborted = false;
+
+  void dfs(std::size_t i, double cur_max) {
+    if (aborted) return;
+    if (++nodes > node_limit) {
+      aborted = true;
+      return;
+    }
+    if (i == order.size()) {
+      if (cur_max < best) {
+        best = cur_max;
+        best_assign = assign;
+      }
+      return;
+    }
+    // Lower bound: even a perfect split of the remaining work cannot get
+    // the most loaded rank below mean(total)/r or below cur_max.
+    double total = suffix_sum[i];
+    for (const double l : loads) total += l;
+    const double lb =
+        std::max(cur_max, total / static_cast<double>(nranks));
+    if (lb >= best) return;
+
+    const double c = costs[i];
+    // Try ranks in ascending load; skip duplicate loads (symmetric).
+    std::vector<std::int32_t> by_load(loads.size());
+    for (std::size_t r = 0; r < by_load.size(); ++r)
+      by_load[r] = static_cast<std::int32_t>(r);
+    std::sort(by_load.begin(), by_load.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                return loads[static_cast<std::size_t>(a)] <
+                       loads[static_cast<std::size_t>(b)];
+              });
+    double last_load = -1.0;
+    for (const std::int32_t r : by_load) {
+      const double l = loads[static_cast<std::size_t>(r)];
+      if (l == last_load) continue;  // symmetric branch
+      last_load = l;
+      if (l + c >= best) break;      // loads ascending: all further worse
+      loads[static_cast<std::size_t>(r)] = l + c;
+      assign[i] = r;
+      dfs(i + 1, std::max(cur_max, l + c));
+      loads[static_cast<std::size_t>(r)] = l;
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+ExactResult exact_makespan(std::span<const double> costs,
+                           std::int32_t nranks, std::uint64_t node_limit) {
+  AMR_CHECK(nranks > 0);
+  ExactResult result;
+  result.placement.assign(costs.size(), 0);
+  if (costs.empty()) {
+    result.proven_optimal = true;
+    return result;
+  }
+
+  Solver solver;
+  solver.order.resize(costs.size());
+  for (std::size_t i = 0; i < costs.size(); ++i)
+    solver.order[i] = static_cast<std::int32_t>(i);
+  std::sort(solver.order.begin(), solver.order.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              const double ca = costs[static_cast<std::size_t>(a)];
+              const double cb = costs[static_cast<std::size_t>(b)];
+              return ca != cb ? ca > cb : a < b;
+            });
+  std::vector<double> sorted(costs.size());
+  for (std::size_t i = 0; i < costs.size(); ++i)
+    sorted[i] = costs[static_cast<std::size_t>(solver.order[i])];
+  solver.costs = sorted;
+  solver.suffix_sum.assign(costs.size() + 1, 0.0);
+  for (std::size_t i = costs.size(); i-- > 0;)
+    solver.suffix_sum[i] = solver.suffix_sum[i + 1] + sorted[i];
+  solver.nranks = nranks;
+  solver.node_limit = node_limit;
+  solver.loads.assign(static_cast<std::size_t>(nranks), 0.0);
+  solver.assign.assign(costs.size(), 0);
+
+  // Seed the incumbent with LPT so pruning bites immediately.
+  {
+    const LptPolicy lpt;
+    const Placement seed = lpt.place(costs, nranks);
+    const auto loads = rank_loads(costs, seed, nranks);
+    solver.best = *std::max_element(loads.begin(), loads.end());
+    solver.best_assign.resize(costs.size());
+    for (std::size_t i = 0; i < costs.size(); ++i)
+      solver.best_assign[i] =
+          seed[static_cast<std::size_t>(solver.order[i])];
+  }
+
+  solver.dfs(0, 0.0);
+
+  result.makespan = solver.best;
+  result.nodes_explored = solver.nodes;
+  result.proven_optimal = !solver.aborted;
+  for (std::size_t i = 0; i < costs.size(); ++i)
+    result.placement[static_cast<std::size_t>(solver.order[i])] =
+        solver.best_assign[i];
+  return result;
+}
+
+}  // namespace amr

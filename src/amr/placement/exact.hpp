@@ -1,0 +1,30 @@
+// Exact makespan minimization by branch-and-bound.
+//
+// Plays the role of the paper's commercial ILP reference (§V-B): certify
+// on tractable instances that LPT is at or near the optimum. Practical up
+// to roughly 24 blocks / 8 ranks; the node limit makes larger calls
+// degrade to "best found, not proven" instead of hanging.
+#pragma once
+
+#include <cstdint>
+
+#include "amr/placement/policy.hpp"
+
+namespace amr {
+
+struct ExactResult {
+  double makespan = 0.0;
+  Placement placement;
+  std::uint64_t nodes_explored = 0;
+  bool proven_optimal = false;
+};
+
+/// Branch-and-bound exact solver. Blocks are explored in descending cost
+/// order; branches assign the next block to each distinct-load rank
+/// (symmetry pruning), bounded by the incumbent and the mean-load lower
+/// bound.
+ExactResult exact_makespan(std::span<const double> costs,
+                           std::int32_t nranks,
+                           std::uint64_t node_limit = 20'000'000);
+
+}  // namespace amr

@@ -1,0 +1,48 @@
+// Graph-partitioner placement baseline (the parMETIS/Zoltan stand-in of
+// paper §VIII).
+//
+// Models communication as weighted edge cuts over the block adjacency
+// graph and minimizes them under a load-balance constraint: greedy
+// BFS region growing to a per-rank load target, followed by
+// Kernighan-Lin-style boundary refinement sweeps. The paper's finding —
+// reproduced by bench_edgecut — is that edge cuts correlate poorly with
+// measured communication overhead, which is why CPLX optimizes measured
+// runtime dimensions instead.
+//
+// Unlike the SFC-based policies, this needs the mesh topology, so it
+// binds a mesh reference at construction and must be rebuilt per mesh.
+#pragma once
+
+#include "amr/mesh/mesh.hpp"
+#include "amr/placement/metrics.hpp"
+#include "amr/placement/policy.hpp"
+
+namespace amr {
+
+struct GraphCutOptions {
+  double balance_tolerance = 1.10;  ///< max rank load / mean load
+  int refinement_sweeps = 4;
+  MessageSizeModel edge_weights{};
+};
+
+class GraphCutPolicy final : public PlacementPolicy {
+ public:
+  using Options = GraphCutOptions;
+
+  explicit GraphCutPolicy(const AmrMesh& mesh, Options options = {});
+
+  std::string name() const override { return "graphcut"; }
+  Placement place(std::span<const double> costs,
+                  std::int32_t nranks) const override;
+
+ private:
+  const AmrMesh& mesh_;
+  Options options_;
+};
+
+/// Total weight of directed edges crossing rank boundaries (the quantity
+/// graph partitioners minimize).
+std::int64_t edge_cut_bytes(const AmrMesh& mesh, const Placement& placement,
+                            const MessageSizeModel& sizes = {});
+
+}  // namespace amr

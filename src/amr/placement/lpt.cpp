@@ -1,0 +1,63 @@
+#include "amr/placement/lpt.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+namespace {
+
+struct RankLoad {
+  double load;
+  std::int32_t rank;
+  // Min-heap on load; ties broken by rank for determinism.
+  friend bool operator>(const RankLoad& a, const RankLoad& b) {
+    return a.load != b.load ? a.load > b.load : a.rank > b.rank;
+  }
+};
+
+using MinHeap =
+    std::priority_queue<RankLoad, std::vector<RankLoad>, std::greater<>>;
+
+}  // namespace
+
+void LptPolicy::assign_subset(std::span<const double> costs,
+                              std::span<const std::int32_t> block_ids,
+                              std::span<const std::int32_t> target_ranks,
+                              Placement& placement) {
+  AMR_CHECK(!target_ranks.empty());
+  std::vector<std::int32_t> order(block_ids.begin(), block_ids.end());
+  std::sort(order.begin(), order.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              const double ca = costs[static_cast<std::size_t>(a)];
+              const double cb = costs[static_cast<std::size_t>(b)];
+              return ca != cb ? ca > cb : a < b;
+            });
+  MinHeap heap;
+  for (const std::int32_t r : target_ranks) heap.push({0.0, r});
+  for (const std::int32_t block : order) {
+    RankLoad top = heap.top();
+    heap.pop();
+    placement[static_cast<std::size_t>(block)] = top.rank;
+    top.load += costs[static_cast<std::size_t>(block)];
+    heap.push(top);
+  }
+}
+
+Placement LptPolicy::place(std::span<const double> costs,
+                           std::int32_t nranks) const {
+  AMR_CHECK(nranks > 0);
+  Placement out(costs.size(), 0);
+  if (costs.empty()) return out;
+  std::vector<std::int32_t> blocks(costs.size());
+  std::vector<std::int32_t> ranks(static_cast<std::size_t>(nranks));
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    blocks[i] = static_cast<std::int32_t>(i);
+  for (std::size_t r = 0; r < ranks.size(); ++r)
+    ranks[r] = static_cast<std::int32_t>(r);
+  assign_subset(costs, blocks, ranks, out);
+  return out;
+}
+
+}  // namespace amr

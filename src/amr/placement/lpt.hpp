@@ -1,0 +1,28 @@
+// LPT (Longest-Processing-Time-first) placement (paper §V-B).
+//
+// Classical greedy makespan minimization: sort blocks by cost descending,
+// assign each to the currently least-loaded rank. Guarantees makespan
+// <= 4/3 · OPT (Graham 1969) and, per the paper, matches a commercial ILP
+// solver in practice. Ignores communication locality entirely.
+#pragma once
+
+#include "amr/placement/policy.hpp"
+
+namespace amr {
+
+class LptPolicy final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "lpt"; }
+  Placement place(std::span<const double> costs,
+                  std::int32_t nranks) const override;
+
+  /// LPT over a subset: assign `block_ids` (costs given by `costs`) to the
+  /// ranks listed in `target_ranks`, writing into `placement`. Starting
+  /// loads are zero for the targets. Shared with CPLX's rebalance step.
+  static void assign_subset(std::span<const double> costs,
+                            std::span<const std::int32_t> block_ids,
+                            std::span<const std::int32_t> target_ranks,
+                            Placement& placement);
+};
+
+}  // namespace amr

@@ -1,0 +1,69 @@
+#include "amr/placement/metrics.hpp"
+
+#include <algorithm>
+
+#include "amr/common/check.hpp"
+#include "amr/common/stats.hpp"
+
+namespace amr {
+
+LoadMetrics load_metrics(std::span<const double> costs,
+                         const Placement& placement, std::int32_t nranks) {
+  const auto loads = rank_loads(costs, placement, nranks);
+  RunningStats s;
+  for (const double l : loads) s.add(l);
+  LoadMetrics m;
+  m.makespan = s.max();
+  m.mean_load = s.mean();
+  m.imbalance = s.mean() > 0.0 ? s.max() / s.mean() : 0.0;
+  m.stddev = s.stddev();
+  return m;
+}
+
+CommMetrics comm_metrics(const AmrMesh& mesh, const Placement& placement,
+                         const ClusterTopology& topo,
+                         const MessageSizeModel& sizes) {
+  AMR_CHECK(placement.size() == mesh.size());
+  CommMetrics m;
+  const auto& lists = mesh.neighbor_lists();
+  for (std::size_t b = 0; b < lists.size(); ++b) {
+    const std::int32_t src = placement[b];
+    for (const Neighbor& n : lists[b]) {
+      const std::int32_t dst =
+          placement[static_cast<std::size_t>(n.index)];
+      const std::int64_t bytes = sizes.bytes(n.kind);
+      if (src == dst) {
+        ++m.msgs_intra_rank;
+        m.bytes_intra_rank += bytes;
+      } else if (topo.same_node(src, dst)) {
+        ++m.msgs_intra_node;
+        m.bytes_intra_node += bytes;
+      } else {
+        ++m.msgs_inter_node;
+        m.bytes_inter_node += bytes;
+      }
+    }
+  }
+  return m;
+}
+
+double contiguity_fraction(const Placement& placement) {
+  if (placement.size() < 2) return 1.0;
+  std::int64_t same = 0;
+  for (std::size_t i = 0; i + 1 < placement.size(); ++i)
+    if (placement[i] == placement[i + 1] ||
+        placement[i] + 1 == placement[i + 1])
+      ++same;
+  return static_cast<double>(same) /
+         static_cast<double>(placement.size() - 1);
+}
+
+std::int64_t moved_blocks(const Placement& before, const Placement& after) {
+  AMR_CHECK(before.size() == after.size());
+  std::int64_t moved = 0;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    if (before[i] != after[i]) ++moved;
+  return moved;
+}
+
+}  // namespace amr

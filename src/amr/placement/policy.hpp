@@ -1,0 +1,49 @@
+// Placement policy interface.
+//
+// A placement policy maps blocks (identified by their SFC position, with a
+// measured per-block compute cost) to ranks. This mirrors the paper's
+// augmented Parthenon infrastructure (§V-A3): cost hooks populated from
+// telemetry, and arbitrary (non-contiguous) block-to-rank mappings.
+//
+// Policies are pure functions of (costs, nranks): they must be
+// deterministic, and fast enough for AMR redistribution budgets
+// (the paper targets < 50 ms per invocation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace amr {
+
+/// Block-to-rank assignment; index is the block's SFC ID.
+using Placement = std::vector<std::int32_t>;
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Human-readable policy name ("baseline", "lpt", "cpl50", ...).
+  virtual std::string name() const = 0;
+
+  /// Compute a block->rank assignment. `costs` holds measured per-block
+  /// compute costs in SFC order; every block must be assigned a rank in
+  /// [0, nranks). Policies must accept n < nranks (some ranks empty).
+  virtual Placement place(std::span<const double> costs,
+                          std::int32_t nranks) const = 0;
+};
+
+using PolicyPtr = std::unique_ptr<PlacementPolicy>;
+
+/// Per-rank total load under an assignment.
+std::vector<double> rank_loads(std::span<const double> costs,
+                               const Placement& placement,
+                               std::int32_t nranks);
+
+/// Validate that a placement covers all blocks with ranks in range.
+bool placement_valid(const Placement& placement, std::size_t num_blocks,
+                     std::int32_t nranks);
+
+}  // namespace amr

@@ -1,0 +1,66 @@
+#include "amr/placement/registry.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "amr/placement/baseline.hpp"
+#include "amr/placement/cdp.hpp"
+#include "amr/placement/chunked_cdp.hpp"
+#include "amr/placement/cplx.hpp"
+#include "amr/placement/lpt.hpp"
+#include "amr/placement/zonal.hpp"
+
+namespace amr {
+
+PolicyPtr make_policy(std::string_view name) {
+  if (name == "baseline") return std::make_unique<BaselinePolicy>();
+  if (name == "lpt") return std::make_unique<LptPolicy>();
+  if (name == "cdp")
+    return std::make_unique<CdpPolicy>(CdpMode::kRestricted);
+  if (name == "cdp-general")
+    return std::make_unique<CdpPolicy>(CdpMode::kGeneral);
+  if (name == "cdp-bsearch")
+    return std::make_unique<CdpPolicy>(CdpMode::kBinarySearch);
+  if (name.starts_with("chunked-cdp")) {
+    std::int32_t chunk = 512;
+    if (const auto slash = name.find('/'); slash != std::string_view::npos) {
+      const auto arg = name.substr(slash + 1);
+      if (std::from_chars(arg.data(), arg.data() + arg.size(), chunk).ec !=
+          std::errc{})
+        throw std::invalid_argument("bad chunk size in policy name");
+    }
+    return std::make_unique<ChunkedCdpPolicy>(chunk);
+  }
+  if (name.starts_with("zonal/")) {
+    // "zonal/<zone_ranks>/<inner policy name>"
+    const auto rest = name.substr(6);
+    const auto slash = rest.find('/');
+    if (slash == std::string_view::npos)
+      throw std::invalid_argument("zonal policy: want zonal/<ranks>/<inner>");
+    std::int32_t zone_ranks = 0;
+    const auto arg = rest.substr(0, slash);
+    if (std::from_chars(arg.data(), arg.data() + arg.size(), zone_ranks)
+                .ec != std::errc{} ||
+        zone_ranks <= 0)
+      throw std::invalid_argument("bad zone size in zonal policy name");
+    return std::make_unique<ZonalPolicy>(make_policy(rest.substr(slash + 1)),
+                                         zone_ranks);
+  }
+  if (name.starts_with("cpl")) {
+    const auto arg = name.substr(3);
+    int x = -1;
+    if (std::from_chars(arg.data(), arg.data() + arg.size(), x).ec !=
+            std::errc{} ||
+        x < 0 || x > 100)
+      throw std::invalid_argument("bad X in cplX policy name");
+    return std::make_unique<CplxPolicy>(static_cast<double>(x));
+  }
+  throw std::invalid_argument("unknown placement policy: " +
+                              std::string(name));
+}
+
+std::vector<std::string> evaluation_policy_names() {
+  return {"baseline", "cpl0", "cpl25", "cpl50", "cpl75", "cpl100"};
+}
+
+}  // namespace amr

@@ -1,0 +1,21 @@
+// Name-based policy factory, so benches and examples can select policies
+// from the command line ("baseline", "lpt", "cdp", "cpl50", ...).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "amr/placement/policy.hpp"
+
+namespace amr {
+
+/// Create a policy by name. Recognized: "baseline", "lpt", "cdp",
+/// "cdp-general", "cdp-bsearch", "chunked-cdp" (optional "/<chunk>"),
+/// and "cplN" for N in 0..100. Throws std::invalid_argument otherwise.
+PolicyPtr make_policy(std::string_view name);
+
+/// The policy line-up evaluated in the paper's Fig 6.
+std::vector<std::string> evaluation_policy_names();
+
+}  // namespace amr

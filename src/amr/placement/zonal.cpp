@@ -1,0 +1,58 @@
+#include "amr/placement/zonal.hpp"
+
+#include <algorithm>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+ZonalPolicy::ZonalPolicy(PolicyPtr inner, std::int32_t zone_ranks)
+    : inner_(std::move(inner)), zone_ranks_(zone_ranks) {
+  AMR_CHECK(inner_ != nullptr);
+  AMR_CHECK(zone_ranks_ > 0);
+}
+
+std::string ZonalPolicy::name() const {
+  return "zonal/" + std::to_string(zone_ranks_) + "/" + inner_->name();
+}
+
+Placement ZonalPolicy::place(std::span<const double> costs,
+                             std::int32_t nranks) const {
+  if (nranks <= zone_ranks_) return inner_->place(costs, nranks);
+
+  double total = 0.0;
+  for (const double c : costs) total += c;
+
+  Placement out(costs.size(), 0);
+  std::size_t block_at = 0;
+  std::int32_t rank_at = 0;
+  double cost_seen = 0.0;
+  while (rank_at < nranks) {
+    const std::int32_t zone_size = std::min(zone_ranks_, nranks - rank_at);
+    std::size_t block_end = costs.size();
+    if (rank_at + zone_size < nranks) {
+      // Cut the SFC range at the zone's proportional cost share.
+      const double target = total *
+                            static_cast<double>(rank_at + zone_size) /
+                            static_cast<double>(nranks);
+      block_end = block_at;
+      double acc = cost_seen;
+      while (block_end < costs.size() &&
+             acc + costs[block_end] <= target) {
+        acc += costs[block_end];
+        ++block_end;
+      }
+      cost_seen = acc;
+    }
+    const auto sub = costs.subspan(block_at, block_end - block_at);
+    const Placement local = inner_->place(sub, zone_size);
+    for (std::size_t i = 0; i < local.size(); ++i)
+      out[block_at + i] = rank_at + local[i];
+    block_at = block_end;
+    rank_at += zone_size;
+  }
+  AMR_CHECK(block_at == costs.size());
+  return out;
+}
+
+}  // namespace amr

@@ -1,0 +1,32 @@
+// Zonal placement (paper §VI-C, Fig 7c discussion; Zheng et al. [38]).
+//
+// At the largest scales the placement computation itself threatens the
+// 50 ms budget. Zonal placement divides the ranks into fixed-size zones,
+// gives each zone a contiguous, cost-proportional slice of the SFC-
+// ordered blocks, and runs the inner policy independently per zone — an
+// embarrassingly parallel structure in a real deployment (sequential
+// here; the per-zone problem-size reduction is what the budget needs).
+#pragma once
+
+#include "amr/placement/policy.hpp"
+
+namespace amr {
+
+class ZonalPolicy final : public PlacementPolicy {
+ public:
+  /// @param inner       policy applied within each zone (owned).
+  /// @param zone_ranks  ranks per zone.
+  ZonalPolicy(PolicyPtr inner, std::int32_t zone_ranks);
+
+  std::string name() const override;
+  Placement place(std::span<const double> costs,
+                  std::int32_t nranks) const override;
+
+  std::int32_t zone_ranks() const { return zone_ranks_; }
+
+ private:
+  PolicyPtr inner_;
+  std::int32_t zone_ranks_;
+};
+
+}  // namespace amr

@@ -1,0 +1,146 @@
+// End-to-end AMR simulation driver.
+//
+// Wires the full stack together the way the paper's runs were assembled:
+// workload physics evolve the mesh; telemetry from executed steps feeds
+// the placement policy's cost inputs (telemetry-driven placement — the
+// policy never sees oracle costs, only what was measured, including any
+// hardware-fault inflation); redistribution renumbers blocks along the
+// SFC, invokes the policy, and charges migration; the step executor runs
+// the BSP step on the simulated cluster.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "amr/common/time.hpp"
+#include "amr/exec/critical_path.hpp"
+#include "amr/exec/overlap.hpp"
+#include "amr/exec/work.hpp"
+#include "amr/faults/injector.hpp"
+#include "amr/net/fabric.hpp"
+#include "amr/placement/policy.hpp"
+#include "amr/sim/triggers.hpp"
+#include "amr/simmpi/comm.hpp"
+#include "amr/telemetry/collector.hpp"
+#include "amr/workloads/workload.hpp"
+
+namespace amr {
+
+/// Execution strategy for each BSP step (paper §II-A: task-based
+/// runtimes mask residual imbalance by overlapping independent work).
+enum class ExecutionMode : std::uint8_t { kBsp = 0, kOverlap = 1 };
+
+constexpr const char* to_string(ExecutionMode m) {
+  return m == ExecutionMode::kBsp ? "bsp" : "overlap";
+}
+
+struct SimulationConfig {
+  std::int32_t nranks = 64;
+  std::int32_t ranks_per_node = 16;
+  RootGrid root_grid{4, 4, 4};
+  std::int64_t steps = 50;
+  TaskOrdering ordering = TaskOrdering::kSendFirst;
+  ExecutionMode execution = ExecutionMode::kBsp;
+  /// Fine->coarse flux-correction messages along refinement boundaries
+  /// (paper §II-B).
+  bool include_flux_correction = true;
+  FabricParams fabric = FabricParams::tuned();
+  CollectiveParams collective{};
+  ExecParams exec{};
+  MessageSizeModel msg_sizes{};
+  std::uint64_t seed = 42;
+
+  /// Use measured telemetry (previous steps) as placement cost input.
+  /// When false, placement sees uniform costs (the frameworks' default
+  /// "cost hooks initialized to 1" behaviour, §V-A3).
+  bool telemetry_driven_costs = true;
+
+  /// Deterministic rebalance-phase charge per invocation (placement
+  /// computation inside the run); real wall-clock placement times are
+  /// reported separately for the Fig 7c budget analysis. The default
+  /// matches the paper's 50 ms budget scaled to the simulator's time
+  /// units (block kernels run ~1000x faster than the 250 ms production
+  /// timesteps).
+  TimeNs placement_charge = us(50.0);
+
+  /// The paper's hard redistribution budget: placement computation must
+  /// finish within placement_budget_ms of real time. With enforcement
+  /// on, an over-budget result is discarded in favour of the cheap
+  /// baseline split for that invocation (and counted in the report).
+  double placement_budget_ms = 50.0;
+  bool enforce_placement_budget = false;
+  double migration_gbytes_per_sec = 4.0;
+  std::int64_t migrated_block_bytes =
+      16LL * 16 * 16 * 5 * 8;  ///< payload of one migrated block
+
+  /// When to redistribute beyond mandatory mesh changes.
+  RebalanceTrigger trigger{};
+
+  /// Record per-(step,rank) rows into the telemetry collector.
+  bool collect_telemetry = true;
+  /// Also record per-(step,block) rows (large).
+  bool collect_block_telemetry = false;
+
+  FaultInjector faults;
+};
+
+/// Phase totals averaged across ranks, in seconds of simulated time.
+struct PhaseBreakdown {
+  double compute = 0.0;
+  double comm = 0.0;
+  double sync = 0.0;
+  double rebalance = 0.0;
+
+  double total() const { return compute + comm + sync + rebalance; }
+};
+
+struct RunReport {
+  std::string policy;
+  double wall_seconds = 0.0;       ///< simulated end-to-end runtime
+  PhaseBreakdown phases;           ///< rank-averaged phase seconds
+  std::int64_t steps = 0;
+  std::int64_t lb_invocations = 0; ///< redistributions performed
+  std::size_t initial_blocks = 0;
+  std::size_t final_blocks = 0;
+  std::int64_t msgs_local = 0;     ///< intra-node MPI messages
+  std::int64_t msgs_remote = 0;    ///< inter-node MPI messages
+  std::int64_t msgs_intra_rank = 0;  ///< memcpy'd neighbor pairs
+  std::int64_t bytes_local = 0;
+  std::int64_t bytes_remote = 0;
+  std::int64_t blocks_migrated = 0;
+  std::int64_t budget_violations = 0;  ///< placements over the budget
+  std::vector<double> rank_compute_seconds;  ///< per-rank compute totals
+  std::vector<double> placement_ms;  ///< real wall-clock per invocation
+  CriticalPathStats critical_path;
+};
+
+class Simulation {
+ public:
+  /// The workload and policy are borrowed for the lifetime of the run.
+  Simulation(SimulationConfig config, Workload& workload,
+             const PlacementPolicy& policy);
+
+  /// Execute the configured number of steps. Telemetry accumulates in
+  /// collector(); the report summarizes the run.
+  RunReport run();
+
+  const Collector& collector() const { return collector_; }
+
+ private:
+  std::vector<TimeNs> estimated_costs(const AmrMesh& mesh) const;
+  void remember_costs(const AmrMesh& mesh,
+                      std::span<const TimeNs> measured);
+
+  SimulationConfig config_;
+  Workload& workload_;
+  const PlacementPolicy& policy_;
+  Collector collector_;
+  // Measured per-block costs keyed by block coordinates (stable across
+  // SFC renumbering).
+  std::unordered_map<std::uint64_t, TimeNs> measured_costs_;
+};
+
+}  // namespace amr

@@ -1,0 +1,59 @@
+// Rebalance trigger policies (paper §II-B "Redistribution", related work
+// Meta-Balancer [60]).
+//
+// Redistribution is mandatory when the mesh changes (block IDs shift),
+// but a run may also rebalance on a *stale but drifting* cost profile
+// without any refinement. Triggers decide when that is worth the
+// migration cost:
+//   kOnMeshChange — the production default: only when refinement or
+//                   coarsening occurred.
+//   kPeriodic     — additionally every `period` steps.
+//   kImbalance    — additionally when measured imbalance (max/mean rank
+//                   load of the previous step) exceeds a threshold.
+#pragma once
+
+#include <cstdint>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+enum class RebalanceTriggerKind : std::uint8_t {
+  kOnMeshChange = 0,
+  kPeriodic = 1,
+  kImbalance = 2,
+};
+
+constexpr const char* to_string(RebalanceTriggerKind k) {
+  switch (k) {
+    case RebalanceTriggerKind::kOnMeshChange: return "on-mesh-change";
+    case RebalanceTriggerKind::kPeriodic: return "periodic";
+    case RebalanceTriggerKind::kImbalance: return "imbalance";
+  }
+  return "?";
+}
+
+struct RebalanceTrigger {
+  RebalanceTriggerKind kind = RebalanceTriggerKind::kOnMeshChange;
+  std::int64_t period = 10;        ///< for kPeriodic
+  double imbalance_threshold = 1.25;  ///< for kImbalance (max/mean)
+
+  /// Should this step redistribute? `mesh_changed` forces true (IDs are
+  /// stale otherwise); the rest depends on the trigger kind.
+  bool fire(bool mesh_changed, std::int64_t step,
+            double measured_imbalance) const {
+    if (mesh_changed) return true;
+    switch (kind) {
+      case RebalanceTriggerKind::kOnMeshChange:
+        return false;
+      case RebalanceTriggerKind::kPeriodic:
+        AMR_CHECK(period > 0);
+        return step > 0 && step % period == 0;
+      case RebalanceTriggerKind::kImbalance:
+        return measured_imbalance > imbalance_threshold;
+    }
+    return false;
+  }
+};
+
+}  // namespace amr

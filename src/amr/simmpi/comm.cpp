@@ -1,0 +1,142 @@
+#include "amr/simmpi/comm.hpp"
+
+#include <bit>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+Comm::Comm(Engine& engine, Fabric& fabric, std::int32_t nranks,
+           CollectiveParams collective)
+    : engine_(engine), fabric_(fabric), nranks_(nranks),
+      collective_params_(collective),
+      endpoints_(static_cast<std::size_t>(nranks), nullptr) {
+  AMR_CHECK(nranks > 0);
+  const auto log2p = static_cast<TimeNs>(std::bit_width(
+      static_cast<std::uint64_t>(nranks - 1)));  // ceil(log2(nranks))
+  collective_overhead_ =
+      collective_params_.alpha + collective_params_.beta * log2p;
+}
+
+void Comm::set_endpoint(std::int32_t rank, RankEndpoint* endpoint) {
+  AMR_CHECK(rank >= 0 && rank < nranks_);
+  endpoints_[static_cast<std::size_t>(rank)] = endpoint;
+}
+
+void Comm::begin_exchange(std::uint64_t window,
+                          std::vector<std::int32_t> expected) {
+  AMR_CHECK(window < (1ULL << 31));
+  AMR_CHECK(expected.size() == static_cast<std::size_t>(nranks_));
+  AMR_CHECK_MSG(!exchanges_.contains(window), "window id already open");
+  ExchangeState state;
+  state.expected = std::move(expected);
+  state.arrived.assign(static_cast<std::size_t>(nranks_), 0);
+  state.last_delivery.assign(static_cast<std::size_t>(nranks_), 0);
+  state.waiting.assign(static_cast<std::size_t>(nranks_), 0);
+  for (const std::int32_t e : state.expected) {
+    AMR_CHECK(e >= 0);
+    state.outstanding += e;
+  }
+  exchanges_.emplace(window, std::move(state));
+}
+
+TimeNs Comm::isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
+                   std::uint64_t window, TimeNs post_time,
+                   std::int64_t dst_tag) {
+  AMR_CHECK(src != dst);
+  AMR_CHECK_MSG(exchanges_.contains(window),
+                "isend outside an open exchange window");
+  const TransferTiming t = fabric_.transfer(src, dst, bytes, post_time);
+  std::uint64_t slot;
+  if (!free_delivery_slots_.empty()) {
+    slot = free_delivery_slots_.back();
+    free_delivery_slots_.pop_back();
+    deliveries_[slot] = PendingDelivery{window, dst, src, dst_tag};
+  } else {
+    slot = deliveries_.size();
+    deliveries_.push_back(PendingDelivery{window, dst, src, dst_tag});
+  }
+  engine_.schedule_at(t.delivery, this, slot);
+  return t.sender_release;
+}
+
+bool Comm::wait_recvs(std::int32_t rank, std::uint64_t window,
+                      TimeNs wait_start) {
+  auto it = exchanges_.find(window);
+  AMR_CHECK(it != exchanges_.end());
+  ExchangeState& state = it->second;
+  const auto r = static_cast<std::size_t>(rank);
+  if (state.arrived[r] >= state.expected[r]) return true;
+  (void)wait_start;
+  AMR_CHECK_MSG(state.waiting[r] == 0, "rank already waiting on window");
+  state.waiting[r] = 1;
+  return false;
+}
+
+bool Comm::exchange_complete(std::uint64_t window) const {
+  const auto it = exchanges_.find(window);
+  AMR_CHECK(it != exchanges_.end());
+  return it->second.outstanding == 0;
+}
+
+void Comm::end_exchange(std::uint64_t window) {
+  const auto it = exchanges_.find(window);
+  AMR_CHECK(it != exchanges_.end());
+  AMR_CHECK_MSG(it->second.outstanding == 0,
+                "closing window with undelivered messages");
+  exchanges_.erase(it);
+}
+
+void Comm::enter_collective(std::uint64_t window, std::int32_t rank,
+                            TimeNs entry_time) {
+  AMR_CHECK(window < (1ULL << 31));
+  AMR_CHECK(rank >= 0 && rank < nranks_);
+  CollectiveState& state = collectives_[window];
+  ++state.entered;
+  state.max_entry = std::max(state.max_entry, entry_time);
+  AMR_CHECK_MSG(state.entered <= nranks_,
+                "rank entered collective twice in one window");
+  if (state.entered == nranks_) {
+    const TimeNs done = state.max_entry + collective_overhead_;
+    engine_.schedule_at(done, this, kCollectiveBit | (window << 32));
+  }
+}
+
+void Comm::on_event(Engine& engine, std::uint64_t tag) {
+  if (tag & kCollectiveBit) {
+    const std::uint64_t window = (tag & ~kCollectiveBit) >> 32;
+    const auto it = collectives_.find(window);
+    AMR_CHECK(it != collectives_.end());
+    collectives_.erase(it);
+    for (std::int32_t r = 0; r < nranks_; ++r) {
+      RankEndpoint* ep = endpoints_[static_cast<std::size_t>(r)];
+      AMR_CHECK(ep != nullptr);
+      ep->on_collective_done(window, engine.now());
+    }
+    return;
+  }
+  // Message delivery.
+  const PendingDelivery d = deliveries_[tag];
+  free_delivery_slots_.push_back(tag);
+  const std::uint64_t window = d.window;
+  const std::int32_t rank = d.dst;
+  const auto it = exchanges_.find(window);
+  AMR_CHECK(it != exchanges_.end());
+  ExchangeState& state = it->second;
+  const auto r = static_cast<std::size_t>(rank);
+  ++state.arrived[r];
+  --state.outstanding;
+  state.last_delivery[r] = engine.now();
+  AMR_CHECK_MSG(state.arrived[r] <= state.expected[r],
+                "more deliveries than expected; window mismatch");
+  if (RankEndpoint* ep = endpoints_[r]; ep != nullptr)
+    ep->on_message(window, engine.now(), d.src, d.dst_tag);
+  if (state.waiting[r] != 0 && state.arrived[r] == state.expected[r]) {
+    state.waiting[r] = 0;
+    RankEndpoint* ep = endpoints_[r];
+    AMR_CHECK(ep != nullptr);
+    ep->on_recvs_ready(window, engine.now(), d.src);
+  }
+}
+
+}  // namespace amr

@@ -1,0 +1,143 @@
+// Simulated MPI communication layer.
+//
+// Provides the communication semantics AMR codes actually use (paper
+// §II-B): nonblocking point-to-point boundary exchanges awaited per
+// synchronization window, plus blocking collectives whose completion is
+// gated by the slowest rank — the straggler amplifier at the heart of the
+// paper. Happened-before ordering is exact: a receiver can only resume
+// after the sender's message physically departs and flies, which is what
+// makes the two-rank critical-path principle (§IV-D) hold by construction.
+//
+// Exchanges are organized in "windows" (one per timestep phase): the
+// driver declares how many messages each rank will receive, ranks post
+// sends and then wait for their expected arrivals, and collectives close
+// the window.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "amr/des/engine.hpp"
+#include "amr/net/fabric.hpp"
+
+namespace amr {
+
+/// Callbacks into the per-rank runtime (implemented by exec::RankRuntime).
+class RankEndpoint {
+ public:
+  virtual ~RankEndpoint() = default;
+  /// All expected messages of `window` have arrived (rank had a pending
+  /// wait). `t` is the completing delivery's time and `releasing_src` the
+  /// sender of that final message — the second rank of a two-rank
+  /// critical path (paper §IV-D).
+  virtual void on_recvs_ready(std::uint64_t window, TimeNs t,
+                              std::int32_t releasing_src) = 0;
+  /// The collective entered in `window` completed at time `t`.
+  virtual void on_collective_done(std::uint64_t window, TimeNs t) = 0;
+
+  /// Every message delivery (before any on_recvs_ready). `dst_tag` is the
+  /// sender-supplied routing tag (e.g. destination block id) — the hook
+  /// the overlap runtime uses to track per-block readiness. Default:
+  /// ignored (the BSP runtime only cares about window completion).
+  virtual void on_message(std::uint64_t window, TimeNs t,
+                          std::int32_t src, std::int64_t dst_tag) {
+    (void)window;
+    (void)t;
+    (void)src;
+    (void)dst_tag;
+  }
+};
+
+/// Cost model for blocking collectives: completion = max(entry times)
+/// + alpha + beta * ceil(log2(nranks)).
+struct CollectiveParams {
+  TimeNs alpha = us(20.0);
+  TimeNs beta = us(4.0);
+};
+
+class Comm final : public EventHandler {
+ public:
+  Comm(Engine& engine, Fabric& fabric, std::int32_t nranks,
+       CollectiveParams collective = {});
+
+  std::int32_t nranks() const { return nranks_; }
+  Engine& engine() { return engine_; }
+  Fabric& fabric() { return fabric_; }
+
+  /// Register the runtime object receiving callbacks for `rank`.
+  void set_endpoint(std::int32_t rank, RankEndpoint* endpoint);
+
+  /// Open a P2P exchange window. expected[r] = number of messages rank r
+  /// will receive in this window. Window ids must be unique while open.
+  void begin_exchange(std::uint64_t window,
+                      std::vector<std::int32_t> expected);
+
+  /// Post a nonblocking send within a window. Returns the time at which
+  /// an MPI_Wait on this send request would return (buffer handed off;
+  /// inflated by ACK-recovery blocking when that pathology is active).
+  /// `dst_tag` rides along to the receiver's on_message hook.
+  TimeNs isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
+               std::uint64_t window, TimeNs post_time,
+               std::int64_t dst_tag = -1);
+
+  /// Rank's waitall on its receives for the window. If all messages have
+  /// already arrived, returns true (rank proceeds at wait_start). If not,
+  /// registers the rank for on_recvs_ready and returns false.
+  bool wait_recvs(std::int32_t rank, std::uint64_t window,
+                  TimeNs wait_start);
+
+  /// True once every expected message of the window has been delivered to
+  /// every rank; the window can then be closed.
+  bool exchange_complete(std::uint64_t window) const;
+
+  /// Release a completed exchange window's bookkeeping.
+  void end_exchange(std::uint64_t window);
+
+  /// Enter a blocking collective (allreduce-style). Completion fires
+  /// on_collective_done on every participating rank. Every rank must
+  /// enter exactly once per window.
+  void enter_collective(std::uint64_t window, std::int32_t rank,
+                        TimeNs entry_time);
+
+  // EventHandler: message deliveries and collective completions.
+  void on_event(Engine& engine, std::uint64_t tag) override;
+
+ private:
+  struct ExchangeState {
+    std::vector<std::int32_t> expected;
+    std::vector<std::int32_t> arrived;
+    std::vector<TimeNs> last_delivery;
+    std::vector<std::uint8_t> waiting;
+    std::int64_t outstanding = 0;  // total expected - total arrived
+  };
+
+  struct CollectiveState {
+    std::int32_t entered = 0;
+    TimeNs max_entry = 0;
+  };
+
+  struct PendingDelivery {
+    std::uint64_t window;
+    std::int32_t dst;
+    std::int32_t src;
+    std::int64_t dst_tag;
+  };
+
+  // Event tags: bit 63 selects delivery (0, tag = pending-delivery slot)
+  // vs collective completion (1, bits 32..62 = window id).
+  static constexpr std::uint64_t kCollectiveBit = 1ULL << 63;
+
+  Engine& engine_;
+  Fabric& fabric_;
+  std::int32_t nranks_;
+  CollectiveParams collective_params_;
+  TimeNs collective_overhead_;  // alpha + beta*ceil(log2(nranks))
+  std::vector<RankEndpoint*> endpoints_;
+  std::unordered_map<std::uint64_t, ExchangeState> exchanges_;
+  std::unordered_map<std::uint64_t, CollectiveState> collectives_;
+  std::vector<PendingDelivery> deliveries_;
+  std::vector<std::uint64_t> free_delivery_slots_;
+};
+
+}  // namespace amr

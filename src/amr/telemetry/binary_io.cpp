@@ -1,0 +1,178 @@
+#include "amr/telemetry/binary_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'M', 'R', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool write_pod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+void read_pod(std::FILE* f, T& v) {
+  if (std::fread(&v, sizeof(T), 1, f) != 1)
+    throw std::runtime_error("telemetry file truncated");
+}
+
+bool write_string(std::FILE* f, const std::string& s) {
+  const auto len = static_cast<std::uint32_t>(s.size());
+  return write_pod(f, len) &&
+         (len == 0 || std::fwrite(s.data(), 1, len, f) == len);
+}
+
+std::string read_string(std::FILE* f) {
+  std::uint32_t len = 0;
+  read_pod(f, len);
+  if (len > (1u << 20)) throw std::runtime_error("absurd string length");
+  std::string s(len, '\0');
+  if (len > 0 && std::fread(s.data(), 1, len, f) != len)
+    throw std::runtime_error("telemetry file truncated");
+  return s;
+}
+
+void read_header(std::FILE* f, std::string& name, std::uint32_t& ncols,
+                 std::uint64_t& nrows) {
+  char magic[4];
+  if (std::fread(magic, 1, 4, f) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("not an AMRT telemetry file");
+  std::uint32_t version = 0;
+  read_pod(f, version);
+  if (version != kVersion)
+    throw std::runtime_error("unsupported telemetry file version");
+  name = read_string(f);
+  read_pod(f, ncols);
+  read_pod(f, nrows);
+  if (ncols == 0 || ncols > 4096)
+    throw std::runtime_error("bad column count");
+}
+
+}  // namespace
+
+bool write_table(const Table& table, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) return false;
+  if (!write_pod(f.get(), kVersion)) return false;
+  if (!write_string(f.get(), table.name())) return false;
+  const auto ncols = static_cast<std::uint32_t>(table.num_cols());
+  const auto nrows = static_cast<std::uint64_t>(table.num_rows());
+  if (!write_pod(f.get(), ncols) || !write_pod(f.get(), nrows))
+    return false;
+  for (std::size_t c = 0; c < table.num_cols(); ++c) {
+    if (!write_string(f.get(), table.schema()[c].name)) return false;
+    const auto type = static_cast<std::uint8_t>(table.col_type(c));
+    double min = 0.0;
+    double max = 0.0;
+    table.column_stats(c, min, max);
+    if (!write_pod(f.get(), type) || !write_pod(f.get(), min) ||
+        !write_pod(f.get(), max))
+      return false;
+  }
+  for (std::size_t c = 0; c < table.num_cols(); ++c) {
+    const void* data = table.col_type(c) == ColType::kI64
+                           ? static_cast<const void*>(table.i64(c).data())
+                           : static_cast<const void*>(table.f64(c).data());
+    if (nrows > 0 &&
+        std::fwrite(data, 8, nrows, f.get()) != nrows)
+      return false;
+  }
+  return true;
+}
+
+Table read_table(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open telemetry file: " + path);
+  std::string name;
+  std::uint32_t ncols = 0;
+  std::uint64_t nrows = 0;
+  read_header(f.get(), name, ncols, nrows);
+
+  std::vector<ColumnDef> defs;
+  defs.reserve(ncols);
+  for (std::uint32_t c = 0; c < ncols; ++c) {
+    ColumnDef def;
+    def.name = read_string(f.get());
+    std::uint8_t type = 0;
+    read_pod(f.get(), type);
+    if (type > 1) throw std::runtime_error("bad column type");
+    def.type = static_cast<ColType>(type);
+    double min_unused = 0.0;
+    double max_unused = 0.0;
+    read_pod(f.get(), min_unused);
+    read_pod(f.get(), max_unused);
+    defs.push_back(std::move(def));
+  }
+
+  Table table(name, defs);
+  // Columnar data: read column buffers and re-append row-wise would be
+  // O(rows*cols) dispatch; instead bulk-read into temporaries and replay.
+  std::vector<std::vector<std::int64_t>> icols(ncols);
+  std::vector<std::vector<double>> fcols(ncols);
+  for (std::uint32_t c = 0; c < ncols; ++c) {
+    if (defs[c].type == ColType::kI64) {
+      icols[c].resize(nrows);
+      if (nrows > 0 &&
+          std::fread(icols[c].data(), 8, nrows, f.get()) != nrows)
+        throw std::runtime_error("telemetry file truncated");
+    } else {
+      fcols[c].resize(nrows);
+      if (nrows > 0 &&
+          std::fread(fcols[c].data(), 8, nrows, f.get()) != nrows)
+        throw std::runtime_error("telemetry file truncated");
+    }
+  }
+  std::vector<CellValue> row(ncols);
+  for (std::uint64_t r = 0; r < nrows; ++r) {
+    for (std::uint32_t c = 0; c < ncols; ++c) {
+      if (defs[c].type == ColType::kI64)
+        row[c] = icols[c][r];
+      else
+        row[c] = fcols[c][r];
+    }
+    table.append_row(row);
+  }
+  return table;
+}
+
+std::vector<ColumnStats> read_table_stats(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open telemetry file: " + path);
+  std::string name;
+  std::uint32_t ncols = 0;
+  std::uint64_t nrows = 0;
+  read_header(f.get(), name, ncols, nrows);
+  std::vector<ColumnStats> out;
+  out.reserve(ncols);
+  for (std::uint32_t c = 0; c < ncols; ++c) {
+    ColumnStats s;
+    s.name = read_string(f.get());
+    std::uint8_t type = 0;
+    read_pod(f.get(), type);
+    if (type > 1) throw std::runtime_error("bad column type");
+    s.type = static_cast<ColType>(type);
+    read_pod(f.get(), s.min);
+    read_pod(f.get(), s.max);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace amr

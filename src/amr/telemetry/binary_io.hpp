@@ -1,0 +1,38 @@
+// Binary columnar file format for telemetry tables.
+//
+// The paper's pipeline moved from CSV to "custom binary formats for
+// efficiency" and cites Parquet-style embedded statistics as the right
+// foundation (§IV-C, Lesson 4). This is that format, minimally: a typed
+// columnar layout with per-column min/max statistics in the header, so
+// readers can prune files without scanning data.
+//
+// Layout (little-endian):
+//   magic "AMRT", u32 version
+//   u32 name_len, name bytes
+//   u32 ncols, u64 nrows
+//   per column: u32 name_len, name bytes, u8 type, f64 min, f64 max
+//   per column: nrows * 8 bytes of raw values
+#pragma once
+
+#include <string>
+
+#include "amr/telemetry/table.hpp"
+
+namespace amr {
+
+/// Serialize a table. Returns false on I/O failure.
+bool write_table(const Table& table, const std::string& path);
+
+/// Deserialize; throws std::runtime_error on malformed input.
+Table read_table(const std::string& path);
+
+/// Read only the per-column statistics (no data scan).
+struct ColumnStats {
+  std::string name;
+  ColType type;
+  double min = 0.0;
+  double max = 0.0;
+};
+std::vector<ColumnStats> read_table_stats(const std::string& path);
+
+}  // namespace amr

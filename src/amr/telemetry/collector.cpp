@@ -1,0 +1,50 @@
+#include "amr/telemetry/collector.hpp"
+
+namespace amr {
+
+Collector::Collector()
+    : phases_("phases", {{"step", ColType::kI64},
+                         {"rank", ColType::kI64},
+                         {"phase", ColType::kI64},
+                         {"dur_ns", ColType::kI64}}),
+      comm_("comm", {{"step", ColType::kI64},
+                     {"rank", ColType::kI64},
+                     {"msgs_local", ColType::kI64},
+                     {"msgs_remote", ColType::kI64},
+                     {"bytes_local", ColType::kI64},
+                     {"bytes_remote", ColType::kI64},
+                     {"send_wait_ns", ColType::kI64},
+                     {"recv_wait_ns", ColType::kI64}}),
+      blocks_("blocks", {{"step", ColType::kI64},
+                         {"block", ColType::kI64},
+                         {"rank", ColType::kI64},
+                         {"cost_ns", ColType::kI64}}) {}
+
+void Collector::record_phase(std::int64_t step, std::int32_t rank,
+                             Phase phase, TimeNs dur) {
+  phases_.append_row({step, static_cast<std::int64_t>(rank),
+                      static_cast<std::int64_t>(phase),
+                      static_cast<std::int64_t>(dur)});
+}
+
+void Collector::record_comm(std::int64_t step, std::int32_t rank,
+                            std::int64_t msgs_local,
+                            std::int64_t msgs_remote,
+                            std::int64_t bytes_local,
+                            std::int64_t bytes_remote, TimeNs send_wait,
+                            TimeNs recv_wait) {
+  comm_.append_row({step, static_cast<std::int64_t>(rank), msgs_local,
+                    msgs_remote, bytes_local, bytes_remote,
+                    static_cast<std::int64_t>(send_wait),
+                    static_cast<std::int64_t>(recv_wait)});
+}
+
+void Collector::record_block(std::int64_t step, std::int32_t block,
+                             std::int32_t rank, TimeNs cost) {
+  if (!block_records_) return;
+  blocks_.append_row({step, static_cast<std::int64_t>(block),
+                      static_cast<std::int64_t>(rank),
+                      static_cast<std::int64_t>(cost)});
+}
+
+}  // namespace amr

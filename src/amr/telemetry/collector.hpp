@@ -1,0 +1,70 @@
+// In-situ telemetry collection facade.
+//
+// Plays the role of the paper's MPI/Kokkos-profiling-interface collection
+// layer (§IV-C): the simulation driver records per-(step, rank) phase
+// durations, per-(step, rank) message aggregates, and per-(step, block)
+// compute costs into structured tables that the query engine analyzes and
+// binary_io persists.
+#pragma once
+
+#include <cstdint>
+
+#include "amr/common/time.hpp"
+#include "amr/telemetry/table.hpp"
+
+namespace amr {
+
+/// Execution phases of a BSP AMR timestep (Fig 6a's decomposition).
+enum class Phase : std::int64_t {
+  kCompute = 0,    ///< physics kernels on local blocks
+  kComm = 1,       ///< boundary exchange: packs, sends, recv waits
+  kSync = 2,       ///< blocking collective wait
+  kRebalance = 3,  ///< placement computation + block migration
+};
+
+constexpr const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kCompute: return "compute";
+    case Phase::kComm: return "comm";
+    case Phase::kSync: return "sync";
+    case Phase::kRebalance: return "rebalance";
+  }
+  return "?";
+}
+
+class Collector {
+ public:
+  Collector();
+
+  /// phases(step i64, rank i64, phase i64, dur_ns i64)
+  void record_phase(std::int64_t step, std::int32_t rank, Phase phase,
+                    TimeNs dur);
+
+  /// comm(step, rank, msgs_local i64, msgs_remote i64, bytes_local i64,
+  ///      bytes_remote i64, send_wait_ns i64, recv_wait_ns i64)
+  void record_comm(std::int64_t step, std::int32_t rank,
+                   std::int64_t msgs_local, std::int64_t msgs_remote,
+                   std::int64_t bytes_local, std::int64_t bytes_remote,
+                   TimeNs send_wait, TimeNs recv_wait);
+
+  /// blocks(step, block i64, rank i64, cost_ns i64)
+  void record_block(std::int64_t step, std::int32_t block,
+                    std::int32_t rank, TimeNs cost);
+
+  const Table& phases() const { return phases_; }
+  const Table& comm() const { return comm_; }
+  const Table& blocks() const { return blocks_; }
+
+  /// Enable/disable per-block records (largest table; off by default for
+  /// big sweeps).
+  void set_block_records(bool enabled) { block_records_ = enabled; }
+  bool block_records() const { return block_records_; }
+
+ private:
+  Table phases_;
+  Table comm_;
+  Table blocks_;
+  bool block_records_ = true;
+};
+
+}  // namespace amr

@@ -1,0 +1,130 @@
+#include "amr/telemetry/csv_io.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace amr {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool read_line(std::FILE* f, std::string& line) {
+  line.clear();
+  int c = 0;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') return true;
+    if (c != '\r') line.push_back(static_cast<char>(c));
+  }
+  return !line.empty();
+}
+
+}  // namespace
+
+bool write_csv(const Table& table, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  // Header: name:type.
+  for (std::size_t c = 0; c < table.num_cols(); ++c) {
+    const auto& def = table.schema()[c];
+    if (std::fprintf(f.get(), "%s%s:%s", c > 0 ? "," : "",
+                     def.name.c_str(),
+                     def.type == ColType::kI64 ? "i64" : "f64") < 0)
+      return false;
+  }
+  if (std::fputc('\n', f.get()) == EOF) return false;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < table.num_cols(); ++c) {
+      if (c > 0 && std::fputc(',', f.get()) == EOF) return false;
+      int written;
+      if (table.col_type(c) == ColType::kI64)
+        written = std::fprintf(f.get(), "%lld",
+                               static_cast<long long>(table.ivalue(c, r)));
+      else
+        written = std::fprintf(f.get(), "%.17g", table.value(c, r));
+      if (written < 0) return false;
+    }
+    if (std::fputc('\n', f.get()) == EOF) return false;
+  }
+  return true;
+}
+
+Table read_csv(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) throw std::runtime_error("cannot open CSV: " + path);
+  std::string line;
+  if (!read_line(f.get(), line))
+    throw std::runtime_error("empty CSV: " + path);
+
+  std::vector<ColumnDef> defs;
+  for (const std::string& field : split_fields(line)) {
+    const std::size_t colon = field.rfind(':');
+    if (colon == std::string::npos)
+      throw std::runtime_error("CSV header field lacks :type suffix");
+    const std::string type = field.substr(colon + 1);
+    ColumnDef def;
+    def.name = field.substr(0, colon);
+    if (type == "i64")
+      def.type = ColType::kI64;
+    else if (type == "f64")
+      def.type = ColType::kF64;
+    else
+      throw std::runtime_error("unknown CSV column type: " + type);
+    defs.push_back(std::move(def));
+  }
+
+  Table table(path, defs);
+  std::vector<CellValue> row(defs.size());
+  std::size_t line_no = 1;
+  while (read_line(f.get(), line)) {
+    ++line_no;
+    const auto fields = split_fields(line);
+    if (fields.size() != defs.size())
+      throw std::runtime_error("CSV row arity mismatch at line " +
+                               std::to_string(line_no));
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      const std::string& field = fields[c];
+      if (defs[c].type == ColType::kI64) {
+        std::int64_t v = 0;
+        const auto [ptr, ec] = std::from_chars(
+            field.data(), field.data() + field.size(), v);
+        if (ec != std::errc{} || ptr != field.data() + field.size())
+          throw std::runtime_error("bad i64 cell at line " +
+                                   std::to_string(line_no));
+        row[c] = v;
+      } else {
+        char* end = nullptr;
+        const double v = std::strtod(field.c_str(), &end);
+        if (end != field.c_str() + field.size())
+          throw std::runtime_error("bad f64 cell at line " +
+                                   std::to_string(line_no));
+        row[c] = v;
+      }
+    }
+    table.append_row(row);
+  }
+  return table;
+}
+
+}  // namespace amr

@@ -1,0 +1,27 @@
+// CSV serialization for telemetry tables.
+//
+// The paper's pipeline started here: "We wrote TAU plugins to emit CSVs
+// which we analyzed with pandas in python. As we scaled up, parsing time
+// became a bottleneck, and we switched to custom binary formats" (§IV-C).
+// amr-cplx keeps the CSV stage for interoperability (any external tool
+// can read it) and so bench_telemetry_pipeline can measure exactly the
+// bottleneck the paper hit.
+//
+// Format: header row of "name:type" fields (type in {i64, f64}), then one
+// row per record; i64 cells must parse as integers.
+#pragma once
+
+#include <string>
+
+#include "amr/telemetry/table.hpp"
+
+namespace amr {
+
+/// Serialize a table to CSV. Returns false on I/O failure.
+bool write_csv(const Table& table, const std::string& path);
+
+/// Parse a CSV produced by write_csv; throws std::runtime_error on
+/// malformed input.
+Table read_csv(const std::string& path);
+
+}  // namespace amr

@@ -1,0 +1,106 @@
+#include "amr/telemetry/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "amr/common/check.hpp"
+#include "amr/common/stats.hpp"
+
+namespace amr {
+namespace {
+
+double median_of(std::span<const double> values) {
+  return percentile(values, 0.5);
+}
+
+}  // namespace
+
+ThrottleReport detect_throttling(std::span<const double> per_rank_compute,
+                                 const ClusterTopology& topo,
+                                 double factor) {
+  AMR_CHECK(per_rank_compute.size() ==
+            static_cast<std::size_t>(topo.num_ranks()));
+  ThrottleReport report;
+  report.median_compute = median_of(per_rank_compute);
+  if (report.median_compute <= 0.0) return report;
+
+  RunningStats flagged_stats;
+  for (std::size_t r = 0; r < per_rank_compute.size(); ++r) {
+    if (per_rank_compute[r] > factor * report.median_compute) {
+      report.flagged_ranks.push_back(static_cast<std::int32_t>(r));
+      flagged_stats.add(per_rank_compute[r]);
+    }
+  }
+  if (flagged_stats.count() > 0)
+    report.flagged_mean_inflation =
+        flagged_stats.mean() / report.median_compute;
+
+  std::vector<std::int32_t> per_node(
+      static_cast<std::size_t>(topo.num_nodes()), 0);
+  for (const std::int32_t r : report.flagged_ranks)
+    ++per_node[static_cast<std::size_t>(topo.node_of(r))];
+  for (std::int32_t node = 0; node < topo.num_nodes(); ++node) {
+    const auto resident =
+        static_cast<std::int32_t>(topo.ranks_on_node(node).size());
+    if (per_node[static_cast<std::size_t>(node)] * 2 >= resident &&
+        per_node[static_cast<std::size_t>(node)] > 0)
+      report.flagged_nodes.push_back(node);
+  }
+  return report;
+}
+
+SpikeReport detect_spikes(std::span<const double> series, double k) {
+  SpikeReport report;
+  if (series.empty()) return report;
+  report.median = median_of(series);
+  std::vector<double> deviations(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i)
+    deviations[i] = std::abs(series[i] - report.median);
+  report.mad = 1.4826 * median_of(deviations);
+
+  const double threshold = report.median + k * std::max(report.mad, 1e-12);
+  RunningStats with;
+  RunningStats without;
+  double spike_sum = 0.0;
+  double total_sum = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    with.add(series[i]);
+    total_sum += series[i];
+    if (series[i] > threshold) {
+      report.spike_indices.push_back(i);
+      spike_sum += series[i];
+    } else {
+      without.add(series[i]);
+    }
+  }
+  report.mean_with_spikes = with.mean();
+  report.mean_without_spikes = without.mean();
+  report.spike_mass = total_sum > 0.0 ? spike_sum / total_sum : 0.0;
+  return report;
+}
+
+CorrelationReport correlation_report(std::span<const double> work,
+                                     std::span<const double> time) {
+  CorrelationReport report;
+  if (work.size() != time.size() || work.empty()) return report;
+  report.n = work.size();
+  report.pearson = pearson(work, time);
+
+  // Quartile profile over work.
+  std::vector<std::size_t> order(work.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return work[a] < work[b];
+  });
+  for (int q = 0; q < 4; ++q) {
+    const std::size_t lo = order.size() * static_cast<std::size_t>(q) / 4;
+    const std::size_t hi =
+        order.size() * static_cast<std::size_t>(q + 1) / 4;
+    RunningStats s;
+    for (std::size_t i = lo; i < hi; ++i) s.add(time[order[i]]);
+    report.quartile_means[static_cast<std::size_t>(q)] = s.mean();
+  }
+  return report;
+}
+
+}  // namespace amr

@@ -1,0 +1,63 @@
+// Telemetry anomaly detectors.
+//
+// The analytical methods the paper used to establish measurement trust:
+//  * ThrottleDetector — finds the Fig 2 signature: compute inflation on
+//    clusters of ranks sharing a node (thermal throttling).
+//  * SpikeDetector — robust (median/MAD) outlier detection for the
+//    MPI_Wait spike timelines of Fig 1b.
+//  * correlation_report — the Fig 1a diagnostic: does measured
+//    communication time track message volume?
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "amr/topo/topology.hpp"
+
+namespace amr {
+
+struct ThrottleReport {
+  std::vector<std::int32_t> flagged_ranks;
+  std::vector<std::int32_t> flagged_nodes;  ///< nodes with majority flagged
+  double median_compute = 0.0;
+  double flagged_mean_inflation = 0.0;  ///< mean(flagged)/median(all)
+};
+
+/// Flag ranks whose mean compute time exceeds `factor` x the median rank,
+/// and nodes where at least half the resident ranks are flagged — the
+/// "clusters of 16" pattern that distinguishes hardware fail-slow from
+/// algorithmic imbalance.
+ThrottleReport detect_throttling(std::span<const double> per_rank_compute,
+                                 const ClusterTopology& topo,
+                                 double factor = 2.0);
+
+struct SpikeReport {
+  std::vector<std::size_t> spike_indices;
+  double median = 0.0;
+  double mad = 0.0;          ///< median absolute deviation
+  double spike_mass = 0.0;   ///< sum(spike values) / sum(all values)
+  double mean_with_spikes = 0.0;
+  double mean_without_spikes = 0.0;
+};
+
+/// Robust spike detection: value > median + k * MAD (MAD scaled by 1.4826
+/// to estimate sigma). Suits heavy-tailed wait-time series where the mean
+/// and stddev are themselves corrupted by the spikes.
+SpikeReport detect_spikes(std::span<const double> series, double k = 6.0);
+
+struct CorrelationReport {
+  double pearson = 0.0;
+  std::size_t n = 0;
+  /// Mean y per x-quartile: a monotone profile indicates usable signal
+  /// even when outliers depress the Pearson coefficient.
+  std::array<double, 4> quartile_means{};
+};
+
+/// The Fig 1a diagnostic: correlate a per-rank work metric (message
+/// volume) against a per-rank time metric (communication time).
+CorrelationReport correlation_report(std::span<const double> work,
+                                     std::span<const double> time);
+
+}  // namespace amr

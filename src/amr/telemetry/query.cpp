@@ -1,0 +1,303 @@
+#include "amr/telemetry/query.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "amr/common/check.hpp"
+#include "amr/common/rng.hpp"
+#include "amr/common/stats.hpp"
+
+namespace amr {
+
+const char* to_string(Agg agg) {
+  switch (agg) {
+    case Agg::kCount: return "count";
+    case Agg::kSum: return "sum";
+    case Agg::kMean: return "mean";
+    case Agg::kMin: return "min";
+    case Agg::kMax: return "max";
+    case Agg::kStddev: return "stddev";
+    case Agg::kP50: return "p50";
+    case Agg::kP95: return "p95";
+    case Agg::kP99: return "p99";
+  }
+  return "?";
+}
+
+Query::Query(const Table& table) : table_(table) {
+  rows_.resize(table.num_rows());
+  for (std::size_t r = 0; r < rows_.size(); ++r) rows_[r] = r;
+}
+
+Query& Query::filter_i64(std::string_view col,
+                         const std::function<bool(std::int64_t)>& pred) {
+  const std::int32_t idx = table_.col_index(col);
+  AMR_CHECK_MSG(idx >= 0, "filter: no such column");
+  const auto c = static_cast<std::size_t>(idx);
+  std::vector<std::size_t> kept;
+  kept.reserve(rows_.size());
+  for (const std::size_t r : rows_)
+    if (pred(table_.ivalue(c, r))) kept.push_back(r);
+  rows_ = std::move(kept);
+  return *this;
+}
+
+Query& Query::filter(std::string_view col,
+                     const std::function<bool(double)>& pred) {
+  const std::int32_t idx = table_.col_index(col);
+  AMR_CHECK_MSG(idx >= 0, "filter: no such column");
+  const auto c = static_cast<std::size_t>(idx);
+  std::vector<std::size_t> kept;
+  kept.reserve(rows_.size());
+  for (const std::size_t r : rows_)
+    if (pred(table_.value(c, r))) kept.push_back(r);
+  rows_ = std::move(kept);
+  return *this;
+}
+
+Query& Query::sort_by(std::string_view col, bool descending) {
+  const std::int32_t idx = table_.col_index(col);
+  AMR_CHECK_MSG(idx >= 0, "sort_by: no such column");
+  const auto c = static_cast<std::size_t>(idx);
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double va = table_.value(c, a);
+                     const double vb = table_.value(c, b);
+                     return descending ? va > vb : va < vb;
+                   });
+  return *this;
+}
+
+Query& Query::limit(std::size_t n) {
+  if (rows_.size() > n) rows_.resize(n);
+  return *this;
+}
+
+std::vector<double> Query::values(std::string_view col) const {
+  const std::int32_t idx = table_.col_index(col);
+  AMR_CHECK_MSG(idx >= 0, "values: no such column");
+  const auto c = static_cast<std::size_t>(idx);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const std::size_t r : rows_) out.push_back(table_.value(c, r));
+  return out;
+}
+
+Table Query::run() const {
+  Table out(table_.name() + "#filtered", table_.schema());
+  std::vector<CellValue> row(table_.num_cols());
+  for (const std::size_t r : rows_) {
+    for (std::size_t c = 0; c < table_.num_cols(); ++c) {
+      if (table_.col_type(c) == ColType::kI64)
+        row[c] = table_.ivalue(c, r);
+      else
+        row[c] = table_.value(c, r);
+    }
+    out.append_row(row);
+  }
+  return out;
+}
+
+GroupedQuery Query::group_by(std::vector<std::string> keys) {
+  return GroupedQuery(*this, std::move(keys));
+}
+
+GroupedQuery::GroupedQuery(const Query& query,
+                           std::vector<std::string> keys)
+    : query_(query), keys_(std::move(keys)) {
+  AMR_CHECK_MSG(!keys_.empty(), "group_by needs at least one key");
+}
+
+Table GroupedQuery::agg(std::vector<AggSpec> specs) const {
+  const Table& src = query_.table_;
+  std::vector<std::size_t> key_cols;
+  for (const auto& k : keys_) {
+    const std::int32_t idx = src.col_index(k);
+    AMR_CHECK_MSG(idx >= 0, "group_by: no such column");
+    AMR_CHECK_MSG(src.col_type(static_cast<std::size_t>(idx)) ==
+                      ColType::kI64,
+                  "group_by keys must be i64 columns");
+    key_cols.push_back(static_cast<std::size_t>(idx));
+  }
+  std::vector<std::size_t> val_cols;
+  for (const auto& s : specs) {
+    if (s.agg == Agg::kCount) {
+      val_cols.push_back(0);  // unused
+      continue;
+    }
+    const std::int32_t idx = src.col_index(s.column);
+    AMR_CHECK_MSG(idx >= 0, "agg: no such column");
+    val_cols.push_back(static_cast<std::size_t>(idx));
+  }
+
+  // Group rows by key tuple; deterministic first-appearance order.
+  struct Group {
+    std::vector<std::int64_t> key;
+    std::vector<std::vector<double>> values;  // one per spec
+  };
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+  std::vector<Group> groups;
+
+  for (const std::size_t r : query_.rows_) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    std::vector<std::int64_t> key;
+    key.reserve(key_cols.size());
+    for (const std::size_t c : key_cols) {
+      const std::int64_t v = src.ivalue(c, r);
+      key.push_back(v);
+      h = hash64(h ^ static_cast<std::uint64_t>(v));
+    }
+    Group* group = nullptr;
+    for (const std::size_t gi : buckets[h]) {
+      if (groups[gi].key == key) {
+        group = &groups[gi];
+        break;
+      }
+    }
+    if (group == nullptr) {
+      buckets[h].push_back(groups.size());
+      groups.push_back(Group{std::move(key), {}});
+      group = &groups.back();
+      group->values.resize(specs.size());
+    }
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      if (specs[s].agg == Agg::kCount)
+        continue;  // derived from any column's size; track via first spec
+      group->values[s].push_back(src.value(val_cols[s], r));
+    }
+    // kCount groups still need a size; reuse a 1-element push.
+    for (std::size_t s = 0; s < specs.size(); ++s)
+      if (specs[s].agg == Agg::kCount) group->values[s].push_back(1.0);
+  }
+
+  std::vector<ColumnDef> defs;
+  for (const auto& k : keys_) defs.push_back({k, ColType::kI64});
+  for (const auto& s : specs) defs.push_back({s.as, ColType::kF64});
+  Table out(src.name() + "#agg", std::move(defs));
+
+  std::vector<CellValue> row(keys_.size() + specs.size());
+  for (const auto& g : groups) {
+    for (std::size_t k = 0; k < g.key.size(); ++k) row[k] = g.key[k];
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const auto& vals = g.values[s];
+      double v = 0.0;
+      switch (specs[s].agg) {
+        case Agg::kCount: v = static_cast<double>(vals.size()); break;
+        case Agg::kSum: {
+          for (const double x : vals) v += x;
+          break;
+        }
+        case Agg::kMean: v = mean(vals); break;
+        case Agg::kMin:
+          v = vals.empty() ? 0.0
+                           : *std::min_element(vals.begin(), vals.end());
+          break;
+        case Agg::kMax:
+          v = vals.empty() ? 0.0
+                           : *std::max_element(vals.begin(), vals.end());
+          break;
+        case Agg::kStddev: v = stddev(vals); break;
+        case Agg::kP50: v = percentile(vals, 0.50); break;
+        case Agg::kP95: v = percentile(vals, 0.95); break;
+        case Agg::kP99: v = percentile(vals, 0.99); break;
+      }
+      row[keys_.size() + s] = v;
+    }
+    out.append_row(row);
+  }
+  return out;
+}
+
+
+Table join(const Table& left, const Table& right,
+           const std::vector<std::string>& keys,
+           const std::string& right_prefix) {
+  AMR_CHECK_MSG(!keys.empty(), "join needs at least one key column");
+  std::vector<std::size_t> lkeys;
+  std::vector<std::size_t> rkeys;
+  for (const auto& k : keys) {
+    const std::int32_t li = left.col_index(k);
+    const std::int32_t ri = right.col_index(k);
+    AMR_CHECK_MSG(li >= 0 && ri >= 0, "join key missing from a side");
+    AMR_CHECK_MSG(left.col_type(static_cast<std::size_t>(li)) ==
+                          ColType::kI64 &&
+                      right.col_type(static_cast<std::size_t>(ri)) ==
+                          ColType::kI64,
+                  "join keys must be i64 columns");
+    lkeys.push_back(static_cast<std::size_t>(li));
+    rkeys.push_back(static_cast<std::size_t>(ri));
+  }
+  auto is_key = [&](const std::vector<std::size_t>& cols,
+                    std::size_t c) {
+    return std::find(cols.begin(), cols.end(), c) != cols.end();
+  };
+
+  // Output schema: keys, left payload, right payload.
+  std::vector<ColumnDef> defs;
+  for (const auto& k : keys) defs.push_back({k, ColType::kI64});
+  std::vector<std::size_t> lpayload;
+  for (std::size_t c = 0; c < left.num_cols(); ++c) {
+    if (is_key(lkeys, c)) continue;
+    defs.push_back(left.schema()[c]);
+    lpayload.push_back(c);
+  }
+  std::vector<std::size_t> rpayload;
+  for (std::size_t c = 0; c < right.num_cols(); ++c) {
+    if (is_key(rkeys, c)) continue;
+    ColumnDef def = right.schema()[c];
+    for (const auto& existing : defs)
+      if (existing.name == def.name) {
+        def.name = right_prefix + def.name;
+        break;
+      }
+    defs.push_back(std::move(def));
+    rpayload.push_back(c);
+  }
+  Table out(left.name() + "*" + right.name(), std::move(defs));
+
+  // Build the hash side (right).
+  auto key_hash = [](std::span<const std::int64_t> key) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::int64_t v : key)
+      h = hash64(h ^ static_cast<std::uint64_t>(v));
+    return h;
+  };
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+  std::vector<std::vector<std::int64_t>> rkey_rows(right.num_rows());
+  for (std::size_t r = 0; r < right.num_rows(); ++r) {
+    auto& key = rkey_rows[r];
+    key.reserve(rkeys.size());
+    for (const std::size_t c : rkeys) key.push_back(right.ivalue(c, r));
+    buckets[key_hash(key)].push_back(r);
+  }
+
+  std::vector<CellValue> row(out.num_cols());
+  std::vector<std::int64_t> lkey(lkeys.size());
+  for (std::size_t lr = 0; lr < left.num_rows(); ++lr) {
+    for (std::size_t i = 0; i < lkeys.size(); ++i)
+      lkey[i] = left.ivalue(lkeys[i], lr);
+    const auto it = buckets.find(key_hash(lkey));
+    if (it == buckets.end()) continue;
+    for (const std::size_t rr : it->second) {
+      if (rkey_rows[rr] != lkey) continue;
+      std::size_t at = 0;
+      for (const std::int64_t v : lkey) row[at++] = v;
+      for (const std::size_t c : lpayload) {
+        if (left.col_type(c) == ColType::kI64)
+          row[at++] = left.ivalue(c, lr);
+        else
+          row[at++] = left.value(c, lr);
+      }
+      for (const std::size_t c : rpayload) {
+        if (right.col_type(c) == ColType::kI64)
+          row[at++] = right.ivalue(c, rr);
+        else
+          row[at++] = right.value(c, rr);
+      }
+      out.append_row(row);
+    }
+  }
+  return out;
+}
+
+}  // namespace amr

@@ -1,0 +1,124 @@
+#include "amr/telemetry/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+Table::Table(std::string name, std::vector<ColumnDef> defs)
+    : name_(std::move(name)), defs_(std::move(defs)),
+      i64_cols_(defs_.size()), f64_cols_(defs_.size()) {
+  AMR_CHECK_MSG(!defs_.empty(), "table needs at least one column");
+  for (std::size_t i = 0; i < defs_.size(); ++i)
+    for (std::size_t j = i + 1; j < defs_.size(); ++j)
+      AMR_CHECK_MSG(defs_[i].name != defs_[j].name,
+                    "duplicate column name");
+}
+
+std::int32_t Table::col_index(std::string_view name) const {
+  for (std::size_t i = 0; i < defs_.size(); ++i)
+    if (defs_[i].name == name) return static_cast<std::int32_t>(i);
+  return -1;
+}
+
+void Table::append_row(std::initializer_list<CellValue> cells) {
+  append_row(std::span<const CellValue>(cells.begin(), cells.size()));
+}
+
+void Table::append_row(std::span<const CellValue> cells) {
+  AMR_CHECK_MSG(cells.size() == defs_.size(), "row arity mismatch");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (defs_[c].type == ColType::kI64) {
+      AMR_CHECK_MSG(std::holds_alternative<std::int64_t>(cells[c]),
+                    "double value into i64 column");
+      i64_cols_[c].push_back(std::get<std::int64_t>(cells[c]));
+    } else if (std::holds_alternative<double>(cells[c])) {
+      f64_cols_[c].push_back(std::get<double>(cells[c]));
+    } else {
+      f64_cols_[c].push_back(
+          static_cast<double>(std::get<std::int64_t>(cells[c])));
+    }
+  }
+  ++rows_;
+}
+
+std::size_t Table::checked_col(std::string_view name, ColType type) const {
+  const std::int32_t idx = col_index(name);
+  AMR_CHECK_MSG(idx >= 0, "no such column");
+  AMR_CHECK_MSG(defs_[static_cast<std::size_t>(idx)].type == type,
+                "column type mismatch");
+  return static_cast<std::size_t>(idx);
+}
+
+std::span<const std::int64_t> Table::i64(std::string_view col) const {
+  return i64_cols_[checked_col(col, ColType::kI64)];
+}
+
+std::span<const double> Table::f64(std::string_view col) const {
+  return f64_cols_[checked_col(col, ColType::kF64)];
+}
+
+std::span<const std::int64_t> Table::i64(std::size_t col) const {
+  AMR_CHECK(defs_[col].type == ColType::kI64);
+  return i64_cols_[col];
+}
+
+std::span<const double> Table::f64(std::size_t col) const {
+  AMR_CHECK(defs_[col].type == ColType::kF64);
+  return f64_cols_[col];
+}
+
+double Table::value(std::size_t col, std::size_t row) const {
+  AMR_CHECK(col < defs_.size() && row < rows_);
+  return defs_[col].type == ColType::kI64
+             ? static_cast<double>(i64_cols_[col][row])
+             : f64_cols_[col][row];
+}
+
+std::int64_t Table::ivalue(std::size_t col, std::size_t row) const {
+  AMR_CHECK(col < defs_.size() && row < rows_);
+  AMR_CHECK(defs_[col].type == ColType::kI64);
+  return i64_cols_[col][row];
+}
+
+void Table::column_stats(std::size_t col, double& min, double& max) const {
+  min = 0.0;
+  max = 0.0;
+  if (rows_ == 0) return;
+  min = value(col, 0);
+  max = min;
+  for (std::size_t r = 1; r < rows_; ++r) {
+    const double v = value(col, r);
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+}
+
+std::string Table::format(std::size_t max_rows) const {
+  std::string out = "table " + name_ + " (" + std::to_string(rows_) +
+                    " rows)\n";
+  for (const auto& def : defs_) {
+    out += def.name;
+    out += '\t';
+  }
+  out += '\n';
+  char buf[64];
+  const std::size_t limit = std::min(rows_, max_rows);
+  for (std::size_t r = 0; r < limit; ++r) {
+    for (std::size_t c = 0; c < defs_.size(); ++c) {
+      if (defs_[c].type == ColType::kI64)
+        std::snprintf(buf, sizeof(buf), "%lld\t",
+                      static_cast<long long>(i64_cols_[c][r]));
+      else
+        std::snprintf(buf, sizeof(buf), "%.6g\t", f64_cols_[c][r]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  if (limit < rows_) out += "...\n";
+  return out;
+}
+
+}  // namespace amr

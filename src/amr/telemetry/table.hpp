@@ -1,0 +1,78 @@
+// In-memory columnar table.
+//
+// The paper's analysis workflow converged on "structured schemas, binary
+// formats, and relational queries" (§IV-C) after outgrowing trace files
+// and CSV+pandas. Table is the core of that pipeline: a named, typed,
+// append-only columnar store that the query engine (query.hpp) and the
+// binary file format (binary_io.hpp) operate on.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace amr {
+
+enum class ColType : std::uint8_t { kI64 = 0, kF64 = 1 };
+
+struct ColumnDef {
+  std::string name;
+  ColType type;
+};
+
+/// A cell value for row-wise appends. Integers are accepted into f64
+/// columns (exact up to 2^53); doubles never silently truncate to i64.
+using CellValue = std::variant<std::int64_t, double>;
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<ColumnDef> defs);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_rows() const { return rows_; }
+  std::size_t num_cols() const { return defs_.size(); }
+  const std::vector<ColumnDef>& schema() const { return defs_; }
+
+  /// Column index by name; -1 if absent.
+  std::int32_t col_index(std::string_view name) const;
+  ColType col_type(std::size_t col) const { return defs_[col].type; }
+
+  /// Append one row; cells must match the schema arity and types.
+  void append_row(std::initializer_list<CellValue> cells);
+  void append_row(std::span<const CellValue> cells);
+
+  /// Typed whole-column access (column must have that type).
+  std::span<const std::int64_t> i64(std::string_view col) const;
+  std::span<const double> f64(std::string_view col) const;
+  std::span<const std::int64_t> i64(std::size_t col) const;
+  std::span<const double> f64(std::size_t col) const;
+
+  /// Generic numeric read of any cell as double.
+  double value(std::size_t col, std::size_t row) const;
+  /// Generic integer read (i64 column required).
+  std::int64_t ivalue(std::size_t col, std::size_t row) const;
+
+  /// Column min/max as doubles (the "embedded statistics" of columnar
+  /// formats, used by binary_io and query pruning). 0/0 for empty tables.
+  void column_stats(std::size_t col, double& min, double& max) const;
+
+  /// Render the first `max_rows` rows as an aligned text grid.
+  std::string format(std::size_t max_rows = 20) const;
+
+ private:
+  friend class TableBuilder;
+  std::size_t checked_col(std::string_view name, ColType type) const;
+
+  std::string name_;
+  std::vector<ColumnDef> defs_;
+  std::vector<std::vector<std::int64_t>> i64_cols_;  // parallel to defs_
+  std::vector<std::vector<double>> f64_cols_;        // unused slots empty
+  std::size_t rows_ = 0;
+};
+
+}  // namespace amr

@@ -1,0 +1,34 @@
+#include "amr/telemetry/triggers.hpp"
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+void TelemetryTriggers::add_rule(TriggerRule rule) {
+  AMR_CHECK_MSG(!rule.name.empty(), "trigger rule needs a name");
+  AMR_CHECK(rule.threshold_ns >= 0.0);
+  rules_.push_back(std::move(rule));
+}
+
+std::vector<TriggerEvent> TelemetryTriggers::evaluate(
+    const Table& phases) const {
+  std::vector<TriggerEvent> events;
+  for (const TriggerRule& rule : rules_) {
+    const auto wanted = static_cast<std::int64_t>(rule.phase);
+    const Table per_step =
+        Query(phases)
+            .filter_i64("phase",
+                        [wanted](std::int64_t p) { return p == wanted; })
+            .group_by({"step"})
+            .agg({{"dur_ns", rule.agg, "value"}});
+    const auto steps = per_step.i64("step");
+    const auto values = per_step.f64("value");
+    for (std::size_t r = 0; r < per_step.num_rows(); ++r) {
+      if (values[r] > rule.threshold_ns)
+        events.push_back(TriggerEvent{rule.name, steps[r], values[r]});
+    }
+  }
+  return events;
+}
+
+}  // namespace amr

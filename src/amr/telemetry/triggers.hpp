@@ -1,0 +1,52 @@
+// Programmable telemetry triggers (paper §IV-C: "we wanted programmable
+// telemetry triggers based on reconstructed application state").
+//
+// A trigger rule watches one execution phase, aggregates its per-rank
+// durations within each timestep (the reconstructed application state is
+// the step/rank structure), and fires when the aggregate crosses a
+// threshold. Rules run over collected tables after — or, in-situ, during
+// — a run, and emit structured events suitable for further querying.
+//
+// Example: fire when any step's p95 sync time exceeds 2 ms —
+//   TelemetryTriggers triggers;
+//   triggers.add_rule({"sync-spike", Phase::kSync, Agg::kP95, ms(2.0)});
+//   for (const TriggerEvent& e : triggers.evaluate(collector.phases()))
+//     ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "amr/common/time.hpp"
+#include "amr/telemetry/collector.hpp"
+#include "amr/telemetry/query.hpp"
+
+namespace amr {
+
+struct TriggerRule {
+  std::string name;
+  Phase phase = Phase::kSync;
+  Agg agg = Agg::kMax;       ///< cross-rank aggregate within a step
+  double threshold_ns = 0.0;  ///< fire when aggregate > threshold
+};
+
+struct TriggerEvent {
+  std::string rule;
+  std::int64_t step = 0;
+  double value_ns = 0.0;  ///< the aggregate that crossed the threshold
+};
+
+class TelemetryTriggers {
+ public:
+  void add_rule(TriggerRule rule);
+  std::size_t num_rules() const { return rules_.size(); }
+
+  /// Evaluate all rules over a phases table (schema: step, rank, phase,
+  /// dur_ns). Events are ordered by rule registration, then step.
+  std::vector<TriggerEvent> evaluate(const Table& phases) const;
+
+ private:
+  std::vector<TriggerRule> rules_;
+};
+
+}  // namespace amr

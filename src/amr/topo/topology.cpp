@@ -1,0 +1,17 @@
+#include "amr/topo/topology.hpp"
+
+namespace amr {
+
+std::vector<std::int32_t> ClusterTopology::ranks_on_node(
+    std::int32_t node) const {
+  AMR_CHECK(node >= 0 && node < num_nodes());
+  std::vector<std::int32_t> out;
+  const std::int32_t first = node * ranks_per_node_;
+  const std::int32_t last =
+      std::min(first + ranks_per_node_, num_ranks_);
+  out.reserve(static_cast<std::size_t>(last - first));
+  for (std::int32_t r = first; r < last; ++r) out.push_back(r);
+  return out;
+}
+
+}  // namespace amr

@@ -1,0 +1,45 @@
+// Cluster topology: which ranks share a node.
+//
+// The evaluation cluster packs 16 ranks per node (paper §IV); message cost
+// and the local/remote split in Fig 6c depend only on this rank->node
+// mapping. Ranks are packed densely: node = rank / ranks_per_node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+class ClusterTopology {
+ public:
+  ClusterTopology(std::int32_t num_ranks, std::int32_t ranks_per_node)
+      : num_ranks_(num_ranks), ranks_per_node_(ranks_per_node) {
+    AMR_CHECK(num_ranks > 0 && ranks_per_node > 0);
+  }
+
+  std::int32_t num_ranks() const { return num_ranks_; }
+  std::int32_t ranks_per_node() const { return ranks_per_node_; }
+  std::int32_t num_nodes() const {
+    return (num_ranks_ + ranks_per_node_ - 1) / ranks_per_node_;
+  }
+
+  std::int32_t node_of(std::int32_t rank) const {
+    AMR_CHECK(rank >= 0 && rank < num_ranks_);
+    return rank / ranks_per_node_;
+  }
+
+  bool same_node(std::int32_t a, std::int32_t b) const {
+    return node_of(a) == node_of(b);
+  }
+
+  /// Ranks hosted on a node (the last node may be partially filled).
+  std::vector<std::int32_t> ranks_on_node(std::int32_t node) const;
+
+ private:
+  std::int32_t num_ranks_;
+  std::int32_t ranks_per_node_;
+};
+
+}  // namespace amr

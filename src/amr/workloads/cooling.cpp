@@ -1,0 +1,48 @@
+#include "amr/workloads/cooling.hpp"
+
+#include <cmath>
+
+#include "amr/mesh/generators.hpp"
+
+namespace amr {
+
+bool CoolingWorkload::evolve(AmrMesh& mesh, std::int64_t step) {
+  if (refined_ || step > 0) return false;
+  refined_ = true;
+  const std::size_t changed = refine_where(
+      mesh,
+      [&](const Aabb& box) {
+        const auto c = box.center();
+        const double dx = c[0] - params_.center[0];
+        const double dy = c[1] - params_.center[1];
+        const double dz = c[2] - params_.center[2];
+        return dx * dx + dy * dy + dz * dz <=
+               params_.clump_radius * params_.clump_radius;
+      },
+      params_.max_level);
+  return changed > 0;
+}
+
+TimeNs CoolingWorkload::block_cost(const AmrMesh& mesh, std::size_t block,
+                                   std::int64_t step) const {
+  const auto c = mesh.bounds(block).center();
+  const double dx = c[0] - params_.center[0];
+  const double dy = c[1] - params_.center[1];
+  const double dz = c[2] - params_.center[2];
+  const double d = std::sqrt(dx * dx + dy * dy + dz * dz);
+
+  const double rel = d / std::max(params_.clump_radius, 1e-9);
+  const double boost =
+      params_.clump_boost / (1.0 + rel * params_.falloff);
+
+  const std::uint64_t key =
+      hash64(block_key(mesh.block(block)) ^
+             hash64(static_cast<std::uint64_t>(step) ^ params_.seed));
+  Rng rng(key);
+  const double noise = rng.lognormal(0.0, params_.noise_sigma);
+
+  return static_cast<TimeNs>(static_cast<double>(params_.base_cost) *
+                             (1.0 + boost) * noise);
+}
+
+}  // namespace amr

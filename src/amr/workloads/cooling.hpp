@@ -1,0 +1,47 @@
+// Galaxy-cooling-flow workload (the AthenaPK setup of paper §VI).
+//
+// A dense central clump with a cooling instability: the mesh refines in a
+// ball around the center once and stays static; per-block cost follows a
+// heavy-tailed profile that falls off with distance from the clump and
+// flickers over time (thermal instability). Compared to Sedov this has
+// higher sustained compute variability in a spatially fixed region —
+// the regime the paper reports as benefiting most from placement.
+#pragma once
+
+#include <array>
+
+#include "amr/common/rng.hpp"
+#include "amr/workloads/workload.hpp"
+
+namespace amr {
+
+struct CoolingParams {
+  std::array<double, 3> center{0.5, 0.5, 0.5};
+  double clump_radius = 0.25;   ///< refined ball radius
+  int max_level = 1;
+  TimeNs base_cost = us(250.0);
+  double clump_boost = 5.0;     ///< peak cost multiplier at the center
+  double falloff = 3.0;         ///< cost ~ boost / (1 + (d/r)*falloff)
+  double noise_sigma = 0.30;    ///< lognormal flicker (instability)
+  std::uint64_t seed = 2;
+};
+
+class CoolingWorkload final : public Workload {
+ public:
+  explicit CoolingWorkload(CoolingParams params) : params_(params) {}
+
+  std::string name() const override { return "cooling"; }
+
+  bool evolve(AmrMesh& mesh, std::int64_t step) override;
+
+  TimeNs block_cost(const AmrMesh& mesh, std::size_t block,
+                    std::int64_t step) const override;
+
+  const CoolingParams& params() const { return params_; }
+
+ private:
+  CoolingParams params_;
+  bool refined_ = false;
+};
+
+}  // namespace amr

@@ -1,0 +1,83 @@
+#include "amr/workloads/sedov.hpp"
+
+#include <cmath>
+
+#include "amr/mesh/coords.hpp"
+#include "amr/mesh/generators.hpp"
+
+namespace amr {
+
+double SedovWorkload::front_radius(std::int64_t step) const {
+  if (step <= 0) return 0.0;
+  const double t = std::min(
+      1.0, static_cast<double>(step) /
+               static_cast<double>(params_.total_steps));
+  return params_.max_radius * std::pow(t, 0.4);
+}
+
+double SedovWorkload::distance_to_center(const Aabb& box) const {
+  const auto c = box.center();
+  const double dx = c[0] - params_.center[0];
+  const double dy = c[1] - params_.center[1];
+  const double dz = c[2] - params_.center[2];
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+bool SedovWorkload::evolve(AmrMesh& mesh, std::int64_t step) {
+  if (step % params_.check_period != 0) return false;
+  const double radius = front_radius(step);
+  const std::size_t before = mesh.size();
+
+  // Refine blocks the shock shell currently crosses.
+  std::size_t refined = refine_shell(mesh, params_.center, radius,
+                                     params_.shell_half_width,
+                                     params_.max_level);
+
+  // Coarsen refined blocks the front has left well behind (or not yet
+  // reached): tag every block farther than the margin from the shell.
+  const double margin =
+      params_.coarsen_margin * params_.shell_half_width;
+  std::vector<std::int32_t> tags;
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    if (mesh.block(b).level == 0) continue;
+    const double d = distance_to_center(mesh.bounds(b));
+    if (std::abs(d - radius) > margin + params_.shell_half_width)
+      tags.push_back(static_cast<std::int32_t>(b));
+  }
+  const std::size_t coarsened = mesh.coarsen(tags);
+
+  return refined > 0 || coarsened > 0 || mesh.size() != before;
+}
+
+TimeNs SedovWorkload::block_cost(const AmrMesh& mesh, std::size_t block,
+                                 std::int64_t step) const {
+  const Aabb box = mesh.bounds(block);
+  const double d = distance_to_center(box);
+  const double radius = front_radius(step);
+
+  // Cost bump near the front: kernels iterate more in steep gradients.
+  const double u = (d - radius) / std::max(params_.cost_sigma, 1e-9);
+  const double proximity = std::exp(-0.5 * u * u);
+
+  // Deterministic noise keyed by block coordinates: the persistent
+  // component survives across steps (and renumbering), so measured
+  // telemetry predicts the next step; the jitter component re-rolls per
+  // step.
+  const std::uint64_t block_hash =
+      hash64(block_key(mesh.block(block)) ^ params_.seed);
+  Rng persistent_rng(block_hash);
+  const double persistent =
+      persistent_rng.chance(params_.hot_fraction)
+          ? persistent_rng.lognormal(params_.hot_mu, params_.hot_sigma)
+          : persistent_rng.lognormal(0.0, params_.noise_sigma);
+  Rng jitter_rng(
+      hash64(block_hash ^ hash64(static_cast<std::uint64_t>(step))));
+  const double jitter = jitter_rng.lognormal(0.0, params_.jitter_sigma);
+
+  const double cost = static_cast<double>(params_.base_cost) *
+                      (1.0 + params_.front_boost * proximity) *
+                      persistent * jitter;
+  return static_cast<TimeNs>(cost);
+}
+
+}  // namespace amr

@@ -1,0 +1,48 @@
+#include "amr/workloads/synthetic.hpp"
+
+#include <algorithm>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+const char* to_string(CostDistribution dist) {
+  switch (dist) {
+    case CostDistribution::kExponential: return "exponential";
+    case CostDistribution::kGaussian: return "gaussian";
+    case CostDistribution::kPowerLaw: return "power-law";
+  }
+  return "?";
+}
+
+std::vector<double> synthetic_costs(std::size_t n, CostDistribution dist,
+                                    Rng& rng,
+                                    const SyntheticCostParams& params) {
+  AMR_CHECK(params.mean > 0.0);
+  std::vector<double> costs(n);
+  const double cap = params.clamp_max_ratio * params.mean;
+  const double floor = 0.01 * params.mean;
+  for (std::size_t i = 0; i < n; ++i) {
+    double c = 0.0;
+    switch (dist) {
+      case CostDistribution::kExponential:
+        c = rng.exponential(params.mean);
+        break;
+      case CostDistribution::kGaussian:
+        c = rng.normal(params.mean, params.gaussian_cv * params.mean);
+        break;
+      case CostDistribution::kPowerLaw: {
+        // Pareto with mean = x_min * alpha/(alpha-1); solve x_min for the
+        // requested mean.
+        const double a = params.powerlaw_alpha;
+        const double x_min = params.mean * (a - 1.0) / a;
+        c = rng.pareto(x_min, a);
+        break;
+      }
+    }
+    costs[i] = std::clamp(c, floor, cap);
+  }
+  return costs;
+}
+
+}  // namespace amr

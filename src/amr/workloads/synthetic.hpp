@@ -1,0 +1,36 @@
+// Synthetic block-cost distributions for scalebench (paper §VI-C):
+// exponential, Gaussian, and power-law, "with variability bounds chosen to
+// create meaningful balancing opportunities while remaining within
+// realistic AMR ranges".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "amr/common/rng.hpp"
+
+namespace amr {
+
+enum class CostDistribution : std::uint8_t {
+  kExponential,
+  kGaussian,
+  kPowerLaw,
+};
+
+const char* to_string(CostDistribution dist);
+
+struct SyntheticCostParams {
+  double mean = 1.0;
+  double gaussian_cv = 0.4;     ///< stddev/mean for the Gaussian
+  double powerlaw_alpha = 2.2;  ///< Pareto shape (heavier tail < 3)
+  double clamp_max_ratio = 20.0;  ///< cap at ratio * mean (AMR-realistic)
+};
+
+/// Draw n block costs from a distribution. All draws are positive and
+/// capped at clamp_max_ratio * mean.
+std::vector<double> synthetic_costs(std::size_t n, CostDistribution dist,
+                                    Rng& rng,
+                                    const SyntheticCostParams& params = {});
+
+}  // namespace amr

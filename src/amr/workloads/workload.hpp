@@ -1,0 +1,36 @@
+// Workload interface: the physics stand-in.
+//
+// Per the substitution table in DESIGN.md, the hydrodynamics solver enters
+// placement only through (a) where the mesh refines over time and (b) how
+// much each block's kernels cost. A Workload supplies exactly those two
+// signals. Costs are deterministic functions of (block coordinates, step,
+// seed) so they survive SFC renumbering and make runs reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "amr/common/time.hpp"
+#include "amr/mesh/mesh.hpp"
+
+namespace amr {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Advance the physical state one step and apply any refinement or
+  /// coarsening to the mesh. Returns true if the mesh changed (the driver
+  /// must then renumber and redistribute).
+  virtual bool evolve(AmrMesh& mesh, std::int64_t step) = 0;
+
+  /// True compute cost of a block at a step (what the simulated kernels
+  /// will take). Placement does NOT see this directly — it sees measured
+  /// telemetry from previous steps.
+  virtual TimeNs block_cost(const AmrMesh& mesh, std::size_t block,
+                            std::int64_t step) const = 0;
+};
+
+}  // namespace amr

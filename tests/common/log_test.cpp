@@ -1,0 +1,50 @@
+#include "amr/common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amr {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, ThresholdFiltersLevels) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  // Suppressed and emitted messages must both be safe to call.
+  AMR_LOG_DEBUG("suppressed %d", 1);
+  AMR_LOG_INFO("suppressed %s", "too");
+  testing::internal::CaptureStderr();
+  AMR_LOG_WARN("visible %d", 42);
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[WARN] visible 42"), std::string::npos);
+}
+
+TEST(Log, SuppressedLevelsProduceNoOutput) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  AMR_LOG_DEBUG("nothing");
+  AMR_LOG_INFO("nothing");
+  AMR_LOG_WARN("nothing");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, ErrorAlwaysEmits) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  AMR_LOG_ERROR("boom %s", "now");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[ERROR] boom now"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,142 @@
+#include "amr/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace amr {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10 + i;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_DOUBLE_EQ(c.mean(), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+}
+
+TEST(Percentile, SingleElementAndEmpty) {
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.99), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v{30.0, 10.0, 40.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg(y.rbegin(), y.rend());
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> c{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(c, x), 0.0);
+}
+
+TEST(Pearson, MismatchedLengthsReturnZero) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{1, 2};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(ImbalanceFactor, UniformIsOne) {
+  const std::vector<double> v{3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(imbalance_factor(v), 1.0);
+}
+
+TEST(ImbalanceFactor, KnownSkew) {
+  const std::vector<double> v{1, 1, 1, 5};  // mean 2, max 5
+  EXPECT_DOUBLE_EQ(imbalance_factor(v), 2.5);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(5.0);
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // 0.0 and 1.9
+  EXPECT_EQ(h.bin_count(2), 1u);  // 5.0
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace amr

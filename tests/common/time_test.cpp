@@ -1,0 +1,30 @@
+#include "amr/common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amr {
+namespace {
+
+TEST(Time, ConstructorsAndConversionsRoundTrip) {
+  EXPECT_EQ(us(1.0), 1'000);
+  EXPECT_EQ(ms(1.0), 1'000'000);
+  EXPECT_EQ(sec(1.0), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_us(us(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_ms(ms(0.25)), 0.25);
+  EXPECT_DOUBLE_EQ(to_sec(sec(3.0)), 3.0);
+}
+
+TEST(Time, FractionalValuesTruncateToIntegerNanoseconds) {
+  EXPECT_EQ(us(0.0005), 0);  // half a nanosecond rounds down
+  EXPECT_EQ(us(0.001), 1);
+}
+
+TEST(Time, LargeDurationsFit) {
+  // A week of simulated time fits comfortably in int64 nanoseconds.
+  const TimeNs week = sec(7.0 * 24 * 3600);
+  EXPECT_GT(week, 0);
+  EXPECT_DOUBLE_EQ(to_sec(week), 604800.0);
+}
+
+}  // namespace
+}  // namespace amr

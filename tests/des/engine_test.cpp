@@ -1,0 +1,132 @@
+#include "amr/des/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace amr {
+namespace {
+
+class Recorder final : public EventHandler {
+ public:
+  void on_event(Engine& engine, std::uint64_t tag) override {
+    log.emplace_back(engine.now(), tag);
+  }
+  std::vector<std::pair<TimeNs, std::uint64_t>> log;
+};
+
+TEST(Engine, StartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  Recorder rec;
+  engine.schedule_at(30, &rec, 3);
+  engine.schedule_at(10, &rec, 1);
+  engine.schedule_at(20, &rec, 2);
+  engine.run();
+  ASSERT_EQ(rec.log.size(), 3u);
+  EXPECT_EQ(rec.log[0], std::make_pair(TimeNs{10}, std::uint64_t{1}));
+  EXPECT_EQ(rec.log[1], std::make_pair(TimeNs{20}, std::uint64_t{2}));
+  EXPECT_EQ(rec.log[2], std::make_pair(TimeNs{30}, std::uint64_t{3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, EqualTimesFireInScheduleOrder) {
+  Engine engine;
+  Recorder rec;
+  for (std::uint64_t i = 0; i < 100; ++i) engine.schedule_at(5, &rec, i);
+  engine.run();
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(rec.log[i].second, i);
+}
+
+TEST(Engine, HandlersCanScheduleMoreEvents) {
+  Engine engine;
+  class Chain final : public EventHandler {
+   public:
+    void on_event(Engine& engine, std::uint64_t tag) override {
+      ++fired;
+      if (tag > 0) engine.schedule_after(10, this, tag - 1);
+    }
+    int fired = 0;
+  } chain;
+  engine.schedule_at(0, &chain, 4);
+  engine.run();
+  EXPECT_EQ(chain.fired, 5);
+  EXPECT_EQ(engine.now(), 40);
+}
+
+TEST(Engine, CallAtRunsCallbacksAndRecyclesSlots) {
+  Engine engine;
+  int calls = 0;
+  for (int i = 0; i < 10; ++i)
+    engine.call_at(i * 10, [&](Engine&) { ++calls; });
+  engine.run();
+  EXPECT_EQ(calls, 10);
+  // Slots recycled: more callbacks after a run still work.
+  engine.call_after(5, [&](Engine&) { ++calls; });
+  engine.run();
+  EXPECT_EQ(calls, 11);
+}
+
+TEST(Engine, CallbackCanScheduleCallback) {
+  Engine engine;
+  std::vector<TimeNs> times;
+  engine.call_at(10, [&](Engine& e) {
+    times.push_back(e.now());
+    e.call_after(15, [&](Engine& e2) { times.push_back(e2.now()); });
+  });
+  engine.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 10);
+  EXPECT_EQ(times[1], 25);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine engine;
+  Recorder rec;
+  engine.schedule_at(10, &rec, 1);
+  engine.schedule_at(50, &rec, 2);
+  engine.run_until(30);
+  EXPECT_EQ(rec.log.size(), 1u);
+  EXPECT_EQ(engine.now(), 30);
+  engine.run();
+  EXPECT_EQ(rec.log.size(), 2u);
+}
+
+TEST(Engine, RunUntilOnEmptyQueueAdvancesClock) {
+  Engine engine;
+  engine.run_until(1000);
+  EXPECT_EQ(engine.now(), 1000);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine engine;
+  EXPECT_FALSE(engine.step());
+  Recorder rec;
+  engine.schedule_at(1, &rec, 0);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, CountsProcessedEvents) {
+  Engine engine;
+  Recorder rec;
+  for (int i = 0; i < 7; ++i) engine.schedule_at(i, &rec, 0);
+  EXPECT_EQ(engine.run(), 7u);
+  EXPECT_EQ(engine.events_processed(), 7u);
+}
+
+TEST(EngineDeath, SchedulingIntoThePastAborts) {
+  Engine engine;
+  Recorder rec;
+  engine.schedule_at(100, &rec, 0);
+  engine.run();
+  EXPECT_DEATH(engine.schedule_at(50, &rec, 0), "past");
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,81 @@
+#include "amr/exec/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amr {
+namespace {
+
+StepResult make_result(std::vector<RankStepStats> ranks, TimeNs wall) {
+  StepResult r;
+  r.ranks = std::move(ranks);
+  r.step_start = 0;
+  r.step_end = wall;
+  return r;
+}
+
+RankStepStats rank_stats(TimeNs entry, TimeNs compute, TimeNs recv_wait,
+                         std::int32_t release_src) {
+  RankStepStats s;
+  s.collective_entry = entry;
+  s.compute_ns = compute;
+  s.recv_wait_ns = recv_wait;
+  s.last_release_src = release_src;
+  return s;
+}
+
+TEST(CriticalPath, StragglerIsLatestEntry) {
+  const StepResult result = make_result(
+      {rank_stats(100, 100, 0, -1), rank_stats(500, 500, 0, -1),
+       rank_stats(300, 300, 0, -1)},
+      600);
+  EXPECT_EQ(CriticalPathAnalyzer::straggler_of(result), 1);
+}
+
+TEST(CriticalPath, ComputeBoundWindowIsOneRankPath) {
+  CriticalPathAnalyzer analyzer;
+  analyzer.observe(make_result(
+      {rank_stats(ms(1), ms(1), 0, -1), rank_stats(ms(5), ms(5), 0, -1)},
+      ms(5)));
+  EXPECT_EQ(analyzer.stats().one_rank_paths, 1);
+  EXPECT_EQ(analyzer.stats().two_rank_paths, 0);
+}
+
+TEST(CriticalPath, StalledStragglerIsTwoRankPath) {
+  CriticalPathAnalyzer analyzer;
+  // Straggler (rank 1) spent most of the window waiting on rank 0.
+  analyzer.observe(make_result(
+      {rank_stats(ms(4), ms(4), 0, -1),
+       rank_stats(ms(5), ms(1), ms(4), 0)},
+      ms(5)));
+  EXPECT_EQ(analyzer.stats().two_rank_paths, 1);
+  EXPECT_EQ(analyzer.stats().one_rank_paths, 0);
+}
+
+TEST(CriticalPath, SmallWaitBelowThresholdStaysOneRank) {
+  CriticalPathAnalyzer analyzer(/*wait_threshold_frac=*/0.1);
+  analyzer.observe(make_result(
+      {rank_stats(ms(1), ms(1), 0, -1),
+       rank_stats(ms(10), ms(9.9), us(10), 0)},
+      ms(10)));
+  EXPECT_EQ(analyzer.stats().one_rank_paths, 1);
+}
+
+TEST(CriticalPath, StatsAccumulateAcrossWindows) {
+  CriticalPathAnalyzer analyzer;
+  for (int i = 0; i < 5; ++i)
+    analyzer.observe(make_result({rank_stats(ms(1), ms(1), 0, -1),
+                                  rank_stats(ms(2), ms(2), 0, -1)},
+                                 ms(2)));
+  for (int i = 0; i < 5; ++i)
+    analyzer.observe(make_result({rank_stats(ms(1), ms(1), 0, -1),
+                                  rank_stats(ms(3), ms(1), ms(2), 0)},
+                                 ms(3)));
+  EXPECT_EQ(analyzer.stats().windows, 10);
+  EXPECT_EQ(analyzer.stats().one_rank_paths, 5);
+  EXPECT_EQ(analyzer.stats().two_rank_paths, 5);
+  EXPECT_DOUBLE_EQ(analyzer.stats().two_rank_fraction(), 0.5);
+  EXPECT_NEAR(analyzer.stats().window_ms.mean(), 2.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,80 @@
+#include "amr/exec/work.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amr {
+namespace {
+
+TEST(BuildStepWork, ComputeTasksFollowPlacement) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  const Placement placement{0, 0, 1, 1, 2, 2, 3, 3};
+  const std::vector<TimeNs> costs(8, us(100));
+  const auto work = build_step_work(mesh, placement, costs, 4);
+  ASSERT_EQ(work.size(), 4u);
+  for (const auto& w : work) EXPECT_EQ(w.computes.size(), 2u);
+}
+
+TEST(BuildStepWork, SendsMatchExpectedRecvs) {
+  AmrMesh mesh(RootGrid{3, 3, 3});
+  Placement placement(mesh.size());
+  for (std::size_t b = 0; b < mesh.size(); ++b)
+    placement[b] = static_cast<std::int32_t>(b % 5);
+  const std::vector<TimeNs> costs(mesh.size(), us(10));
+  const auto work = build_step_work(mesh, placement, costs, 5);
+
+  std::vector<std::int64_t> incoming(5, 0);
+  std::int64_t total_sends = 0;
+  for (const auto& w : work) {
+    for (const auto& s : w.sends) {
+      ++incoming[static_cast<std::size_t>(s.dst_rank)];
+      ++total_sends;
+    }
+  }
+  std::int64_t total_expected = 0;
+  for (std::size_t r = 0; r < work.size(); ++r) {
+    EXPECT_EQ(incoming[r], work[r].expected_recvs);
+    total_expected += work[r].expected_recvs;
+  }
+  EXPECT_EQ(total_sends, total_expected);
+}
+
+TEST(BuildStepWork, SingleRankHasOnlyLocalCopies) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  const Placement placement(mesh.size(), 0);
+  const std::vector<TimeNs> costs(mesh.size(), us(10));
+  const auto work = build_step_work(mesh, placement, costs, 1);
+  EXPECT_TRUE(work[0].sends.empty());
+  EXPECT_EQ(work[0].expected_recvs, 0);
+  EXPECT_GT(work[0].local_copy_msgs, 0);
+  // 8 blocks x 7 neighbors each (2x2x2 fully adjacent) = 56 pairs.
+  EXPECT_EQ(work[0].local_copy_msgs, 56);
+}
+
+TEST(BuildStepWork, MessageBytesFollowNeighborKind) {
+  AmrMesh mesh(RootGrid{2, 1, 1});
+  const Placement placement{0, 1};
+  const std::vector<TimeNs> costs(2, us(10));
+  const MessageSizeModel sizes;
+  const auto work = build_step_work(mesh, placement, costs, 2, sizes);
+  ASSERT_EQ(work[0].sends.size(), 1u);
+  EXPECT_EQ(work[0].sends[0].bytes, sizes.bytes(NeighborKind::kFace));
+}
+
+TEST(BuildStepWork, TotalComputeConservedAcrossPlacements) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  std::vector<TimeNs> costs(mesh.size());
+  for (std::size_t b = 0; b < costs.size(); ++b)
+    costs[b] = us(10.0 * (static_cast<double>(b) + 1));
+  const Placement a{0, 0, 1, 1, 2, 2, 3, 3};
+  const Placement b{3, 2, 1, 0, 3, 2, 1, 0};
+  auto total = [&](const Placement& p) {
+    TimeNs sum = 0;
+    for (const auto& w : build_step_work(mesh, p, costs, 4))
+      for (const auto& c : w.computes) sum += c.duration;
+    return sum;
+  };
+  EXPECT_EQ(total(a), total(b));
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "amr/faults/health.hpp"
+#include "amr/faults/injector.hpp"
+
+namespace amr {
+namespace {
+
+TEST(FaultInjector, NoFaultsMeansUnitMultiplier) {
+  const FaultInjector injector;
+  EXPECT_TRUE(injector.empty());
+  EXPECT_DOUBLE_EQ(injector.compute_multiplier(0, 0), 1.0);
+  EXPECT_FALSE(injector.node_faulty(3));
+}
+
+TEST(FaultInjector, ThrottleAppliesToListedNodesOnly) {
+  FaultInjector injector;
+  injector.add_throttle({.nodes = {1, 3}, .factor = 4.0});
+  EXPECT_DOUBLE_EQ(injector.compute_multiplier(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(injector.compute_multiplier(3, 100), 4.0);
+  EXPECT_DOUBLE_EQ(injector.compute_multiplier(0, 0), 1.0);
+  EXPECT_TRUE(injector.node_faulty(1));
+  EXPECT_FALSE(injector.node_faulty(0));
+}
+
+TEST(FaultInjector, OnsetAndEndStepsRespected) {
+  FaultInjector injector;
+  injector.add_throttle(
+      {.nodes = {0}, .factor = 3.0, .onset_step = 10, .end_step = 20});
+  EXPECT_DOUBLE_EQ(injector.compute_multiplier(0, 9), 1.0);
+  EXPECT_DOUBLE_EQ(injector.compute_multiplier(0, 10), 3.0);
+  EXPECT_DOUBLE_EQ(injector.compute_multiplier(0, 20), 3.0);
+  EXPECT_DOUBLE_EQ(injector.compute_multiplier(0, 21), 1.0);
+}
+
+TEST(FaultInjector, OverlappingFaultsTakeMax) {
+  FaultInjector injector;
+  injector.add_throttle({.nodes = {0}, .factor = 2.0});
+  injector.add_throttle({.nodes = {0}, .factor = 5.0});
+  EXPECT_DOUBLE_EQ(injector.compute_multiplier(0, 0), 5.0);
+}
+
+TEST(FaultInjector, FaultyNodesDeduplicatedSorted) {
+  FaultInjector injector;
+  injector.add_throttle({.nodes = {3, 1}, .factor = 2.0});
+  injector.add_throttle({.nodes = {1, 0}, .factor = 2.0});
+  const auto nodes = injector.faulty_nodes();
+  EXPECT_EQ(nodes, (std::vector<std::int32_t>{0, 1, 3}));
+}
+
+TEST(PickVictimNodes, DistinctAndDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  const auto va = pick_victim_nodes(100, 10, a);
+  const auto vb = pick_victim_nodes(100, 10, b);
+  EXPECT_EQ(va, vb);
+  ASSERT_EQ(va.size(), 10u);
+  for (std::size_t i = 1; i < va.size(); ++i) EXPECT_LT(va[i - 1], va[i]);
+}
+
+TEST(ScanSensors, PerfectDetectionFindsAllFaultyNodes) {
+  FaultInjector injector;
+  injector.add_throttle({.nodes = {2, 5}, .factor = 4.0});
+  Rng rng(7);
+  const auto detected = scan_sensors(injector, 8, rng, 1.0);
+  EXPECT_EQ(detected, (std::vector<std::int32_t>{2, 5}));
+}
+
+TEST(ScanSensors, ImperfectDetectionIsSubset) {
+  FaultInjector injector;
+  std::vector<std::int32_t> all;
+  for (int n = 0; n < 50; ++n) all.push_back(n);
+  injector.add_throttle({.nodes = all, .factor = 4.0});
+  Rng rng(9);
+  const auto detected = scan_sensors(injector, 50, rng, 0.5);
+  EXPECT_GT(detected.size(), 10u);
+  EXPECT_LT(detected.size(), 40u);
+}
+
+TEST(NodePool, AllocateSkipsBlacklisted) {
+  NodePool pool(10);
+  pool.blacklist(0);
+  pool.blacklist(2);
+  EXPECT_EQ(pool.healthy_count(), 8);
+  const auto nodes = pool.allocate(3);
+  EXPECT_EQ(nodes, (std::vector<std::int32_t>{1, 3, 4}));
+}
+
+TEST(NodePool, BlacklistAllAndQuery) {
+  NodePool pool(4);
+  pool.blacklist_all({1, 3});
+  EXPECT_TRUE(pool.is_blacklisted(1));
+  EXPECT_FALSE(pool.is_blacklisted(0));
+  EXPECT_EQ(pool.healthy_count(), 2);
+}
+
+TEST(NodePoolDeath, ExhaustedPoolAborts) {
+  NodePool pool(3);
+  pool.blacklist(0);
+  pool.blacklist(1);
+  EXPECT_DEATH(pool.allocate(3), "overprovision");
+}
+
+TEST(HealthWorkflow, PruneAndRerunRemovesFaultImpact) {
+  // The paper's launch workflow: scan, blacklist, allocate healthy nodes.
+  FaultInjector injector;
+  injector.add_throttle({.nodes = {1}, .factor = 4.0});
+  NodePool pool(6);  // overprovisioned: need 4
+  Rng rng(11);
+  pool.blacklist_all(scan_sensors(injector, 6, rng, 1.0));
+  const auto nodes = pool.allocate(4);
+  for (const auto n : nodes) EXPECT_FALSE(injector.node_faulty(n));
+}
+
+}  // namespace
+}  // namespace amr

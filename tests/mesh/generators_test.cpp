@@ -1,0 +1,100 @@
+#include "amr/mesh/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amr {
+namespace {
+
+TEST(BoxIntersectsShell, CenterInsideThickShell) {
+  Aabb box;
+  box.lo = {0.4, 0.4, 0.4};
+  box.hi = {0.6, 0.6, 0.6};
+  // Shell centered at box center with radius 0.1: box straddles it.
+  EXPECT_TRUE(box_intersects_shell(box, {0.5, 0.5, 0.5}, 0.1, 0.01));
+}
+
+TEST(BoxIntersectsShell, FarBoxMisses) {
+  Aabb box;
+  box.lo = {0.9, 0.9, 0.9};
+  box.hi = {1.0, 1.0, 1.0};
+  EXPECT_FALSE(box_intersects_shell(box, {0.0, 0.0, 0.0}, 0.2, 0.05));
+}
+
+TEST(BoxIntersectsShell, BoxEntirelyInsideInnerVoidMisses) {
+  Aabb box;
+  box.lo = {0.49, 0.49, 0.49};
+  box.hi = {0.51, 0.51, 0.51};
+  EXPECT_FALSE(box_intersects_shell(box, {0.5, 0.5, 0.5}, 0.4, 0.05));
+}
+
+TEST(BoxIntersectsShell, TouchingOuterEdge) {
+  Aabb box;
+  box.lo = {0.7, 0.45, 0.45};
+  box.hi = {0.8, 0.55, 0.55};
+  // Distance from center (0.5,..) to nearest box point is 0.2.
+  EXPECT_TRUE(box_intersects_shell(box, {0.5, 0.5, 0.5}, 0.15, 0.06));
+  EXPECT_FALSE(box_intersects_shell(box, {0.5, 0.5, 0.5}, 0.1, 0.05));
+}
+
+TEST(RefineShell, RefinesOnlyShellBlocks) {
+  AmrMesh mesh(RootGrid{4, 4, 4});
+  const std::size_t refined =
+      refine_shell(mesh, {0.5, 0.5, 0.5}, 0.3, 0.05, 1);
+  EXPECT_GT(refined, 0u);
+  EXPECT_TRUE(mesh.check_balance());
+  // All level-1 blocks are near the shell (within ripple distance).
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    if (mesh.block(i).level == 0) continue;
+    const auto c = mesh.bounds(i).center();
+    const double d = std::sqrt((c[0] - 0.5) * (c[0] - 0.5) +
+                               (c[1] - 0.5) * (c[1] - 0.5) +
+                               (c[2] - 0.5) * (c[2] - 0.5));
+    EXPECT_LT(std::abs(d - 0.3), 0.35);
+  }
+}
+
+TEST(RefineShell, ReachesRequestedLevel) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  refine_shell(mesh, {0.5, 0.5, 0.5}, 0.25, 0.1, 2);
+  EXPECT_EQ(mesh.max_level_present(), 2);
+  EXPECT_TRUE(mesh.check_balance());
+}
+
+TEST(RefineWhere, NoMatchesNoChange) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  const std::size_t refined =
+      refine_where(mesh, [](const Aabb&) { return false; }, 3);
+  EXPECT_EQ(refined, 0u);
+  EXPECT_EQ(mesh.size(), 8u);
+}
+
+TEST(RefineWhere, MaxLevelZeroIsNoOp) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  const std::size_t refined =
+      refine_where(mesh, [](const Aabb&) { return true; }, 0);
+  EXPECT_EQ(refined, 0u);
+}
+
+TEST(RefineRandom, GrowsMeshAndKeepsInvariants) {
+  AmrMesh mesh(RootGrid{3, 3, 3});
+  Rng rng(21);
+  const std::size_t before = mesh.size();
+  refine_random(mesh, rng, 0.5, 2, 2);
+  EXPECT_GT(mesh.size(), before);
+  EXPECT_TRUE(mesh.check_balance());
+  EXPECT_TRUE(mesh.check_coverage());
+}
+
+TEST(GrowToBlockCount, ReachesTarget) {
+  AmrMesh mesh(RootGrid{4, 4, 4});
+  Rng rng(22);
+  grow_to_block_count(mesh, rng, 128, 2);
+  EXPECT_GE(mesh.size(), 128u);
+  EXPECT_TRUE(mesh.check_balance());
+  EXPECT_TRUE(mesh.check_coverage());
+}
+
+}  // namespace
+}  // namespace amr

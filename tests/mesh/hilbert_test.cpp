@@ -1,0 +1,152 @@
+#include "amr/mesh/hilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "amr/common/rng.hpp"
+#include "amr/mesh/mesh.hpp"
+
+namespace amr {
+namespace {
+
+TEST(Hilbert3, RoundTripRandom) {
+  Rng rng(3);
+  for (const int bits : {1, 2, 5, 10, 21}) {
+    for (int i = 0; i < 2000; ++i) {
+      const auto x = static_cast<std::uint32_t>(
+          rng.uniform_int(1ull << bits));
+      const auto y = static_cast<std::uint32_t>(
+          rng.uniform_int(1ull << bits));
+      const auto z = static_cast<std::uint32_t>(
+          rng.uniform_int(1ull << bits));
+      std::uint32_t rx = 0;
+      std::uint32_t ry = 0;
+      std::uint32_t rz = 0;
+      hilbert3_decode(hilbert3_encode(x, y, z, bits), bits, rx, ry, rz);
+      ASSERT_EQ(rx, x);
+      ASSERT_EQ(ry, y);
+      ASSERT_EQ(rz, z);
+    }
+  }
+}
+
+TEST(Hilbert3, IsABijectionAtSmallSize) {
+  // Every index in [0, 8^bits) maps to a distinct cell.
+  const int bits = 3;
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  for (std::uint64_t idx = 0; idx < (1ull << (3 * bits)); ++idx) {
+    std::uint32_t x = 0;
+    std::uint32_t y = 0;
+    std::uint32_t z = 0;
+    hilbert3_decode(idx, bits, x, y, z);
+    ASSERT_TRUE(seen.emplace(x, y, z).second);
+    ASSERT_EQ(hilbert3_encode(x, y, z, bits), idx);
+  }
+}
+
+TEST(Hilbert3, ConsecutiveIndicesAreFaceAdjacent) {
+  // The defining Hilbert property (which Z-order lacks): consecutive
+  // cells along the curve differ by exactly 1 in exactly one axis.
+  const int bits = 4;
+  std::uint32_t px = 0;
+  std::uint32_t py = 0;
+  std::uint32_t pz = 0;
+  hilbert3_decode(0, bits, px, py, pz);
+  for (std::uint64_t idx = 1; idx < (1ull << (3 * bits)); ++idx) {
+    std::uint32_t x = 0;
+    std::uint32_t y = 0;
+    std::uint32_t z = 0;
+    hilbert3_decode(idx, bits, x, y, z);
+    const int manhattan = std::abs(static_cast<int>(x) -
+                                   static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) -
+                                   static_cast<int>(py)) +
+                          std::abs(static_cast<int>(z) -
+                                   static_cast<int>(pz));
+    ASSERT_EQ(manhattan, 1) << "at index " << idx;
+    px = x;
+    py = y;
+    pz = z;
+  }
+}
+
+TEST(Hilbert3, AlignedCubesAreContiguousRanges) {
+  // Any aligned 2^k cube is one contiguous index range — the property
+  // that makes padded-coordinate keys a valid leaf ordering for meshes.
+  const int bits = 4;
+  const int k = 2;  // 4x4x4 cubes
+  for (std::uint32_t cx = 0; cx < (1u << (bits - k)); ++cx) {
+    for (std::uint32_t cy = 0; cy < (1u << (bits - k)); ++cy) {
+      std::uint64_t lo = ~0ull;
+      std::uint64_t hi = 0;
+      for (std::uint32_t dx = 0; dx < (1u << k); ++dx)
+        for (std::uint32_t dy = 0; dy < (1u << k); ++dy)
+          for (std::uint32_t dz = 0; dz < (1u << k); ++dz) {
+            const std::uint64_t idx = hilbert3_encode(
+                (cx << k) | dx, (cy << k) | dy, dz, bits);
+            lo = std::min(lo, idx);
+            hi = std::max(hi, idx);
+          }
+      ASSERT_EQ(hi - lo + 1, 1ull << (3 * k));
+    }
+  }
+}
+
+TEST(HilbertMesh, LeavesOrderedAndInvariantsHold) {
+  AmrMesh mesh(RootGrid{4, 4, 4}, false, SfcKind::kHilbert);
+  EXPECT_EQ(mesh.sfc_kind(), SfcKind::kHilbert);
+  Rng rng(11);
+  std::vector<std::int32_t> tags;
+  for (std::size_t i = 0; i < mesh.size(); ++i)
+    if (rng.chance(0.3)) tags.push_back(static_cast<std::int32_t>(i));
+  mesh.refine(tags);
+  EXPECT_TRUE(mesh.check_balance());
+  EXPECT_TRUE(mesh.check_coverage());
+}
+
+TEST(HilbertMesh, UniformMeshConsecutiveBlocksAdjacent) {
+  // On a uniform single-octree mesh, SFC-consecutive leaves must be
+  // face neighbors under Hilbert ordering (never under Z-order).
+  AmrMesh mesh(RootGrid{1, 1, 1}, false, SfcKind::kHilbert);
+  mesh.refine_all(2);  // 64 leaves
+  for (std::size_t i = 0; i + 1 < mesh.size(); ++i) {
+    const BlockCoord& a = mesh.block(i);
+    const BlockCoord& b = mesh.block(i + 1);
+    const int manhattan = std::abs(static_cast<int>(a.x) -
+                                   static_cast<int>(b.x)) +
+                          std::abs(static_cast<int>(a.y) -
+                                   static_cast<int>(b.y)) +
+                          std::abs(static_cast<int>(a.z) -
+                                   static_cast<int>(b.z));
+    ASSERT_EQ(manhattan, 1) << "at position " << i;
+  }
+}
+
+TEST(HilbertMesh, BetterOrBequalContiguitySignalThanZOrder) {
+  // Count SFC-consecutive leaf pairs that are geometric neighbors: the
+  // Hilbert ordering should link at least as many as Z-order.
+  auto adjacent_pairs = [](SfcKind kind) {
+    AmrMesh mesh(RootGrid{4, 4, 4}, false, kind);
+    mesh.refine_all(1);
+    int adjacent = 0;
+    for (std::size_t i = 0; i + 1 < mesh.size(); ++i) {
+      const BlockCoord& a = mesh.block(i);
+      const BlockCoord& b = mesh.block(i + 1);
+      const int manhattan = std::abs(static_cast<int>(a.x) -
+                                     static_cast<int>(b.x)) +
+                            std::abs(static_cast<int>(a.y) -
+                                     static_cast<int>(b.y)) +
+                            std::abs(static_cast<int>(a.z) -
+                                     static_cast<int>(b.z));
+      if (manhattan == 1) ++adjacent;
+    }
+    return adjacent;
+  };
+  EXPECT_GE(adjacent_pairs(SfcKind::kHilbert),
+            adjacent_pairs(SfcKind::kZOrder));
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,94 @@
+#include "amr/mesh/morton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amr/common/rng.hpp"
+
+namespace amr {
+namespace {
+
+TEST(Morton3, KnownValues) {
+  EXPECT_EQ(morton3_encode(0, 0, 0), 0u);
+  EXPECT_EQ(morton3_encode(1, 0, 0), 0b001u);
+  EXPECT_EQ(morton3_encode(0, 1, 0), 0b010u);
+  EXPECT_EQ(morton3_encode(0, 0, 1), 0b100u);
+  EXPECT_EQ(morton3_encode(1, 1, 1), 0b111u);
+  EXPECT_EQ(morton3_encode(2, 0, 0), 0b001000u);
+  // x=3 (011), y=5 (101), z=7 (111): groups (z y x) per bit, high to low:
+  // bit2 -> 110, bit1 -> 101, bit0 -> 111.
+  EXPECT_EQ(morton3_encode(3, 5, 7), 0b110'101'111u);
+}
+
+TEST(Morton3, RoundTripRandom) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_int(1u << 21));
+    const auto y = static_cast<std::uint32_t>(rng.uniform_int(1u << 21));
+    const auto z = static_cast<std::uint32_t>(rng.uniform_int(1u << 21));
+    std::uint32_t rx = 0;
+    std::uint32_t ry = 0;
+    std::uint32_t rz = 0;
+    morton3_decode(morton3_encode(x, y, z), rx, ry, rz);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+    ASSERT_EQ(rz, z);
+  }
+}
+
+TEST(Morton3, MaxCoordinateRoundTrips) {
+  const std::uint32_t max = (1u << 21) - 1;
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint32_t z = 0;
+  morton3_decode(morton3_encode(max, max, max), x, y, z);
+  EXPECT_EQ(x, max);
+  EXPECT_EQ(y, max);
+  EXPECT_EQ(z, max);
+}
+
+TEST(Morton3, PreservesZOrderWithinOctant) {
+  // Within one octant subdivision, children are visited in
+  // (x fastest, then y, then z) order.
+  EXPECT_LT(morton3_encode(0, 0, 0), morton3_encode(1, 0, 0));
+  EXPECT_LT(morton3_encode(1, 0, 0), morton3_encode(0, 1, 0));
+  EXPECT_LT(morton3_encode(0, 1, 0), morton3_encode(1, 1, 0));
+  EXPECT_LT(morton3_encode(1, 1, 0), morton3_encode(0, 0, 1));
+  EXPECT_LT(morton3_encode(1, 1, 1), morton3_encode(2, 0, 0));
+}
+
+TEST(Morton2, RoundTripRandom) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_int(1u << 31));
+    const auto y = static_cast<std::uint32_t>(rng.uniform_int(1u << 31));
+    std::uint32_t rx = 0;
+    std::uint32_t ry = 0;
+    morton2_decode(morton2_encode(x, y), rx, ry);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+  }
+}
+
+TEST(Morton2, KnownValues) {
+  EXPECT_EQ(morton2_encode(0, 0), 0u);
+  EXPECT_EQ(morton2_encode(1, 0), 1u);
+  EXPECT_EQ(morton2_encode(0, 1), 2u);
+  EXPECT_EQ(morton2_encode(3, 3), 15u);
+}
+
+TEST(Morton3, MonotoneInEachCoordinateHolding) {
+  // Increasing one coordinate strictly increases the key when the others
+  // are fixed (keys interleave bits; higher coord -> higher key).
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_int(1u << 20));
+    const auto y = static_cast<std::uint32_t>(rng.uniform_int(1u << 20));
+    const auto z = static_cast<std::uint32_t>(rng.uniform_int(1u << 20));
+    ASSERT_LT(morton3_encode(x, y, z), morton3_encode(x + 1, y, z));
+    ASSERT_LT(morton3_encode(x, y, z), morton3_encode(x, y + 1, z));
+    ASSERT_LT(morton3_encode(x, y, z), morton3_encode(x, y, z + 1));
+  }
+}
+
+}  // namespace
+}  // namespace amr

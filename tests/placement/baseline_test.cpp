@@ -1,0 +1,86 @@
+#include "amr/placement/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amr {
+namespace {
+
+TEST(Baseline, EvenSplit) {
+  const BaselinePolicy policy;
+  const std::vector<double> costs(12, 1.0);
+  const Placement p = policy.place(costs, 4);
+  ASSERT_TRUE(placement_valid(p, 12, 4));
+  const auto loads = rank_loads(costs, p, 4);
+  for (const double l : loads) EXPECT_DOUBLE_EQ(l, 3.0);
+}
+
+TEST(Baseline, RemainderGoesToFirstRanks) {
+  const BaselinePolicy policy;
+  const std::vector<double> costs(10, 1.0);
+  const Placement p = policy.place(costs, 4);
+  const auto loads = rank_loads(costs, p, 4);
+  // ceil(10/4)=3 for first 2 ranks, floor=2 for the rest.
+  EXPECT_DOUBLE_EQ(loads[0], 3.0);
+  EXPECT_DOUBLE_EQ(loads[1], 3.0);
+  EXPECT_DOUBLE_EQ(loads[2], 2.0);
+  EXPECT_DOUBLE_EQ(loads[3], 2.0);
+}
+
+TEST(Baseline, ContiguousAssignment) {
+  const BaselinePolicy policy;
+  const std::vector<double> costs(17, 1.0);
+  const Placement p = policy.place(costs, 5);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_GE(p[i], p[i - 1]);
+    EXPECT_LE(p[i] - p[i - 1], 1);
+  }
+}
+
+TEST(Baseline, IgnoresCosts) {
+  const BaselinePolicy policy;
+  std::vector<double> uniform(8, 1.0);
+  std::vector<double> skewed{100, 1, 1, 1, 1, 1, 1, 1};
+  EXPECT_EQ(policy.place(uniform, 2), policy.place(skewed, 2));
+}
+
+TEST(Baseline, MoreRanksThanBlocks) {
+  const BaselinePolicy policy;
+  const std::vector<double> costs(3, 1.0);
+  const Placement p = policy.place(costs, 8);
+  ASSERT_TRUE(placement_valid(p, 3, 8));
+  // One block per rank on the first 3 ranks.
+  EXPECT_EQ(p[0], 0);
+  EXPECT_EQ(p[1], 1);
+  EXPECT_EQ(p[2], 2);
+}
+
+TEST(Baseline, EmptyInput) {
+  const BaselinePolicy policy;
+  const Placement p = policy.place({}, 4);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Baseline, SingleRankTakesAll) {
+  const BaselinePolicy policy;
+  const std::vector<double> costs(5, 2.0);
+  const Placement p = policy.place(costs, 1);
+  for (const auto r : p) EXPECT_EQ(r, 0);
+}
+
+TEST(RankLoads, SumsPerRank) {
+  const std::vector<double> costs{1, 2, 3, 4};
+  const Placement p{0, 1, 0, 1};
+  const auto loads = rank_loads(costs, p, 2);
+  EXPECT_DOUBLE_EQ(loads[0], 4.0);
+  EXPECT_DOUBLE_EQ(loads[1], 6.0);
+}
+
+TEST(PlacementValid, DetectsBadRank) {
+  EXPECT_TRUE(placement_valid({0, 1}, 2, 2));
+  EXPECT_FALSE(placement_valid({0, 2}, 2, 2));
+  EXPECT_FALSE(placement_valid({0, -1}, 2, 2));
+  EXPECT_FALSE(placement_valid({0}, 2, 2));
+}
+
+}  // namespace
+}  // namespace amr

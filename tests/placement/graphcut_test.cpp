@@ -1,0 +1,86 @@
+#include "amr/placement/graphcut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amr/common/rng.hpp"
+#include "amr/mesh/generators.hpp"
+#include "amr/placement/baseline.hpp"
+#include "amr/workloads/synthetic.hpp"
+
+namespace amr {
+namespace {
+
+AmrMesh test_mesh() {
+  AmrMesh mesh(RootGrid{4, 4, 4});
+  Rng rng(5);
+  refine_random(mesh, rng, 0.2, 1, 1);
+  return mesh;
+}
+
+TEST(GraphCut, ProducesValidBalancedPlacement) {
+  const AmrMesh mesh = test_mesh();
+  Rng rng(7);
+  const auto costs =
+      synthetic_costs(mesh.size(), CostDistribution::kGaussian, rng);
+  const GraphCutPolicy policy(mesh);
+  const Placement p = policy.place(costs, 8);
+  ASSERT_TRUE(placement_valid(p, mesh.size(), 8));
+  const auto loads = rank_loads(costs, p, 8);
+  double total = 0.0;
+  for (const double c : costs) total += c;
+  const double mean = total / 8.0;
+  for (const double l : loads) EXPECT_LE(l, 1.6 * mean);
+}
+
+TEST(GraphCut, Deterministic) {
+  const AmrMesh mesh = test_mesh();
+  Rng rng(9);
+  const auto costs =
+      synthetic_costs(mesh.size(), CostDistribution::kGaussian, rng);
+  const GraphCutPolicy policy(mesh);
+  EXPECT_EQ(policy.place(costs, 8), policy.place(costs, 8));
+}
+
+TEST(GraphCut, CutsLessThanScatteredPlacement) {
+  const AmrMesh mesh = test_mesh();
+  const std::vector<double> uniform(mesh.size(), 1.0);
+  const GraphCutPolicy policy(mesh);
+  const Placement p = policy.place(uniform, 8);
+  Placement scattered(mesh.size());
+  for (std::size_t b = 0; b < mesh.size(); ++b)
+    scattered[b] = static_cast<std::int32_t>(b % 8);
+  EXPECT_LT(edge_cut_bytes(mesh, p), edge_cut_bytes(mesh, scattered));
+}
+
+TEST(GraphCut, CompetitiveWithContiguousOnCut) {
+  // Region growing + refinement should not be much worse than the SFC
+  // baseline at its own game (and usually better).
+  const AmrMesh mesh = test_mesh();
+  const std::vector<double> uniform(mesh.size(), 1.0);
+  const GraphCutPolicy policy(mesh);
+  const BaselinePolicy baseline;
+  const std::int64_t cut_graph =
+      edge_cut_bytes(mesh, policy.place(uniform, 8));
+  const std::int64_t cut_base =
+      edge_cut_bytes(mesh, baseline.place(uniform, 8));
+  EXPECT_LE(cut_graph, cut_base * 5 / 4);
+}
+
+TEST(GraphCut, SingleRankHasZeroCut) {
+  const AmrMesh mesh = test_mesh();
+  const std::vector<double> uniform(mesh.size(), 1.0);
+  const GraphCutPolicy policy(mesh);
+  const Placement p = policy.place(uniform, 1);
+  EXPECT_EQ(edge_cut_bytes(mesh, p), 0);
+}
+
+TEST(EdgeCutBytes, CountsOnlyCrossingEdges) {
+  AmrMesh mesh(RootGrid{2, 1, 1});
+  const MessageSizeModel sizes;
+  EXPECT_EQ(edge_cut_bytes(mesh, {0, 0}, sizes), 0);
+  EXPECT_EQ(edge_cut_bytes(mesh, {0, 1}, sizes),
+            2 * sizes.bytes(NeighborKind::kFace));  // directed both ways
+}
+
+}  // namespace
+}  // namespace amr

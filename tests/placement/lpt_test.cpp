@@ -1,0 +1,118 @@
+#include "amr/placement/lpt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "amr/common/rng.hpp"
+#include "amr/placement/exact.hpp"
+
+namespace amr {
+namespace {
+
+double makespan_of(std::span<const double> costs, const Placement& p,
+                   std::int32_t r) {
+  const auto loads = rank_loads(costs, p, r);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+TEST(Lpt, PerfectSplitWhenPossible) {
+  const LptPolicy policy;
+  const std::vector<double> costs{4, 3, 3, 2, 2, 2};  // total 16, 2 ranks
+  const Placement p = policy.place(costs, 2);
+  EXPECT_DOUBLE_EQ(makespan_of(costs, p, 2), 8.0);
+}
+
+TEST(Lpt, ClassicWorstCaseWithinFourThirds) {
+  // Graham's bound: makespan <= (4/3 - 1/(3m)) OPT.
+  const std::vector<double> costs{5, 5, 4, 4, 3, 3, 3};  // OPT=9 on 3 ranks
+  const LptPolicy policy;
+  const Placement p = policy.place(costs, 3);
+  const double ms = makespan_of(costs, p, 3);
+  EXPECT_LE(ms, 9.0 * (4.0 / 3.0));
+}
+
+TEST(Lpt, SingleBlockGoesToRankZero) {
+  const LptPolicy policy;
+  const Placement p = policy.place(std::vector<double>{7.0}, 4);
+  EXPECT_EQ(p[0], 0);
+}
+
+TEST(Lpt, DeterministicUnderTies) {
+  const LptPolicy policy;
+  const std::vector<double> costs(16, 1.0);
+  const Placement a = policy.place(costs, 4);
+  const Placement b = policy.place(costs, 4);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Lpt, EmptyAndDegenerate) {
+  const LptPolicy policy;
+  EXPECT_TRUE(policy.place({}, 3).empty());
+  const std::vector<double> zero(4, 0.0);
+  const Placement p = policy.place(zero, 2);
+  EXPECT_TRUE(placement_valid(p, 4, 2));
+}
+
+TEST(Lpt, WithinFourThirdsOfExactOnRandomInstances) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 6 + rng.uniform_int(8);
+    const auto r = static_cast<std::int32_t>(2 + rng.uniform_int(3));
+    std::vector<double> costs(n);
+    for (auto& c : costs) c = rng.uniform(0.5, 10.0);
+    const LptPolicy policy;
+    const Placement p = policy.place(costs, r);
+    const double lpt_ms = makespan_of(costs, p, r);
+    const ExactResult exact = exact_makespan(costs, r);
+    ASSERT_TRUE(exact.proven_optimal);
+    EXPECT_LE(lpt_ms,
+              exact.makespan * (4.0 / 3.0 - 1.0 / (3.0 * r)) + 1e-9)
+        << "trial " << trial;
+    EXPECT_GE(lpt_ms, exact.makespan - 1e-9);
+  }
+}
+
+TEST(Lpt, AssignSubsetOnlyTouchesTargets) {
+  const std::vector<double> costs{5, 1, 4, 2, 3, 6};
+  Placement placement{0, 0, 1, 1, 2, 2};
+  const std::vector<std::int32_t> blocks{0, 2, 5};
+  const std::vector<std::int32_t> targets{0, 2};
+  LptPolicy::assign_subset(costs, blocks, targets, placement);
+  // Untouched blocks keep their ranks.
+  EXPECT_EQ(placement[1], 0);
+  EXPECT_EQ(placement[3], 1);
+  EXPECT_EQ(placement[4], 2);
+  // Moved blocks land on target ranks only.
+  for (const std::int32_t b : blocks)
+    EXPECT_TRUE(placement[static_cast<std::size_t>(b)] == 0 ||
+                placement[static_cast<std::size_t>(b)] == 2);
+  // LPT over {6,5,4} on 2 ranks: 6 alone, {5,4} together -> makespan 9.
+  double load0 = 0.0;
+  double load2 = 0.0;
+  for (const std::int32_t b : blocks) {
+    if (placement[static_cast<std::size_t>(b)] == 0)
+      load0 += costs[static_cast<std::size_t>(b)];
+    else
+      load2 += costs[static_cast<std::size_t>(b)];
+  }
+  EXPECT_DOUBLE_EQ(std::max(load0, load2), 9.0);
+}
+
+TEST(Lpt, BeatsBaselineOnSkewedCosts) {
+  Rng rng(37);
+  std::vector<double> costs(64);
+  for (auto& c : costs) c = rng.exponential(1.0);
+  const LptPolicy lpt;
+  const Placement p = lpt.place(costs, 8);
+  const double lpt_ms = makespan_of(costs, p, 8);
+  // Contiguous equal-count split.
+  Placement contiguous(costs.size());
+  for (std::size_t i = 0; i < costs.size(); ++i)
+    contiguous[i] = static_cast<std::int32_t>(i / 8);
+  const double base_ms = makespan_of(costs, contiguous, 8);
+  EXPECT_LT(lpt_ms, base_ms);
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,104 @@
+#include "amr/placement/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amr/placement/baseline.hpp"
+#include "amr/placement/lpt.hpp"
+
+namespace amr {
+namespace {
+
+TEST(LoadMetrics, PerfectBalance) {
+  const std::vector<double> costs{1, 1, 1, 1};
+  const Placement p{0, 1, 2, 3};
+  const LoadMetrics m = load_metrics(costs, p, 4);
+  EXPECT_DOUBLE_EQ(m.makespan, 1.0);
+  EXPECT_DOUBLE_EQ(m.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(m.stddev, 0.0);
+}
+
+TEST(LoadMetrics, KnownImbalance) {
+  const std::vector<double> costs{3, 1, 1, 1};
+  const Placement p{0, 1, 2, 3};
+  const LoadMetrics m = load_metrics(costs, p, 4);
+  EXPECT_DOUBLE_EQ(m.makespan, 3.0);
+  EXPECT_DOUBLE_EQ(m.mean_load, 1.5);
+  EXPECT_DOUBLE_EQ(m.imbalance, 2.0);
+}
+
+TEST(MessageSizeModel, FaceLargerThanEdgeLargerThanVertex) {
+  const MessageSizeModel m;
+  EXPECT_GT(m.bytes(NeighborKind::kFace), m.bytes(NeighborKind::kEdge));
+  EXPECT_GT(m.bytes(NeighborKind::kEdge), m.bytes(NeighborKind::kVertex));
+}
+
+TEST(MessageSizeModel, ScalesWithVariables) {
+  MessageSizeModel m5;
+  m5.nvars = 5;
+  MessageSizeModel m10;
+  m10.nvars = 10;
+  EXPECT_EQ(2 * m5.bytes(NeighborKind::kFace),
+            m10.bytes(NeighborKind::kFace));
+}
+
+TEST(CommMetrics, AllOnOneRankIsAllIntraRank) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  const Placement p(mesh.size(), 0);
+  const ClusterTopology topo(4, 2);
+  const CommMetrics m = comm_metrics(mesh, p, topo);
+  EXPECT_GT(m.msgs_intra_rank, 0);
+  EXPECT_EQ(m.msgs_intra_node, 0);
+  EXPECT_EQ(m.msgs_inter_node, 0);
+}
+
+TEST(CommMetrics, SameNodeRanksUseShm) {
+  AmrMesh mesh(RootGrid{2, 1, 1});
+  // Two blocks on ranks 0 and 1, both on node 0.
+  const Placement p{0, 1};
+  const ClusterTopology topo(4, 2);
+  const CommMetrics m = comm_metrics(mesh, p, topo);
+  EXPECT_EQ(m.msgs_intra_rank, 0);
+  EXPECT_EQ(m.msgs_intra_node, 2);  // directed both ways
+  EXPECT_EQ(m.msgs_inter_node, 0);
+}
+
+TEST(CommMetrics, CrossNodeRanksUseFabric) {
+  AmrMesh mesh(RootGrid{2, 1, 1});
+  const Placement p{0, 2};  // node 0 and node 1
+  const ClusterTopology topo(4, 2);
+  const CommMetrics m = comm_metrics(mesh, p, topo);
+  EXPECT_EQ(m.msgs_inter_node, 2);
+  EXPECT_EQ(m.msgs_intra_node, 0);
+  EXPECT_GT(m.bytes_inter_node, 0);
+}
+
+TEST(CommMetrics, RemoteFractionGrowsWhenLocalityBreaks) {
+  AmrMesh mesh(RootGrid{4, 4, 4});
+  const ClusterTopology topo(16, 4);
+  const BaselinePolicy baseline;
+  const std::vector<double> uniform(mesh.size(), 1.0);
+  const Placement contiguous = baseline.place(uniform, 16);
+  // Round-robin placement destroys locality.
+  Placement scattered(mesh.size());
+  for (std::size_t b = 0; b < mesh.size(); ++b)
+    scattered[b] = static_cast<std::int32_t>(b % 16);
+  const CommMetrics local = comm_metrics(mesh, contiguous, topo);
+  const CommMetrics remote = comm_metrics(mesh, scattered, topo);
+  EXPECT_LT(local.remote_fraction(), remote.remote_fraction());
+  EXPECT_GT(local.msgs_intra_rank, remote.msgs_intra_rank);
+}
+
+TEST(ContiguityFraction, ExtremesAndMiddle) {
+  EXPECT_DOUBLE_EQ(contiguity_fraction({0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(contiguity_fraction({0, 5, 1, 7}), 0.0);
+  EXPECT_DOUBLE_EQ(contiguity_fraction({}), 1.0);
+  EXPECT_DOUBLE_EQ(contiguity_fraction({3}), 1.0);
+}
+
+TEST(MovedBlocks, CountsDifferences) {
+  EXPECT_EQ(moved_blocks({0, 1, 2}, {0, 1, 2}), 0);
+  EXPECT_EQ(moved_blocks({0, 1, 2}, {0, 2, 1}), 2);
+}
+
+}  // namespace
+}  // namespace amr

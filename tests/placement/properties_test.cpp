@@ -1,0 +1,151 @@
+// Parameterized property sweeps across all placement policies: every
+// policy, on every cost distribution and scale in the sweep, must produce
+// a valid placement, be deterministic, and respect basic dominance
+// relations (cost-aware policies never lose to baseline on makespan).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "amr/common/rng.hpp"
+#include "amr/placement/metrics.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/workloads/synthetic.hpp"
+
+namespace amr {
+namespace {
+
+struct PropertyCase {
+  std::string policy;
+  CostDistribution dist;
+  std::size_t blocks;
+  std::int32_t ranks;
+};
+
+std::string case_name(const testing::TestParamInfo<PropertyCase>& info) {
+  std::string name = info.param.policy + "_" +
+                     to_string(info.param.dist) + "_" +
+                     std::to_string(info.param.blocks) + "b_" +
+                     std::to_string(info.param.ranks) + "r";
+  for (auto& c : name)
+    if (c == '-' || c == '/') c = '_';
+  return name;
+}
+
+class PlacementProperties : public testing::TestWithParam<PropertyCase> {};
+
+TEST_P(PlacementProperties, ValidDeterministicAndDominatesBaseline) {
+  const PropertyCase& pc = GetParam();
+  Rng rng(hash64(pc.blocks * 131 + static_cast<std::uint64_t>(pc.ranks)));
+  const auto costs = synthetic_costs(pc.blocks, pc.dist, rng);
+
+  const PolicyPtr policy = make_policy(pc.policy);
+  const Placement p = policy->place(costs, pc.ranks);
+  ASSERT_TRUE(placement_valid(p, pc.blocks, pc.ranks));
+
+  // Determinism.
+  EXPECT_EQ(p, policy->place(costs, pc.ranks));
+
+  // Dominance: LPT and exact-contiguous policies never lose to the
+  // cost-blind baseline split; chunked/hybrid policies carry Graham's
+  // 4/3 rebalance factor in the worst case.
+  if (pc.policy != "baseline") {
+    const PolicyPtr baseline = make_policy("baseline");
+    const LoadMetrics ours = load_metrics(costs, p, pc.ranks);
+    const LoadMetrics base =
+        load_metrics(costs, baseline->place(costs, pc.ranks), pc.ranks);
+    const bool strict = pc.policy == "lpt" || pc.policy == "cdp" ||
+                        pc.policy == "cdp-bsearch";
+    const double slack = strict ? 1.0 : 4.0 / 3.0;
+    EXPECT_LE(ours.makespan, slack * base.makespan + 1e-9);
+  }
+
+  // Makespan is bounded below by mean load and the largest block.
+  const LoadMetrics m = load_metrics(costs, p, pc.ranks);
+  const double largest = *std::max_element(costs.begin(), costs.end());
+  EXPECT_GE(m.makespan + 1e-9, m.mean_load);
+  EXPECT_GE(m.makespan + 1e-9, largest);
+}
+
+std::vector<PropertyCase> property_cases() {
+  std::vector<PropertyCase> cases;
+  const std::vector<std::string> policies{
+      "baseline", "lpt", "cdp", "cdp-bsearch", "chunked-cdp/8",
+      "cpl0",     "cpl25", "cpl50", "cpl75", "cpl100"};
+  const std::vector<CostDistribution> dists{
+      CostDistribution::kExponential, CostDistribution::kGaussian,
+      CostDistribution::kPowerLaw};
+  const std::vector<std::pair<std::size_t, std::int32_t>> shapes{
+      {64, 16}, {130, 32}, {47, 64}};
+  for (const auto& policy : policies)
+    for (const auto dist : dists)
+      for (const auto& [blocks, ranks] : shapes)
+        cases.push_back({policy, dist, blocks, ranks});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlacementProperties,
+                         testing::ValuesIn(property_cases()), case_name);
+
+// CPLX tradeoff property: as X rises, contiguity falls and makespan falls
+// (weakly), across distributions.
+class CplxTradeoff
+    : public testing::TestWithParam<CostDistribution> {};
+
+TEST_P(CplxTradeoff, XControlsBothSidesOfTheTradeoff) {
+  Rng rng(12345);
+  const auto costs = synthetic_costs(256, GetParam(), rng);
+  const std::int32_t ranks = 32;
+
+  std::vector<double> makespans;
+  std::vector<double> contiguity;
+  for (const int x : {0, 25, 50, 75, 100}) {
+    const PolicyPtr policy = make_policy("cpl" + std::to_string(x));
+    const Placement p = policy->place(costs, ranks);
+    makespans.push_back(load_metrics(costs, p, ranks).makespan);
+    contiguity.push_back(contiguity_fraction(p));
+  }
+  // Endpoints: X=100 at least as balanced as X=0 and no more contiguous.
+  EXPECT_LE(makespans.back(), makespans.front() + 1e-9);
+  EXPECT_LE(contiguity.back(), contiguity.front() + 1e-9);
+  // Intermediate X must capture most of the makespan gain (paper:
+  // X=25 captures the bulk of LPT's benefit).
+  const double gain_full = makespans.front() - makespans.back();
+  if (gain_full > 1e-9) {
+    const double gain_at_50 = makespans.front() - makespans[2];
+    EXPECT_GE(gain_at_50, 0.5 * gain_full);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, CplxTradeoff,
+    testing::Values(CostDistribution::kExponential,
+                    CostDistribution::kGaussian,
+                    CostDistribution::kPowerLaw),
+    [](const testing::TestParamInfo<CostDistribution>& info) {
+      std::string n = to_string(info.param);
+      for (auto& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(Registry, RejectsUnknownNames) {
+  EXPECT_THROW(make_policy("nope"), std::invalid_argument);
+  EXPECT_THROW(make_policy("cpl101"), std::invalid_argument);
+  EXPECT_THROW(make_policy("cpl-5"), std::invalid_argument);
+  EXPECT_THROW(make_policy("cplx"), std::invalid_argument);
+}
+
+TEST(Registry, EvaluationLineupMatchesPaper) {
+  const auto names = evaluation_policy_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.front(), "baseline");
+  for (const auto& n : names) EXPECT_NO_THROW(make_policy(n));
+}
+
+TEST(Registry, ChunkedCdpParsesChunkSize) {
+  const PolicyPtr p = make_policy("chunked-cdp/64");
+  EXPECT_EQ(p->name(), "chunked-cdp/64");
+}
+
+}  // namespace
+}  // namespace amr

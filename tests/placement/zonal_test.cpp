@@ -1,0 +1,76 @@
+#include "amr/placement/zonal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "amr/common/rng.hpp"
+#include "amr/placement/metrics.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/workloads/synthetic.hpp"
+
+namespace amr {
+namespace {
+
+std::vector<double> costs_for(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  SyntheticCostParams params;
+  params.clamp_max_ratio = 3.0;
+  return synthetic_costs(n, CostDistribution::kExponential, rng, params);
+}
+
+TEST(Zonal, SingleZoneEqualsInner) {
+  const auto costs = costs_for(128, 1);
+  const ZonalPolicy zonal(make_policy("cpl50"), 512);
+  const auto inner = make_policy("cpl50");
+  EXPECT_EQ(zonal.place(costs, 64), inner->place(costs, 64));
+}
+
+TEST(Zonal, ZonesAreRankDisjointAndOrdered) {
+  const auto costs = costs_for(512, 2);
+  const ZonalPolicy zonal(make_policy("lpt"), 32);
+  const Placement p = zonal.place(costs, 128);  // 4 zones
+  ASSERT_TRUE(placement_valid(p, costs.size(), 128));
+  // Each block's rank falls in its zone's rank window, and zone windows
+  // advance monotonically along the SFC.
+  std::int32_t min_zone_seen = 0;
+  for (std::size_t b = 0; b < p.size(); ++b) {
+    const std::int32_t zone = p[b] / 32;
+    EXPECT_GE(zone, min_zone_seen);
+    min_zone_seen = std::max(min_zone_seen, zone);
+  }
+}
+
+TEST(Zonal, NearInnerQualityAtModerateZoning) {
+  const auto costs = costs_for(2048, 3);
+  const auto inner = make_policy("cpl100");
+  const ZonalPolicy zonal(make_policy("cpl100"), 256);
+  const double zonal_ms =
+      load_metrics(costs, zonal.place(costs, 1024), 1024).makespan;
+  const double inner_ms =
+      load_metrics(costs, inner->place(costs, 1024), 1024).makespan;
+  EXPECT_LE(zonal_ms, 1.35 * inner_ms);
+}
+
+TEST(Zonal, RegistryParsesName) {
+  const auto p = make_policy("zonal/512/cpl50");
+  EXPECT_EQ(p->name(), "zonal/512/cpl50");
+  EXPECT_THROW(make_policy("zonal/abc/cpl50"), std::invalid_argument);
+  EXPECT_THROW(make_policy("zonal/512"), std::invalid_argument);
+  EXPECT_THROW(make_policy("zonal/0/lpt"), std::invalid_argument);
+}
+
+TEST(Zonal, NestedZonalComposes) {
+  const auto costs = costs_for(1024, 4);
+  const auto p = make_policy("zonal/256/zonal/64/lpt");
+  const Placement placement = p->place(costs, 512);
+  EXPECT_TRUE(placement_valid(placement, costs.size(), 512));
+}
+
+TEST(Zonal, EmptyCosts) {
+  const ZonalPolicy zonal(make_policy("lpt"), 16);
+  EXPECT_TRUE(zonal.place({}, 64).empty());
+}
+
+}  // namespace
+}  // namespace amr

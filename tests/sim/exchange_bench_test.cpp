@@ -1,0 +1,94 @@
+#include "amr/sim/exchange_bench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amr/mesh/generators.hpp"
+#include "amr/placement/registry.hpp"
+
+namespace amr {
+namespace {
+
+ExchangeRoundsConfig small_config() {
+  ExchangeRoundsConfig cfg;
+  cfg.nranks = 16;
+  cfg.ranks_per_node = 4;
+  cfg.rounds = 10;
+  cfg.warmup_rounds = 2;
+  cfg.fabric.remote_jitter = 0;
+  return cfg;
+}
+
+AmrMesh test_mesh() {
+  AmrMesh mesh(RootGrid{4, 2, 2});
+  Rng rng(41);
+  refine_random(mesh, rng, 0.3, 1, 1);
+  return mesh;
+}
+
+TEST(ExchangeRounds, ProducesRequestedRounds) {
+  const AmrMesh mesh = test_mesh();
+  const auto policy = make_policy("baseline");
+  const std::vector<double> uniform(mesh.size(), 1.0);
+  const Placement p = policy->place(uniform, 16);
+  const auto result = run_exchange_rounds(mesh, p, small_config());
+  EXPECT_EQ(result.round_latency_ms.size() + result.rounds_discarded, 10u);
+  EXPECT_EQ(result.rank_comm_ms.size(), 16u);
+  for (const double latency : result.round_latency_ms)
+    EXPECT_GT(latency, 0.0);
+}
+
+TEST(ExchangeRounds, DeterministicForSameSeed) {
+  const AmrMesh mesh = test_mesh();
+  const auto policy = make_policy("baseline");
+  const std::vector<double> uniform(mesh.size(), 1.0);
+  const Placement p = policy->place(uniform, 16);
+  const auto a = run_exchange_rounds(mesh, p, small_config());
+  const auto b = run_exchange_rounds(mesh, p, small_config());
+  EXPECT_EQ(a.round_latency_ms, b.round_latency_ms);
+}
+
+TEST(ExchangeRounds, OutlierCutoffDiscardsRounds) {
+  const AmrMesh mesh = test_mesh();
+  const auto policy = make_policy("baseline");
+  const std::vector<double> uniform(mesh.size(), 1.0);
+  const Placement p = policy->place(uniform, 16);
+  ExchangeRoundsConfig cfg = small_config();
+  cfg.outlier_cutoff = 1;  // 1 ns: everything is an outlier
+  const auto result = run_exchange_rounds(mesh, p, cfg);
+  EXPECT_EQ(result.round_latency_ms.size(), 0u);
+  EXPECT_EQ(result.rounds_discarded, 10);
+}
+
+TEST(ExchangeRounds, ComputeCallbackFeedsSchedule) {
+  const AmrMesh mesh = test_mesh();
+  const auto policy = make_policy("baseline");
+  const std::vector<double> uniform(mesh.size(), 1.0);
+  const Placement p = policy->place(uniform, 16);
+  ExchangeRoundsConfig cfg = small_config();
+  cfg.compute_cost = [](std::size_t, std::int32_t, Rng&) {
+    return ms(1.0);
+  };
+  const auto with_compute = run_exchange_rounds(mesh, p, cfg);
+  const auto without = run_exchange_rounds(mesh, p, small_config());
+  ASSERT_FALSE(with_compute.round_latency_ms.empty());
+  ASSERT_FALSE(without.round_latency_ms.empty());
+  EXPECT_GT(with_compute.round_latency_ms[0],
+            without.round_latency_ms[0]);
+}
+
+TEST(ExchangeRounds, ScatteredPlacementSendsMoreRemote) {
+  const AmrMesh mesh = test_mesh();
+  const std::vector<double> uniform(mesh.size(), 1.0);
+  const Placement contiguous =
+      make_policy("baseline")->place(uniform, 16);
+  Placement scattered(mesh.size());
+  for (std::size_t b = 0; b < mesh.size(); ++b)
+    scattered[b] = static_cast<std::int32_t>(b % 16);
+  const auto local = run_exchange_rounds(mesh, contiguous, small_config());
+  const auto remote = run_exchange_rounds(mesh, scattered, small_config());
+  EXPECT_GT(remote.fabric_stats.remote_msgs,
+            local.fabric_stats.remote_msgs);
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,97 @@
+#include "amr/sim/triggers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amr/placement/registry.hpp"
+#include "amr/sim/simulation.hpp"
+#include "amr/workloads/cooling.hpp"
+
+namespace amr {
+namespace {
+
+TEST(RebalanceTrigger, MeshChangeAlwaysFires) {
+  for (const auto kind :
+       {RebalanceTriggerKind::kOnMeshChange, RebalanceTriggerKind::kPeriodic,
+        RebalanceTriggerKind::kImbalance}) {
+    RebalanceTrigger t;
+    t.kind = kind;
+    EXPECT_TRUE(t.fire(true, 3, 1.0));
+  }
+}
+
+TEST(RebalanceTrigger, OnMeshChangeOnlyFiresOnChange) {
+  const RebalanceTrigger t;
+  EXPECT_FALSE(t.fire(false, 10, 99.0));
+}
+
+TEST(RebalanceTrigger, PeriodicFiresOnPeriod) {
+  RebalanceTrigger t;
+  t.kind = RebalanceTriggerKind::kPeriodic;
+  t.period = 5;
+  EXPECT_FALSE(t.fire(false, 0, 1.0));
+  EXPECT_FALSE(t.fire(false, 4, 1.0));
+  EXPECT_TRUE(t.fire(false, 5, 1.0));
+  EXPECT_TRUE(t.fire(false, 10, 1.0));
+  EXPECT_FALSE(t.fire(false, 11, 1.0));
+}
+
+TEST(RebalanceTrigger, ImbalanceThreshold) {
+  RebalanceTrigger t;
+  t.kind = RebalanceTriggerKind::kImbalance;
+  t.imbalance_threshold = 1.5;
+  EXPECT_FALSE(t.fire(false, 1, 1.4));
+  EXPECT_TRUE(t.fire(false, 1, 1.6));
+}
+
+TEST(RebalanceTrigger, ImbalanceTriggerRebalancesStaticMesh) {
+  // Cooling workload: mesh refines once at step 0, then static. With the
+  // default trigger there is exactly one redistribution; the imbalance
+  // trigger fires repeatedly because the initial uniform-cost placement
+  // leaves the clump-heavy ranks overloaded until telemetry kicks in.
+  auto lb_count = [](RebalanceTrigger trigger) {
+    SimulationConfig cfg;
+    cfg.nranks = 16;
+    cfg.ranks_per_node = 4;
+    cfg.root_grid = RootGrid{4, 4, 4};
+    cfg.steps = 10;
+    cfg.fabric.remote_jitter = 0;
+    cfg.collect_telemetry = false;
+    cfg.trigger = trigger;
+    CoolingParams cp;
+    cp.max_level = 1;
+    CoolingWorkload cooling(cp);
+    const auto policy = make_policy("cpl100");
+    Simulation sim(cfg, cooling, *policy);
+    return sim.run().lb_invocations;
+  };
+  RebalanceTrigger imbalance;
+  imbalance.kind = RebalanceTriggerKind::kImbalance;
+  imbalance.imbalance_threshold = 1.05;
+  EXPECT_EQ(lb_count(RebalanceTrigger{}), 1);
+  EXPECT_GT(lb_count(imbalance), 1);
+}
+
+TEST(RebalanceTrigger, PeriodicTriggerAddsInvocations) {
+  RebalanceTrigger periodic;
+  periodic.kind = RebalanceTriggerKind::kPeriodic;
+  periodic.period = 3;
+
+  SimulationConfig cfg;
+  cfg.nranks = 16;
+  cfg.ranks_per_node = 4;
+  cfg.root_grid = RootGrid{4, 4, 4};
+  cfg.steps = 10;
+  cfg.fabric.remote_jitter = 0;
+  cfg.collect_telemetry = false;
+  cfg.trigger = periodic;
+  CoolingParams cp;
+  cp.max_level = 1;
+  CoolingWorkload cooling(cp);
+  const auto policy = make_policy("baseline");
+  Simulation sim(cfg, cooling, *policy);
+  // Mesh change at step 0, plus steps 3, 6, 9.
+  EXPECT_EQ(sim.run().lb_invocations, 4);
+}
+
+}  // namespace
+}  // namespace amr

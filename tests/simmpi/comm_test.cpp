@@ -1,0 +1,177 @@
+#include "amr/simmpi/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace amr {
+namespace {
+
+FabricParams quiet_params() {
+  FabricParams p = FabricParams::tuned();
+  p.remote_jitter = 0;
+  return p;
+}
+
+/// Minimal endpoint recording callbacks.
+class TestEndpoint final : public RankEndpoint {
+ public:
+  void on_recvs_ready(std::uint64_t window, TimeNs t,
+                      std::int32_t releasing_src) override {
+    recv_ready_time = t;
+    recv_ready_window = window;
+    release_src = releasing_src;
+    ++recv_ready_calls;
+  }
+  void on_collective_done(std::uint64_t window, TimeNs t) override {
+    collective_time = t;
+    collective_window = window;
+    ++collective_calls;
+  }
+
+  TimeNs recv_ready_time = -1;
+  std::uint64_t recv_ready_window = 0;
+  std::int32_t release_src = -1;
+  int recv_ready_calls = 0;
+  TimeNs collective_time = -1;
+  std::uint64_t collective_window = 0;
+  int collective_calls = 0;
+};
+
+struct Harness {
+  explicit Harness(std::int32_t nranks, FabricParams params = quiet_params())
+      : topo(nranks, 2), fabric(topo, params, Rng(1)),
+        comm(engine, fabric, nranks), endpoints(nranks) {
+    for (std::int32_t r = 0; r < nranks; ++r)
+      comm.set_endpoint(r, &endpoints[static_cast<std::size_t>(r)]);
+  }
+  Engine engine;
+  ClusterTopology topo;
+  Fabric fabric;
+  Comm comm;
+  std::vector<TestEndpoint> endpoints;
+};
+
+TEST(Comm, DeliveryCompletesExchange) {
+  Harness h(4);
+  h.comm.begin_exchange(1, {0, 1, 0, 0});
+  h.comm.isend(0, 1, 1000, 1, 0);
+  EXPECT_FALSE(h.comm.exchange_complete(1));
+  h.engine.run();
+  EXPECT_TRUE(h.comm.exchange_complete(1));
+  h.comm.end_exchange(1);
+}
+
+TEST(Comm, WaitBeforeArrivalParksThenNotifies) {
+  Harness h(4);
+  h.comm.begin_exchange(2, {0, 1, 0, 0});
+  const TimeNs release = h.comm.isend(0, 1, 1000, 2, 0);
+  EXPECT_GT(release, 0);
+  EXPECT_FALSE(h.comm.wait_recvs(1, 2, 0));
+  h.engine.run();
+  EXPECT_EQ(h.endpoints[1].recv_ready_calls, 1);
+  EXPECT_EQ(h.endpoints[1].recv_ready_window, 2u);
+  EXPECT_EQ(h.endpoints[1].release_src, 0);
+  EXPECT_GT(h.endpoints[1].recv_ready_time, 0);
+}
+
+TEST(Comm, WaitAfterArrivalReturnsImmediately) {
+  Harness h(4);
+  h.comm.begin_exchange(3, {0, 1, 0, 0});
+  h.comm.isend(0, 1, 1000, 3, 0);
+  h.engine.run();
+  EXPECT_TRUE(h.comm.wait_recvs(1, 3, h.engine.now()));
+  EXPECT_EQ(h.endpoints[1].recv_ready_calls, 0);  // no callback needed
+}
+
+TEST(Comm, MultipleMessagesReleaseOnLastArrival) {
+  Harness h(4);
+  h.comm.begin_exchange(4, {0, 3, 0, 0});
+  h.comm.isend(0, 1, 1000, 4, 0);
+  h.comm.isend(2, 1, 1000, 4, 0);
+  h.comm.isend(3, 1, 500000, 4, 0);  // big message arrives last
+  EXPECT_FALSE(h.comm.wait_recvs(1, 4, 0));
+  h.engine.run();
+  EXPECT_EQ(h.endpoints[1].recv_ready_calls, 1);
+  EXPECT_EQ(h.endpoints[1].release_src, 3);
+}
+
+TEST(Comm, CollectiveWaitsForAllRanksAndChargesOverhead) {
+  Harness h(4);
+  CollectiveParams cp;
+  // Rebuild comm with known collective params (harness used defaults).
+  Comm comm(h.engine, h.fabric, 4, cp);
+  std::vector<TestEndpoint> eps(4);
+  for (std::int32_t r = 0; r < 4; ++r) comm.set_endpoint(r, &eps[r]);
+
+  comm.enter_collective(9, 0, 100);
+  comm.enter_collective(9, 1, 400);
+  comm.enter_collective(9, 2, 50);
+  h.engine.run();
+  EXPECT_EQ(eps[0].collective_calls, 0);  // rank 3 missing
+  comm.enter_collective(9, 3, h.engine.now());
+  h.engine.run();
+  // ceil(log2(4)) = 2: overhead = alpha + 2*beta.
+  const TimeNs expected =
+      std::max<TimeNs>(400, 0) + cp.alpha + 2 * cp.beta;
+  for (const auto& ep : eps) {
+    EXPECT_EQ(ep.collective_calls, 1);
+    EXPECT_EQ(ep.collective_time, expected);
+    EXPECT_EQ(ep.collective_window, 9u);
+  }
+}
+
+TEST(Comm, IndependentWindowsDoNotInterfere) {
+  Harness h(4);
+  h.comm.begin_exchange(10, {0, 1, 0, 0});
+  h.comm.begin_exchange(11, {0, 0, 1, 0});
+  h.comm.isend(0, 1, 100, 10, 0);
+  h.comm.isend(0, 2, 100, 11, 0);
+  h.engine.run();
+  EXPECT_TRUE(h.comm.exchange_complete(10));
+  EXPECT_TRUE(h.comm.exchange_complete(11));
+  h.comm.end_exchange(10);
+  h.comm.end_exchange(11);
+}
+
+TEST(Comm, SenderReleaseReflectsAckPathology) {
+  FabricParams p = quiet_params();
+  p.ack_loss_prob = 1.0;
+  p.drain_queue_enabled = false;
+  p.ack_recovery_delay = ms(2.0);
+  Harness h(4, p);
+  h.comm.begin_exchange(12, {0, 0, 1, 0});
+  const TimeNs release = h.comm.isend(0, 2, 1000, 12, 0);
+  EXPECT_GE(release, ms(2.0));
+  h.engine.run();
+  h.comm.end_exchange(12);
+}
+
+TEST(CommDeath, DoubleWaitOnSameWindowAborts) {
+  Harness h(4);
+  h.comm.begin_exchange(13, {0, 1, 0, 0});
+  EXPECT_FALSE(h.comm.wait_recvs(1, 13, 0));
+  EXPECT_DEATH(h.comm.wait_recvs(1, 13, 0), "waiting");
+}
+
+TEST(CommDeath, ClosingIncompleteWindowAborts) {
+  Harness h(4);
+  h.comm.begin_exchange(14, {0, 1, 0, 0});
+  EXPECT_DEATH(h.comm.end_exchange(14), "undelivered");
+}
+
+TEST(CommDeath, UnexpectedDeliveryAborts) {
+  Harness h(4);
+  h.comm.begin_exchange(15, {0, 0, 0, 0});
+  h.comm.isend(0, 1, 100, 15, 0);
+  EXPECT_DEATH(h.engine.run(), "expected");
+}
+
+TEST(CommDeath, DuplicateWindowAborts) {
+  Harness h(4);
+  h.comm.begin_exchange(16, {0, 0, 0, 0});
+  EXPECT_DEATH(h.comm.begin_exchange(16, {0, 0, 0, 0}), "already");
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,87 @@
+#include "amr/telemetry/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace amr {
+namespace {
+
+class BinaryIoTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("amrt_test_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+Table sample_table() {
+  Table t("phases", {{"step", ColType::kI64},
+                     {"rank", ColType::kI64},
+                     {"dur", ColType::kF64}});
+  for (std::int64_t s = 0; s < 10; ++s)
+    for (std::int64_t r = 0; r < 4; ++r)
+      t.append_row({s, r, static_cast<double>(s * 10 + r) / 3.0});
+  return t;
+}
+
+TEST_F(BinaryIoTest, RoundTripPreservesEverything) {
+  const Table original = sample_table();
+  ASSERT_TRUE(write_table(original, path_));
+  const Table loaded = read_table(path_);
+  EXPECT_EQ(loaded.name(), original.name());
+  ASSERT_EQ(loaded.num_rows(), original.num_rows());
+  ASSERT_EQ(loaded.num_cols(), original.num_cols());
+  for (std::size_t c = 0; c < original.num_cols(); ++c) {
+    EXPECT_EQ(loaded.schema()[c].name, original.schema()[c].name);
+    EXPECT_EQ(loaded.schema()[c].type, original.schema()[c].type);
+    for (std::size_t r = 0; r < original.num_rows(); ++r)
+      EXPECT_EQ(loaded.value(c, r), original.value(c, r));
+  }
+}
+
+TEST_F(BinaryIoTest, EmptyTableRoundTrips) {
+  const Table empty("empty", {{"x", ColType::kF64}});
+  ASSERT_TRUE(write_table(empty, path_));
+  const Table loaded = read_table(path_);
+  EXPECT_EQ(loaded.num_rows(), 0u);
+  EXPECT_EQ(loaded.name(), "empty");
+}
+
+TEST_F(BinaryIoTest, StatsReadableWithoutDataScan) {
+  ASSERT_TRUE(write_table(sample_table(), path_));
+  const auto stats = read_table_stats(path_);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].name, "step");
+  EXPECT_DOUBLE_EQ(stats[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(stats[0].max, 9.0);
+  EXPECT_EQ(stats[2].type, ColType::kF64);
+  EXPECT_DOUBLE_EQ(stats[2].max, 93.0 / 3.0);
+}
+
+TEST_F(BinaryIoTest, RejectsGarbageFile) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a telemetry file at all", f);
+  std::fclose(f);
+  EXPECT_THROW(read_table(path_), std::runtime_error);
+}
+
+TEST_F(BinaryIoTest, RejectsTruncatedFile) {
+  ASSERT_TRUE(write_table(sample_table(), path_));
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size / 2);
+  EXPECT_THROW(read_table(path_), std::runtime_error);
+}
+
+TEST_F(BinaryIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_table("/nonexistent/nowhere.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace amr

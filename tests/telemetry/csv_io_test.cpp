@@ -1,0 +1,101 @@
+#include "amr/telemetry/csv_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace amr {
+namespace {
+
+class CsvIoTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("amr_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write_raw(const std::string& content) {
+    FILE* f = std::fopen(path_.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(content.c_str(), f);
+    std::fclose(f);
+  }
+
+  std::string path_;
+};
+
+Table sample_table() {
+  Table t("t", {{"step", ColType::kI64}, {"dur", ColType::kF64}});
+  t.append_row({std::int64_t{1}, 0.5});
+  t.append_row({std::int64_t{2}, 1.25});
+  t.append_row({std::int64_t{-3}, 1e-9});
+  return t;
+}
+
+TEST_F(CsvIoTest, RoundTripPreservesValues) {
+  ASSERT_TRUE(write_csv(sample_table(), path_));
+  const Table loaded = read_csv(path_);
+  ASSERT_EQ(loaded.num_rows(), 3u);
+  ASSERT_EQ(loaded.num_cols(), 2u);
+  EXPECT_EQ(loaded.schema()[0].type, ColType::kI64);
+  EXPECT_EQ(loaded.schema()[1].type, ColType::kF64);
+  EXPECT_EQ(loaded.i64("step")[2], -3);
+  EXPECT_DOUBLE_EQ(loaded.f64("dur")[1], 1.25);
+  EXPECT_DOUBLE_EQ(loaded.f64("dur")[2], 1e-9);
+}
+
+TEST_F(CsvIoTest, EmptyTableRoundTrips) {
+  const Table empty("e", {{"x", ColType::kF64}});
+  ASSERT_TRUE(write_csv(empty, path_));
+  const Table loaded = read_csv(path_);
+  EXPECT_EQ(loaded.num_rows(), 0u);
+}
+
+TEST_F(CsvIoTest, HumanReadableFormat) {
+  ASSERT_TRUE(write_csv(sample_table(), path_));
+  FILE* f = std::fopen(path_.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_STREQ(line, "step:i64,dur:f64\n");
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_STREQ(line, "1,0.5\n");
+  std::fclose(f);
+}
+
+TEST_F(CsvIoTest, RejectsArityMismatch) {
+  write_raw("a:i64,b:f64\n1,2.0\n3\n");
+  EXPECT_THROW(read_csv(path_), std::runtime_error);
+}
+
+TEST_F(CsvIoTest, RejectsBadIntegerCell) {
+  write_raw("a:i64\n1.5\n");
+  EXPECT_THROW(read_csv(path_), std::runtime_error);
+}
+
+TEST_F(CsvIoTest, RejectsUnknownType) {
+  write_raw("a:str\nx\n");
+  EXPECT_THROW(read_csv(path_), std::runtime_error);
+}
+
+TEST_F(CsvIoTest, RejectsHeaderWithoutType) {
+  write_raw("a\n1\n");
+  EXPECT_THROW(read_csv(path_), std::runtime_error);
+}
+
+TEST_F(CsvIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/file.csv"), std::runtime_error);
+}
+
+TEST_F(CsvIoTest, HandlesCrLfLineEndings) {
+  write_raw("a:i64,b:f64\r\n7,2.5\r\n");
+  const Table loaded = read_csv(path_);
+  ASSERT_EQ(loaded.num_rows(), 1u);
+  EXPECT_EQ(loaded.i64("a")[0], 7);
+}
+
+}  // namespace
+}  // namespace amr

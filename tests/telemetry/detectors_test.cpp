@@ -1,0 +1,131 @@
+#include "amr/telemetry/detectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amr/common/rng.hpp"
+
+namespace amr {
+namespace {
+
+TEST(ThrottleDetector, CleanClusterFlagsNothing) {
+  const ClusterTopology topo(32, 16);
+  std::vector<double> compute(32, 10.0);
+  Rng rng(1);
+  for (auto& c : compute) c *= rng.uniform(0.95, 1.05);
+  const ThrottleReport report = detect_throttling(compute, topo);
+  EXPECT_TRUE(report.flagged_ranks.empty());
+  EXPECT_TRUE(report.flagged_nodes.empty());
+}
+
+TEST(ThrottleDetector, FindsThrottledNodeCluster) {
+  // Paper Fig 2: 4x inflation on clusters of 16 ranks (one node).
+  const ClusterTopology topo(64, 16);
+  std::vector<double> compute(64, 10.0);
+  for (int r = 16; r < 32; ++r) compute[r] = 40.0;  // node 1 throttled
+  const ThrottleReport report = detect_throttling(compute, topo);
+  ASSERT_EQ(report.flagged_ranks.size(), 16u);
+  EXPECT_EQ(report.flagged_ranks.front(), 16);
+  ASSERT_EQ(report.flagged_nodes.size(), 1u);
+  EXPECT_EQ(report.flagged_nodes[0], 1);
+  EXPECT_NEAR(report.flagged_mean_inflation, 4.0, 0.01);
+}
+
+TEST(ThrottleDetector, IsolatedSlowRankDoesNotFlagNode) {
+  const ClusterTopology topo(32, 16);
+  std::vector<double> compute(32, 10.0);
+  compute[5] = 50.0;  // one straggler, not a hardware cluster
+  const ThrottleReport report = detect_throttling(compute, topo);
+  EXPECT_EQ(report.flagged_ranks.size(), 1u);
+  EXPECT_TRUE(report.flagged_nodes.empty());
+}
+
+TEST(ThrottleDetector, HalfNodeFlaggedCountsAsNode) {
+  const ClusterTopology topo(32, 16);
+  std::vector<double> compute(32, 10.0);
+  for (int r = 0; r < 8; ++r) compute[r] = 45.0;
+  const ThrottleReport report = detect_throttling(compute, topo);
+  ASSERT_EQ(report.flagged_nodes.size(), 1u);
+  EXPECT_EQ(report.flagged_nodes[0], 0);
+}
+
+TEST(SpikeDetector, FindsInjectedSpikes) {
+  Rng rng(3);
+  std::vector<double> series(500);
+  for (auto& v : series) v = rng.uniform(0.9, 1.1);
+  series[42] = 30.0;
+  series[321] = 25.0;
+  const SpikeReport report = detect_spikes(series);
+  ASSERT_EQ(report.spike_indices.size(), 2u);
+  EXPECT_EQ(report.spike_indices[0], 42u);
+  EXPECT_EQ(report.spike_indices[1], 321u);
+  EXPECT_GT(report.mean_with_spikes, report.mean_without_spikes);
+  EXPECT_GT(report.spike_mass, 0.05);
+}
+
+TEST(SpikeDetector, CleanSeriesHasNoSpikes) {
+  Rng rng(5);
+  std::vector<double> series(500);
+  for (auto& v : series) v = rng.uniform(0.9, 1.1);
+  const SpikeReport report = detect_spikes(series);
+  EXPECT_TRUE(report.spike_indices.empty());
+}
+
+TEST(SpikeDetector, EmptySeries) {
+  const SpikeReport report = detect_spikes({});
+  EXPECT_TRUE(report.spike_indices.empty());
+  EXPECT_DOUBLE_EQ(report.spike_mass, 0.0);
+}
+
+TEST(SpikeDetector, RobustToHeavyBaseline) {
+  // The spike threshold uses median/MAD, so a shifted, mildly noisy
+  // baseline with one spike still isolates exactly the spike.
+  std::vector<double> series(100);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] = 50.0 + (i % 2 == 0 ? 0.1 : -0.1);
+  series[10] = 50.6;
+  series[20] = 49.4;
+  series[30] = 500.0;
+  const SpikeReport report = detect_spikes(series);
+  ASSERT_EQ(report.spike_indices.size(), 1u);
+  EXPECT_EQ(report.spike_indices[0], 30u);
+}
+
+TEST(CorrelationReport, StrongSignalDetected) {
+  Rng rng(7);
+  std::vector<double> work(200);
+  std::vector<double> time(200);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    work[i] = rng.uniform(1.0, 10.0);
+    time[i] = 3.0 * work[i] + rng.normal(0.0, 0.3);
+  }
+  const CorrelationReport report = correlation_report(work, time);
+  EXPECT_GT(report.pearson, 0.95);
+  // Quartile means rise monotonically.
+  EXPECT_LT(report.quartile_means[0], report.quartile_means[1]);
+  EXPECT_LT(report.quartile_means[1], report.quartile_means[2]);
+  EXPECT_LT(report.quartile_means[2], report.quartile_means[3]);
+}
+
+TEST(CorrelationReport, NoiseDrownsSignal) {
+  Rng rng(9);
+  std::vector<double> work(200);
+  std::vector<double> time(200);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    work[i] = rng.uniform(1.0, 10.0);
+    // Heavy unrelated noise (the untuned Fig 1a regime).
+    time[i] = 3.0 * work[i] + (rng.chance(0.2) ? rng.uniform(0, 500) : 0);
+  }
+  const CorrelationReport report = correlation_report(work, time);
+  EXPECT_LT(report.pearson, 0.5);
+}
+
+TEST(CorrelationReport, MismatchedInputs) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{1, 2};
+  const CorrelationReport report = correlation_report(a, b);
+  EXPECT_EQ(report.n, 0u);
+  EXPECT_DOUBLE_EQ(report.pearson, 0.0);
+}
+
+}  // namespace
+}  // namespace amr

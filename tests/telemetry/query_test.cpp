@@ -1,0 +1,226 @@
+#include "amr/telemetry/query.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amr {
+namespace {
+
+Table phases_table() {
+  Table t("phases", {{"step", ColType::kI64},
+                     {"rank", ColType::kI64},
+                     {"phase", ColType::kI64},
+                     {"dur", ColType::kF64}});
+  // 2 steps x 2 ranks x 2 phases.
+  for (std::int64_t s = 0; s < 2; ++s)
+    for (std::int64_t r = 0; r < 2; ++r)
+      for (std::int64_t p = 0; p < 2; ++p)
+        t.append_row(
+            {s, r, p, static_cast<double>(100 * s + 10 * r + p)});
+  return t;
+}
+
+TEST(Query, FilterReducesSelection) {
+  const Table t = phases_table();
+  Query q(t);
+  q.filter_i64("rank", [](std::int64_t r) { return r == 1; });
+  EXPECT_EQ(q.count(), 4u);
+  q.filter("dur", [](double d) { return d >= 100.0; });
+  EXPECT_EQ(q.count(), 2u);
+}
+
+TEST(Query, RunMaterializesFilteredRows) {
+  const Table t = phases_table();
+  const Table out = Query(t)
+                        .filter_i64("step", [](auto s) { return s == 0; })
+                        .run();
+  EXPECT_EQ(out.num_rows(), 4u);
+  EXPECT_EQ(out.num_cols(), t.num_cols());
+  for (const auto s : out.i64("step")) EXPECT_EQ(s, 0);
+}
+
+TEST(Query, SortByDescendingAndLimit) {
+  const Table t = phases_table();
+  Query q(t);
+  q.sort_by("dur", /*descending=*/true).limit(2);
+  const auto durs = q.values("dur");
+  ASSERT_EQ(durs.size(), 2u);
+  EXPECT_DOUBLE_EQ(durs[0], 111.0);
+  EXPECT_DOUBLE_EQ(durs[1], 110.0);
+}
+
+TEST(Query, GroupByAggSumPerRank) {
+  const Table t = phases_table();
+  const Table out = Query(t)
+                        .group_by({"rank"})
+                        .agg({{"dur", Agg::kSum, "total"}});
+  ASSERT_EQ(out.num_rows(), 2u);
+  // Rank 0: 0+1+100+101 = 202; rank 1: 10+11+110+111 = 242.
+  EXPECT_EQ(out.i64("rank")[0], 0);
+  EXPECT_DOUBLE_EQ(out.f64("total")[0], 202.0);
+  EXPECT_DOUBLE_EQ(out.f64("total")[1], 242.0);
+}
+
+TEST(Query, GroupByMultipleKeys) {
+  const Table t = phases_table();
+  const Table out = Query(t)
+                        .group_by({"step", "rank"})
+                        .agg({{"dur", Agg::kMean, "mean_dur"},
+                              {"dur", Agg::kCount, "n"}});
+  EXPECT_EQ(out.num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(out.f64("n")[0], 2.0);
+  // step 0, rank 0: mean(0, 1) = 0.5.
+  EXPECT_DOUBLE_EQ(out.f64("mean_dur")[0], 0.5);
+}
+
+TEST(Query, FilterThenGroupComposes) {
+  const Table t = phases_table();
+  const Table out =
+      Query(t)
+          .filter_i64("phase", [](auto p) { return p == 1; })
+          .group_by({"step"})
+          .agg({{"dur", Agg::kMax, "max_dur"}});
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(out.f64("max_dur")[0], 11.0);
+  EXPECT_DOUBLE_EQ(out.f64("max_dur")[1], 111.0);
+}
+
+TEST(Query, AggMinMaxStddevPercentiles) {
+  Table t("vals", {{"g", ColType::kI64}, {"v", ColType::kF64}});
+  for (int i = 1; i <= 100; ++i)
+    t.append_row({std::int64_t{0}, static_cast<double>(i)});
+  const Table out = Query(t)
+                        .group_by({"g"})
+                        .agg({{"v", Agg::kMin, "min"},
+                              {"v", Agg::kMax, "max"},
+                              {"v", Agg::kP50, "p50"},
+                              {"v", Agg::kP95, "p95"},
+                              {"v", Agg::kStddev, "sd"}});
+  EXPECT_DOUBLE_EQ(out.f64("min")[0], 1.0);
+  EXPECT_DOUBLE_EQ(out.f64("max")[0], 100.0);
+  EXPECT_NEAR(out.f64("p50")[0], 50.5, 1e-9);
+  EXPECT_NEAR(out.f64("p95")[0], 95.05, 1e-9);
+  EXPECT_NEAR(out.f64("sd")[0], 28.866, 0.01);
+}
+
+TEST(Query, GroupsEmittedInFirstAppearanceOrder) {
+  Table t("vals", {{"g", ColType::kI64}, {"v", ColType::kF64}});
+  t.append_row({std::int64_t{5}, 1.0});
+  t.append_row({std::int64_t{2}, 1.0});
+  t.append_row({std::int64_t{5}, 1.0});
+  const Table out =
+      Query(t).group_by({"g"}).agg({{"v", Agg::kCount, "n"}});
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.i64("g")[0], 5);
+  EXPECT_EQ(out.i64("g")[1], 2);
+  EXPECT_DOUBLE_EQ(out.f64("n")[0], 2.0);
+}
+
+TEST(Query, EmptySelectionYieldsEmptyAgg) {
+  const Table t = phases_table();
+  const Table out =
+      Query(t)
+          .filter_i64("rank", [](auto) { return false; })
+          .group_by({"rank"})
+          .agg({{"dur", Agg::kSum, "s"}});
+  EXPECT_EQ(out.num_rows(), 0u);
+}
+
+TEST(QueryDeath, UnknownColumnAborts) {
+  const Table t = phases_table();
+  Query q(t);
+  EXPECT_DEATH(q.filter("nope", [](double) { return true; }), "column");
+}
+
+TEST(QueryDeath, GroupByF64KeyAborts) {
+  const Table t = phases_table();
+  EXPECT_DEATH(Query(t).group_by({"dur"}).agg({{"dur", Agg::kSum, "s"}}),
+               "i64");
+}
+
+
+TEST(Join, InnerJoinOnSharedKeys) {
+  Table phases("phases", {{"step", ColType::kI64},
+                          {"rank", ColType::kI64},
+                          {"dur", ColType::kF64}});
+  phases.append_row({std::int64_t{0}, std::int64_t{0}, 1.0});
+  phases.append_row({std::int64_t{0}, std::int64_t{1}, 2.0});
+  phases.append_row({std::int64_t{1}, std::int64_t{0}, 3.0});
+  Table comm("comm", {{"step", ColType::kI64},
+                      {"rank", ColType::kI64},
+                      {"msgs", ColType::kI64}});
+  comm.append_row({std::int64_t{0}, std::int64_t{0}, std::int64_t{10}});
+  comm.append_row({std::int64_t{1}, std::int64_t{0}, std::int64_t{30}});
+
+  const Table joined = join(phases, comm, {"step", "rank"});
+  ASSERT_EQ(joined.num_rows(), 2u);  // (0,1) has no comm row
+  EXPECT_EQ(joined.col_index("dur"), 2);
+  EXPECT_EQ(joined.col_index("msgs"), 3);
+  EXPECT_DOUBLE_EQ(joined.f64("dur")[0], 1.0);
+  EXPECT_EQ(joined.i64("msgs")[1], 30);
+}
+
+TEST(Join, MultipleRightMatchesMultiply) {
+  Table left("l", {{"k", ColType::kI64}, {"x", ColType::kF64}});
+  left.append_row({std::int64_t{7}, 1.5});
+  Table right("r", {{"k", ColType::kI64}, {"y", ColType::kF64}});
+  right.append_row({std::int64_t{7}, 10.0});
+  right.append_row({std::int64_t{7}, 20.0});
+  right.append_row({std::int64_t{8}, 99.0});
+  const Table joined = join(left, right, {"k"});
+  ASSERT_EQ(joined.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(joined.f64("y")[0], 10.0);
+  EXPECT_DOUBLE_EQ(joined.f64("y")[1], 20.0);
+}
+
+TEST(Join, CollidingPayloadNamesGetPrefixed) {
+  Table left("l", {{"k", ColType::kI64}, {"v", ColType::kF64}});
+  left.append_row({std::int64_t{1}, 1.0});
+  Table right("r", {{"k", ColType::kI64}, {"v", ColType::kF64}});
+  right.append_row({std::int64_t{1}, 2.0});
+  const Table joined = join(left, right, {"k"});
+  EXPECT_GE(joined.col_index("v"), 0);
+  EXPECT_GE(joined.col_index("r_v"), 0);
+  EXPECT_DOUBLE_EQ(joined.f64("v")[0], 1.0);
+  EXPECT_DOUBLE_EQ(joined.f64("r_v")[0], 2.0);
+}
+
+TEST(Join, EmptyResultWhenNoKeysMatch) {
+  Table left("l", {{"k", ColType::kI64}});
+  left.append_row({std::int64_t{1}});
+  Table right("r", {{"k", ColType::kI64}});
+  right.append_row({std::int64_t{2}});
+  EXPECT_EQ(join(left, right, {"k"}).num_rows(), 0u);
+}
+
+TEST(JoinDeath, MissingKeyAborts) {
+  Table left("l", {{"k", ColType::kI64}});
+  Table right("r", {{"other", ColType::kI64}});
+  EXPECT_DEATH(join(left, right, {"k"}), "missing");
+}
+
+TEST(Join, ComposesWithGroupBy) {
+  // The paper-style diagnostic: join phase durations with message counts
+  // per (step, rank), then aggregate comm time per message volume bin.
+  Table phases("phases", {{"step", ColType::kI64},
+                          {"rank", ColType::kI64},
+                          {"dur", ColType::kF64}});
+  Table comm("comm", {{"step", ColType::kI64},
+                      {"rank", ColType::kI64},
+                      {"msgs", ColType::kI64}});
+  for (std::int64_t s = 0; s < 4; ++s) {
+    for (std::int64_t r = 0; r < 4; ++r) {
+      phases.append_row({s, r, static_cast<double>(r + 1)});
+      comm.append_row({s, r, r});
+    }
+  }
+  const Table joined = join(phases, comm, {"step", "rank"});
+  const Table by_msgs = Query(joined)
+                            .group_by({"msgs"})
+                            .agg({{"dur", Agg::kMean, "mean_dur"}});
+  ASSERT_EQ(by_msgs.num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(by_msgs.f64("mean_dur")[0], 1.0);
+  EXPECT_DOUBLE_EQ(by_msgs.f64("mean_dur")[3], 4.0);
+}
+
+}  // namespace
+}  // namespace amr

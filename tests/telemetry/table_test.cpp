@@ -1,0 +1,99 @@
+#include "amr/telemetry/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amr {
+namespace {
+
+Table sample_table() {
+  Table t("sample", {{"step", ColType::kI64},
+                     {"rank", ColType::kI64},
+                     {"dur", ColType::kF64}});
+  t.append_row({std::int64_t{0}, std::int64_t{0}, 1.5});
+  t.append_row({std::int64_t{0}, std::int64_t{1}, 2.5});
+  t.append_row({std::int64_t{1}, std::int64_t{0}, 3.5});
+  return t;
+}
+
+TEST(Table, SchemaAndCounts) {
+  const Table t = sample_table();
+  EXPECT_EQ(t.name(), "sample");
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.col_index("rank"), 1);
+  EXPECT_EQ(t.col_index("missing"), -1);
+}
+
+TEST(Table, TypedColumnAccess) {
+  const Table t = sample_table();
+  const auto steps = t.i64("step");
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[2], 1);
+  const auto durs = t.f64("dur");
+  EXPECT_DOUBLE_EQ(durs[1], 2.5);
+}
+
+TEST(Table, GenericValueAccess) {
+  const Table t = sample_table();
+  EXPECT_DOUBLE_EQ(t.value(0, 2), 1.0);  // i64 read as double
+  EXPECT_DOUBLE_EQ(t.value(2, 0), 1.5);
+  EXPECT_EQ(t.ivalue(1, 1), 1);
+}
+
+TEST(Table, IntAcceptedIntoF64Column) {
+  Table t("t", {{"x", ColType::kF64}});
+  t.append_row({std::int64_t{42}});
+  EXPECT_DOUBLE_EQ(t.f64("x")[0], 42.0);
+}
+
+TEST(Table, ColumnStats) {
+  const Table t = sample_table();
+  double min = 0;
+  double max = 0;
+  t.column_stats(2, min, max);
+  EXPECT_DOUBLE_EQ(min, 1.5);
+  EXPECT_DOUBLE_EQ(max, 3.5);
+}
+
+TEST(Table, EmptyTableStatsAreZero) {
+  const Table t("empty", {{"x", ColType::kF64}});
+  double min = 1;
+  double max = 1;
+  t.column_stats(0, min, max);
+  EXPECT_DOUBLE_EQ(min, 0.0);
+  EXPECT_DOUBLE_EQ(max, 0.0);
+}
+
+TEST(Table, FormatListsRowsAndTruncates) {
+  const Table t = sample_table();
+  const std::string full = t.format();
+  EXPECT_NE(full.find("sample"), std::string::npos);
+  EXPECT_NE(full.find("2.5"), std::string::npos);
+  const std::string cut = t.format(1);
+  EXPECT_NE(cut.find("..."), std::string::npos);
+}
+
+TEST(TableDeath, ArityMismatchAborts) {
+  Table t("t", {{"a", ColType::kI64}, {"b", ColType::kF64}});
+  EXPECT_DEATH(t.append_row({std::int64_t{1}}), "arity");
+}
+
+TEST(TableDeath, DoubleIntoI64Aborts) {
+  Table t("t", {{"a", ColType::kI64}});
+  EXPECT_DEATH(t.append_row({1.5}), "i64");
+}
+
+TEST(TableDeath, TypeMismatchedColumnAccessAborts) {
+  const Table t = sample_table();
+  EXPECT_DEATH(t.i64("dur"), "type");
+  EXPECT_DEATH(t.f64("step"), "type");
+}
+
+TEST(TableDeath, DuplicateColumnNameAborts) {
+  EXPECT_DEATH(
+      Table("t", {{"a", ColType::kI64}, {"a", ColType::kF64}}),
+      "duplicate");
+}
+
+}  // namespace
+}  // namespace amr

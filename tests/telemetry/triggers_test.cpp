@@ -1,0 +1,85 @@
+#include "amr/telemetry/triggers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amr {
+namespace {
+
+Collector collect_with_spike() {
+  Collector c;
+  for (std::int64_t step = 0; step < 10; ++step) {
+    for (std::int32_t rank = 0; rank < 4; ++rank) {
+      c.record_phase(step, rank, Phase::kCompute, us(100));
+      // Step 7, rank 2 has a sync spike.
+      const TimeNs sync =
+          (step == 7 && rank == 2) ? ms(5.0) : us(50);
+      c.record_phase(step, rank, Phase::kSync, sync);
+    }
+  }
+  return c;
+}
+
+TEST(TelemetryTriggers, FiresOnThresholdCrossing) {
+  const Collector c = collect_with_spike();
+  TelemetryTriggers triggers;
+  triggers.add_rule({"sync-spike", Phase::kSync, Agg::kMax,
+                     static_cast<double>(ms(1.0))});
+  const auto events = triggers.evaluate(c.phases());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].rule, "sync-spike");
+  EXPECT_EQ(events[0].step, 7);
+  EXPECT_DOUBLE_EQ(events[0].value_ns, static_cast<double>(ms(5.0)));
+}
+
+TEST(TelemetryTriggers, AggregateChoiceMatters) {
+  const Collector c = collect_with_spike();
+  TelemetryTriggers triggers;
+  // Mean over 4 ranks at step 7 = (3*50us + 5ms)/4 = 1.2875 ms.
+  triggers.add_rule({"mean-high", Phase::kSync, Agg::kMean,
+                     static_cast<double>(ms(2.0))});
+  EXPECT_TRUE(triggers.evaluate(c.phases()).empty());
+  triggers.add_rule({"mean-low", Phase::kSync, Agg::kMean,
+                     static_cast<double>(ms(1.0))});
+  const auto events = triggers.evaluate(c.phases());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].rule, "mean-low");
+}
+
+TEST(TelemetryTriggers, WatchesOnlyItsPhase) {
+  const Collector c = collect_with_spike();
+  TelemetryTriggers triggers;
+  triggers.add_rule({"compute-spike", Phase::kCompute, Agg::kMax,
+                     static_cast<double>(ms(1.0))});
+  EXPECT_TRUE(triggers.evaluate(c.phases()).empty());
+}
+
+TEST(TelemetryTriggers, MultipleRulesOrderedEvents) {
+  const Collector c = collect_with_spike();
+  TelemetryTriggers triggers;
+  triggers.add_rule({"a", Phase::kSync, Agg::kMax, 0.0});   // every step
+  triggers.add_rule({"b", Phase::kSync, Agg::kMax,
+                     static_cast<double>(ms(1.0))});
+  const auto events = triggers.evaluate(c.phases());
+  ASSERT_EQ(events.size(), 11u);  // 10 from "a" + 1 from "b"
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].rule, "a");
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].step, i);
+  }
+  EXPECT_EQ(events[10].rule, "b");
+}
+
+TEST(TelemetryTriggers, EmptyTableNoEvents) {
+  Collector c;
+  TelemetryTriggers triggers;
+  triggers.add_rule({"any", Phase::kSync, Agg::kMax, 0.0});
+  EXPECT_TRUE(triggers.evaluate(c.phases()).empty());
+}
+
+TEST(TelemetryTriggersDeath, UnnamedRuleAborts) {
+  TelemetryTriggers triggers;
+  EXPECT_DEATH(triggers.add_rule({"", Phase::kSync, Agg::kMax, 0.0}),
+               "name");
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,46 @@
+#include "amr/topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amr {
+namespace {
+
+TEST(Topology, DensePackingSixteenPerNode) {
+  const ClusterTopology topo(64, 16);
+  EXPECT_EQ(topo.num_nodes(), 4);
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(15), 0);
+  EXPECT_EQ(topo.node_of(16), 1);
+  EXPECT_EQ(topo.node_of(63), 3);
+}
+
+TEST(Topology, SameNodePredicate) {
+  const ClusterTopology topo(32, 16);
+  EXPECT_TRUE(topo.same_node(0, 15));
+  EXPECT_FALSE(topo.same_node(15, 16));
+}
+
+TEST(Topology, PartialLastNode) {
+  const ClusterTopology topo(20, 16);
+  EXPECT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.ranks_on_node(0).size(), 16u);
+  const auto last = topo.ranks_on_node(1);
+  ASSERT_EQ(last.size(), 4u);
+  EXPECT_EQ(last.front(), 16);
+  EXPECT_EQ(last.back(), 19);
+}
+
+TEST(Topology, SingleRankCluster) {
+  const ClusterTopology topo(1, 16);
+  EXPECT_EQ(topo.num_nodes(), 1);
+  EXPECT_EQ(topo.node_of(0), 0);
+}
+
+TEST(TopologyDeath, OutOfRangeRankAborts) {
+  const ClusterTopology topo(8, 4);
+  EXPECT_DEATH(topo.node_of(8), "");
+  EXPECT_DEATH(topo.node_of(-1), "");
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,137 @@
+#include "amr/workloads/sedov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amr/workloads/cooling.hpp"
+
+namespace amr {
+namespace {
+
+SedovParams small_params() {
+  SedovParams p;
+  p.total_steps = 50;
+  p.max_level = 1;
+  return p;
+}
+
+TEST(Sedov, FrontRadiusFollowsSelfSimilarLaw) {
+  SedovWorkload sedov(small_params());
+  EXPECT_DOUBLE_EQ(sedov.front_radius(0), 0.0);
+  EXPECT_DOUBLE_EQ(sedov.front_radius(50), 0.85);
+  // R(t) ~ t^0.4: half time -> 0.85 * 0.5^0.4.
+  EXPECT_NEAR(sedov.front_radius(25), 0.85 * std::pow(0.5, 0.4), 1e-12);
+  // Monotone growth, capped after total_steps.
+  EXPECT_LT(sedov.front_radius(10), sedov.front_radius(20));
+  EXPECT_DOUBLE_EQ(sedov.front_radius(100), 0.85);
+}
+
+TEST(Sedov, EvolveRefinesAroundFront) {
+  SedovWorkload sedov(small_params());
+  AmrMesh mesh(RootGrid{8, 8, 8});
+  const std::size_t before = mesh.size();
+  bool changed = false;
+  for (std::int64_t s = 0; s <= 25; s += 5)
+    changed |= sedov.evolve(mesh, s);
+  EXPECT_TRUE(changed);
+  EXPECT_GT(mesh.size(), before);
+  EXPECT_TRUE(mesh.check_balance());
+  // Refined blocks hug the shell.
+  const double radius = sedov.front_radius(25);
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    if (mesh.block(b).level == 0) continue;
+    const auto c = mesh.bounds(b).center();
+    const double d = std::sqrt((c[0] - 0.5) * (c[0] - 0.5) +
+                               (c[1] - 0.5) * (c[1] - 0.5) +
+                               (c[2] - 0.5) * (c[2] - 0.5));
+    EXPECT_LT(std::abs(d - radius), 0.35);
+  }
+}
+
+TEST(Sedov, EvolveOnlyOnCheckPeriod) {
+  SedovWorkload sedov(small_params());
+  AmrMesh mesh(RootGrid{8, 8, 8});
+  EXPECT_FALSE(sedov.evolve(mesh, 7));  // not a multiple of 5
+  EXPECT_FALSE(sedov.evolve(mesh, 13));
+}
+
+TEST(Sedov, FrontSweepCoarsensBehind) {
+  SedovWorkload sedov(small_params());
+  AmrMesh mesh(RootGrid{8, 8, 8});
+  std::size_t peak = mesh.size();
+  for (std::int64_t s = 0; s <= 50; s += 5) {
+    sedov.evolve(mesh, s);
+    peak = std::max(peak, mesh.size());
+  }
+  // Blocks were refined at the front and coarsened behind it: the final
+  // count sits below the peak.
+  EXPECT_GT(peak, 512u);
+  EXPECT_LT(mesh.size(), peak);
+  EXPECT_TRUE(mesh.check_balance());
+}
+
+TEST(Sedov, CostElevatedNearFront) {
+  SedovParams p = small_params();
+  p.noise_sigma = 0.0;  // isolate the spatial profile
+  SedovWorkload sedov(p);
+  AmrMesh mesh(RootGrid{8, 8, 8});
+  const std::int64_t step = 25;
+  const double radius = sedov.front_radius(step);
+
+  TimeNs front_cost = 0;
+  TimeNs far_cost = 0;
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    const auto c = mesh.bounds(b).center();
+    const double d = std::sqrt((c[0] - 0.5) * (c[0] - 0.5) +
+                               (c[1] - 0.5) * (c[1] - 0.5) +
+                               (c[2] - 0.5) * (c[2] - 0.5));
+    if (std::abs(d - radius) < 0.05)
+      front_cost = std::max(front_cost, sedov.block_cost(mesh, b, step));
+    if (std::abs(d - radius) > 0.3)
+      far_cost = std::max(far_cost, sedov.block_cost(mesh, b, step));
+  }
+  ASSERT_GT(front_cost, 0);
+  ASSERT_GT(far_cost, 0);
+  EXPECT_GT(front_cost, 2 * far_cost);
+}
+
+TEST(Sedov, CostsDeterministicAndKeyedByCoordinates) {
+  SedovWorkload sedov(small_params());
+  AmrMesh mesh(RootGrid{8, 8, 8});
+  const TimeNs a = sedov.block_cost(mesh, 5, 10);
+  const TimeNs b = sedov.block_cost(mesh, 5, 10);
+  EXPECT_EQ(a, b);
+  // Different step changes the noise.
+  EXPECT_NE(sedov.block_cost(mesh, 5, 10), sedov.block_cost(mesh, 5, 11));
+}
+
+TEST(Cooling, RefinesClumpOnceAndStaysStatic) {
+  CoolingParams p;
+  p.max_level = 1;
+  CoolingWorkload cooling(p);
+  AmrMesh mesh(RootGrid{8, 8, 8});
+  EXPECT_TRUE(cooling.evolve(mesh, 0));
+  const std::size_t after = mesh.size();
+  EXPECT_GT(after, 512u);
+  for (std::int64_t s = 1; s < 20; ++s)
+    EXPECT_FALSE(cooling.evolve(mesh, s));
+  EXPECT_EQ(mesh.size(), after);
+}
+
+TEST(Cooling, CostFallsOffFromCenter) {
+  CoolingParams p;
+  p.noise_sigma = 0.0;
+  CoolingWorkload cooling(p);
+  AmrMesh mesh(RootGrid{8, 8, 8});
+  const std::int32_t center = mesh.find(BlockCoord{0, 4, 4, 4});
+  const std::int32_t corner = mesh.find(BlockCoord{0, 0, 0, 0});
+  ASSERT_GE(center, 0);
+  ASSERT_GE(corner, 0);
+  EXPECT_GT(cooling.block_cost(mesh, static_cast<std::size_t>(center), 0),
+            2 * cooling.block_cost(mesh, static_cast<std::size_t>(corner),
+                                   0));
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,68 @@
+#include "amr/workloads/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amr/common/stats.hpp"
+
+namespace amr {
+namespace {
+
+class SyntheticCosts : public testing::TestWithParam<CostDistribution> {};
+
+TEST_P(SyntheticCosts, PositiveBoundedAndRoughlyCorrectMean) {
+  Rng rng(17);
+  const SyntheticCostParams params;
+  const auto costs = synthetic_costs(50000, GetParam(), rng, params);
+  RunningStats s;
+  for (const double c : costs) {
+    ASSERT_GT(c, 0.0);
+    ASSERT_LE(c, params.clamp_max_ratio * params.mean);
+    s.add(c);
+  }
+  EXPECT_NEAR(s.mean(), params.mean, 0.1);
+}
+
+TEST_P(SyntheticCosts, DeterministicPerSeed) {
+  Rng a(23);
+  Rng b(23);
+  EXPECT_EQ(synthetic_costs(100, GetParam(), a),
+            synthetic_costs(100, GetParam(), b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, SyntheticCosts,
+    testing::Values(CostDistribution::kExponential,
+                    CostDistribution::kGaussian,
+                    CostDistribution::kPowerLaw),
+    [](const testing::TestParamInfo<CostDistribution>& info) {
+      std::string n = to_string(info.param);
+      for (auto& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(SyntheticCosts, PowerLawHasHeavierTailThanGaussian) {
+  Rng rng(29);
+  const auto pl =
+      synthetic_costs(50000, CostDistribution::kPowerLaw, rng);
+  const auto g = synthetic_costs(50000, CostDistribution::kGaussian, rng);
+  EXPECT_GT(percentile(pl, 0.999) / percentile(pl, 0.5),
+            percentile(g, 0.999) / percentile(g, 0.5));
+}
+
+TEST(SyntheticCosts, GaussianTighterThanExponential) {
+  Rng rng(31);
+  const auto g = synthetic_costs(50000, CostDistribution::kGaussian, rng);
+  const auto e =
+      synthetic_costs(50000, CostDistribution::kExponential, rng);
+  EXPECT_LT(stddev(g), stddev(e));
+}
+
+TEST(SyntheticCosts, ZeroCountYieldsEmpty) {
+  Rng rng(37);
+  EXPECT_TRUE(
+      synthetic_costs(0, CostDistribution::kExponential, rng).empty());
+}
+
+}  // namespace
+}  // namespace amr
