@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cdp_ablation.dir/bench_cdp_ablation.cpp.o"
+  "CMakeFiles/bench_cdp_ablation.dir/bench_cdp_ablation.cpp.o.d"
+  "bench_cdp_ablation"
+  "bench_cdp_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cdp_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commbench.dir/bench_commbench.cpp.o"
+  "CMakeFiles/bench_commbench.dir/bench_commbench.cpp.o.d"
+  "bench_commbench"
+  "bench_commbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

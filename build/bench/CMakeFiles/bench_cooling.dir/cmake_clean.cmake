@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cooling.dir/bench_cooling.cpp.o"
+  "CMakeFiles/bench_cooling.dir/bench_cooling.cpp.o.d"
+  "bench_cooling"
+  "bench_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

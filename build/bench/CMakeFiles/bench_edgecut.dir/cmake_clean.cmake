@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edgecut.dir/bench_edgecut.cpp.o"
+  "CMakeFiles/bench_edgecut.dir/bench_edgecut.cpp.o.d"
+  "bench_edgecut"
+  "bench_edgecut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edgecut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

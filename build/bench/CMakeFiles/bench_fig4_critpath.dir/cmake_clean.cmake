@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_critpath.dir/bench_fig4_critpath.cpp.o"
+  "CMakeFiles/bench_fig4_critpath.dir/bench_fig4_critpath.cpp.o.d"
+  "bench_fig4_critpath"
+  "bench_fig4_critpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_critpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lpt_quality.dir/bench_lpt_quality.cpp.o"
+  "CMakeFiles/bench_lpt_quality.dir/bench_lpt_quality.cpp.o.d"
+  "bench_lpt_quality"
+  "bench_lpt_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lpt_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

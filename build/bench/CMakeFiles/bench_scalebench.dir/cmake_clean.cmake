@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalebench.dir/bench_scalebench.cpp.o"
+  "CMakeFiles/bench_scalebench.dir/bench_scalebench.cpp.o.d"
+  "bench_scalebench"
+  "bench_scalebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

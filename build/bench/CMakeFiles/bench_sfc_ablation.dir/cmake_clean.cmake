@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sfc_ablation.dir/bench_sfc_ablation.cpp.o"
+  "CMakeFiles/bench_sfc_ablation.dir/bench_sfc_ablation.cpp.o.d"
+  "bench_sfc_ablation"
+  "bench_sfc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sfc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

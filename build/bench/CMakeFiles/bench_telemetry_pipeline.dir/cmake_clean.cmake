@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_telemetry_pipeline.dir/bench_telemetry_pipeline.cpp.o"
+  "CMakeFiles/bench_telemetry_pipeline.dir/bench_telemetry_pipeline.cpp.o.d"
+  "bench_telemetry_pipeline"
+  "bench_telemetry_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_telemetry_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrcplx_cli.dir/amrcplx_cli.cpp.o"
+  "CMakeFiles/amrcplx_cli.dir/amrcplx_cli.cpp.o.d"
+  "amrcplx"
+  "amrcplx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrcplx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_explorer.dir/placement_explorer.cpp.o"
+  "CMakeFiles/placement_explorer.dir/placement_explorer.cpp.o.d"
+  "placement_explorer"
+  "placement_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

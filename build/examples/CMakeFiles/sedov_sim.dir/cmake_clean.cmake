@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedov_sim.dir/sedov_sim.cpp.o"
+  "CMakeFiles/sedov_sim.dir/sedov_sim.cpp.o.d"
+  "sedov_sim"
+  "sedov_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedov_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_triage.dir/telemetry_triage.cpp.o"
+  "CMakeFiles/telemetry_triage.dir/telemetry_triage.cpp.o.d"
+  "telemetry_triage"
+  "telemetry_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_common.dir/log.cpp.o"
+  "CMakeFiles/amr_common.dir/log.cpp.o.d"
+  "CMakeFiles/amr_common.dir/rng.cpp.o"
+  "CMakeFiles/amr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/amr_common.dir/stats.cpp.o"
+  "CMakeFiles/amr_common.dir/stats.cpp.o.d"
+  "libamr_common.a"
+  "libamr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_des.dir/engine.cpp.o"
+  "CMakeFiles/amr_des.dir/engine.cpp.o.d"
+  "libamr_des.a"
+  "libamr_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

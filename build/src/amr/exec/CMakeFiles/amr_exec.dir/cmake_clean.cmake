@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_exec.dir/critical_path.cpp.o"
+  "CMakeFiles/amr_exec.dir/critical_path.cpp.o.d"
+  "CMakeFiles/amr_exec.dir/overlap.cpp.o"
+  "CMakeFiles/amr_exec.dir/overlap.cpp.o.d"
+  "CMakeFiles/amr_exec.dir/rank_runtime.cpp.o"
+  "CMakeFiles/amr_exec.dir/rank_runtime.cpp.o.d"
+  "CMakeFiles/amr_exec.dir/step_executor.cpp.o"
+  "CMakeFiles/amr_exec.dir/step_executor.cpp.o.d"
+  "CMakeFiles/amr_exec.dir/work.cpp.o"
+  "CMakeFiles/amr_exec.dir/work.cpp.o.d"
+  "libamr_exec.a"
+  "libamr_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/faults/health.cpp" "src/amr/faults/CMakeFiles/amr_faults.dir/health.cpp.o" "gcc" "src/amr/faults/CMakeFiles/amr_faults.dir/health.cpp.o.d"
+  "/root/repo/src/amr/faults/injector.cpp" "src/amr/faults/CMakeFiles/amr_faults.dir/injector.cpp.o" "gcc" "src/amr/faults/CMakeFiles/amr_faults.dir/injector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/common/CMakeFiles/amr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/topo/CMakeFiles/amr_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_faults.dir/health.cpp.o"
+  "CMakeFiles/amr_faults.dir/health.cpp.o.d"
+  "CMakeFiles/amr_faults.dir/injector.cpp.o"
+  "CMakeFiles/amr_faults.dir/injector.cpp.o.d"
+  "libamr_faults.a"
+  "libamr_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

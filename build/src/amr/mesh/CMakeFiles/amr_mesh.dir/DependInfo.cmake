@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/mesh/generators.cpp" "src/amr/mesh/CMakeFiles/amr_mesh.dir/generators.cpp.o" "gcc" "src/amr/mesh/CMakeFiles/amr_mesh.dir/generators.cpp.o.d"
+  "/root/repo/src/amr/mesh/hilbert.cpp" "src/amr/mesh/CMakeFiles/amr_mesh.dir/hilbert.cpp.o" "gcc" "src/amr/mesh/CMakeFiles/amr_mesh.dir/hilbert.cpp.o.d"
+  "/root/repo/src/amr/mesh/mesh.cpp" "src/amr/mesh/CMakeFiles/amr_mesh.dir/mesh.cpp.o" "gcc" "src/amr/mesh/CMakeFiles/amr_mesh.dir/mesh.cpp.o.d"
+  "/root/repo/src/amr/mesh/morton.cpp" "src/amr/mesh/CMakeFiles/amr_mesh.dir/morton.cpp.o" "gcc" "src/amr/mesh/CMakeFiles/amr_mesh.dir/morton.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/common/CMakeFiles/amr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_mesh.dir/generators.cpp.o"
+  "CMakeFiles/amr_mesh.dir/generators.cpp.o.d"
+  "CMakeFiles/amr_mesh.dir/hilbert.cpp.o"
+  "CMakeFiles/amr_mesh.dir/hilbert.cpp.o.d"
+  "CMakeFiles/amr_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/amr_mesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/amr_mesh.dir/morton.cpp.o"
+  "CMakeFiles/amr_mesh.dir/morton.cpp.o.d"
+  "libamr_mesh.a"
+  "libamr_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_net.dir/fabric.cpp.o"
+  "CMakeFiles/amr_net.dir/fabric.cpp.o.d"
+  "libamr_net.a"
+  "libamr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

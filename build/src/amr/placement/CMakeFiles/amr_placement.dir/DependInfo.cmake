@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/placement/baseline.cpp" "src/amr/placement/CMakeFiles/amr_placement.dir/baseline.cpp.o" "gcc" "src/amr/placement/CMakeFiles/amr_placement.dir/baseline.cpp.o.d"
+  "/root/repo/src/amr/placement/cdp.cpp" "src/amr/placement/CMakeFiles/amr_placement.dir/cdp.cpp.o" "gcc" "src/amr/placement/CMakeFiles/amr_placement.dir/cdp.cpp.o.d"
+  "/root/repo/src/amr/placement/chunked_cdp.cpp" "src/amr/placement/CMakeFiles/amr_placement.dir/chunked_cdp.cpp.o" "gcc" "src/amr/placement/CMakeFiles/amr_placement.dir/chunked_cdp.cpp.o.d"
+  "/root/repo/src/amr/placement/cplx.cpp" "src/amr/placement/CMakeFiles/amr_placement.dir/cplx.cpp.o" "gcc" "src/amr/placement/CMakeFiles/amr_placement.dir/cplx.cpp.o.d"
+  "/root/repo/src/amr/placement/exact.cpp" "src/amr/placement/CMakeFiles/amr_placement.dir/exact.cpp.o" "gcc" "src/amr/placement/CMakeFiles/amr_placement.dir/exact.cpp.o.d"
+  "/root/repo/src/amr/placement/graphcut.cpp" "src/amr/placement/CMakeFiles/amr_placement.dir/graphcut.cpp.o" "gcc" "src/amr/placement/CMakeFiles/amr_placement.dir/graphcut.cpp.o.d"
+  "/root/repo/src/amr/placement/lpt.cpp" "src/amr/placement/CMakeFiles/amr_placement.dir/lpt.cpp.o" "gcc" "src/amr/placement/CMakeFiles/amr_placement.dir/lpt.cpp.o.d"
+  "/root/repo/src/amr/placement/metrics.cpp" "src/amr/placement/CMakeFiles/amr_placement.dir/metrics.cpp.o" "gcc" "src/amr/placement/CMakeFiles/amr_placement.dir/metrics.cpp.o.d"
+  "/root/repo/src/amr/placement/registry.cpp" "src/amr/placement/CMakeFiles/amr_placement.dir/registry.cpp.o" "gcc" "src/amr/placement/CMakeFiles/amr_placement.dir/registry.cpp.o.d"
+  "/root/repo/src/amr/placement/zonal.cpp" "src/amr/placement/CMakeFiles/amr_placement.dir/zonal.cpp.o" "gcc" "src/amr/placement/CMakeFiles/amr_placement.dir/zonal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/common/CMakeFiles/amr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/mesh/CMakeFiles/amr_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/topo/CMakeFiles/amr_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_placement.dir/baseline.cpp.o"
+  "CMakeFiles/amr_placement.dir/baseline.cpp.o.d"
+  "CMakeFiles/amr_placement.dir/cdp.cpp.o"
+  "CMakeFiles/amr_placement.dir/cdp.cpp.o.d"
+  "CMakeFiles/amr_placement.dir/chunked_cdp.cpp.o"
+  "CMakeFiles/amr_placement.dir/chunked_cdp.cpp.o.d"
+  "CMakeFiles/amr_placement.dir/cplx.cpp.o"
+  "CMakeFiles/amr_placement.dir/cplx.cpp.o.d"
+  "CMakeFiles/amr_placement.dir/exact.cpp.o"
+  "CMakeFiles/amr_placement.dir/exact.cpp.o.d"
+  "CMakeFiles/amr_placement.dir/graphcut.cpp.o"
+  "CMakeFiles/amr_placement.dir/graphcut.cpp.o.d"
+  "CMakeFiles/amr_placement.dir/lpt.cpp.o"
+  "CMakeFiles/amr_placement.dir/lpt.cpp.o.d"
+  "CMakeFiles/amr_placement.dir/metrics.cpp.o"
+  "CMakeFiles/amr_placement.dir/metrics.cpp.o.d"
+  "CMakeFiles/amr_placement.dir/registry.cpp.o"
+  "CMakeFiles/amr_placement.dir/registry.cpp.o.d"
+  "CMakeFiles/amr_placement.dir/zonal.cpp.o"
+  "CMakeFiles/amr_placement.dir/zonal.cpp.o.d"
+  "libamr_placement.a"
+  "libamr_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

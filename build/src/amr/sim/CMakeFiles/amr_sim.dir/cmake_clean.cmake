@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_sim.dir/exchange_bench.cpp.o"
+  "CMakeFiles/amr_sim.dir/exchange_bench.cpp.o.d"
+  "CMakeFiles/amr_sim.dir/simulation.cpp.o"
+  "CMakeFiles/amr_sim.dir/simulation.cpp.o.d"
+  "libamr_sim.a"
+  "libamr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/amr_simmpi.dir/comm.cpp.o.d"
+  "libamr_simmpi.a"
+  "libamr_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/telemetry/binary_io.cpp" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/binary_io.cpp.o" "gcc" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/binary_io.cpp.o.d"
+  "/root/repo/src/amr/telemetry/collector.cpp" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/collector.cpp.o" "gcc" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/collector.cpp.o.d"
+  "/root/repo/src/amr/telemetry/csv_io.cpp" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/csv_io.cpp.o" "gcc" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/csv_io.cpp.o.d"
+  "/root/repo/src/amr/telemetry/detectors.cpp" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/detectors.cpp.o" "gcc" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/detectors.cpp.o.d"
+  "/root/repo/src/amr/telemetry/query.cpp" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/query.cpp.o" "gcc" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/query.cpp.o.d"
+  "/root/repo/src/amr/telemetry/table.cpp" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/table.cpp.o" "gcc" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/table.cpp.o.d"
+  "/root/repo/src/amr/telemetry/triggers.cpp" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/triggers.cpp.o" "gcc" "src/amr/telemetry/CMakeFiles/amr_telemetry.dir/triggers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/common/CMakeFiles/amr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/topo/CMakeFiles/amr_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_telemetry.dir/binary_io.cpp.o"
+  "CMakeFiles/amr_telemetry.dir/binary_io.cpp.o.d"
+  "CMakeFiles/amr_telemetry.dir/collector.cpp.o"
+  "CMakeFiles/amr_telemetry.dir/collector.cpp.o.d"
+  "CMakeFiles/amr_telemetry.dir/csv_io.cpp.o"
+  "CMakeFiles/amr_telemetry.dir/csv_io.cpp.o.d"
+  "CMakeFiles/amr_telemetry.dir/detectors.cpp.o"
+  "CMakeFiles/amr_telemetry.dir/detectors.cpp.o.d"
+  "CMakeFiles/amr_telemetry.dir/query.cpp.o"
+  "CMakeFiles/amr_telemetry.dir/query.cpp.o.d"
+  "CMakeFiles/amr_telemetry.dir/table.cpp.o"
+  "CMakeFiles/amr_telemetry.dir/table.cpp.o.d"
+  "CMakeFiles/amr_telemetry.dir/triggers.cpp.o"
+  "CMakeFiles/amr_telemetry.dir/triggers.cpp.o.d"
+  "libamr_telemetry.a"
+  "libamr_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

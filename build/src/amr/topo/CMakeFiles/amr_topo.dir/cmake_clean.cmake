@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_topo.dir/topology.cpp.o"
+  "CMakeFiles/amr_topo.dir/topology.cpp.o.d"
+  "libamr_topo.a"
+  "libamr_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

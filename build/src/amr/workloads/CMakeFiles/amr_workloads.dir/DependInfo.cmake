@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/workloads/cooling.cpp" "src/amr/workloads/CMakeFiles/amr_workloads.dir/cooling.cpp.o" "gcc" "src/amr/workloads/CMakeFiles/amr_workloads.dir/cooling.cpp.o.d"
+  "/root/repo/src/amr/workloads/sedov.cpp" "src/amr/workloads/CMakeFiles/amr_workloads.dir/sedov.cpp.o" "gcc" "src/amr/workloads/CMakeFiles/amr_workloads.dir/sedov.cpp.o.d"
+  "/root/repo/src/amr/workloads/synthetic.cpp" "src/amr/workloads/CMakeFiles/amr_workloads.dir/synthetic.cpp.o" "gcc" "src/amr/workloads/CMakeFiles/amr_workloads.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/common/CMakeFiles/amr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/mesh/CMakeFiles/amr_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_workloads.dir/cooling.cpp.o"
+  "CMakeFiles/amr_workloads.dir/cooling.cpp.o.d"
+  "CMakeFiles/amr_workloads.dir/sedov.cpp.o"
+  "CMakeFiles/amr_workloads.dir/sedov.cpp.o.d"
+  "CMakeFiles/amr_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/amr_workloads.dir/synthetic.cpp.o.d"
+  "libamr_workloads.a"
+  "libamr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

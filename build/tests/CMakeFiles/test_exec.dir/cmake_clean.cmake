@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec.dir/exec/critical_path_test.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/critical_path_test.cpp.o.d"
+  "CMakeFiles/test_exec.dir/exec/overlap_test.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/overlap_test.cpp.o.d"
+  "CMakeFiles/test_exec.dir/exec/step_executor_test.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/step_executor_test.cpp.o.d"
+  "CMakeFiles/test_exec.dir/exec/work_test.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/work_test.cpp.o.d"
+  "test_exec"
+  "test_exec.pdb"
+  "test_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

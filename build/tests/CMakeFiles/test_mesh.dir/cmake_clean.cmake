@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh.dir/mesh/fuzz_test.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/generators_test.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/generators_test.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/hilbert_test.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/hilbert_test.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/mesh_test.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/mesh_test.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/morton_test.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/morton_test.cpp.o.d"
+  "test_mesh"
+  "test_mesh.pdb"
+  "test_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement.dir/placement/baseline_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/baseline_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/cdp_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/cdp_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/cplx_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/cplx_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/graphcut_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/graphcut_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/lpt_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/lpt_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/metrics_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/metrics_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/properties_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/properties_test.cpp.o.d"
+  "CMakeFiles/test_placement.dir/placement/zonal_test.cpp.o"
+  "CMakeFiles/test_placement.dir/placement/zonal_test.cpp.o.d"
+  "test_placement"
+  "test_placement.pdb"
+  "test_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
