@@ -232,5 +232,6 @@ bench/CMakeFiles/bench_fig4_critpath.dir/bench_fig4_critpath.cpp.o: \
  /root/repo/src/amr/telemetry/collector.hpp \
  /root/repo/src/amr/telemetry/table.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/amr/trace/tracer.hpp \
  /root/repo/src/amr/workloads/workload.hpp \
  /root/repo/src/amr/workloads/sedov.hpp

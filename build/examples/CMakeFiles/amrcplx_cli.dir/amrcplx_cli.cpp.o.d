@@ -235,6 +235,8 @@ examples/CMakeFiles/amrcplx_cli.dir/amrcplx_cli.cpp.o: \
  /root/repo/src/amr/telemetry/collector.hpp \
  /root/repo/src/amr/telemetry/table.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/amr/trace/tracer.hpp \
  /root/repo/src/amr/workloads/workload.hpp \
+ /root/repo/src/amr/trace/chrome_export.hpp \
  /root/repo/src/amr/workloads/cooling.hpp \
  /root/repo/src/amr/workloads/sedov.hpp

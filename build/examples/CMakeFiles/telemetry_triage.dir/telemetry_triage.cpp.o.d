@@ -245,6 +245,7 @@ examples/CMakeFiles/telemetry_triage.dir/telemetry_triage.cpp.o: \
  /root/repo/src/amr/sim/triggers.hpp \
  /root/repo/src/amr/telemetry/collector.hpp \
  /root/repo/src/amr/telemetry/table.hpp /usr/include/c++/12/variant \
+ /root/repo/src/amr/trace/tracer.hpp \
  /root/repo/src/amr/workloads/workload.hpp \
  /root/repo/src/amr/telemetry/binary_io.hpp \
  /root/repo/src/amr/telemetry/detectors.hpp \

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_json_validate.cpp" "examples/CMakeFiles/trace_json_validate.dir/trace_json_validate.cpp.o" "gcc" "examples/CMakeFiles/trace_json_validate.dir/trace_json_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/sim/CMakeFiles/amr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/faults/CMakeFiles/amr_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/exec/CMakeFiles/amr_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/placement/CMakeFiles/amr_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/simmpi/CMakeFiles/amr_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/net/CMakeFiles/amr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/des/CMakeFiles/amr_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/trace/CMakeFiles/amr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/telemetry/CMakeFiles/amr_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/topo/CMakeFiles/amr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/workloads/CMakeFiles/amr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/mesh/CMakeFiles/amr_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/common/CMakeFiles/amr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -4,3 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(trace_smoke_run "/root/repo/build/examples/amrcplx" "run" "--workload=sedov" "--policy=baseline" "--ranks=16" "--steps=4" "--trace-out=/root/repo/build/examples/smoke_trace.json")
+set_tests_properties(trace_smoke_run PROPERTIES  FIXTURES_SETUP "trace_smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(trace_smoke_validate "/root/repo/build/examples/trace_json_validate" "/root/repo/build/examples/smoke_trace.json")
+set_tests_properties(trace_smoke_validate PROPERTIES  FIXTURES_REQUIRED "trace_smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -116,4 +116,5 @@ src/amr/des/CMakeFiles/amr_des.dir/engine.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/stdio.h \
- /usr/include/c++/12/source_location /root/repo/src/amr/common/time.hpp
+ /usr/include/c++/12/source_location /root/repo/src/amr/common/time.hpp \
+ /root/repo/src/amr/trace/tracer.hpp /usr/include/c++/12/cstddef

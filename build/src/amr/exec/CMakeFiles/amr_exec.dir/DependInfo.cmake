@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/amr/placement/CMakeFiles/amr_placement.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/topo/CMakeFiles/amr_topo.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/telemetry/CMakeFiles/amr_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/trace/CMakeFiles/amr_trace.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

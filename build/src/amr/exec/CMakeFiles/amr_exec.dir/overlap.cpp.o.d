@@ -223,4 +223,5 @@ src/amr/exec/CMakeFiles/amr_exec.dir/overlap.cpp.o: \
  /root/repo/src/amr/net/fabric.hpp /root/repo/src/amr/common/rng.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/amr/trace/tracer.hpp

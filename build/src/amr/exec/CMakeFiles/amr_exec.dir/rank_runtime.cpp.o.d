@@ -219,4 +219,5 @@ src/amr/exec/CMakeFiles/amr_exec.dir/rank_runtime.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/amr/topo/topology.hpp /root/repo/src/amr/simmpi/comm.hpp \
- /root/repo/src/amr/net/fabric.hpp /root/repo/src/amr/common/rng.hpp
+ /root/repo/src/amr/net/fabric.hpp /root/repo/src/amr/common/rng.hpp \
+ /root/repo/src/amr/trace/tracer.hpp

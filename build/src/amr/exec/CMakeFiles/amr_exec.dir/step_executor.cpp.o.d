@@ -219,4 +219,5 @@ src/amr/exec/CMakeFiles/amr_exec.dir/step_executor.cpp.o: \
  /root/repo/src/amr/placement/metrics.hpp \
  /root/repo/src/amr/placement/policy.hpp \
  /root/repo/src/amr/topo/topology.hpp /root/repo/src/amr/simmpi/comm.hpp \
- /root/repo/src/amr/net/fabric.hpp /root/repo/src/amr/common/rng.hpp
+ /root/repo/src/amr/net/fabric.hpp /root/repo/src/amr/common/rng.hpp \
+ /root/repo/src/amr/trace/tracer.hpp

@@ -16,6 +16,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/amr/common/CMakeFiles/amr_common.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/topo/CMakeFiles/amr_topo.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/des/CMakeFiles/amr_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/trace/CMakeFiles/amr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/telemetry/CMakeFiles/amr_telemetry.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

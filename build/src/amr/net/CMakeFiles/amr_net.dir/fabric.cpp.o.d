@@ -122,4 +122,5 @@ src/amr/net/CMakeFiles/amr_net.dir/fabric.cpp.o: \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/amr/trace/tracer.hpp /usr/include/c++/12/cstddef

@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/amr/faults/CMakeFiles/amr_faults.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/exec/CMakeFiles/amr_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/workloads/CMakeFiles/amr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/trace/CMakeFiles/amr_trace.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

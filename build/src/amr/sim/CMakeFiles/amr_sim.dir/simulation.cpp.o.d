@@ -230,6 +230,7 @@ src/amr/sim/CMakeFiles/amr_sim.dir/simulation.cpp.o: \
  /root/repo/src/amr/telemetry/collector.hpp \
  /root/repo/src/amr/telemetry/table.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/amr/trace/tracer.hpp \
  /root/repo/src/amr/workloads/workload.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -118,4 +118,5 @@ src/amr/simmpi/CMakeFiles/amr_simmpi.dir/comm.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio.h \
  /usr/include/c++/12/source_location /root/repo/src/amr/common/time.hpp \
  /root/repo/src/amr/net/fabric.hpp /root/repo/src/amr/common/rng.hpp \
- /root/repo/src/amr/topo/topology.hpp /usr/include/c++/12/bit
+ /root/repo/src/amr/topo/topology.hpp /usr/include/c++/12/bit \
+ /root/repo/src/amr/trace/tracer.hpp /usr/include/c++/12/cstddef

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/trace/chrome_export.cpp" "src/amr/trace/CMakeFiles/amr_trace.dir/chrome_export.cpp.o" "gcc" "src/amr/trace/CMakeFiles/amr_trace.dir/chrome_export.cpp.o.d"
+  "/root/repo/src/amr/trace/json_check.cpp" "src/amr/trace/CMakeFiles/amr_trace.dir/json_check.cpp.o" "gcc" "src/amr/trace/CMakeFiles/amr_trace.dir/json_check.cpp.o.d"
+  "/root/repo/src/amr/trace/trace_tables.cpp" "src/amr/trace/CMakeFiles/amr_trace.dir/trace_tables.cpp.o" "gcc" "src/amr/trace/CMakeFiles/amr_trace.dir/trace_tables.cpp.o.d"
+  "/root/repo/src/amr/trace/tracer.cpp" "src/amr/trace/CMakeFiles/amr_trace.dir/tracer.cpp.o" "gcc" "src/amr/trace/CMakeFiles/amr_trace.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/common/CMakeFiles/amr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/telemetry/CMakeFiles/amr_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/topo/CMakeFiles/amr_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

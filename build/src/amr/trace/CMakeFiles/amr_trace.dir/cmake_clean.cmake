@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_trace.dir/chrome_export.cpp.o"
+  "CMakeFiles/amr_trace.dir/chrome_export.cpp.o.d"
+  "CMakeFiles/amr_trace.dir/json_check.cpp.o"
+  "CMakeFiles/amr_trace.dir/json_check.cpp.o.d"
+  "CMakeFiles/amr_trace.dir/trace_tables.cpp.o"
+  "CMakeFiles/amr_trace.dir/trace_tables.cpp.o.d"
+  "CMakeFiles/amr_trace.dir/tracer.cpp.o"
+  "CMakeFiles/amr_trace.dir/tracer.cpp.o.d"
+  "libamr_trace.a"
+  "libamr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamr_trace.a"
+)

@@ -320,6 +320,7 @@ tests/CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o: \
  /root/repo/src/amr/sim/triggers.hpp \
  /root/repo/src/amr/telemetry/collector.hpp \
  /root/repo/src/amr/telemetry/table.hpp \
+ /root/repo/src/amr/trace/tracer.hpp \
  /root/repo/src/amr/workloads/workload.hpp \
  /root/repo/src/amr/telemetry/binary_io.hpp \
  /root/repo/src/amr/telemetry/detectors.hpp \

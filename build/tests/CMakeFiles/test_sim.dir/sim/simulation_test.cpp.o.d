@@ -230,6 +230,7 @@ tests/CMakeFiles/test_sim.dir/sim/simulation_test.cpp.o: \
  /root/repo/src/amr/telemetry/collector.hpp \
  /root/repo/src/amr/telemetry/table.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/amr/trace/tracer.hpp \
  /root/repo/src/amr/workloads/workload.hpp \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

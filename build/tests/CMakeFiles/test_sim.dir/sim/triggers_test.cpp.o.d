@@ -314,5 +314,6 @@ tests/CMakeFiles/test_sim.dir/sim/triggers_test.cpp.o: \
  /root/repo/src/amr/faults/injector.hpp \
  /root/repo/src/amr/telemetry/collector.hpp \
  /root/repo/src/amr/telemetry/table.hpp \
+ /root/repo/src/amr/trace/tracer.hpp \
  /root/repo/src/amr/workloads/workload.hpp \
  /root/repo/src/amr/workloads/cooling.hpp

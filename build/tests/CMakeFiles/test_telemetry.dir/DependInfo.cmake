@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/amr/simmpi/CMakeFiles/amr_simmpi.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/net/CMakeFiles/amr_net.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/des/CMakeFiles/amr_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/trace/CMakeFiles/amr_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/telemetry/CMakeFiles/amr_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/topo/CMakeFiles/amr_topo.dir/DependInfo.cmake"
   "/root/repo/build/src/amr/workloads/CMakeFiles/amr_workloads.dir/DependInfo.cmake"

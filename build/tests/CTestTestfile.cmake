@@ -16,4 +16,5 @@ include("/root/repo/build/tests/test_faults[1]_include.cmake")
 include("/root/repo/build/tests/test_exec[1]_include.cmake")
 include("/root/repo/build/tests/test_workloads[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -20,6 +20,7 @@
 #include "amr/placement/metrics.hpp"
 #include "amr/placement/registry.hpp"
 #include "amr/sim/simulation.hpp"
+#include "amr/trace/chrome_export.hpp"
 #include "amr/workloads/cooling.hpp"
 #include "amr/workloads/sedov.hpp"
 
@@ -91,6 +92,9 @@ int cmd_run(int argc, char** argv) {
   const std::string workload_name =
       arg_value(argc, argv, "workload", "sedov");
   const std::string execution = arg_value(argc, argv, "execution", "bsp");
+  const std::string trace_out = arg_value(argc, argv, "trace-out", "");
+  const std::int64_t trace_capacity =
+      std::atoll(arg_value(argc, argv, "trace-capacity", "0"));
 
   SimulationConfig cfg;
   cfg.nranks = static_cast<std::int32_t>(ranks);
@@ -100,6 +104,11 @@ int cmd_run(int argc, char** argv) {
   cfg.execution =
       execution == "overlap" ? ExecutionMode::kOverlap : ExecutionMode::kBsp;
   cfg.include_flux_correction = cfg.execution == ExecutionMode::kBsp;
+  if (!trace_out.empty()) {
+    cfg.trace_enabled = true;
+    if (trace_capacity > 0)
+      cfg.trace.capacity = static_cast<std::size_t>(trace_capacity);
+  }
 
   const auto workload = make_workload(workload_name, steps);
   if (!workload) return 1;
@@ -112,6 +121,18 @@ int cmd_run(int argc, char** argv) {
   }
   Simulation sim(cfg, *workload, *policy);
   print_report(sim.run());
+  if (!trace_out.empty()) {
+    const Tracer& tracer = *sim.tracer();
+    if (!write_chrome_trace(tracer, trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("  trace: %llu events (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(tracer.size()),
+                static_cast<unsigned long long>(tracer.dropped()),
+                trace_out.c_str());
+  }
   return 0;
 }
 
@@ -180,6 +201,8 @@ int main(int argc, char** argv) {
                "usage: amrcplx <run|sweep|mesh|policies> [--flag=value]\n"
                "  run    --workload=sedov|cooling --policy=NAME "
                "--ranks=N --steps=N --execution=bsp|overlap\n"
+               "         --trace-out=FILE.json [--trace-capacity=N] "
+               "(Perfetto / chrome://tracing)\n"
                "  sweep  --ranks=N --steps=N\n"
                "  mesh   --ranks=N --sfc=z-order|hilbert\n");
   return cmd.empty() ? 1 : 2;

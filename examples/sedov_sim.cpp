@@ -6,16 +6,20 @@
 // runs every step on the discrete-event cluster. Prints a per-phase
 // runtime breakdown and redistribution statistics.
 //
-// Usage: ./sedov_sim [policy] [ranks] [steps]
+// Usage: ./sedov_sim [policy] [ranks] [steps] [--trace-out=FILE.json]
 //   policy  baseline | cpl0 | cpl25 | cpl50 | cpl75 | cpl100 | lpt | cdp
 //   ranks   simulated MPI ranks (default 64; 16 per node)
 //   steps   timesteps (default 60)
+//   --trace-out writes an event-level Perfetto/chrome://tracing trace
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "amr/placement/registry.hpp"
 #include "amr/sim/simulation.hpp"
+#include "amr/trace/chrome_export.hpp"
 #include "amr/workloads/sedov.hpp"
 
 namespace {
@@ -38,9 +42,18 @@ amr::RootGrid grid_for_ranks(std::int32_t ranks) {
 
 int main(int argc, char** argv) {
   using namespace amr;
-  const std::string policy_name = argc > 1 ? argv[1] : "cpl50";
-  const std::int32_t ranks = argc > 2 ? std::atoi(argv[2]) : 64;
-  const std::int64_t steps = argc > 3 ? std::atoll(argv[3]) : 60;
+  // Flags may appear anywhere; the rest are positional.
+  std::string trace_out;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+      trace_out = argv[i] + 12;
+    else
+      pos.push_back(argv[i]);
+  }
+  const std::string policy_name = pos.size() > 0 ? pos[0] : "cpl50";
+  const std::int32_t ranks = pos.size() > 1 ? std::atoi(pos[1]) : 64;
+  const std::int64_t steps = pos.size() > 2 ? std::atoll(pos[2]) : 60;
   if (ranks <= 0 || (ranks & (ranks - 1)) != 0) {
     std::fprintf(stderr, "ranks must be a positive power of two\n");
     return 1;
@@ -51,6 +64,7 @@ int main(int argc, char** argv) {
   cfg.ranks_per_node = 16;
   cfg.root_grid = grid_for_ranks(ranks);
   cfg.steps = steps;
+  cfg.trace_enabled = !trace_out.empty();
 
   SedovParams sp;
   sp.total_steps = steps;
@@ -109,5 +123,17 @@ int main(int argc, char** argv) {
               static_cast<long long>(report.critical_path.windows),
               static_cast<long long>(report.critical_path.one_rank_paths),
               static_cast<long long>(report.critical_path.two_rank_paths));
+  if (!trace_out.empty()) {
+    const Tracer& tracer = *sim.tracer();
+    if (!write_chrome_trace(tracer, trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace                %llu events (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(tracer.size()),
+                static_cast<unsigned long long>(tracer.dropped()),
+                trace_out.c_str());
+  }
   return 0;
 }

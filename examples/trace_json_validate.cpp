@@ -1,0 +1,33 @@
+// trace_json_validate: check that a trace file is well-formed JSON.
+//
+// Used by the ctest smoke test to validate amrcplx --trace-out output
+// without external dependencies; handy interactively for any JSON file.
+// Exits 0 iff the file parses (RFC 8259 grammar via amr::json_valid).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "amr/trace/json_check.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_json_validate <file.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (!amr::json_valid(text)) {
+    std::fprintf(stderr, "%s: invalid JSON (%zu bytes)\n", argv[1],
+                 text.size());
+    return 1;
+  }
+  std::printf("%s: valid JSON (%zu bytes)\n", argv[1], text.size());
+  return 0;
+}

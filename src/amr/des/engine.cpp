@@ -1,5 +1,7 @@
 #include "amr/des/engine.hpp"
 
+#include "amr/trace/tracer.hpp"
+
 namespace amr {
 
 void Engine::schedule_at(TimeNs t, EventHandler* handler,
@@ -37,6 +39,10 @@ bool Engine::step() {
   AMR_CHECK(ev.time >= now_);
   now_ = ev.time;
   ++processed_;
+  if (tracer_ != nullptr) [[unlikely]]
+    tracer_->instant(Tracer::kTrackSim, TraceCat::kDes, "dispatch", now_,
+                     static_cast<std::int64_t>(ev.tag),
+                     static_cast<std::int64_t>(ev.seq));
   ev.handler->on_event(*this, ev.tag);
   return true;
 }

@@ -21,6 +21,7 @@
 namespace amr {
 
 class Engine;
+class Tracer;
 
 /// Receiver of scheduled events. The 64-bit tag is caller-defined (e.g.
 /// rank id, request id) and round-trips unchanged.
@@ -62,6 +63,11 @@ class Engine {
   bool empty() const { return queue_.empty(); }
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Attach an event tracer (nullptr detaches). Dispatch instants are in
+  /// the TraceCat::kDes category, which is off by default — enable it in
+  /// the trace config to see raw event dispatch.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Event {
     TimeNs time;
@@ -82,6 +88,7 @@ class Engine {
   };
 
   TimeNs now_ = 0;
+  Tracer* tracer_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::priority_queue<Event> queue_;

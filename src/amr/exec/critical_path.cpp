@@ -15,7 +15,7 @@ std::int32_t CriticalPathAnalyzer::straggler_of(const StepResult& result) {
   return static_cast<std::int32_t>(straggler);
 }
 
-void CriticalPathAnalyzer::observe(const StepResult& result) {
+WindowPath CriticalPathAnalyzer::observe(const StepResult& result) {
   const auto straggler =
       static_cast<std::size_t>(straggler_of(result));
   const RankStepStats& s = result.ranks[straggler];
@@ -27,13 +27,20 @@ void CriticalPathAnalyzer::observe(const StepResult& result) {
   stats_.straggler_wait_ms.add(to_ms(wait));
   stats_.straggler_compute_ms.add(to_ms(s.compute_ns));
 
+  WindowPath path;
+  path.straggler = static_cast<std::int32_t>(straggler);
   const bool stalled =
       window > 0 && static_cast<double>(wait) >
                         wait_threshold_frac_ * static_cast<double>(window);
-  if (stalled && s.last_release_src >= 0 && s.recv_wait_ns >= s.send_wait_ns)
+  if (stalled && s.last_release_src >= 0 &&
+      s.recv_wait_ns >= s.send_wait_ns) {
     ++stats_.two_rank_paths;
-  else
+    path.two_rank = true;
+    path.release_src = s.last_release_src;
+  } else {
     ++stats_.one_rank_paths;
+  }
+  return path;
 }
 
 }  // namespace amr

@@ -32,6 +32,14 @@ struct CriticalPathStats {
   }
 };
 
+/// Classification of one window's critical path (returned by observe so
+/// callers — e.g. the trace overlay — can mark the implicated ranks).
+struct WindowPath {
+  std::int32_t straggler = -1;
+  bool two_rank = false;
+  std::int32_t release_src = -1;  ///< implicated sender (two-rank only)
+};
+
 class CriticalPathAnalyzer {
  public:
   /// `wait_threshold_frac`: minimum fraction of the window the straggler
@@ -39,8 +47,9 @@ class CriticalPathAnalyzer {
   explicit CriticalPathAnalyzer(double wait_threshold_frac = 0.02)
       : wait_threshold_frac_(wait_threshold_frac) {}
 
-  /// Classify one executed window.
-  void observe(const StepResult& result);
+  /// Classify one executed window, accumulate stats, and return the
+  /// per-window classification.
+  WindowPath observe(const StepResult& result);
 
   const CriticalPathStats& stats() const { return stats_; }
 

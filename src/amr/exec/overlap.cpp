@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "amr/common/check.hpp"
+#include "amr/trace/tracer.hpp"
 
 namespace amr {
 namespace {
@@ -129,8 +130,9 @@ std::vector<RankStepWork> two_stage_bsp_work(
 class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
                                                  public EventHandler {
  public:
-  OverlapRankRuntime(std::int32_t rank, Comm& comm, ExecParams params)
-      : rank_(rank), comm_(comm), params_(params) {
+  OverlapRankRuntime(std::int32_t rank, Comm& comm, ExecParams params,
+                     Tracer* tracer)
+      : rank_(rank), comm_(comm), params_(params), tracer_(tracer) {
     comm_.set_endpoint(rank, this);
   }
 
@@ -179,6 +181,9 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
             comm_.isend(rank_, m.dst_rank, m.bytes, window_, engine.now(),
                         pending_tags_[send_head_]);
         max_send_release_ = std::max(max_send_release_, release);
+        if (tracer_ != nullptr)
+          tracer_->instant(rank_, TraceCat::kSend, "isend", engine.now(),
+                           m.bytes, m.dst_rank);
         if (comm_.fabric().topology().same_node(rank_, m.dst_rank)) {
           ++stats_.msgs_local;
           stats_.bytes_local += m.bytes;
@@ -223,6 +228,9 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
       }
       case State::kWaitingSends:
         stats_.send_wait_ns += engine.now() - wait_start_;
+        if (tracer_ != nullptr)
+          tracer_->end(rank_, TraceCat::kSendWait, "send-wait",
+                       engine.now());
         enter_collective(engine);
         return;
       case State::kIdle:
@@ -243,6 +251,8 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
     if (state_ == State::kStalled && runnable_exists()) {
       stats_.recv_wait_ns += t - wait_start_;
       stats_.last_release_src = src;
+      if (tracer_ != nullptr)
+        tracer_->end(rank_, TraceCat::kRecvWait, "stall", t, src);
       state_ = State::kRunning;
       advance(comm_.engine());
     }
@@ -257,6 +267,9 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
     AMR_CHECK(state_ == State::kInCollective);
     stats_.sync_ns += t - stats_.collective_entry;
     stats_.done_at = t;
+    if (tracer_ != nullptr)
+      tracer_->end(rank_, TraceCat::kSync, "collective", t,
+                   static_cast<std::int64_t>(window));
     state_ = State::kIdle;
     step_done_ = true;
   }
@@ -312,6 +325,9 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
   void enter_collective(Engine& engine) {
     state_ = State::kInCollective;
     stats_.collective_entry = engine.now();
+    if (tracer_ != nullptr)
+      tracer_->begin(rank_, TraceCat::kSync, "collective", engine.now(),
+                     static_cast<std::int64_t>(window_));
     comm_.enter_collective(window_, rank_, engine.now());
   }
 
@@ -322,6 +338,10 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
                           params_.task_overhead;
       stats_.pack_ns += pack;
       state_ = State::kPostSend;
+      if (tracer_ != nullptr)
+        tracer_->complete(rank_, TraceCat::kPack, "pack", engine.now(),
+                          pack, pending_sends_[send_head_].bytes,
+                          pending_sends_[send_head_].dst_rank);
       engine.schedule_after(pack, this, 0);
       return;
     }
@@ -335,6 +355,10 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
                           params_.task_overhead;
         stats_.pack_ns += copy;
         state_ = State::kInCopy;
+        if (tracer_ != nullptr)
+          tracer_->complete(rank_, TraceCat::kPack, "local-copy",
+                            engine.now(), copy, work_->local_copy_bytes,
+                            work_->local_copy_msgs);
         engine.schedule_after(copy, this, 0);
         return;
       }
@@ -351,6 +375,12 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
         stats_.compute_ns += b.compute + params_.task_overhead;
         stats_.pack_ns += unpack;
         state_ = State::kComputingStage1;
+        if (tracer_ != nullptr)
+          tracer_->complete(
+              rank_, TraceCat::kCompute,
+              b.stage2_compute > 0 ? "compute-s1" : "compute",
+              engine.now(), b.compute + unpack + params_.task_overhead,
+              b.block, b.recv_bytes);
         engine.schedule_after(b.compute + unpack + params_.task_overhead,
                               this, 0);
         return;
@@ -364,6 +394,11 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
         stats_.compute_ns += b.stage2_compute + params_.task_overhead;
         stats_.pack_ns += unpack;
         state_ = State::kComputingStage2;
+        if (tracer_ != nullptr)
+          tracer_->complete(
+              rank_, TraceCat::kCompute, "compute-s2", engine.now(),
+              b.stage2_compute + unpack + params_.task_overhead, b.block,
+              b.recv_bytes);
         engine.schedule_after(
             b.stage2_compute + unpack + params_.task_overhead, this, 0);
         return;
@@ -371,12 +406,17 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
       // Nothing runnable: stall until a message readies a block.
       wait_start_ = engine.now();
       state_ = State::kStalled;
+      if (tracer_ != nullptr)
+        tracer_->begin(rank_, TraceCat::kRecvWait, "stall", engine.now());
       return;
     }
     // All blocks done: drain send requests, then the collective.
     if (max_send_release_ > engine.now()) {
       wait_start_ = engine.now();
       state_ = State::kWaitingSends;
+      if (tracer_ != nullptr)
+        tracer_->begin(rank_, TraceCat::kSendWait, "send-wait",
+                       engine.now());
       engine.schedule_at(max_send_release_, this, 0);
       return;
     }
@@ -386,6 +426,7 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
   std::int32_t rank_;
   Comm& comm_;
   ExecParams params_;
+  Tracer* tracer_;
 
   const OverlapRankWork* work_ = nullptr;
   std::uint64_t window_ = 0;
@@ -406,12 +447,12 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
 };
 
 OverlapExecutor::OverlapExecutor(Engine& engine, Comm& comm,
-                                 ExecParams params)
-    : engine_(engine), comm_(comm) {
+                                 ExecParams params, Tracer* tracer)
+    : engine_(engine), comm_(comm), tracer_(tracer) {
   runtimes_.reserve(static_cast<std::size_t>(comm.nranks()));
   for (std::int32_t r = 0; r < comm.nranks(); ++r)
     runtimes_.push_back(
-        std::make_unique<OverlapRankRuntime>(r, comm, params));
+        std::make_unique<OverlapRankRuntime>(r, comm, params, tracer));
 }
 
 OverlapExecutor::~OverlapExecutor() = default;
@@ -441,6 +482,11 @@ StepResult OverlapExecutor::execute(std::span<const OverlapRankWork> work,
   AMR_CHECK(comm_.exchange_complete(window));
   comm_.end_exchange(window);
   result.step_end = engine_.now();
+  if (tracer_ != nullptr)
+    tracer_->complete(Tracer::kTrackSim, TraceCat::kStep, "step",
+                      result.step_start, result.wall_ns(),
+                      static_cast<std::int64_t>(window),
+                      /*b=*/-1);  // overlap steps carry no TaskOrdering
   return result;
 }
 

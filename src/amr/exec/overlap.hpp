@@ -80,7 +80,10 @@ std::vector<RankStepWork> two_stage_bsp_work(
 /// runnable block).
 class OverlapExecutor {
  public:
-  OverlapExecutor(Engine& engine, Comm& comm, ExecParams params = {});
+  /// `tracer` (optional) receives per-rank task spans (stage-1/stage-2
+  /// compute, pack, stalls) and a per-window span on the driver track.
+  OverlapExecutor(Engine& engine, Comm& comm, ExecParams params = {},
+                  Tracer* tracer = nullptr);
   ~OverlapExecutor();
 
   StepResult execute(std::span<const OverlapRankWork> work,
@@ -90,6 +93,7 @@ class OverlapExecutor {
   class OverlapRankRuntime;
   Engine& engine_;
   Comm& comm_;
+  Tracer* tracer_;
   std::vector<std::unique_ptr<OverlapRankRuntime>> runtimes_;
 };
 

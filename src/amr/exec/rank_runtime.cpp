@@ -1,11 +1,13 @@
 #include "amr/exec/rank_runtime.hpp"
 
 #include "amr/common/check.hpp"
+#include "amr/trace/tracer.hpp"
 
 namespace amr {
 
-RankRuntime::RankRuntime(std::int32_t rank, Comm& comm, ExecParams params)
-    : rank_(rank), comm_(comm), params_(params) {
+RankRuntime::RankRuntime(std::int32_t rank, Comm& comm, ExecParams params,
+                         Tracer* tracer)
+    : rank_(rank), comm_(comm), params_(params), tracer_(tracer) {
   comm_.set_endpoint(rank, this);
 }
 
@@ -20,6 +22,7 @@ void RankRuntime::begin_step(const RankStepWork& work,
   tasks_.clear();
   pc_ = 0;
   window_ = window;
+  ordering_tag_ = static_cast<std::int64_t>(ordering);
   state_ = State::kIdle;
   max_send_release_ = start;
   step_done_ = false;
@@ -89,6 +92,9 @@ void RankRuntime::on_event(Engine& engine, std::uint64_t /*tag*/) {
       const TimeNs release =
           comm_.isend(rank_, t.dst, t.bytes, window_, engine.now());
       max_send_release_ = std::max(max_send_release_, release);
+      if (tracer_ != nullptr)
+        tracer_->instant(rank_, TraceCat::kSend, "isend", engine.now(),
+                         t.bytes, t.dst);
       if (comm_.fabric().topology().same_node(rank_, t.dst)) {
         ++stats_.msgs_local;
         stats_.bytes_local += t.bytes;
@@ -103,6 +109,8 @@ void RankRuntime::on_event(Engine& engine, std::uint64_t /*tag*/) {
     }
     case State::kWaitingSends: {
       stats_.send_wait_ns += engine.now() - wait_start_;
+      if (tracer_ != nullptr)
+        tracer_->end(rank_, TraceCat::kSendWait, "send-wait", engine.now());
       state_ = State::kRunning;
       ++pc_;
       advance(engine);
@@ -122,17 +130,29 @@ void RankRuntime::advance(Engine& engine) {
       case TaskKind::kCompute:
         stats_.compute_ns += t.duration;
         state_ = State::kInTask;
+        if (tracer_ != nullptr)
+          tracer_->complete(rank_, TraceCat::kCompute, "compute",
+                            engine.now(), t.duration, ordering_tag_);
         engine.schedule_after(t.duration, this, 0);
         return;
       case TaskKind::kLocalCopy:
       case TaskKind::kUnpack:
         stats_.pack_ns += t.duration;
         state_ = State::kInTask;
+        if (tracer_ != nullptr)
+          tracer_->complete(rank_, TraceCat::kPack,
+                            t.kind == TaskKind::kUnpack ? "unpack"
+                                                        : "local-copy",
+                            engine.now(), t.duration, t.bytes,
+                            ordering_tag_);
         engine.schedule_after(t.duration, this, 0);
         return;
       case TaskKind::kPackSend:
         stats_.pack_ns += t.duration;
         state_ = State::kPostSend;
+        if (tracer_ != nullptr)
+          tracer_->complete(rank_, TraceCat::kPack, "pack", engine.now(),
+                            t.duration, t.bytes, t.dst);
         engine.schedule_after(t.duration, this, 0);
         return;
       case TaskKind::kWaitRecvs:
@@ -142,6 +162,9 @@ void RankRuntime::advance(Engine& engine) {
         }
         wait_start_ = engine.now();
         state_ = State::kWaitingRecvs;
+        if (tracer_ != nullptr)
+          tracer_->begin(rank_, TraceCat::kRecvWait, "recv-wait",
+                         engine.now());
         return;
       case TaskKind::kWaitSends: {
         if (max_send_release_ <= engine.now()) {
@@ -150,6 +173,9 @@ void RankRuntime::advance(Engine& engine) {
         }
         wait_start_ = engine.now();
         state_ = State::kWaitingSends;
+        if (tracer_ != nullptr)
+          tracer_->begin(rank_, TraceCat::kSendWait, "send-wait",
+                         engine.now());
         engine.schedule_at(max_send_release_, this, 0);
         return;
       }
@@ -158,6 +184,9 @@ void RankRuntime::advance(Engine& engine) {
   // All tasks done: enter the closing blocking collective.
   state_ = State::kInCollective;
   stats_.collective_entry = engine.now();
+  if (tracer_ != nullptr)
+    tracer_->begin(rank_, TraceCat::kSync, "collective", engine.now(),
+                   static_cast<std::int64_t>(window_));
   comm_.enter_collective(window_, rank_, engine.now());
 }
 
@@ -167,6 +196,9 @@ void RankRuntime::on_recvs_ready(std::uint64_t window, TimeNs t,
   AMR_CHECK(state_ == State::kWaitingRecvs);
   stats_.recv_wait_ns += t - wait_start_;
   stats_.last_release_src = releasing_src;
+  if (tracer_ != nullptr)
+    tracer_->end(rank_, TraceCat::kRecvWait, "recv-wait", t,
+                 releasing_src);
   state_ = State::kRunning;
   ++pc_;
   // We are inside the delivery event at time t; continue inline.
@@ -178,6 +210,9 @@ void RankRuntime::on_collective_done(std::uint64_t window, TimeNs t) {
   AMR_CHECK(state_ == State::kInCollective);
   stats_.sync_ns += t - stats_.collective_entry;
   stats_.done_at = t;
+  if (tracer_ != nullptr)
+    tracer_->end(rank_, TraceCat::kSync, "collective", t,
+                 static_cast<std::int64_t>(window));
   state_ = State::kIdle;
   step_done_ = true;
 }

@@ -44,7 +44,11 @@ struct RankStepStats {
 
 class RankRuntime final : public RankEndpoint, public EventHandler {
  public:
-  RankRuntime(std::int32_t rank, Comm& comm, ExecParams params);
+  /// `tracer` (optional) receives task-level spans on the rank's track:
+  /// compute/pack/unpack spans (tagged with the step's TaskOrdering),
+  /// isend instants, recv/send-wait stalls, and collective spans.
+  RankRuntime(std::int32_t rank, Comm& comm, ExecParams params,
+              Tracer* tracer = nullptr);
 
   /// Arm the rank for a step: build the task order from `work`, starting
   /// at absolute time `start`. Exchange and collective use window ids
@@ -98,6 +102,8 @@ class RankRuntime final : public RankEndpoint, public EventHandler {
   std::int32_t rank_;
   Comm& comm_;
   ExecParams params_;
+  Tracer* tracer_;
+  std::int64_t ordering_tag_ = 0;  ///< TaskOrdering of the current step
 
   std::vector<Task> tasks_;
   std::size_t pc_ = 0;

@@ -1,14 +1,17 @@
 #include "amr/exec/step_executor.hpp"
 
 #include "amr/common/check.hpp"
+#include "amr/trace/tracer.hpp"
 
 namespace amr {
 
-StepExecutor::StepExecutor(Engine& engine, Comm& comm, ExecParams params)
-    : engine_(engine), comm_(comm) {
+StepExecutor::StepExecutor(Engine& engine, Comm& comm, ExecParams params,
+                           Tracer* tracer)
+    : engine_(engine), comm_(comm), tracer_(tracer) {
   runtimes_.reserve(static_cast<std::size_t>(comm.nranks()));
   for (std::int32_t r = 0; r < comm.nranks(); ++r)
-    runtimes_.push_back(std::make_unique<RankRuntime>(r, comm, params));
+    runtimes_.push_back(
+        std::make_unique<RankRuntime>(r, comm, params, tracer));
 }
 
 StepResult StepExecutor::execute(std::span<const RankStepWork> work,
@@ -38,6 +41,11 @@ StepResult StepExecutor::execute(std::span<const RankStepWork> work,
   AMR_CHECK(comm_.exchange_complete(window));
   comm_.end_exchange(window);
   result.step_end = engine_.now();
+  if (tracer_ != nullptr)
+    tracer_->complete(Tracer::kTrackSim, TraceCat::kStep, "step",
+                      result.step_start, result.wall_ns(),
+                      static_cast<std::int64_t>(window),
+                      static_cast<std::int64_t>(ordering));
   return result;
 }
 

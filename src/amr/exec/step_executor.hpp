@@ -25,7 +25,10 @@ struct StepResult {
 
 class StepExecutor {
  public:
-  StepExecutor(Engine& engine, Comm& comm, ExecParams params = {});
+  /// `tracer` (optional) is forwarded to every rank runtime and receives
+  /// a per-window span on the driver track.
+  StepExecutor(Engine& engine, Comm& comm, ExecParams params = {},
+               Tracer* tracer = nullptr);
 
   /// Execute one step. `window` must be unique per call (use the step
   /// number). All ranks start simultaneously at engine.now().
@@ -35,6 +38,7 @@ class StepExecutor {
  private:
   Engine& engine_;
   Comm& comm_;
+  Tracer* tracer_;
   std::vector<std::unique_ptr<RankRuntime>> runtimes_;
 };
 

@@ -40,6 +40,15 @@ std::vector<std::int32_t> FaultInjector::faulty_nodes() const {
   return out;
 }
 
+std::vector<ActiveFault> FaultInjector::active_at(std::int64_t step) const {
+  std::vector<ActiveFault> out;
+  for (const std::int32_t n : faulty_nodes()) {
+    const double m = compute_multiplier(n, step);
+    if (m > 1.0) out.push_back(ActiveFault{n, m});
+  }
+  return out;
+}
+
 std::vector<std::int32_t> pick_victim_nodes(std::int32_t nodes,
                                             std::int32_t count, Rng& rng) {
   AMR_CHECK(count >= 0 && count <= nodes);

@@ -21,6 +21,12 @@ struct ThrottleFault {
   std::int64_t end_step = -1;   ///< last affected step; -1 = forever
 };
 
+/// One node's degradation at a given step (see active_at()).
+struct ActiveFault {
+  std::int32_t node = -1;
+  double factor = 1.0;
+};
+
 class FaultInjector {
  public:
   void add_throttle(ThrottleFault fault);
@@ -33,6 +39,11 @@ class FaultInjector {
 
   /// All nodes with any configured fault.
   std::vector<std::int32_t> faulty_nodes() const;
+
+  /// Nodes degraded at `step` with their effective multiplier, sorted by
+  /// node. Comparing consecutive steps yields fault onset/clear edges
+  /// (the trace layer emits those as instants).
+  std::vector<ActiveFault> active_at(std::int64_t step) const;
 
   bool empty() const { return throttles_.empty(); }
 

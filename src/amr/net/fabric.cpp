@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "amr/common/check.hpp"
+#include "amr/trace/tracer.hpp"
 
 namespace amr {
 
@@ -60,6 +61,15 @@ TransferTiming Fabric::transfer(std::int32_t src_rank, std::int32_t dst_rank,
     auto& slots = shm_slot_free_[static_cast<std::size_t>(src_node)];
     const auto slot =
         std::min_element(slots.begin(), slots.end()) - slots.begin();
+    if (tracer_ != nullptr) {
+      // Queue occupancy at post time: the counter the paper's queue-size
+      // tuning (Fig 3, right) was flying blind without.
+      std::int64_t busy = 0;
+      for (const TimeNs free_at : slots)
+        if (free_at > post_time) ++busy;
+      tracer_->counter(Tracer::fabric_track(src_node), TraceCat::kFabric,
+                       "shm_queue_busy", post_time, busy);
+    }
     TimeNs start = post_time;
     if (slots[static_cast<std::size_t>(slot)] > post_time) {
       const TimeNs gap =
@@ -69,6 +79,9 @@ TransferTiming Fabric::transfer(std::int32_t src_rank, std::int32_t dst_rank,
       t.shm_retries = retries;
       stats_.shm_retries += retries;
       start = post_time + retries * params_.shm_retry_delay;
+      if (tracer_ != nullptr)
+        tracer_->instant(Tracer::fabric_track(src_node), TraceCat::kFabric,
+                         "shm-retry", post_time, retries, src_rank);
     }
     const TimeNs xfer = serialize_ns(bytes, params_.shm_gbytes_per_sec);
     t.delivery = start + params_.shm_latency + xfer;
@@ -81,6 +94,9 @@ TransferTiming Fabric::transfer(std::int32_t src_rank, std::int32_t dst_rank,
     // Remote path: serialize on the source NIC, then fly.
     auto& nic = nic_busy_until_[static_cast<std::size_t>(src_node)];
     const TimeNs begin = std::max(post_time, nic);
+    if (tracer_ != nullptr)
+      tracer_->counter(Tracer::fabric_track(src_node), TraceCat::kFabric,
+                       "nic_backlog_ns", post_time, begin - post_time);
     const TimeNs depart =
         begin + params_.remote_per_msg +
         serialize_ns(bytes, params_.remote_gbytes_per_sec);
@@ -95,6 +111,9 @@ TransferTiming Fabric::transfer(std::int32_t src_rank, std::int32_t dst_rank,
     if (params_.ack_loss_prob > 0.0 && rng_.chance(params_.ack_loss_prob)) {
       t.ack_lost = true;
       ++stats_.acks_lost;
+      if (tracer_ != nullptr)
+        tracer_->instant(Tracer::fabric_track(src_node), TraceCat::kFabric,
+                         "ack-lost", depart, src_rank, dst_rank);
       if (!params_.drain_queue_enabled) {
         // PSM-like recovery: the sender's request stays pending until the
         // recovery timer fires, even though the receiver has the data —
@@ -106,6 +125,11 @@ TransferTiming Fabric::transfer(std::int32_t src_rank, std::int32_t dst_rank,
         t.sender_release = depart + params_.ack_recovery_delay;
         stats_.ack_block_time += params_.ack_recovery_delay;
         nic = depart + params_.ack_recovery_delay;
+        if (tracer_ != nullptr)
+          tracer_->complete(Tracer::fabric_track(src_node),
+                            TraceCat::kFabric, "ack-recovery", depart,
+                            params_.ack_recovery_delay, src_rank,
+                            dst_rank);
       }
       // With the drain queue, the blocked request is swapped for a fresh
       // one and drained in the background: no sender-visible delay and

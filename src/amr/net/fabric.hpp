@@ -32,6 +32,8 @@
 
 namespace amr {
 
+class Tracer;
+
 struct FabricParams {
   // Remote (inter-node) path: 40 Gbps-class fabric. Effective per-NIC
   // goodput for small boundary messages sits well below line rate
@@ -110,6 +112,11 @@ class Fabric {
                                       const TransferTiming&)>;
   void set_observer(Observer obs) { observer_ = std::move(obs); }
 
+  /// Attach an event tracer (nullptr detaches): per-node queue-occupancy
+  /// counters, shm retry instants, and ACK-loss/recovery events on the
+  /// node fabric tracks.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   /// Reset dynamic state (NIC busy times, shm slots, stats) for a fresh
   /// measurement window without reconstructing the object.
   void reset();
@@ -120,6 +127,7 @@ class Fabric {
   const ClusterTopology& topo_;
   FabricParams params_;
   Rng rng_;
+  Tracer* tracer_ = nullptr;
   FabricStats stats_;
   std::vector<TimeNs> nic_busy_until_;            // per node
   std::vector<std::vector<TimeNs>> shm_slot_free_;  // per node, per slot

@@ -29,6 +29,11 @@ Simulation::Simulation(SimulationConfig config, Workload& workload,
                        const PlacementPolicy& policy)
     : config_(std::move(config)), workload_(workload), policy_(policy) {
   collector_.set_block_records(config_.collect_block_telemetry);
+  if (config_.trace_enabled) {
+    TraceConfig tc = config_.trace;
+    tc.ranks_per_node = config_.ranks_per_node;
+    tracer_ = std::make_unique<Tracer>(tc);
+  }
 }
 
 std::vector<TimeNs> Simulation::estimated_costs(const AmrMesh& mesh) const {
@@ -88,16 +93,21 @@ RunReport Simulation::run() {
   Rng rng(config_.seed);
   Fabric fabric(topo, config_.fabric, rng.split(0xfab));
   Comm comm(engine, fabric, config_.nranks, config_.collective);
+  Tracer* const tracer = tracer_.get();
+  engine.set_tracer(tracer);
+  fabric.set_tracer(tracer);
+  comm.set_tracer(tracer);
   // Exactly one executor registers rank endpoints on the comm.
   std::unique_ptr<StepExecutor> bsp_executor;
   std::unique_ptr<OverlapExecutor> overlap_executor;
   if (config_.execution == ExecutionMode::kBsp)
-    bsp_executor =
-        std::make_unique<StepExecutor>(engine, comm, config_.exec);
+    bsp_executor = std::make_unique<StepExecutor>(engine, comm,
+                                                  config_.exec, tracer);
   else
-    overlap_executor =
-        std::make_unique<OverlapExecutor>(engine, comm, config_.exec);
+    overlap_executor = std::make_unique<OverlapExecutor>(
+        engine, comm, config_.exec, tracer);
   CriticalPathAnalyzer critical_path;
+  std::vector<ActiveFault> prev_faults;
 
   AmrMesh mesh(config_.root_grid);
   RunReport report;
@@ -169,6 +179,10 @@ RunReport Simulation::run() {
           static_cast<TimeNs>(static_cast<double>(max_bytes) /
                               config_.migration_gbytes_per_sec);
       const TimeNs rebalance_wall = migration + config_.placement_charge;
+      if (tracer != nullptr)
+        tracer->complete(Tracer::kTrackSim, TraceCat::kRebalance,
+                         "rebalance", engine.now(), rebalance_wall, moved,
+                         step);
       engine.run_until(engine.now() + rebalance_wall);
 
       const double rebalance_s = to_sec(rebalance_wall);
@@ -183,6 +197,30 @@ RunReport Simulation::run() {
       rank_by_key.clear();
       for (std::size_t b = 0; b < mesh.size(); ++b)
         rank_by_key[block_key(mesh.block(b))] = placement[b];
+    }
+
+    // -- Fault transitions (trace instants at onset/clear edges) -------
+    if (tracer != nullptr && !config_.faults.empty()) {
+      const auto active = config_.faults.active_at(step);
+      for (const ActiveFault& f : active) {
+        const bool was_active = std::any_of(
+            prev_faults.begin(), prev_faults.end(),
+            [&](const ActiveFault& p) { return p.node == f.node; });
+        if (!was_active)
+          tracer->instant(Tracer::kTrackSim, TraceCat::kFault,
+                          "fault-onset", engine.now(), f.node,
+                          static_cast<std::int64_t>(f.factor * 100.0));
+      }
+      for (const ActiveFault& p : prev_faults) {
+        const bool still_active = std::any_of(
+            active.begin(), active.end(),
+            [&](const ActiveFault& f) { return f.node == p.node; });
+        if (!still_active)
+          tracer->instant(Tracer::kTrackSim, TraceCat::kFault,
+                          "fault-clear", engine.now(), p.node,
+                          static_cast<std::int64_t>(p.factor * 100.0));
+      }
+      prev_faults = active;
     }
 
     // -- True per-block compute costs (workload x hardware faults) ----
@@ -213,7 +251,25 @@ RunReport Simulation::run() {
       for (const auto& w : work) intra_rank_msgs += w.local_copy_msgs;
     }
     report.msgs_intra_rank += intra_rank_msgs;
-    critical_path.observe(result);
+    const WindowPath path = critical_path.observe(result);
+
+    // -- Critical-path overlay (paper §IV-D) ---------------------------
+    // A dedicated track carries one span per window naming the modeled
+    // critical path; the straggler's own track gets an instant so the
+    // path is visible in rank context too.
+    if (tracer != nullptr && path.straggler >= 0) {
+      const RankStepStats& straggler_stats =
+          result.ranks[static_cast<std::size_t>(path.straggler)];
+      tracer->complete(
+          Tracer::kTrackCrit, TraceCat::kCritPath,
+          path.two_rank ? "crit:2-rank" : "crit:1-rank",
+          result.step_start,
+          straggler_stats.collective_entry - result.step_start,
+          path.straggler, path.release_src);
+      tracer->instant(path.straggler, TraceCat::kCritPath,
+                      "on-critical-path", straggler_stats.collective_entry,
+                      step, path.release_src);
+    }
 
     // Measured compute imbalance feeds the optional rebalance trigger.
     {

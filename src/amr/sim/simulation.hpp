@@ -25,6 +25,7 @@
 #include "amr/sim/triggers.hpp"
 #include "amr/simmpi/comm.hpp"
 #include "amr/telemetry/collector.hpp"
+#include "amr/trace/tracer.hpp"
 #include "amr/workloads/workload.hpp"
 
 namespace amr {
@@ -84,6 +85,13 @@ struct SimulationConfig {
   /// Also record per-(step,block) rows (large).
   bool collect_block_telemetry = false;
 
+  /// Event-level tracing (off by default; see amr/trace/tracer.hpp).
+  /// When enabled the run records task spans, message flows, fabric
+  /// counters, fault transitions, and the critical-path overlay into a
+  /// bounded ring buffer exposed via Simulation::tracer().
+  bool trace_enabled = false;
+  TraceConfig trace{};
+
   FaultInjector faults;
 };
 
@@ -129,6 +137,10 @@ class Simulation {
 
   const Collector& collector() const { return collector_; }
 
+  /// Non-null iff config.trace_enabled; survives across run() calls so
+  /// exporters can consume the buffer afterwards.
+  const Tracer* tracer() const { return tracer_.get(); }
+
  private:
   std::vector<TimeNs> estimated_costs(const AmrMesh& mesh) const;
   void remember_costs(const AmrMesh& mesh,
@@ -138,6 +150,7 @@ class Simulation {
   Workload& workload_;
   const PlacementPolicy& policy_;
   Collector collector_;
+  std::unique_ptr<Tracer> tracer_;
   // Measured per-block costs keyed by block coordinates (stable across
   // SFC renumbering).
   std::unordered_map<std::uint64_t, TimeNs> measured_costs_;

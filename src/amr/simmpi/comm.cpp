@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "amr/common/check.hpp"
+#include "amr/trace/tracer.hpp"
 
 namespace amr {
 
@@ -47,14 +48,24 @@ TimeNs Comm::isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
   AMR_CHECK_MSG(exchanges_.contains(window),
                 "isend outside an open exchange window");
   const TransferTiming t = fabric_.transfer(src, dst, bytes, post_time);
+  std::uint64_t flow_id = 0;
+  if (tracer_ != nullptr) {
+    // Flow origin sits 1 ns inside the sender's pack span (which ends at
+    // post_time) so Perfetto binds the arrow to that slice.
+    flow_id = tracer_->flow_begin(
+        src, TraceCat::kMsg, "p2p",
+        post_time > 0 ? post_time - 1 : post_time, bytes, dst);
+  }
   std::uint64_t slot;
   if (!free_delivery_slots_.empty()) {
     slot = free_delivery_slots_.back();
     free_delivery_slots_.pop_back();
-    deliveries_[slot] = PendingDelivery{window, dst, src, dst_tag};
+    deliveries_[slot] =
+        PendingDelivery{window, dst, src, dst_tag, bytes, flow_id};
   } else {
     slot = deliveries_.size();
-    deliveries_.push_back(PendingDelivery{window, dst, src, dst_tag});
+    deliveries_.push_back(
+        PendingDelivery{window, dst, src, dst_tag, bytes, flow_id});
   }
   engine_.schedule_at(t.delivery, this, slot);
   return t.sender_release;
@@ -127,6 +138,9 @@ void Comm::on_event(Engine& engine, std::uint64_t tag) {
   ++state.arrived[r];
   --state.outstanding;
   state.last_delivery[r] = engine.now();
+  if (tracer_ != nullptr)
+    tracer_->flow_end(d.dst, TraceCat::kMsg, "p2p", engine.now(),
+                      d.flow_id, d.bytes, d.src);
   AMR_CHECK_MSG(state.arrived[r] <= state.expected[r],
                 "more deliveries than expected; window mismatch");
   if (RankEndpoint* ep = endpoints_[r]; ep != nullptr)

@@ -23,6 +23,8 @@
 
 namespace amr {
 
+class Tracer;
+
 /// Callbacks into the per-rank runtime (implemented by exec::RankRuntime).
 class RankEndpoint {
  public:
@@ -67,6 +69,10 @@ class Comm final : public EventHandler {
 
   /// Register the runtime object receiving callbacks for `rank`.
   void set_endpoint(std::int32_t rank, RankEndpoint* endpoint);
+
+  /// Attach an event tracer (nullptr detaches): every P2P message gets a
+  /// flow arrow from its isend post to its delivery.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   /// Open a P2P exchange window. expected[r] = number of messages rank r
   /// will receive in this window. Window ids must be unique while open.
@@ -122,6 +128,8 @@ class Comm final : public EventHandler {
     std::int32_t dst;
     std::int32_t src;
     std::int64_t dst_tag;
+    std::int64_t bytes;
+    std::uint64_t flow_id;  ///< trace flow pair id (0 = untraced)
   };
 
   // Event tags: bit 63 selects delivery (0, tag = pending-delivery slot)
@@ -130,6 +138,7 @@ class Comm final : public EventHandler {
 
   Engine& engine_;
   Fabric& fabric_;
+  Tracer* tracer_ = nullptr;
   std::int32_t nranks_;
   CollectiveParams collective_params_;
   TimeNs collective_overhead_;  // alpha + beta*ceil(log2(nranks))

@@ -39,6 +39,16 @@ void Collector::record_comm(std::int64_t step, std::int32_t rank,
                     static_cast<std::int64_t>(recv_wait)});
 }
 
+void Collector::clear() {
+  phases_.clear();
+  comm_.clear();
+  blocks_.clear();
+}
+
+std::size_t Collector::bytes_used() const {
+  return phases_.bytes_used() + comm_.bytes_used() + blocks_.bytes_used();
+}
+
 void Collector::record_block(std::int64_t step, std::int32_t block,
                              std::int32_t rank, TimeNs cost) {
   if (!block_records_) return;

@@ -60,6 +60,13 @@ class Collector {
   void set_block_records(bool enabled) { block_records_ = enabled; }
   bool block_records() const { return block_records_; }
 
+  /// Drop all recorded rows (schemas survive). Long sweeps and the
+  /// trace->table exporters use this to reuse one collector per run.
+  void clear();
+
+  /// Total heap bytes held by the three tables' column storage.
+  std::size_t bytes_used() const;
+
  private:
   Table phases_;
   Table comm_;

@@ -83,6 +83,25 @@ std::int64_t Table::ivalue(std::size_t col, std::size_t row) const {
   return i64_cols_[col][row];
 }
 
+void Table::clear() {
+  for (auto& c : i64_cols_) {
+    c.clear();
+    c.shrink_to_fit();
+  }
+  for (auto& c : f64_cols_) {
+    c.clear();
+    c.shrink_to_fit();
+  }
+  rows_ = 0;
+}
+
+std::size_t Table::bytes_used() const {
+  std::size_t bytes = 0;
+  for (const auto& c : i64_cols_) bytes += c.capacity() * sizeof(std::int64_t);
+  for (const auto& c : f64_cols_) bytes += c.capacity() * sizeof(double);
+  return bytes;
+}
+
 void Table::column_stats(std::size_t col, double& min, double& max) const {
   min = 0.0;
   max = 0.0;

@@ -61,6 +61,12 @@ class Table {
   /// formats, used by binary_io and query pruning). 0/0 for empty tables.
   void column_stats(std::size_t col, double& min, double& max) const;
 
+  /// Drop all rows; schema and name are kept, capacity is released.
+  void clear();
+
+  /// Heap bytes held by the column storage (capacity, not just rows).
+  std::size_t bytes_used() const;
+
   /// Render the first `max_rows` rows as an aligned text grid.
   std::string format(std::size_t max_rows = 20) const;
 

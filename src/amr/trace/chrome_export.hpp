@@ -1,0 +1,29 @@
+// Chrome Trace Event JSON export of a recorded trace.
+//
+// Produces a trace loadable in Perfetto (ui.perfetto.dev, "Open trace
+// file") or chrome://tracing: one "process" per simulated node, one
+// "thread" per rank, B/E span pairs for compute/pack/send/wait/sync
+// tasks, "s"/"f" flow arrows for P2P messages (send post -> delivery),
+// "C" counters for fabric queue occupancy, and two auxiliary tracks —
+// the driver's step/rebalance spans and the modeled critical-path
+// overlay (paper §IV-D) — under a synthetic "sim" process.
+//
+// Timestamps are microseconds of simulated DES time (ns precision kept
+// as fractions); events are emitted sorted by timestamp, with unmatched
+// span ends (a consequence of ring-buffer drops) filtered out and spans
+// left open at the buffer edge closed at the final timestamp.
+#pragma once
+
+#include <string>
+
+#include "amr/trace/tracer.hpp"
+
+namespace amr {
+
+/// Render the tracer's buffered events as Chrome Trace Event JSON.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Write chrome_trace_json to a file; false on I/O failure.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace amr

@@ -1,0 +1,142 @@
+#include "amr/trace/json_check.hpp"
+
+#include <cctype>
+
+namespace amr {
+namespace {
+
+/// Recursive-descent validator over a string view. `pos` is the cursor;
+/// every parse_* returns false on the first grammar violation.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof() && (text[pos] == ' ' || text[pos] == '\t' ||
+                      text[pos] == '\n' || text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    if (eof() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool parse_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  bool parse_string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (eof()) return false;
+        const char e = text[pos++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(
+                             text[pos])))
+              return false;
+            ++pos;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+      ++pos;
+    return true;
+  }
+
+  bool parse_number() {
+    consume('-');
+    if (consume('0')) {
+      // no leading zeros
+    } else if (!parse_digits()) {
+      return false;
+    }
+    if (consume('.') && !parse_digits()) return false;
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!parse_digits()) return false;
+    }
+    return true;
+  }
+
+  bool parse_value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = parse_object(); break;
+      case '[': ok = parse_array(); break;
+      case '"': ok = parse_string(); break;
+      case 't': ok = parse_literal("true"); break;
+      case 'f': ok = parse_literal("false"); break;
+      case 'n': ok = parse_literal("null"); break;
+      default: ok = parse_number(); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool parse_object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!parse_string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      if (!parse_value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      if (!parse_value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Parser p{text};
+  if (!p.parse_value()) return false;
+  p.skip_ws();
+  return p.eof();
+}
+
+}  // namespace amr

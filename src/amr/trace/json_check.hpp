@@ -1,0 +1,17 @@
+// Minimal validating JSON parser.
+//
+// Exists so the trace tests and the CI smoke check can assert "the
+// exported trace parses as JSON" without an external dependency. It
+// validates structure only (RFC 8259 grammar: values, nesting, string
+// escapes, number syntax) and builds no DOM.
+#pragma once
+
+#include <string_view>
+
+namespace amr {
+
+/// True iff `text` is one syntactically valid JSON value (with optional
+/// surrounding whitespace).
+bool json_valid(std::string_view text);
+
+}  // namespace amr

@@ -1,0 +1,70 @@
+#include "amr/trace/trace_tables.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace amr {
+
+TraceTables trace_to_tables(const Tracer& tracer) {
+  TraceTables out{
+      Table("trace_spans", {{"ts", ColType::kI64},
+                            {"dur_ns", ColType::kI64},
+                            {"track", ColType::kI64},
+                            {"cat", ColType::kI64},
+                            {"a", ColType::kI64},
+                            {"b", ColType::kI64}}),
+      Table("trace_instants", {{"ts", ColType::kI64},
+                               {"track", ColType::kI64},
+                               {"cat", ColType::kI64},
+                               {"a", ColType::kI64},
+                               {"b", ColType::kI64}}),
+      Table("trace_counters", {{"ts", ColType::kI64},
+                               {"track", ColType::kI64},
+                               {"cat", ColType::kI64},
+                               {"value", ColType::kI64}})};
+
+  const auto span_row = [&](TimeNs ts, TimeNs dur, const TraceEvent& ev,
+                            std::int64_t a, std::int64_t b) {
+    out.spans.append_row({ts, dur, static_cast<std::int64_t>(ev.track),
+                          static_cast<std::int64_t>(ev.cat), a, b});
+  };
+
+  // Begin/end pairs match per track: task execution on a rank is
+  // sequential, so a simple per-track stack recovers the spans. The `b`
+  // payload of the *end* event wins when nonzero (waits learn the
+  // releasing sender only at release time).
+  std::unordered_map<std::int32_t, std::vector<TraceEvent>> open;
+  tracer.for_each([&](const TraceEvent& ev) {
+    switch (ev.type) {
+      case TraceEventType::kComplete:
+        span_row(ev.ts, ev.dur, ev, ev.a, ev.b);
+        break;
+      case TraceEventType::kBegin:
+        open[ev.track].push_back(ev);
+        break;
+      case TraceEventType::kEnd: {
+        auto it = open.find(ev.track);
+        if (it == open.end() || it->second.empty()) break;  // orphan
+        const TraceEvent b = it->second.back();
+        it->second.pop_back();
+        span_row(b.ts, ev.ts - b.ts, b, ev.a != 0 ? ev.a : b.a,
+                 ev.b != 0 ? ev.b : b.b);
+        break;
+      }
+      case TraceEventType::kInstant:
+      case TraceEventType::kFlowBegin:
+      case TraceEventType::kFlowEnd:
+        out.instants.append_row({ev.ts, static_cast<std::int64_t>(ev.track),
+                                 static_cast<std::int64_t>(ev.cat), ev.a,
+                                 ev.b});
+        break;
+      case TraceEventType::kCounter:
+        out.counters.append_row({ev.ts, static_cast<std::int64_t>(ev.track),
+                                 static_cast<std::int64_t>(ev.cat), ev.a});
+        break;
+    }
+  });
+  return out;
+}
+
+}  // namespace amr

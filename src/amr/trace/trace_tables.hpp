@@ -1,0 +1,33 @@
+// Trace -> telemetry Table conversion.
+//
+// Turns the event stream into the same columnar Tables the rest of the
+// observability stack operates on, so the Query engine, detectors, and
+// triggers can analyze event-level data with no new analysis code:
+//
+//   spans(ts, dur_ns, track, cat, a, b)  — completed spans; begin/end
+//       pairs (waits, collectives) are matched per track and emitted
+//       with their measured duration
+//   instants(ts, track, cat, a, b)       — instant + flow events (flow
+//       pair id carried in `a` is not preserved; args land in a/b)
+//   counters(ts, track, cat, value)      — counter samples
+//
+// `track` uses the Tracer's encoding (>= 0 rank, kTrackSim, kTrackCrit,
+// fabric_track(node)); `cat` is the TraceCat integer value.
+#pragma once
+
+#include "amr/telemetry/table.hpp"
+#include "amr/trace/tracer.hpp"
+
+namespace amr {
+
+struct TraceTables {
+  Table spans;
+  Table instants;
+  Table counters;
+};
+
+/// Convert the tracer's buffered events. Begin/end spans left open at
+/// the buffer edge and orphaned ends (ring-buffer drops) are omitted.
+TraceTables trace_to_tables(const Tracer& tracer);
+
+}  // namespace amr

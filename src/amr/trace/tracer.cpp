@@ -1,0 +1,115 @@
+#include "amr/trace/tracer.hpp"
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+const char* to_string(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kStep: return "step";
+    case TraceCat::kCompute: return "compute";
+    case TraceCat::kPack: return "pack";
+    case TraceCat::kSend: return "send";
+    case TraceCat::kRecvWait: return "recv-wait";
+    case TraceCat::kSendWait: return "send-wait";
+    case TraceCat::kSync: return "sync";
+    case TraceCat::kRebalance: return "rebalance";
+    case TraceCat::kMsg: return "msg";
+    case TraceCat::kFault: return "fault";
+    case TraceCat::kFabric: return "fabric";
+    case TraceCat::kDes: return "des";
+    case TraceCat::kCritPath: return "crit-path";
+    case TraceCat::kCount_: break;
+  }
+  return "?";
+}
+
+Tracer::Tracer(TraceConfig config) : config_(config) {
+  AMR_CHECK_MSG(config_.capacity > 0, "trace capacity must be positive");
+  AMR_CHECK(config_.ranks_per_node > 0);
+  ring_.resize(config_.capacity);
+}
+
+void Tracer::push(const TraceEvent& ev) {
+  ++recorded_;
+  if (size_ < ring_.size()) {
+    ring_[(begin_ + size_) % ring_.size()] = ev;
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest event (drop-oldest keeps the most recent
+  // window of the run, the part a post-mortem usually needs).
+  ring_[begin_] = ev;
+  begin_ = (begin_ + 1) % ring_.size();
+  ++dropped_;
+}
+
+void Tracer::complete(std::int32_t track, TraceCat cat, const char* name,
+                      TimeNs ts, TimeNs dur, std::int64_t a,
+                      std::int64_t b) {
+  if (!wants(cat)) return;
+  push(TraceEvent{ts, dur, 0, a, b, name, track,
+                  TraceEventType::kComplete, cat});
+}
+
+void Tracer::begin(std::int32_t track, TraceCat cat, const char* name,
+                   TimeNs ts, std::int64_t a, std::int64_t b) {
+  if (!wants(cat)) return;
+  push(TraceEvent{ts, 0, 0, a, b, name, track, TraceEventType::kBegin,
+                  cat});
+}
+
+void Tracer::end(std::int32_t track, TraceCat cat, const char* name,
+                 TimeNs ts, std::int64_t a, std::int64_t b) {
+  if (!wants(cat)) return;
+  push(TraceEvent{ts, 0, 0, a, b, name, track, TraceEventType::kEnd, cat});
+}
+
+void Tracer::instant(std::int32_t track, TraceCat cat, const char* name,
+                     TimeNs ts, std::int64_t a, std::int64_t b) {
+  if (!wants(cat)) return;
+  push(TraceEvent{ts, 0, 0, a, b, name, track, TraceEventType::kInstant,
+                  cat});
+}
+
+void Tracer::counter(std::int32_t track, TraceCat cat, const char* name,
+                     TimeNs ts, std::int64_t value) {
+  if (!wants(cat)) return;
+  push(TraceEvent{ts, 0, 0, value, 0, name, track,
+                  TraceEventType::kCounter, cat});
+}
+
+std::uint64_t Tracer::flow_begin(std::int32_t track, TraceCat cat,
+                                 const char* name, TimeNs ts,
+                                 std::int64_t a, std::int64_t b) {
+  if (!wants(cat)) return 0;
+  const std::uint64_t id = next_flow_id_++;
+  push(TraceEvent{ts, 0, id, a, b, name, track,
+                  TraceEventType::kFlowBegin, cat});
+  return id;
+}
+
+void Tracer::flow_end(std::int32_t track, TraceCat cat, const char* name,
+                      TimeNs ts, std::uint64_t id, std::int64_t a,
+                      std::int64_t b) {
+  if (!wants(cat) || id == 0) return;
+  push(TraceEvent{ts, 0, id, a, b, name, track, TraceEventType::kFlowEnd,
+                  cat});
+}
+
+void Tracer::clear() {
+  begin_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  recorded_ = 0;
+  next_flow_id_ = 1;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for_each([&](const TraceEvent& ev) { out.push_back(ev); });
+  return out;
+}
+
+}  // namespace amr

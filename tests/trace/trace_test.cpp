@@ -1,0 +1,342 @@
+// Tests for the amr::trace subsystem: ring-buffer semantics, the Chrome
+// Trace Event exporter (golden file + structural properties on a real
+// run), and the trace -> Table -> Query round trip.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "amr/placement/baseline.hpp"
+#include "amr/sim/simulation.hpp"
+#include "amr/telemetry/query.hpp"
+#include "amr/trace/chrome_export.hpp"
+#include "amr/trace/json_check.hpp"
+#include "amr/trace/trace_tables.hpp"
+#include "amr/trace/tracer.hpp"
+#include "amr/workloads/sedov.hpp"
+
+namespace amr {
+namespace {
+
+TEST(TracerRing, OverflowDropsOldestAndCounts) {
+  TraceConfig cfg;
+  cfg.capacity = 8;
+  Tracer tracer(cfg);
+  for (std::int64_t i = 0; i < 20; ++i)
+    tracer.instant(0, TraceCat::kSend, "ev", i, i);
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  EXPECT_EQ(tracer.recorded(), 20u);
+  // Survivors are the newest events, oldest-first.
+  std::vector<std::int64_t> ts;
+  tracer.for_each([&](const TraceEvent& ev) { ts.push_back(ev.ts); });
+  ASSERT_EQ(ts.size(), 8u);
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    EXPECT_EQ(ts[i], static_cast<std::int64_t>(12 + i));
+}
+
+TEST(TracerRing, ClearResets) {
+  Tracer tracer(TraceConfig{.capacity = 4});
+  for (int i = 0; i < 6; ++i)
+    tracer.instant(0, TraceCat::kSend, "ev", i);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  tracer.instant(0, TraceCat::kSend, "ev", 99);
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(TracerRing, DisabledCategoryIsNoOp) {
+  TraceConfig cfg;
+  cfg.categories = kDefaultTraceCategories;  // excludes kDes
+  Tracer tracer(cfg);
+  tracer.instant(0, TraceCat::kDes, "dispatch", 1);
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+
+  cfg.categories = 0;
+  Tracer off(cfg);
+  EXPECT_EQ(off.flow_begin(0, TraceCat::kMsg, "p2p", 1), 0u);
+  off.flow_end(1, TraceCat::kMsg, "p2p", 2, 0);
+  EXPECT_EQ(off.size(), 0u);
+}
+
+/// A small deterministic trace touching every event type and track kind.
+Tracer make_reference_trace() {
+  TraceConfig cfg;
+  cfg.ranks_per_node = 2;
+  Tracer tracer(cfg);
+  tracer.complete(Tracer::kTrackSim, TraceCat::kStep, "step", 0, 5000, 0, 0);
+  tracer.complete(0, TraceCat::kCompute, "compute", 100, 1200, 0);
+  tracer.complete(0, TraceCat::kPack, "pack", 1300, 400, 4096, 2);
+  const std::uint64_t flow =
+      tracer.flow_begin(0, TraceCat::kMsg, "p2p", 1699, 4096, 2);
+  tracer.instant(0, TraceCat::kSend, "isend", 1700, 4096, 2);
+  tracer.begin(2, TraceCat::kRecvWait, "recv-wait", 200);
+  tracer.flow_end(2, TraceCat::kMsg, "p2p", 2400, flow, 4096, 0);
+  tracer.end(2, TraceCat::kRecvWait, "recv-wait", 2400, 0);
+  tracer.counter(Tracer::fabric_track(0), TraceCat::kFabric,
+                 "nic_backlog_ns", 1800, 350);
+  tracer.instant(Tracer::kTrackSim, TraceCat::kFault, "fault-onset", 2500,
+                 1, 400);
+  tracer.complete(Tracer::kTrackCrit, TraceCat::kCritPath, "crit:2-rank",
+                  0, 4800, 2, 0);
+  return tracer;
+}
+
+TEST(ChromeExport, MatchesGoldenFile) {
+  const Tracer tracer = make_reference_trace();
+  const std::string json = chrome_trace_json(tracer);
+  ASSERT_TRUE(json_valid(json));
+
+  const std::string path =
+      std::string(AMR_TRACE_GOLDEN_DIR) + "/reference_trace.json";
+  if (std::getenv("AMR_TRACE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << json;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (run with AMR_TRACE_REGEN_GOLDEN=1 to create)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(json, buf.str());
+}
+
+TEST(ChromeExport, OrphanEndsFromDropsAreFiltered) {
+  TraceConfig cfg;
+  cfg.capacity = 4;
+  Tracer tracer(cfg);
+  tracer.begin(0, TraceCat::kRecvWait, "recv-wait", 10);
+  for (int i = 0; i < 8; ++i)  // evict the begin
+    tracer.instant(0, TraceCat::kSend, "ev", 20 + i);
+  tracer.end(0, TraceCat::kRecvWait, "recv-wait", 30);
+  const std::string json = chrome_trace_json(tracer);
+  ASSERT_TRUE(json_valid(json));
+  // The orphaned end must not appear: B and E counts stay equal (both 0).
+  std::size_t b = 0;
+  std::size_t e = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"", pos)) != std::string::npos; pos += 6) {
+    if (json[pos + 6] == 'B') ++b;
+    if (json[pos + 6] == 'E') ++e;
+  }
+  EXPECT_EQ(b, 0u);
+  EXPECT_EQ(e, 0u);
+}
+
+/// Minimal field scraping for the exporter's one-event-per-line output.
+struct EventLine {
+  char ph = 0;
+  long long pid = 0;
+  long long tid = 0;
+  double ts = 0.0;
+  long long id = -1;
+};
+
+bool parse_event_line(const std::string& line, EventLine& out) {
+  const auto ph = line.find("\"ph\":\"");
+  if (ph == std::string::npos) return false;
+  out.ph = line[ph + 6];
+  const auto pid = line.find("\"pid\":");
+  if (pid == std::string::npos) return false;
+  out.pid = std::atoll(line.c_str() + pid + 6);
+  const auto tid = line.find("\"tid\":");
+  out.tid = tid != std::string::npos ? std::atoll(line.c_str() + tid + 6) : 0;
+  const auto ts = line.find("\"ts\":");
+  out.ts = ts != std::string::npos ? std::atof(line.c_str() + ts + 5) : 0.0;
+  const auto id = line.find("\"id\":");
+  out.id = id != std::string::npos ? std::atoll(line.c_str() + id + 5) : -1;
+  return true;
+}
+
+SimulationConfig small_traced_config() {
+  SimulationConfig cfg;
+  cfg.nranks = 8;
+  cfg.ranks_per_node = 4;
+  cfg.root_grid = RootGrid{2, 2, 2};
+  cfg.steps = 6;
+  cfg.trace_enabled = true;
+  cfg.trace.capacity = 1u << 20;  // hold the full run, no drops
+  ThrottleFault fault;
+  fault.nodes = {1};
+  fault.factor = 4.0;
+  fault.onset_step = 2;
+  fault.end_step = 3;
+  cfg.faults.add_throttle(fault);
+  return cfg;
+}
+
+TEST(ChromeExport, SedovTraceIsWellFormed) {
+  SimulationConfig cfg = small_traced_config();
+  SedovParams sp;
+  sp.total_steps = cfg.steps;
+  sp.max_level = 1;
+  SedovWorkload sedov(sp);
+  const BaselinePolicy policy;
+  Simulation sim(cfg, sedov, policy);
+  sim.run();
+  ASSERT_NE(sim.tracer(), nullptr);
+  EXPECT_EQ(sim.tracer()->dropped(), 0u);
+  EXPECT_GT(sim.tracer()->size(), 0u);
+
+  const std::string json = chrome_trace_json(*sim.tracer());
+  ASSERT_TRUE(json_valid(json));
+
+  // Structural properties, line by line: per-(pid, tid) timestamps are
+  // monotonic, B/E pairs nest, and every flow target has a prior origin.
+  std::map<std::pair<long long, long long>, double> last_ts;
+  std::map<std::pair<long long, long long>, long long> depth;
+  std::set<long long> flow_origins;
+  std::size_t events = 0;
+  std::istringstream lines(json);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EventLine ev;
+    if (!parse_event_line(line, ev) || ev.ph == 'M') continue;
+    ++events;
+    const auto key = std::make_pair(ev.pid, ev.tid);
+    const auto it = last_ts.find(key);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ev.ts, it->second);
+    }
+    last_ts[key] = ev.ts;
+    if (ev.ph == 'B') ++depth[key];
+    if (ev.ph == 'E') {
+      --depth[key];
+      EXPECT_GE(depth[key], 0) << "unmatched E on pid=" << ev.pid
+                               << " tid=" << ev.tid;
+    }
+    if (ev.ph == 's') flow_origins.insert(ev.id);
+    if (ev.ph == 'f') {
+      EXPECT_TRUE(flow_origins.contains(ev.id));
+    }
+  }
+  EXPECT_GT(events, 100u);
+  for (const auto& [key, d] : depth)
+    EXPECT_EQ(d, 0) << "open span on pid=" << key.first
+                    << " tid=" << key.second;
+  // The overlay and fault instrumentation made it into the stream.
+  EXPECT_NE(json.find("\"crit:"), std::string::npos);
+  EXPECT_NE(json.find("fault-onset"), std::string::npos);
+  EXPECT_NE(json.find("fault-clear"), std::string::npos);
+  EXPECT_NE(json.find("rebalance"), std::string::npos);
+}
+
+TEST(ChromeExport, DesCategoryRecordsDispatchInstants) {
+  SimulationConfig cfg = small_traced_config();
+  cfg.steps = 2;
+  cfg.trace.categories = kAllTraceCategories;  // opt in to kDes volume
+  SedovParams sp;
+  sp.total_steps = cfg.steps;
+  sp.max_level = 1;
+  SedovWorkload sedov(sp);
+  const BaselinePolicy policy;
+  Simulation sim(cfg, sedov, policy);
+  sim.run();
+  std::size_t dispatches = 0;
+  sim.tracer()->for_each([&](const TraceEvent& ev) {
+    if (ev.cat == TraceCat::kDes) ++dispatches;
+  });
+  EXPECT_GT(dispatches, 0u);
+}
+
+TEST(TraceTables, RoundTripMatchesCollectorViaQuery) {
+  SimulationConfig cfg = small_traced_config();
+  SedovParams sp;
+  sp.total_steps = cfg.steps;
+  sp.max_level = 1;
+  SedovWorkload sedov(sp);
+  const BaselinePolicy policy;
+  Simulation sim(cfg, sedov, policy);
+  sim.run();
+  ASSERT_NE(sim.tracer(), nullptr);
+  ASSERT_EQ(sim.tracer()->dropped(), 0u);
+
+  TraceTables tables = trace_to_tables(*sim.tracer());
+  EXPECT_GT(tables.spans.num_rows(), 0u);
+  EXPECT_GT(tables.instants.num_rows(), 0u);
+  EXPECT_GT(tables.counters.num_rows(), 0u);
+
+  // Per-rank compute from the event stream must equal the aggregate the
+  // Collector recorded — same run, two observability layers.
+  const Table by_track =
+      Query(tables.spans)
+          .filter_i64("cat",
+                      [](std::int64_t c) {
+                        return c == static_cast<std::int64_t>(
+                                        TraceCat::kCompute);
+                      })
+          .group_by({"track"})
+          .agg({{"dur_ns", Agg::kSum, "compute_ns"}});
+  const Table by_rank =
+      Query(sim.collector().phases())
+          .filter_i64("phase",
+                      [](std::int64_t p) {
+                        return p ==
+                               static_cast<std::int64_t>(Phase::kCompute);
+                      })
+          .group_by({"rank"})
+          .agg({{"dur_ns", Agg::kSum, "compute_ns"}});
+
+  std::map<std::int64_t, double> trace_sum;
+  for (std::size_t r = 0; r < by_track.num_rows(); ++r)
+    trace_sum[by_track.ivalue(0, r)] = by_track.value(1, r);
+  ASSERT_EQ(by_rank.num_rows(), static_cast<std::size_t>(cfg.nranks));
+  for (std::size_t r = 0; r < by_rank.num_rows(); ++r) {
+    const std::int64_t rank = by_rank.ivalue(0, r);
+    ASSERT_TRUE(trace_sum.contains(rank)) << "rank " << rank;
+    EXPECT_DOUBLE_EQ(trace_sum[rank], by_rank.value(1, r))
+        << "rank " << rank;
+  }
+
+  // Satellite API: tables report and release their storage.
+  EXPECT_GT(tables.spans.bytes_used(), 0u);
+  tables.spans.clear();
+  EXPECT_EQ(tables.spans.num_rows(), 0u);
+  EXPECT_EQ(tables.spans.bytes_used(), 0u);
+}
+
+TEST(TraceTables, OrphanedEndsAreOmitted) {
+  TraceConfig cfg;
+  cfg.capacity = 4;
+  Tracer tracer(cfg);
+  tracer.begin(0, TraceCat::kRecvWait, "recv-wait", 10);
+  for (int i = 0; i < 8; ++i)
+    tracer.instant(0, TraceCat::kSend, "ev", 20 + i);
+  tracer.end(0, TraceCat::kRecvWait, "recv-wait", 30);
+  const TraceTables tables = trace_to_tables(tracer);
+  EXPECT_EQ(tables.spans.num_rows(), 0u);
+}
+
+TEST(CollectorApi, ClearAndBytesUsed) {
+  Collector collector;
+  EXPECT_EQ(collector.bytes_used(), 0u);
+  for (int s = 0; s < 4; ++s)
+    for (int r = 0; r < 8; ++r) {
+      collector.record_phase(s, r, Phase::kCompute, 1000);
+      collector.record_comm(s, r, 1, 2, 64, 128, 10, 20);
+      collector.record_block(s, r, r, 500);
+    }
+  EXPECT_GT(collector.bytes_used(), 0u);
+  EXPECT_EQ(collector.phases().num_rows(), 32u);
+  collector.clear();
+  EXPECT_EQ(collector.phases().num_rows(), 0u);
+  EXPECT_EQ(collector.comm().num_rows(), 0u);
+  EXPECT_EQ(collector.blocks().num_rows(), 0u);
+  EXPECT_EQ(collector.bytes_used(), 0u);
+  // Schemas survive: recording still works after a clear.
+  collector.record_phase(9, 0, Phase::kSync, 7);
+  EXPECT_EQ(collector.phases().num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace amr
