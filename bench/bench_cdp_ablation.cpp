@@ -7,12 +7,17 @@
 //     size — the mechanism that keeps CDP inside the 50 ms placement
 //     budget at scale.
 //
-// Flags: --trials=N (default 5) --quick
+// Each table row is an independent sweep task. Quality ratios are
+// seed-determined, so default output is byte-stable across --jobs;
+// wall-clock columns only print under --timing.
+//
+// Flags: --trials=N (default 5) --quick --jobs=N --timing --json=FILE
 #include "bench_util.hpp"
 
 #include <chrono>
 
 #include "amr/common/stats.hpp"
+#include "amr/par/sweep.hpp"
 #include "amr/placement/cdp.hpp"
 #include "amr/placement/chunked_cdp.hpp"
 #include "amr/placement/metrics.hpp"
@@ -36,51 +41,104 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto trials = static_cast<std::int32_t>(
       flags.get_int("trials", flags.quick() ? 2 : 5));
+  const bool timing = flags.has("timing");
 
-  print_header("SV-C ablation 1: CDP variants (quality vs cost)");
-  std::printf("%8s %8s | %12s %12s | %10s %10s %10s\n", "blocks", "ranks",
-              "restr/exact", "general/ex", "restr-ms", "general-ms",
-              "bsearch-ms");
-  print_rule();
-  const CdpPolicy restricted(CdpMode::kRestricted);
-  const CdpPolicy general(CdpMode::kGeneral);
-  const CdpPolicy bsearch(CdpMode::kBinarySearch);
   // Bounded-variability costs, as in scalebench: unbounded tails pin the
   // makespan to one block and hide the differences being measured.
   SyntheticCostParams cost_params;
   cost_params.clamp_max_ratio = 3.0;
+
   // ~2.2 blocks/rank (Table I final counts): mixed segment sizes give
   // the restricted DP real ordering freedom.
-  for (const auto& [blocks, ranks] :
-       std::vector<std::pair<std::size_t, std::int32_t>>{
-           {281, 128}, {1126, 512}, {2252, 1024}}) {
-    RunningStats q_restricted;
-    RunningStats q_general;
-    RunningStats t_restricted;
-    RunningStats t_general;
-    RunningStats t_bsearch;
-    for (std::int32_t t = 0; t < trials; ++t) {
-      Rng rng(hash64(blocks * 17 + static_cast<std::uint64_t>(t)));
-      const auto costs = synthetic_costs(
-          blocks, CostDistribution::kGaussian, rng, cost_params);
-      std::vector<std::int32_t> sizes_r;
-      std::vector<std::int32_t> sizes_g;
-      std::vector<std::int32_t> sizes_b;
-      t_restricted.add(
-          timed_ms([&] { sizes_r = restricted.segment_sizes(costs, ranks); }));
-      t_general.add(
-          timed_ms([&] { sizes_g = general.segment_sizes(costs, ranks); }));
-      t_bsearch.add(
-          timed_ms([&] { sizes_b = bsearch.segment_sizes(costs, ranks); }));
-      const double exact = segments_makespan(costs, sizes_b);
-      q_restricted.add(segments_makespan(costs, sizes_r) / exact);
-      q_general.add(segments_makespan(costs, sizes_g) / exact);
-    }
-    std::printf("%8zu %8d | %12.4f %12.4f | %10.3f %10.3f %10.3f\n",
-                blocks, ranks, q_restricted.mean(), q_general.mean(),
-                t_restricted.mean(), t_general.mean(), t_bsearch.mean());
-    std::fflush(stdout);
+  const std::vector<std::pair<std::size_t, std::int32_t>> variant_cases{
+      {281, 128}, {1126, 512}, {2252, 1024}};
+  const std::vector<std::pair<std::size_t, std::int32_t>> chunk_cases{
+      {6144, 4096}, {24576, 16384}};
+
+  Sweep variants(flags.jobs());
+  for (const auto& [blocks, ranks] : variant_cases) {
+    variants.add("cdp-variants/" + std::to_string(blocks),
+                 [=, &cost_params] {
+      const CdpPolicy restricted(CdpMode::kRestricted);
+      const CdpPolicy general(CdpMode::kGeneral);
+      const CdpPolicy bsearch(CdpMode::kBinarySearch);
+      RunningStats q_restricted;
+      RunningStats q_general;
+      RunningStats t_restricted;
+      RunningStats t_general;
+      RunningStats t_bsearch;
+      for (std::int32_t t = 0; t < trials; ++t) {
+        Rng rng(hash64(blocks * 17 + static_cast<std::uint64_t>(t)));
+        const auto costs = synthetic_costs(
+            blocks, CostDistribution::kGaussian, rng, cost_params);
+        std::vector<std::int32_t> sizes_r;
+        std::vector<std::int32_t> sizes_g;
+        std::vector<std::int32_t> sizes_b;
+        t_restricted.add(timed_ms(
+            [&] { sizes_r = restricted.segment_sizes(costs, ranks); }));
+        t_general.add(timed_ms(
+            [&] { sizes_g = general.segment_sizes(costs, ranks); }));
+        t_bsearch.add(timed_ms(
+            [&] { sizes_b = bsearch.segment_sizes(costs, ranks); }));
+        const double exact = segments_makespan(costs, sizes_b);
+        q_restricted.add(segments_makespan(costs, sizes_r) / exact);
+        q_general.add(segments_makespan(costs, sizes_g) / exact);
+      }
+      std::string row;
+      appendf(row, "%8zu %8d | %12.4f %12.4f", blocks, ranks,
+              q_restricted.mean(), q_general.mean());
+      if (timing)
+        appendf(row, " | %10.3f %10.3f %10.3f", t_restricted.mean(),
+                t_general.mean(), t_bsearch.mean());
+      appendf(row, "\n");
+      return row;
+    });
   }
+
+  Sweep chunking(flags.jobs());
+  for (const auto& [blocks, ranks] : chunk_cases) {
+    chunking.add("cdp-chunking/" + std::to_string(blocks), [=] {
+      const CdpPolicy restricted(CdpMode::kRestricted);
+      Rng rng(hash64(blocks));
+      SyntheticCostParams params;
+      params.clamp_max_ratio = 3.0;
+      const auto costs = synthetic_costs(
+          blocks, CostDistribution::kExponential, rng, params);
+      // Unchunked reference (restricted CDP on the whole instance) only
+      // where feasible.
+      double reference = -1.0;
+      if (ranks <= 4096) {
+        const auto sizes = restricted.segment_sizes(costs, ranks);
+        reference = segments_makespan(costs, sizes);
+      }
+      std::string rows;
+      for (const std::int32_t chunk : {256, 512, 1024}) {
+        const ChunkedCdpPolicy chunked(chunk);
+        Placement p;
+        const double wall =
+            timed_ms([&] { p = chunked.place(costs, ranks); });
+        const double ms = load_metrics(costs, p, ranks).makespan;
+        appendf(rows, "%8zu %8d %10d | %14.4f", blocks, ranks, chunk,
+                reference > 0 ? ms / reference : 0.0);
+        if (timing) appendf(rows, " %10.3f", wall);
+        appendf(rows, "\n");
+      }
+      return rows;
+    });
+  }
+
+  variants.run();
+  chunking.run();
+
+  print_header("SV-C ablation 1: CDP variants (quality vs cost)");
+  std::printf("%8s %8s | %12s %12s", "blocks", "ranks", "restr/exact",
+              "general/ex");
+  if (timing)
+    std::printf(" | %10s %10s %10s", "restr-ms", "general-ms",
+                "bsearch-ms");
+  std::printf("\n");
+  print_rule();
+  variants.print();
   std::printf(
       "\nThe size restriction trades some contiguous-optimal makespan "
       "(more under heavy-tailed costs, where hot blocks collide along "
@@ -89,37 +147,18 @@ int main(int argc, char** argv) {
       "migration budget relies on.\n");
 
   print_header("SV-C ablation 2: hierarchical chunking");
-  std::printf("%8s %8s %10s | %14s %10s\n", "blocks", "ranks", "chunk",
-              "makespan/cdp", "wall-ms");
+  std::printf("%8s %8s %10s | %14s", "blocks", "ranks", "chunk",
+              "makespan/cdp");
+  if (timing) std::printf(" %10s", "wall-ms");
+  std::printf("\n");
   print_rule();
-  for (const auto& [blocks, ranks] :
-       std::vector<std::pair<std::size_t, std::int32_t>>{{6144, 4096},
-                                                         {24576, 16384}}) {
-    Rng rng(hash64(blocks));
-    SyntheticCostParams cost_params;
-    cost_params.clamp_max_ratio = 3.0;
-    const auto costs = synthetic_costs(
-        blocks, CostDistribution::kExponential, rng, cost_params);
-    // Unchunked reference (restricted CDP on the whole instance) only
-    // where feasible.
-    double reference = -1.0;
-    if (ranks <= 4096) {
-      const auto sizes = restricted.segment_sizes(costs, ranks);
-      reference = segments_makespan(costs, sizes);
-    }
-    for (const std::int32_t chunk : {256, 512, 1024}) {
-      const ChunkedCdpPolicy chunked(chunk);
-      Placement p;
-      const double wall =
-          timed_ms([&] { p = chunked.place(costs, ranks); });
-      const double ms = load_metrics(costs, p, ranks).makespan;
-      std::printf("%8zu %8d %10d | %14.4f %10.3f\n", blocks, ranks, chunk,
-                  reference > 0 ? ms / reference : 0.0, wall);
-      std::fflush(stdout);
-    }
-  }
+  chunking.print();
   std::printf("\n(makespan/cdp = 0 where the unchunked reference exceeds "
               "the DP state cap; paper: chunking has minimal quality "
               "impact since CDP output is only CPLX's starting point)\n");
+  if (!flags.json_path().empty()) {
+    variants.write_json(flags.json_path(), "cdp_ablation/variants");
+    chunking.write_json(flags.json_path(), "cdp_ablation/chunking");
+  }
   return 0;
 }

@@ -1,0 +1,180 @@
+// Sweep-runtime benchmark: measures what amr::par buys (and costs).
+//
+// Three sections:
+//   1. sweep scaling — a fixed batch of placement trials run serially
+//      and through the pool, outputs diffed byte-for-byte (the
+//      determinism contract, checked every run) and wall clocks
+//      compared;
+//   2. DES event-dispatch throughput — the monotone radix-queue engine
+//      on the bench_micro workload shape (pre-scheduled events plus a
+//      self-rescheduling tick), reported in M events/s;
+//   3. LPT placement wall-clock at paper scales (the d-ary heap
+//      kernel).
+//
+// All numbers land in the --json=FILE record (one JSON object per line,
+// appended) so BENCH_par_sweep.json tracks the perf trajectory across
+// commits. Stdout includes wall-clock values and is NOT byte-stable; use
+// the table benches for golden-output comparisons.
+//
+// Flags: --tasks=N (default 48) --ranks=N (default 2048) --jobs=N
+//        --quick --json=FILE
+#include "bench_util.hpp"
+
+#include <chrono>
+
+#include "amr/des/engine.hpp"
+#include "amr/par/sweep.hpp"
+#include "amr/placement/cplx.hpp"
+#include "amr/placement/lpt.hpp"
+#include "amr/placement/metrics.hpp"
+#include "amr/workloads/synthetic.hpp"
+
+namespace {
+
+using namespace amr;
+using namespace amr::bench;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One sweep task: synthesize costs, place with CPLX, report makespan.
+/// Heavy enough (~ms) that pool overhead is honest, deterministic from
+/// the derived seed alone.
+std::string placement_trial(std::uint64_t seed, std::int32_t ranks) {
+  Rng rng(seed);
+  const std::size_t blocks = static_cast<std::size_t>(ranks) * 11 / 5;
+  const auto costs =
+      synthetic_costs(blocks, CostDistribution::kExponential, rng);
+  const CplxPolicy cplx(25);
+  const Placement p = cplx.place(costs, ranks);
+  std::string out;
+  appendf(out, "seed=%016llx imbalance=%.6f\n",
+          static_cast<unsigned long long>(seed),
+          load_metrics(costs, p, ranks).imbalance);
+  return out;
+}
+
+struct SweepRun {
+  std::string output;
+  double wall_ms = 0.0;
+};
+
+SweepRun run_batch(int jobs, int tasks, std::int32_t ranks) {
+  Sweep sweep(jobs);
+  for (int i = 0; i < tasks; ++i) {
+    const std::uint64_t seed =
+        sweep_task_seed(12345, static_cast<std::uint64_t>(i));
+    sweep.add("trial/" + std::to_string(i),
+              [seed, ranks] { return placement_trial(seed, ranks); });
+  }
+  const double t0 = now_ms();
+  sweep.run();
+  SweepRun r;
+  r.wall_ms = now_ms() - t0;
+  for (const SweepResult& res : sweep.results()) r.output += res.output;
+  return r;
+}
+
+/// bench_micro's DES workload shape, standalone: `events` pre-scheduled
+/// one-shot events plus a tick that reschedules itself across the whole
+/// horizon, drained in one run(). Returns M events/s.
+double des_throughput(std::size_t events) {
+  Engine eng;
+  eng.reserve(events + 4);
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < events; ++i)
+    eng.call_at(static_cast<TimeNs>(1 + i * 7 % 1000000),
+                [&sink, i](Engine&) { sink += i; });
+  struct Tick : EventHandler {
+    std::uint64_t* sink;
+    TimeNs step = 500;
+    void on_event(Engine& engine, std::uint64_t tag) override {
+      *sink += tag;
+      if (engine.now() + step < 1000000)
+        engine.schedule_at(engine.now() + step, this, tag + 1);
+    }
+  } tick;
+  tick.sink = &sink;
+  eng.schedule_at(0, &tick, 0);
+  const double t0 = now_ms();
+  eng.run_until(2000000);
+  const double ms = now_ms() - t0;
+  const double n = static_cast<double>(eng.events_processed());
+  return ms > 0.0 ? n / ms / 1e3 : 0.0;
+}
+
+double lpt_wall_ms(std::size_t blocks, std::int32_t ranks) {
+  Rng rng(99);
+  const auto costs =
+      synthetic_costs(blocks, CostDistribution::kExponential, rng);
+  const LptPolicy lpt;
+  // Warm once, then time the median-ish of 5.
+  (void)lpt.place(costs, ranks);
+  double best = 1e30;
+  for (int i = 0; i < 5; ++i) {
+    const double t0 = now_ms();
+    const Placement p = lpt.place(costs, ranks);
+    const double ms = now_ms() - t0;
+    (void)p;
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto tasks = static_cast<int>(
+      flags.get_int("tasks", flags.quick() ? 12 : 48));
+  const auto ranks = static_cast<std::int32_t>(
+      flags.get_int("ranks", flags.quick() ? 512 : 2048));
+  const int jobs = flags.jobs();
+
+  print_header("sweep scaling: CPLX placement trials, serial vs pool");
+  const SweepRun serial = run_batch(1, tasks, ranks);
+  const SweepRun pooled = run_batch(jobs, tasks, ranks);
+  const bool identical = serial.output == pooled.output;
+  std::printf("%d tasks x %d ranks\n", tasks, ranks);
+  std::printf("  jobs=1  %10.2f ms\n", serial.wall_ms);
+  std::printf("  jobs=%-2d %10.2f ms   speedup %.2fx\n", jobs,
+              pooled.wall_ms,
+              pooled.wall_ms > 0 ? serial.wall_ms / pooled.wall_ms : 0.0);
+  std::printf("  outputs byte-identical: %s\n", identical ? "yes" : "NO");
+
+  print_header("DES event dispatch (monotone radix queue)");
+  const std::size_t events = flags.quick() ? 100000 : 400000;
+  const double warm = des_throughput(events);
+  const double rate = des_throughput(events);
+  std::printf("%zu events: %.2f M events/s (warmup %.2f)\n", events, rate,
+              warm);
+
+  print_header("LPT placement (4-ary top-update heap)");
+  const double ms4k = lpt_wall_ms(4096 * 2, 4096);
+  const double ms64k = flags.quick() ? 0.0 : lpt_wall_ms(65536 * 2, 65536);
+  std::printf("  4096 ranks  %8.3f ms\n", ms4k);
+  if (!flags.quick()) std::printf("  65536 ranks %8.3f ms\n", ms64k);
+
+  if (!flags.json_path().empty()) {
+    std::FILE* f = flags.json_path() == "-"
+                       ? stdout
+                       : std::fopen(flags.json_path().c_str(), "a");
+    if (f != nullptr) {
+      std::fprintf(
+          f,
+          "{\"bench\":\"par_sweep\",\"tasks\":%d,\"ranks\":%d,"
+          "\"jobs\":%d,\"serial_ms\":%.3f,\"pooled_ms\":%.3f,"
+          "\"speedup\":%.3f,\"deterministic\":%s,"
+          "\"des_mevents_per_s\":%.3f,\"lpt_4096_ms\":%.3f,"
+          "\"lpt_65536_ms\":%.3f}\n",
+          tasks, ranks, jobs, serial.wall_ms, pooled.wall_ms,
+          pooled.wall_ms > 0 ? serial.wall_ms / pooled.wall_ms : 0.0,
+          identical ? "true" : "false", rate, ms4k, ms64k);
+      if (f != stdout) std::fclose(f);
+    }
+  }
+  return identical ? 0 : 1;
+}

@@ -6,14 +6,21 @@
 //     CPL0/CPL25 capture the bulk of the benefit with far more locality.
 // (c) Placement computation wall-clock vs scale: ~10 ms up to 16K ranks,
 //     ~100 ms at 128K; hierarchical chunking keeps CDP-based policies in
-//     budget.
+//     budget. Wall-clock values are nondeterministic, so the table only
+//     prints under --timing; default output is byte-stable across --jobs.
+//
+// Every (distribution, ranks, policy) cell is an independent trial
+// bundle with its own seed, so they fan out across the sweep pool and
+// reassemble in submission order.
 //
 // Flags: --max-ranks=N (default 131072) --trials=N (default 3) --quick
+//        --jobs=N --timing --json=FILE
 #include "bench_util.hpp"
 
 #include <chrono>
 
 #include "amr/common/stats.hpp"
+#include "amr/par/sweep.hpp"
 #include "amr/placement/metrics.hpp"
 #include "amr/placement/registry.hpp"
 #include "amr/workloads/synthetic.hpp"
@@ -43,10 +50,46 @@ int main(int argc, char** argv) {
                                             CostDistribution::kGaussian,
                                             CostDistribution::kPowerLaw};
 
+  // Fig 7b: one task per (distribution, scale, policy) cell; each owns
+  // its trial loop and derives its seeds from (ranks, trial, dist) alone
+  // so the result is independent of scheduling.
+  Sweep quality(flags.jobs());
+  for (const auto dist : dists) {
+    for (const std::int64_t ranks : scales) {
+      for (const auto& name : policies) {
+        std::string label = std::string(to_string(dist)) + "/" +
+                            std::to_string(ranks) + "/" + name;
+        quality.add(std::move(label), [=, &cost_params] {
+          RunningStats imbalance;
+          for (std::int32_t t = 0; t < trials; ++t) {
+            Rng rng(hash64(static_cast<std::uint64_t>(ranks) * 31 +
+                           static_cast<std::uint64_t>(t) * 7 +
+                           static_cast<std::uint64_t>(dist)));
+            const std::size_t blocks =
+                static_cast<std::size_t>(ranks) * 11 / 5;
+            const auto costs =
+                synthetic_costs(blocks, dist, rng, cost_params);
+            const PolicyPtr policy = make_policy(name);
+            const Placement p =
+                policy->place(costs, static_cast<std::int32_t>(ranks));
+            imbalance.add(
+                load_metrics(costs, p, static_cast<std::int32_t>(ranks))
+                    .imbalance);
+          }
+          std::string cell;
+          appendf(cell, " %8.3f", imbalance.mean());
+          return cell;
+        });
+      }
+    }
+  }
+  quality.run();
+
   print_header("Fig 7b (scalebench): normalized makespan by policy");
   std::printf("(makespan / mean-load; 1.0 = perfect balance; averaged "
               "over %d trials at ~2.2 blocks/rank)\n\n",
               trials);
+  std::size_t cell = 0;
   for (const auto dist : dists) {
     std::printf("-- %s costs --\n", to_string(dist));
     std::printf("%8s |", "ranks");
@@ -55,62 +98,70 @@ int main(int argc, char** argv) {
     print_rule();
     for (const std::int64_t ranks : scales) {
       std::printf("%8lld |", static_cast<long long>(ranks));
-      for (const auto& name : policies) {
-        RunningStats imbalance;
-        for (std::int32_t t = 0; t < trials; ++t) {
-          Rng rng(hash64(static_cast<std::uint64_t>(ranks) * 31 +
-                         static_cast<std::uint64_t>(t) * 7 +
-                         static_cast<std::uint64_t>(dist)));
-          const std::size_t blocks =
-              static_cast<std::size_t>(ranks) * 11 / 5;
-          const auto costs = synthetic_costs(blocks, dist, rng, cost_params);
-          const PolicyPtr policy = make_policy(name);
-          const Placement p =
-              policy->place(costs, static_cast<std::int32_t>(ranks));
-          imbalance.add(
-              load_metrics(costs, p, static_cast<std::int32_t>(ranks))
-                  .imbalance);
-        }
-        std::printf(" %8.3f", imbalance.mean());
-        std::fflush(stdout);
-      }
+      for (std::size_t i = 0; i < policies.size(); ++i)
+        std::printf("%s", quality.results()[cell++].output.c_str());
       std::printf("\n");
     }
     std::printf("\n");
   }
 
-  print_header("Fig 7c (scalebench): placement computation time (ms)");
-  std::printf("%8s |", "ranks");
-  for (const auto& p : policies) std::printf(" %8s", p.c_str());
-  std::printf("\n");
-  print_rule();
-  for (const std::int64_t ranks : scales) {
-    std::printf("%8lld |", static_cast<long long>(ranks));
-    for (const auto& name : policies) {
-      RunningStats wall_ms;
-      for (std::int32_t t = 0; t < trials; ++t) {
-        Rng rng(hash64(static_cast<std::uint64_t>(ranks) * 131 +
-                       static_cast<std::uint64_t>(t)));
-        const std::size_t blocks = static_cast<std::size_t>(ranks) * 11 / 5;
-        const auto costs =
-            synthetic_costs(blocks, CostDistribution::kExponential, rng, cost_params);
-        const PolicyPtr policy = make_policy(name);
-        const auto t0 = std::chrono::steady_clock::now();
-        const Placement p =
-            policy->place(costs, static_cast<std::int32_t>(ranks));
-        const auto t1 = std::chrono::steady_clock::now();
-        wall_ms.add(
-            std::chrono::duration<double, std::milli>(t1 - t0).count());
-        (void)p;
+  if (flags.has("timing")) {
+    Sweep timing(flags.jobs());
+    for (const std::int64_t ranks : scales) {
+      for (const auto& name : policies) {
+        std::string label =
+            "time/" + std::to_string(ranks) + "/" + name;
+        timing.add(std::move(label), [=, &cost_params] {
+          RunningStats wall_ms;
+          for (std::int32_t t = 0; t < trials; ++t) {
+            Rng rng(hash64(static_cast<std::uint64_t>(ranks) * 131 +
+                           static_cast<std::uint64_t>(t)));
+            const std::size_t blocks =
+                static_cast<std::size_t>(ranks) * 11 / 5;
+            const auto costs = synthetic_costs(
+                blocks, CostDistribution::kExponential, rng, cost_params);
+            const PolicyPtr policy = make_policy(name);
+            const auto t0 = std::chrono::steady_clock::now();
+            const Placement p =
+                policy->place(costs, static_cast<std::int32_t>(ranks));
+            const auto t1 = std::chrono::steady_clock::now();
+            wall_ms.add(
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+            (void)p;
+          }
+          std::string out;
+          appendf(out, " %8.3f", wall_ms.mean());
+          return out;
+        });
       }
-      std::printf(" %8.3f", wall_ms.mean());
-      std::fflush(stdout);
     }
+    timing.run();
+
+    print_header("Fig 7c (scalebench): placement computation time (ms)");
+    std::printf("%8s |", "ranks");
+    for (const auto& p : policies) std::printf(" %8s", p.c_str());
     std::printf("\n");
+    print_rule();
+    cell = 0;
+    for (const std::int64_t ranks : scales) {
+      std::printf("%8lld |", static_cast<long long>(ranks));
+      for (std::size_t i = 0; i < policies.size(); ++i)
+        std::printf("%s", timing.results()[cell++].output.c_str());
+      std::printf("\n");
+    }
+    if (!flags.json_path().empty())
+      timing.write_json(flags.json_path(), "scalebench/fig7c");
+  } else {
+    std::printf("(pass --timing for the Fig 7c placement wall-clock "
+                "table; omitted by default so stdout is byte-stable "
+                "across --jobs)\n");
   }
+
   std::printf("\npaper shapes: LPT lowest makespan everywhere; cpl25 "
               "captures most of the gain; placement compute stays ~10 ms "
               "to 16K ranks and ~100 ms at 128K (50 ms budget: chunk or "
               "zone beyond 64K).\n");
+  if (!flags.json_path().empty())
+    quality.write_json(flags.json_path(), "scalebench/fig7b");
   return 0;
 }

@@ -8,7 +8,10 @@
 // placements under Z-order vs Hilbert ordering, comparing remote message
 // share, SFC-neighbor adjacency, and indexing cost.
 //
-// Flags: --ranks=N (default 512) --quick
+// Each (mesh, curve) row is an independent sweep task; the indexing
+// wall-clock section is nondeterministic and only prints under --timing.
+//
+// Flags: --ranks=N (default 512) --quick --jobs=N --timing --json=FILE
 #include "bench_util.hpp"
 
 #include <chrono>
@@ -17,6 +20,7 @@
 #include "amr/mesh/generators.hpp"
 #include "amr/mesh/hilbert.hpp"
 #include "amr/mesh/morton.hpp"
+#include "amr/par/sweep.hpp"
 #include "amr/placement/metrics.hpp"
 #include "amr/placement/registry.hpp"
 
@@ -27,71 +31,83 @@ int main(int argc, char** argv) {
   const auto ranks = static_cast<std::int32_t>(
       flags.get_int("ranks", flags.quick() ? 128 : 512));
 
+  Sweep sweep(flags.jobs());
+  for (const char* mesh_kind : {"uniform", "refined"}) {
+    for (const SfcKind kind : {SfcKind::kZOrder, SfcKind::kHilbert}) {
+      sweep.add(std::string("sfc/") + mesh_kind + "/" + to_string(kind),
+                [=] {
+        const ClusterTopology topo(ranks, 16);
+        AmrMesh mesh(grid_for_ranks(ranks), false, kind);
+        if (std::string(mesh_kind) == "refined") {
+          Rng rng(7);
+          grow_to_block_count(
+              mesh, rng, static_cast<std::size_t>(2 * ranks), 2);
+        }
+        const std::vector<double> uniform(mesh.size(), 1.0);
+        const Placement p = make_policy("baseline")->place(uniform, ranks);
+        const CommMetrics comm = comm_metrics(mesh, p, topo);
+
+        // SFC adjacency: fraction of SFC-consecutive leaves that are
+        // geometric neighbors (the locality the curve retains).
+        const auto& lists = mesh.neighbor_lists();
+        std::int64_t adjacent = 0;
+        for (std::size_t i = 0; i + 1 < mesh.size(); ++i) {
+          for (const Neighbor& nb : lists[i]) {
+            if (nb.index == static_cast<std::int32_t>(i + 1)) {
+              ++adjacent;
+              break;
+            }
+          }
+        }
+        const double sfc_adjacency =
+            static_cast<double>(adjacent) /
+            static_cast<double>(mesh.size() - 1);
+        const double memcpy_frac =
+            static_cast<double>(comm.msgs_intra_rank) /
+            static_cast<double>(comm.total_msgs());
+        std::string row;
+        appendf(row, "%-10s %-9s | %12.3f %12.3f %14.3f\n", mesh_kind,
+                to_string(kind), comm.remote_fraction(), memcpy_frac,
+                sfc_adjacency);
+        return row;
+      });
+    }
+  }
+  sweep.run();
+
   print_header("SV-A ablation: Z-order vs Hilbert block ordering");
   std::printf("%-10s %-9s | %12s %12s %14s\n", "mesh", "curve",
               "remote-frac", "memcpy-frac", "sfc-adjacency");
   print_rule();
+  sweep.print();
 
-  const ClusterTopology topo(ranks, 16);
-  for (const char* mesh_kind : {"uniform", "refined"}) {
-    for (const SfcKind kind : {SfcKind::kZOrder, SfcKind::kHilbert}) {
-      AmrMesh mesh(grid_for_ranks(ranks), false, kind);
-      if (std::string(mesh_kind) == "refined") {
-        Rng rng(7);
-        grow_to_block_count(
-            mesh, rng, static_cast<std::size_t>(2 * ranks), 2);
-      }
-      const std::vector<double> uniform(mesh.size(), 1.0);
-      const Placement p = make_policy("baseline")->place(uniform, ranks);
-      const CommMetrics comm = comm_metrics(mesh, p, topo);
-
-      // SFC adjacency: fraction of SFC-consecutive leaves that are
-      // geometric neighbors (the locality the curve retains).
-      const auto& lists = mesh.neighbor_lists();
-      std::int64_t adjacent = 0;
-      for (std::size_t i = 0; i + 1 < mesh.size(); ++i) {
-        for (const Neighbor& nb : lists[i]) {
-          if (nb.index == static_cast<std::int32_t>(i + 1)) {
-            ++adjacent;
-            break;
-          }
-        }
-      }
-      const double sfc_adjacency =
-          static_cast<double>(adjacent) /
-          static_cast<double>(mesh.size() - 1);
-      const double memcpy_frac =
-          static_cast<double>(comm.msgs_intra_rank) /
-          static_cast<double>(comm.total_msgs());
-      std::printf("%-10s %-9s | %12.3f %12.3f %14.3f\n", mesh_kind,
-                  to_string(kind), comm.remote_fraction(), memcpy_frac,
-                  sfc_adjacency);
-      std::fflush(stdout);
-    }
+  if (flags.has("timing")) {
+    // Indexing cost: Hilbert pays per-key bit iteration; Z-order is a
+    // few bit-parallel ops.
+    print_header("indexing cost (1M keys, 18-bit coordinates)");
+    Rng rng(13);
+    std::vector<std::array<std::uint32_t, 3>> coords(1u << 20);
+    for (auto& c : coords)
+      c = {static_cast<std::uint32_t>(rng.uniform_int(1u << 18)),
+           static_cast<std::uint32_t>(rng.uniform_int(1u << 18)),
+           static_cast<std::uint32_t>(rng.uniform_int(1u << 18))};
+    volatile std::uint64_t sink = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto& c : coords) sink ^= morton3_encode(c[0], c[1], c[2]);
+    auto t1 = std::chrono::steady_clock::now();
+    for (const auto& c : coords)
+      sink ^= hilbert3_encode(c[0], c[1], c[2], 18);
+    auto t2 = std::chrono::steady_clock::now();
+    const double morton_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double hilbert_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    std::printf("morton  %8.2f ms   hilbert %8.2f ms   (%.1fx)\n",
+                morton_ms, hilbert_ms, hilbert_ms / morton_ms);
+  } else {
+    std::printf("(pass --timing for the morton/hilbert indexing-cost "
+                "section)\n");
   }
-
-  // Indexing cost: Hilbert pays per-key bit iteration; Z-order is a few
-  // bit-parallel ops.
-  print_header("indexing cost (1M keys, 18-bit coordinates)");
-  Rng rng(13);
-  std::vector<std::array<std::uint32_t, 3>> coords(1u << 20);
-  for (auto& c : coords)
-    c = {static_cast<std::uint32_t>(rng.uniform_int(1u << 18)),
-         static_cast<std::uint32_t>(rng.uniform_int(1u << 18)),
-         static_cast<std::uint32_t>(rng.uniform_int(1u << 18))};
-  volatile std::uint64_t sink = 0;
-  auto t0 = std::chrono::steady_clock::now();
-  for (const auto& c : coords) sink ^= morton3_encode(c[0], c[1], c[2]);
-  auto t1 = std::chrono::steady_clock::now();
-  for (const auto& c : coords)
-    sink ^= hilbert3_encode(c[0], c[1], c[2], 18);
-  auto t2 = std::chrono::steady_clock::now();
-  const double morton_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
-  const double hilbert_ms =
-      std::chrono::duration<double, std::milli>(t2 - t1).count();
-  std::printf("morton  %8.2f ms   hilbert %8.2f ms   (%.1fx)\n",
-              morton_ms, hilbert_ms, hilbert_ms / morton_ms);
 
   std::printf(
       "\nTakeaway: Hilbert ordering keeps more SFC-consecutive pairs "
@@ -100,5 +116,7 @@ int main(int argc, char** argv) {
       "intrinsic to 1-D reduction -- the paper's observation that "
       "baseline placement is already majority-remote at scale holds for "
       "both curves.\n");
+  if (!flags.json_path().empty())
+    sweep.write_json(flags.json_path(), "sfc_ablation");
   return 0;
 }

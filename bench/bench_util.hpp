@@ -1,9 +1,13 @@
-// Shared helpers for the per-figure bench harnesses: tiny flag parser,
-// scale lists, and the paper's rank->root-grid mapping (Table I: one
-// 16^3-cell block per rank initially, so the root grid holds exactly
-// `ranks` blocks).
+// Shared helpers for the per-figure bench harnesses and CLIs: strict
+// flag parser, scale lists, the paper's rank->root-grid mapping
+// (Table I: one 16^3-cell block per rank initially, so the root grid
+// holds exactly `ranks` blocks), and printf-style string building for
+// sweep tasks that buffer output instead of printing (amr/par/sweep).
 #pragma once
 
+#include <cerrno>
+#include <charconv>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -12,13 +16,18 @@
 #include <vector>
 
 #include "amr/mesh/coords.hpp"
+#include "amr/par/thread_pool.hpp"
 
 namespace amr::bench {
 
-/// --flag=value parser; unrecognized flags abort with usage.
+/// --flag=value parser. Unrecognized flags and malformed values abort
+/// with a usage message: a typo'd --trials=1O silently parsing as 1
+/// (the old std::atoll behaviour) corrupts a day of sweep data; failing
+/// fast costs nothing.
 class Flags {
  public:
   Flags(int argc, char** argv) {
+    prog_ = argc > 0 ? argv[0] : "bench";
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
   }
 
@@ -28,17 +37,52 @@ class Flags {
 
   std::int64_t get_int(const std::string& name, std::int64_t def) const {
     const char* v = find(name);
-    return v != nullptr ? std::atoll(v) : def;
+    if (v == nullptr) return def;
+    std::int64_t out = 0;
+    const char* end = v + std::strlen(v);
+    const auto [ptr, ec] = std::from_chars(v, end, out);
+    if (ec != std::errc{} || ptr != end)
+      die_invalid(name, v, "an integer");
+    return out;
   }
 
   double get_double(const std::string& name, double def) const {
     const char* v = find(name);
-    return v != nullptr ? std::atof(v) : def;
+    if (v == nullptr) return def;
+    // strtod rather than from_chars<double>: libstdc++'s FP from_chars
+    // landed late; strtod with explicit end/errno checks is equivalent
+    // and portable.
+    errno = 0;
+    char* end = nullptr;
+    const double out = std::strtod(v, &end);
+    if (errno != 0 || end == v || *end != '\0')
+      die_invalid(name, v, "a number");
+    return out;
+  }
+
+  std::string get_str(const std::string& name,
+                      const std::string& def) const {
+    const char* v = find(name);
+    return v != nullptr ? std::string(v) : def;
   }
 
   /// True if --quick was passed: benches shrink scales/steps for smoke
   /// runs while preserving orderings.
   bool quick() const { return flag_set("quick"); }
+
+  /// Sweep parallelism from --jobs=N. Default 1 (serial); 0 means "one
+  /// worker per hardware thread". Output is byte-identical across jobs
+  /// values (see amr/par/sweep.hpp).
+  int jobs() const {
+    const std::int64_t j = get_int("jobs", 1);
+    if (j < 0) die_invalid("jobs", std::to_string(j).c_str(), ">= 0");
+    if (j == 0) return ThreadPool::hardware_jobs();
+    return static_cast<int>(j);
+  }
+
+  /// Machine-readable sweep record destination from --json=FILE
+  /// (appended; "-" for stdout). Empty when absent.
+  std::string json_path() const { return get_str("json", ""); }
 
  private:
   const char* find(const std::string& name) const {
@@ -53,6 +97,13 @@ class Flags {
       if (a == flag) return true;
     return false;
   }
+  [[noreturn]] void die_invalid(const std::string& name, const char* value,
+                                const char* expected) const {
+    std::fprintf(stderr, "%s: invalid value for --%s: '%s' (expected %s)\n",
+                 prog_.c_str(), name.c_str(), value, expected);
+    std::exit(2);
+  }
+  std::string prog_;
   std::vector<std::string> args_;
 };
 
@@ -71,6 +122,27 @@ inline RootGrid grid_for_ranks(std::int64_t ranks) {
   return RootGrid{nx, ny, nz};
 }
 
+/// printf into a growing string: sweep tasks build their report text
+/// with this and return it instead of touching stdout.
+inline void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+inline void appendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (n > 0) {
+    const std::size_t at = out.size();
+    out.resize(at + static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data() + at, static_cast<std::size_t>(n) + 1, fmt,
+                   args);
+    out.resize(at + static_cast<std::size_t>(n));
+  }
+  va_end(args);
+}
+
 inline void print_header(const char* title) {
   std::printf("\n==============================================================\n");
   std::printf("%s\n", title);
@@ -79,6 +151,20 @@ inline void print_header(const char* title) {
 
 inline void print_rule() {
   std::printf("--------------------------------------------------------------\n");
+}
+
+/// appendf twins of print_header/print_rule for buffered task output.
+inline void append_header(std::string& out, const char* title) {
+  appendf(out,
+          "\n==============================================================\n"
+          "%s\n"
+          "==============================================================\n",
+          title);
+}
+
+inline void append_rule(std::string& out) {
+  appendf(out,
+          "--------------------------------------------------------------\n");
 }
 
 }  // namespace amr::bench

@@ -9,14 +9,18 @@
 // Examples:
 //   amrcplx run --workload=sedov --policy=cpl50 --ranks=512 --steps=60
 //   amrcplx run --workload=cooling --policy=lpt --execution=overlap
-//   amrcplx sweep --ranks=256 --steps=40
+//   amrcplx sweep --ranks=256 --steps=40 --jobs=8
 //   amrcplx mesh --ranks=512 --sfc=hilbert
+#include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
 #include "amr/mesh/generators.hpp"
+#include "amr/par/sweep.hpp"
+#include "amr/par/thread_pool.hpp"
 #include "amr/placement/metrics.hpp"
 #include "amr/placement/registry.hpp"
 #include "amr/sim/simulation.hpp"
@@ -35,6 +39,32 @@ const char* arg_value(int argc, char** argv, const char* name,
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
       return argv[i] + prefix.size();
   return def;
+}
+
+/// Strict integer parse: a malformed --ranks=1O aborts instead of
+/// silently truncating like atoll.
+std::int64_t arg_int(int argc, char** argv, const char* name,
+                     std::int64_t def) {
+  const char* v = arg_value(argc, argv, name, nullptr);
+  if (v == nullptr) return def;
+  std::int64_t out = 0;
+  const char* end = v + std::strlen(v);
+  const auto [ptr, ec] = std::from_chars(v, end, out);
+  if (ec != std::errc{} || ptr != end) {
+    std::fprintf(stderr, "amrcplx: invalid value for --%s: '%s'\n", name,
+                 v);
+    std::exit(2);
+  }
+  return out;
+}
+
+int arg_jobs(int argc, char** argv) {
+  const std::int64_t j = arg_int(argc, argv, "jobs", 1);
+  if (j < 0) {
+    std::fprintf(stderr, "amrcplx: --jobs must be >= 0\n");
+    std::exit(2);
+  }
+  return j == 0 ? ThreadPool::hardware_jobs() : static_cast<int>(j);
 }
 
 RootGrid grid_for(std::int64_t ranks) {
@@ -62,39 +92,53 @@ std::unique_ptr<Workload> make_workload(const std::string& name,
   return nullptr;
 }
 
-void print_report(const RunReport& r) {
+std::string report_text(const RunReport& r) {
+  std::string out;
+  char buf[512];
   const double total = r.phases.total();
-  std::printf("policy %s: wall %.4f s | compute %.1f%% comm %.1f%% sync "
-              "%.1f%% rebal %.1f%%\n",
-              r.policy.c_str(), r.wall_seconds,
-              100 * r.phases.compute / total, 100 * r.phases.comm / total,
-              100 * r.phases.sync / total,
-              100 * r.phases.rebalance / total);
-  std::printf("  blocks %zu -> %zu | %lld redistributions, %lld moved, "
-              "%lld over budget\n",
-              r.initial_blocks, r.final_blocks,
-              static_cast<long long>(r.lb_invocations),
-              static_cast<long long>(r.blocks_migrated),
-              static_cast<long long>(r.budget_violations));
-  std::printf("  msgs: %lld local, %lld remote, %lld memcpy | critical "
-              "paths: %lld 1-rank, %lld 2-rank\n",
-              static_cast<long long>(r.msgs_local),
-              static_cast<long long>(r.msgs_remote),
-              static_cast<long long>(r.msgs_intra_rank),
-              static_cast<long long>(r.critical_path.one_rank_paths),
-              static_cast<long long>(r.critical_path.two_rank_paths));
+  std::snprintf(buf, sizeof(buf),
+                "policy %s: wall %.4f s | compute %.1f%% comm %.1f%% sync "
+                "%.1f%% rebal %.1f%%\n",
+                r.policy.c_str(), r.wall_seconds,
+                100 * r.phases.compute / total, 100 * r.phases.comm / total,
+                100 * r.phases.sync / total,
+                100 * r.phases.rebalance / total);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  blocks %zu -> %zu | %lld redistributions, %lld moved, "
+                "%lld over budget\n",
+                r.initial_blocks, r.final_blocks,
+                static_cast<long long>(r.lb_invocations),
+                static_cast<long long>(r.blocks_migrated),
+                static_cast<long long>(r.budget_violations));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  msgs: %lld local, %lld remote, %lld memcpy | critical "
+                "paths: %lld 1-rank, %lld 2-rank\n",
+                static_cast<long long>(r.msgs_local),
+                static_cast<long long>(r.msgs_remote),
+                static_cast<long long>(r.msgs_intra_rank),
+                static_cast<long long>(r.critical_path.one_rank_paths),
+                static_cast<long long>(r.critical_path.two_rank_paths));
+  out += buf;
+  return out;
+}
+
+void print_report(const RunReport& r) {
+  const std::string text = report_text(r);
+  std::fwrite(text.data(), 1, text.size(), stdout);
 }
 
 int cmd_run(int argc, char** argv) {
-  const std::int64_t ranks = std::atoll(arg_value(argc, argv, "ranks", "64"));
-  const std::int64_t steps = std::atoll(arg_value(argc, argv, "steps", "40"));
+  const std::int64_t ranks = arg_int(argc, argv, "ranks", 64);
+  const std::int64_t steps = arg_int(argc, argv, "steps", 40);
   const std::string policy_name = arg_value(argc, argv, "policy", "cpl50");
   const std::string workload_name =
       arg_value(argc, argv, "workload", "sedov");
   const std::string execution = arg_value(argc, argv, "execution", "bsp");
   const std::string trace_out = arg_value(argc, argv, "trace-out", "");
   const std::int64_t trace_capacity =
-      std::atoll(arg_value(argc, argv, "trace-capacity", "0"));
+      arg_int(argc, argv, "trace-capacity", 0);
 
   SimulationConfig cfg;
   cfg.nranks = static_cast<std::int32_t>(ranks);
@@ -137,27 +181,36 @@ int cmd_run(int argc, char** argv) {
 }
 
 int cmd_sweep(int argc, char** argv) {
-  const std::int64_t ranks = std::atoll(arg_value(argc, argv, "ranks", "64"));
-  const std::int64_t steps = std::atoll(arg_value(argc, argv, "steps", "40"));
+  const std::int64_t ranks = arg_int(argc, argv, "ranks", 64);
+  const std::int64_t steps = arg_int(argc, argv, "steps", 40);
+  // Each policy's simulation is independent and fully deterministic in
+  // simulated time, so the fan-out preserves serial output exactly.
+  Sweep sweep(arg_jobs(argc, argv));
   for (const auto& name : evaluation_policy_names()) {
-    SimulationConfig cfg;
-    cfg.nranks = static_cast<std::int32_t>(ranks);
-    cfg.ranks_per_node = 16;
-    cfg.root_grid = grid_for(ranks);
-    cfg.steps = steps;
-    cfg.collect_telemetry = false;
-    SedovParams sp;
-    sp.total_steps = steps;
-    SedovWorkload sedov(sp);
-    const PolicyPtr policy = make_policy(name);
-    Simulation sim(cfg, sedov, *policy);
-    print_report(sim.run());
+    sweep.add(name, [=] {
+      SimulationConfig cfg;
+      cfg.nranks = static_cast<std::int32_t>(ranks);
+      cfg.ranks_per_node = 16;
+      cfg.root_grid = grid_for(ranks);
+      cfg.steps = steps;
+      cfg.collect_telemetry = false;
+      SedovParams sp;
+      sp.total_steps = steps;
+      SedovWorkload sedov(sp);
+      const PolicyPtr policy = make_policy(name);
+      Simulation sim(cfg, sedov, *policy);
+      return report_text(sim.run());
+    });
   }
+  sweep.run();
+  sweep.print();
+  const std::string json = arg_value(argc, argv, "json", "");
+  if (!json.empty()) sweep.write_json(json, "amrcplx/sweep");
   return 0;
 }
 
 int cmd_mesh(int argc, char** argv) {
-  const std::int64_t ranks = std::atoll(arg_value(argc, argv, "ranks", "512"));
+  const std::int64_t ranks = arg_int(argc, argv, "ranks", 512);
   const std::string sfc_name = arg_value(argc, argv, "sfc", "z-order");
   const SfcKind sfc =
       sfc_name == "hilbert" ? SfcKind::kHilbert : SfcKind::kZOrder;
@@ -203,7 +256,7 @@ int main(int argc, char** argv) {
                "--ranks=N --steps=N --execution=bsp|overlap\n"
                "         --trace-out=FILE.json [--trace-capacity=N] "
                "(Perfetto / chrome://tracing)\n"
-               "  sweep  --ranks=N --steps=N\n"
+               "  sweep  --ranks=N --steps=N --jobs=N [--json=FILE]\n"
                "  mesh   --ranks=N --sfc=z-order|hilbert\n");
   return cmd.empty() ? 1 : 2;
 }

@@ -6,17 +6,28 @@
 // runs every step on the discrete-event cluster. Prints a per-phase
 // runtime breakdown and redistribution statistics.
 //
-// Usage: ./sedov_sim [policy] [ranks] [steps] [--trace-out=FILE.json]
+// Usage: ./sedov_sim [policy[,policy...]] [ranks] [steps]
+//                    [--jobs=N] [--timing] [--trace-out=FILE.json]
 //   policy  baseline | cpl0 | cpl25 | cpl50 | cpl75 | cpl100 | lpt | cdp
+//           a comma-separated list runs each policy (in parallel with
+//           --jobs>1; reports print in list order regardless)
 //   ranks   simulated MPI ranks (default 64; 16 per node)
 //   steps   timesteps (default 60)
+//   --timing    adds host-measured placement wall-clock (nondeterministic)
 //   --trace-out writes an event-level Perfetto/chrome://tracing trace
+//               (single-policy runs only)
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "amr/par/sweep.hpp"
+#include "amr/par/thread_pool.hpp"
 #include "amr/placement/registry.hpp"
 #include "amr/sim/simulation.hpp"
 #include "amr/trace/chrome_export.hpp"
@@ -38,102 +49,175 @@ amr::RootGrid grid_for_ranks(std::int32_t ranks) {
   return amr::RootGrid{nx, ny, nz};
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  using namespace amr;
-  // Flags may appear anywhere; the rest are positional.
-  std::string trace_out;
-  std::vector<const char*> pos;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
-      trace_out = argv[i] + 12;
-    else
-      pos.push_back(argv[i]);
+std::int64_t parse_int(const char* v, const char* what) {
+  std::int64_t out = 0;
+  const char* end = v + std::strlen(v);
+  const auto [ptr, ec] = std::from_chars(v, end, out);
+  if (ec != std::errc{} || ptr != end) {
+    std::fprintf(stderr, "sedov_sim: invalid %s: '%s'\n", what, v);
+    std::exit(2);
   }
-  const std::string policy_name = pos.size() > 0 ? pos[0] : "cpl50";
-  const std::int32_t ranks = pos.size() > 1 ? std::atoi(pos[1]) : 64;
-  const std::int64_t steps = pos.size() > 2 ? std::atoll(pos[2]) : 60;
-  if (ranks <= 0 || (ranks & (ranks - 1)) != 0) {
-    std::fprintf(stderr, "ranks must be a positive power of two\n");
-    return 1;
-  }
+  return out;
+}
 
-  SimulationConfig cfg;
-  cfg.nranks = ranks;
-  cfg.ranks_per_node = 16;
-  cfg.root_grid = grid_for_ranks(ranks);
-  cfg.steps = steps;
-  cfg.trace_enabled = !trace_out.empty();
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n), sizeof(buf) - 1));
+}
 
-  SedovParams sp;
-  sp.total_steps = steps;
-  sp.max_level = 1;
-  SedovWorkload sedov(sp);
-
-  const PolicyPtr policy = make_policy(policy_name);
-  Simulation sim(cfg, sedov, *policy);
-  std::printf("running sedov3d: policy=%s ranks=%d steps=%lld grid=%ux%ux%u\n",
-              policy->name().c_str(), ranks, static_cast<long long>(steps),
-              cfg.root_grid.nx, cfg.root_grid.ny, cfg.root_grid.nz);
-
-  const RunReport report = sim.run();
-
-  std::printf("\n== run report: %s ==\n", report.policy.c_str());
-  std::printf("wall time            %10.3f s (simulated)\n",
-              report.wall_seconds);
+std::string report_text(const amr::RunReport& report, bool timing) {
+  std::string out;
+  appendf(out, "\n== run report: %s ==\n", report.policy.c_str());
+  appendf(out, "wall time            %10.3f s (simulated)\n",
+          report.wall_seconds);
   const double total = report.phases.total();
-  std::printf("  compute            %10.3f s (%4.1f%%)\n",
-              report.phases.compute, 100 * report.phases.compute / total);
-  std::printf("  communication      %10.3f s (%4.1f%%)\n",
-              report.phases.comm, 100 * report.phases.comm / total);
-  std::printf("  synchronization    %10.3f s (%4.1f%%)\n",
-              report.phases.sync, 100 * report.phases.sync / total);
-  std::printf("  rebalancing        %10.3f s (%4.1f%%)\n",
-              report.phases.rebalance,
-              100 * report.phases.rebalance / total);
-  std::printf("blocks               %zu -> %zu\n", report.initial_blocks,
-              report.final_blocks);
-  std::printf("redistributions      %lld (moved %lld blocks)\n",
-              static_cast<long long>(report.lb_invocations),
-              static_cast<long long>(report.blocks_migrated));
-  if (!report.placement_ms.empty()) {
+  appendf(out, "  compute            %10.3f s (%4.1f%%)\n",
+          report.phases.compute, 100 * report.phases.compute / total);
+  appendf(out, "  communication      %10.3f s (%4.1f%%)\n",
+          report.phases.comm, 100 * report.phases.comm / total);
+  appendf(out, "  synchronization    %10.3f s (%4.1f%%)\n",
+          report.phases.sync, 100 * report.phases.sync / total);
+  appendf(out, "  rebalancing        %10.3f s (%4.1f%%)\n",
+          report.phases.rebalance, 100 * report.phases.rebalance / total);
+  appendf(out, "blocks               %zu -> %zu\n", report.initial_blocks,
+          report.final_blocks);
+  appendf(out, "redistributions      %lld (moved %lld blocks)\n",
+          static_cast<long long>(report.lb_invocations),
+          static_cast<long long>(report.blocks_migrated));
+  // Placement wall-clock is host-measured (nondeterministic), so it only
+  // prints under --timing; everything else is simulated time and
+  // byte-stable across --jobs.
+  if (timing && !report.placement_ms.empty()) {
     double max_ms = 0;
     double sum_ms = 0;
     for (const double m : report.placement_ms) {
       max_ms = std::max(max_ms, m);
       sum_ms += m;
     }
-    std::printf("placement compute    mean %.3f ms, max %.3f ms "
-                "(budget: 50 ms)\n",
-                sum_ms / static_cast<double>(report.placement_ms.size()),
-                max_ms);
+    appendf(out,
+            "placement compute    mean %.3f ms, max %.3f ms "
+            "(budget: 50 ms)\n",
+            sum_ms / static_cast<double>(report.placement_ms.size()),
+            max_ms);
   }
-  std::printf("P2P messages         %lld local, %lld remote (%.0f%% remote), "
-              "%lld memcpy'd\n",
-              static_cast<long long>(report.msgs_local),
-              static_cast<long long>(report.msgs_remote),
-              100.0 * static_cast<double>(report.msgs_remote) /
-                  static_cast<double>(
-                      std::max<std::int64_t>(1, report.msgs_local +
-                                                    report.msgs_remote)),
-              static_cast<long long>(report.msgs_intra_rank));
-  std::printf("critical paths       %lld windows: %lld one-rank, "
-              "%lld two-rank\n",
-              static_cast<long long>(report.critical_path.windows),
-              static_cast<long long>(report.critical_path.one_rank_paths),
-              static_cast<long long>(report.critical_path.two_rank_paths));
-  if (!trace_out.empty()) {
-    const Tracer& tracer = *sim.tracer();
-    if (!write_chrome_trace(tracer, trace_out)) {
-      std::fprintf(stderr, "failed to write trace to %s\n",
-                   trace_out.c_str());
-      return 1;
+  appendf(out,
+          "P2P messages         %lld local, %lld remote (%.0f%% remote), "
+          "%lld memcpy'd\n",
+          static_cast<long long>(report.msgs_local),
+          static_cast<long long>(report.msgs_remote),
+          100.0 * static_cast<double>(report.msgs_remote) /
+              static_cast<double>(std::max<std::int64_t>(
+                  1, report.msgs_local + report.msgs_remote)),
+          static_cast<long long>(report.msgs_intra_rank));
+  appendf(out,
+          "critical paths       %lld windows: %lld one-rank, "
+          "%lld two-rank\n",
+          static_cast<long long>(report.critical_path.windows),
+          static_cast<long long>(report.critical_path.one_rank_paths),
+          static_cast<long long>(report.critical_path.two_rank_paths));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amr;
+  // Flags may appear anywhere; the rest are positional.
+  std::string trace_out;
+  int jobs = 1;
+  bool timing = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--timing") == 0) {
+      timing = true;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      const std::int64_t j = parse_int(argv[i] + 7, "--jobs");
+      jobs = j == 0 ? ThreadPool::hardware_jobs() : static_cast<int>(j);
+    } else {
+      pos.push_back(argv[i]);
     }
-    std::printf("trace                %llu events (%llu dropped) -> %s\n",
-                static_cast<unsigned long long>(tracer.size()),
-                static_cast<unsigned long long>(tracer.dropped()),
-                trace_out.c_str());
   }
-  return 0;
+  const std::string policy_arg = pos.size() > 0 ? pos[0] : "cpl50";
+  const auto ranks = static_cast<std::int32_t>(
+      pos.size() > 1 ? parse_int(pos[1], "ranks") : 64);
+  const std::int64_t steps = pos.size() > 2 ? parse_int(pos[2], "steps") : 60;
+  if (ranks <= 0 || (ranks & (ranks - 1)) != 0) {
+    std::fprintf(stderr, "ranks must be a positive power of two\n");
+    return 1;
+  }
+
+  std::vector<std::string> policy_names;
+  for (std::size_t at = 0; at <= policy_arg.size();) {
+    const std::size_t comma = policy_arg.find(',', at);
+    const std::size_t end =
+        comma == std::string::npos ? policy_arg.size() : comma;
+    if (end > at) policy_names.push_back(policy_arg.substr(at, end - at));
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  if (policy_names.empty()) {
+    std::fprintf(stderr, "no policy given\n");
+    return 1;
+  }
+  if (!trace_out.empty() && policy_names.size() > 1) {
+    std::fprintf(stderr,
+                 "--trace-out requires a single policy (got %zu)\n",
+                 policy_names.size());
+    return 1;
+  }
+  const bool tracing = !trace_out.empty();
+
+  std::atomic<bool> trace_failed{false};
+  Sweep sweep(jobs);
+  for (const std::string& policy_name : policy_names) {
+    sweep.add(policy_name, [=, &trace_failed] {
+      SimulationConfig cfg;
+      cfg.nranks = ranks;
+      cfg.ranks_per_node = 16;
+      cfg.root_grid = grid_for_ranks(ranks);
+      cfg.steps = steps;
+      cfg.trace_enabled = tracing;
+
+      SedovParams sp;
+      sp.total_steps = steps;
+      sp.max_level = 1;
+      SedovWorkload sedov(sp);
+
+      const PolicyPtr policy = make_policy(policy_name);
+      Simulation sim(cfg, sedov, *policy);
+      std::string out;
+      appendf(out,
+              "running sedov3d: policy=%s ranks=%d steps=%lld "
+              "grid=%ux%ux%u\n",
+              policy->name().c_str(), ranks,
+              static_cast<long long>(steps), cfg.root_grid.nx,
+              cfg.root_grid.ny, cfg.root_grid.nz);
+      out += report_text(sim.run(), timing);
+      if (tracing) {
+        const Tracer& tracer = *sim.tracer();
+        if (!write_chrome_trace(tracer, trace_out)) {
+          appendf(out, "failed to write trace to %s\n", trace_out.c_str());
+          trace_failed.store(true, std::memory_order_relaxed);
+        } else {
+          appendf(out, "trace                %llu events (%llu dropped) "
+                       "-> %s\n",
+                  static_cast<unsigned long long>(tracer.size()),
+                  static_cast<unsigned long long>(tracer.dropped()),
+                  trace_out.c_str());
+        }
+      }
+      return out;
+    });
+  }
+  sweep.run();
+  sweep.print();
+  return trace_failed.load(std::memory_order_relaxed) ? 1 : 0;
 }

@@ -1,0 +1,135 @@
+// Flat d-ary heaps for the simulator's hot loops.
+//
+// A d-ary implicit heap trades a slightly more expensive sift-down
+// (d comparisons per level) for a tree 1/log2(d) as deep and laid out in
+// one contiguous vector — which is what the DES event queue and LPT's
+// rank-load selection actually pay for: cache misses on the root-to-leaf
+// path, not comparisons. D=4 keeps each child group inside one cache
+// line for small elements and measures fastest for both users.
+//
+// Both heaps resolve comparator ties deterministically as long as Less
+// imposes a strict total order (callers include a sequence number or
+// rank id in the key); the heap itself never breaks a tie.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace amr {
+
+/// Min-heap under Less (Less(a,b) == "a orders before b"). Same contract
+/// as a std::priority_queue with the comparison inverted, but flat,
+/// d-ary, and with an in-place replace_top for pop-modify-push cycles.
+template <typename T, unsigned D = 4, typename Less = std::less<T>>
+class DaryHeap {
+  static_assert(D >= 2, "heap arity must be at least 2");
+
+ public:
+  DaryHeap() = default;
+  explicit DaryHeap(Less less) : less_(std::move(less)) {}
+
+  bool empty() const { return slots_.empty(); }
+  std::size_t size() const { return slots_.size(); }
+  void reserve(std::size_t n) { slots_.reserve(n); }
+  void clear() { slots_.clear(); }
+
+  const T& top() const { return slots_.front(); }
+
+  void push(T value) {
+    slots_.push_back(std::move(value));
+    sift_up(slots_.size() - 1);
+  }
+
+  void pop() {
+    slots_.front() = std::move(slots_.back());
+    slots_.pop_back();
+    if (!slots_.empty()) sift_down(0);
+  }
+
+  /// Replace the minimum and restore the heap in one sift-down — the
+  /// pop();push() idiom without the extra root-to-leaf traversal.
+  void replace_top(T value) {
+    slots_.front() = std::move(value);
+    sift_down(0);
+  }
+
+ private:
+  // Hole-insertion sifts: the displaced element is held in a register
+  // and written exactly once, so each level costs one move, not a swap.
+  void sift_up(std::size_t i) {
+    T value = std::move(slots_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / D;
+      if (!less_(value, slots_[parent])) break;
+      slots_[i] = std::move(slots_[parent]);
+      i = parent;
+    }
+    slots_[i] = std::move(value);
+  }
+
+  void sift_down(std::size_t i) {
+    T value = std::move(slots_[i]);
+    const std::size_t n = slots_.size();
+    for (;;) {
+      const std::size_t first_child = i * D + 1;
+      if (first_child >= n) break;
+      const std::size_t last_child = std::min(first_child + D, n);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c)
+        if (less_(slots_[c], slots_[best])) best = c;
+      if (!less_(slots_[best], value)) break;
+      slots_[i] = std::move(slots_[best]);
+      i = best;
+    }
+    slots_[i] = std::move(value);
+  }
+
+  std::vector<T> slots_;
+  Less less_;
+};
+
+/// Min-heap over (key, id) pairs where only the minimum is ever updated
+/// — the exact access pattern of LPT's "assign block to least-loaded
+/// rank, grow its load" loop. Ties are broken by ascending id so the
+/// minimum is always unique and results are placement-deterministic.
+template <unsigned D = 4>
+class TopUpdateMinHeap {
+ public:
+  struct Entry {
+    double key;
+    std::int32_t id;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      return a.key != b.key ? a.key < b.key : a.id < b.id;
+    }
+  };
+
+  /// Rebuild as id set `ids`, all keys zero.
+  void reset(std::size_t count, const std::int32_t* ids) {
+    heap_.clear();
+    heap_.reserve(count);
+    // Zero keys with ascending-id pushes: already a valid heap (any
+    // prefix is heap-ordered because ties resolve by id).
+    for (std::size_t i = 0; i < count; ++i)
+      heap_.push(Entry{0.0, ids[i]});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::int32_t top_id() const { return heap_.top().id; }
+  double top_key() const { return heap_.top().key; }
+
+  /// Grow the minimum's key and restore the heap (one sift-down).
+  void add_to_top(double delta) {
+    Entry e = heap_.top();
+    e.key += delta;
+    heap_.replace_top(e);
+  }
+
+ private:
+  DaryHeap<Entry, D> heap_;
+};
+
+}  // namespace amr

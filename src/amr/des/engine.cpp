@@ -1,14 +1,72 @@
 #include "amr/des/engine.hpp"
 
+#include <bit>
+
 #include "amr/trace/tracer.hpp"
 
 namespace amr {
+
+unsigned Engine::bucket_index(TimeNs t, TimeNs min) {
+  return static_cast<unsigned>(std::bit_width(
+      static_cast<std::uint64_t>(t) ^ static_cast<std::uint64_t>(min)));
+}
+
+void Engine::refill_front() {
+  if (front_head_ < front_.size()) return;
+  front_.clear();
+  front_head_ = 0;
+  // Lowest non-empty bucket holds the next minimum (classical radix-heap
+  // invariant: every pending entry sits in bucket_index(time, min) of
+  // the *current* minimum, so lower bucket == strictly earlier time).
+  unsigned j = 1;
+  while (buckets_[j].empty()) ++j;
+  TimeNs min = buckets_[j].front().time;
+  for (const Entry& e : buckets_[j])
+    if (e.time < min) min = e.time;
+  front_time_ = min;
+  // Stable redistribution: every entry lands strictly below j (it shares
+  // bit j-1 of the key with the new minimum), equal-minimum entries land
+  // in front_ in their original, schedule-FIFO order.
+  for (const Entry& e : buckets_[j]) {
+    const unsigned i = bucket_index(e.time, min);
+    if (i == 0)
+      front_.push_back(e);
+    else
+      buckets_[i].push_back(e);
+  }
+  buckets_[j].clear();
+}
+
+TimeNs Engine::next_time() {
+  refill_front();
+  return front_time_;
+}
 
 void Engine::schedule_at(TimeNs t, EventHandler* handler,
                          std::uint64_t tag) {
   AMR_CHECK_MSG(t >= now_, "cannot schedule into the past");
   AMR_CHECK(handler != nullptr);
-  queue_.push(Event{t, next_seq_++, handler, tag});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    arena_[slot] = Body{handler, tag};
+  } else {
+    slot = static_cast<std::uint32_t>(arena_.size());
+    arena_.push_back(Body{handler, tag});
+  }
+  const Entry entry{t, next_seq_++, slot};
+  // Always bucket relative to front_time_, the one monotone reference
+  // every pending entry was bucketed against (updated only by
+  // refill_front). Mixing references would break the equal-time
+  // colocation the FIFO guarantee rests on. Entries at exactly the
+  // front time join the FIFO tail of the front bucket.
+  const unsigned i = bucket_index(t, front_time_);
+  if (i == 0)
+    front_.push_back(entry);
+  else
+    buckets_[i].push_back(entry);
+  ++pending_;
 }
 
 void Engine::call_at(TimeNs t, std::function<void(Engine&)> fn) {
@@ -33,17 +91,20 @@ void Engine::FnHandler::on_event(Engine& engine, std::uint64_t tag) {
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  const Event ev = queue_.top();
-  queue_.pop();
+  if (pending_ == 0) return false;
+  refill_front();
+  const Entry ev = front_[front_head_++];
+  --pending_;
+  const Body body = arena_[ev.slot];
+  free_slots_.push_back(ev.slot);
   AMR_CHECK(ev.time >= now_);
   now_ = ev.time;
   ++processed_;
   if (tracer_ != nullptr) [[unlikely]]
     tracer_->instant(Tracer::kTrackSim, TraceCat::kDes, "dispatch", now_,
-                     static_cast<std::int64_t>(ev.tag),
+                     static_cast<std::int64_t>(body.tag),
                      static_cast<std::int64_t>(ev.seq));
-  ev.handler->on_event(*this, ev.tag);
+  body.handler->on_event(*this, body.tag);
   return true;
 }
 
@@ -56,7 +117,7 @@ std::uint64_t Engine::run() {
 
 std::uint64_t Engine::run_until(TimeNs t_end) {
   const std::uint64_t start = processed_;
-  while (!queue_.empty() && queue_.top().time <= t_end) step();
+  while (pending_ != 0 && next_time() <= t_end) step();
   if (now_ < t_end) now_ = t_end;
   return processed_ - start;
 }

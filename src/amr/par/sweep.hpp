@@ -1,0 +1,94 @@
+// Deterministic parallel sweep harness.
+//
+// The paper's exhibits are sweeps — policy x scale x distribution x
+// trial — of *independent, self-contained* trials (each builds its own
+// mesh, Rng, Simulation). Sweep fans those trials out across a
+// work-stealing pool and gathers results in submission order, so the
+// concatenated output of a --jobs=N run is byte-identical to --jobs=1:
+//
+//   Sweep sweep(flags.jobs());
+//   for (auto& cfg : grid)
+//     sweep.add(cfg.label(), [cfg] { return run_trial(cfg); });
+//   sweep.run();
+//   sweep.print();                       // submission order, always
+//
+// The determinism contract has three legs, all mechanical:
+//   1. tasks return their text instead of printing (no interleaving);
+//   2. results are gathered by task index, not completion order;
+//   3. any randomness inside a task derives from an explicit seed
+//      (sweep_task_seed or the bench's own hash64 scheme), never from
+//      global state.
+// Wall-clock *measurements* made inside tasks are exempt: they vary run
+// to run even serially, and benches that print them are documented as
+// reproducible modulo timing fields (most gate them behind --timing).
+//
+// jobs <= 1 runs every task inline on the calling thread — no pool, no
+// threads, the exact serial loop — so the serial baseline is the code
+// path itself, not a simulation of it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace amr {
+
+/// Stateless per-task seed stream: mixes the base seed with the task
+/// index so trials stay reproducible under any schedule and any
+/// jobs count.
+std::uint64_t sweep_task_seed(std::uint64_t base_seed,
+                              std::uint64_t task_index);
+
+struct SweepResult {
+  std::string label;
+  std::string output;   ///< the task's returned text
+  double wall_ms = 0.0; ///< task execution time (informational)
+};
+
+class Sweep {
+ public:
+  /// @param jobs  worker threads; <= 1 means inline serial execution.
+  ///              0 is treated as "serial" too — resolve "use the
+  ///              machine" with ThreadPool::hardware_jobs() first.
+  explicit Sweep(int jobs) : jobs_(jobs) {}
+
+  int jobs() const { return jobs_; }
+
+  /// Register a task. Returns its submission index. Tasks must be
+  /// independent of each other; they run concurrently when jobs > 1.
+  std::size_t add(std::string label, std::function<std::string()> task);
+
+  /// Execute every task. Safe to call once; results() and print() are
+  /// valid afterwards.
+  void run();
+
+  /// Results in submission order.
+  const std::vector<SweepResult>& results() const { return results_; }
+
+  /// Write every task's output to `out` in submission order.
+  void print(std::FILE* out = stdout) const;
+
+  /// End-to-end wall time of run(), ms.
+  double wall_ms() const { return wall_ms_; }
+
+  /// Sum of per-task wall times, ms — the serial-equivalent cost the
+  /// pool amortized.
+  double task_ms_sum() const;
+
+  /// Append a machine-readable record of this sweep to `path` (JSON
+  /// object per call; "-" writes to stdout). Timing fields are the
+  /// nondeterministic channel — stdout stays byte-stable, the JSON
+  /// carries the perf trajectory. Returns false on I/O failure.
+  bool write_json(const std::string& path, const std::string& name) const;
+
+ private:
+  int jobs_;
+  std::vector<std::function<std::string()>> tasks_;
+  std::vector<SweepResult> results_;
+  double wall_ms_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace amr

@@ -1,0 +1,103 @@
+#include "amr/par/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace amr {
+
+int ThreadPool::hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    queues_.push_back(std::make_unique<Worker>());
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    target = next_queue_++ % queues_.size();
+    ++in_flight_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  // Own deque first, newest-first: the task whose inputs are still warm.
+  {
+    Worker& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal oldest-first from the others, starting after self so steals
+  // spread instead of hammering worker 0.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Worker& victim = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      task();
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mu_);
+    if (shutdown_) return;
+    // Re-check under the lock: a submit between our failed scan and here
+    // would otherwise be sleepable-through.
+    bool any = false;
+    for (const auto& q : queues_) {
+      std::lock_guard<std::mutex> qlock(q->mu);
+      if (!q->tasks.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (any) continue;
+    work_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace amr

@@ -1,0 +1,100 @@
+#include "amr/placement/cdp_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace amr {
+namespace {
+
+/// FNV-1a over the cost bytes plus the shape parameters. Only a filter:
+/// every hit is confirmed by full cost-vector equality.
+std::uint64_t split_key_hash(std::span<const double> costs,
+                             std::int32_t nranks,
+                             std::int32_t chunk_ranks) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffU;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(costs.size()));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(nranks)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(chunk_ranks)));
+  for (const double c : costs) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &c, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+CdpSplitCache& CdpSplitCache::instance() {
+  static CdpSplitCache cache;
+  return cache;
+}
+
+Placement CdpSplitCache::get_or_compute(
+    std::span<const double> costs, std::int32_t nranks,
+    std::int32_t chunk_ranks, const std::function<Placement()>& compute) {
+  const std::uint64_t hash = split_key_hash(costs, nranks, chunk_ranks);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry& e : entries_) {
+      if (e.hash != hash || e.nranks != nranks ||
+          e.chunk_ranks != chunk_ranks || e.costs.size() != costs.size())
+        continue;
+      if (!std::equal(costs.begin(), costs.end(), e.costs.begin()))
+        continue;
+      e.stamp = ++stamp_;
+      ++hits_;
+      return e.placement;
+    }
+    ++misses_;
+  }
+
+  // Compute outside the lock: concurrent misses on the same key each
+  // compute the (identical) split and the copies race benignly to be
+  // stored.
+  Placement placement = compute();
+
+  Entry entry;
+  entry.hash = hash;
+  entry.nranks = nranks;
+  entry.chunk_ranks = chunk_ranks;
+  entry.costs.assign(costs.begin(), costs.end());
+  entry.placement = placement;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.stamp = ++stamp_;
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(entry));
+  } else {
+    auto lru = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+    *lru = std::move(entry);
+  }
+  return placement;
+}
+
+std::uint64_t CdpSplitCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t CdpSplitCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void CdpSplitCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace amr

@@ -1,0 +1,63 @@
+// Memo of chunked-CDP base splits, shared across CPLX invocations.
+//
+// Every CplX policy starts from the same contiguous CDP placement for a
+// given (costs, nranks, chunk) input: a policy sweep (cpl0..cpl100 over
+// one cost vector) or a simulation that rebalances on unchanged measured
+// costs recomputes an identical DP each time. This cache keys the split
+// by the exact cost vector and returns the stored placement instead.
+//
+// The cache is process-wide and thread-safe (the parallel sweep runtime
+// hits it from worker threads); a hit returns exactly what the DP would
+// compute, so results are identical with the cache on, off, hit, or
+// raced — two threads computing the same key both produce the same
+// placement and either copy may be stored. Lookups verify the full cost
+// vector, not just its hash: a hash collision can never substitute a
+// wrong split.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "amr/placement/policy.hpp"
+
+namespace amr {
+
+class CdpSplitCache {
+ public:
+  /// The process-wide instance used by CplxPolicy.
+  static CdpSplitCache& instance();
+
+  explicit CdpSplitCache(std::size_t capacity = 8) : capacity_(capacity) {}
+
+  /// Return the cached base placement for (costs, nranks, chunk_ranks),
+  /// or run `compute`, store its result, and return it.
+  Placement get_or_compute(std::span<const double> costs,
+                           std::int32_t nranks, std::int32_t chunk_ranks,
+                           const std::function<Placement()>& compute);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::int32_t nranks = 0;
+    std::int32_t chunk_ranks = 0;
+    std::vector<double> costs;
+    Placement placement;
+    std::uint64_t stamp = 0;  ///< recency for LRU eviction
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace amr

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "amr/common/check.hpp"
+#include "amr/placement/cdp_cache.hpp"
 #include "amr/placement/chunked_cdp.hpp"
 #include "amr/placement/lpt.hpp"
 
@@ -83,8 +84,14 @@ Placement CplxPolicy::rebalance(std::span<const double> costs,
 
 Placement CplxPolicy::place(std::span<const double> costs,
                             std::int32_t nranks) const {
-  const ChunkedCdpPolicy cdp(chunk_ranks_);
-  const Placement base = cdp.place(costs, nranks);
+  // The contiguous base split depends only on (costs, nranks, chunk) —
+  // shared across every X and across repeat invocations on unchanged
+  // costs, so a policy sweep pays for the CDP prefix-sum DP once.
+  const Placement base = CdpSplitCache::instance().get_or_compute(
+      costs, nranks, chunk_ranks_, [&] {
+        const ChunkedCdpPolicy cdp(chunk_ranks_);
+        return cdp.place(costs, nranks);
+      });
   return rebalance(costs, base, nranks, x_percent_);
 }
 

@@ -1,26 +1,11 @@
 #include "amr/placement/lpt.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "amr/common/check.hpp"
+#include "amr/common/dary_heap.hpp"
 
 namespace amr {
-namespace {
-
-struct RankLoad {
-  double load;
-  std::int32_t rank;
-  // Min-heap on load; ties broken by rank for determinism.
-  friend bool operator>(const RankLoad& a, const RankLoad& b) {
-    return a.load != b.load ? a.load > b.load : a.rank > b.rank;
-  }
-};
-
-using MinHeap =
-    std::priority_queue<RankLoad, std::vector<RankLoad>, std::greater<>>;
-
-}  // namespace
 
 void LptPolicy::assign_subset(std::span<const double> costs,
                               std::span<const std::int32_t> block_ids,
@@ -34,14 +19,16 @@ void LptPolicy::assign_subset(std::span<const double> costs,
               const double cb = costs[static_cast<std::size_t>(b)];
               return ca != cb ? ca > cb : a < b;
             });
-  MinHeap heap;
-  for (const std::int32_t r : target_ranks) heap.push({0.0, r});
+  // Least-loaded rank selection via a 4-ary min-heap updated in place:
+  // one sift-down per block instead of the pop+push pair a
+  // std::priority_queue forces. Ties resolve by rank id, so the chosen
+  // rank — and the resulting placement — match the scan-based LPT
+  // exactly.
+  TopUpdateMinHeap<4> loads;
+  loads.reset(target_ranks.size(), target_ranks.data());
   for (const std::int32_t block : order) {
-    RankLoad top = heap.top();
-    heap.pop();
-    placement[static_cast<std::size_t>(block)] = top.rank;
-    top.load += costs[static_cast<std::size_t>(block)];
-    heap.push(top);
+    placement[static_cast<std::size_t>(block)] = loads.top_id();
+    loads.add_to_top(costs[static_cast<std::size_t>(block)]);
   }
 }
 

@@ -1,0 +1,126 @@
+#include "amr/placement/cdp_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "amr/common/rng.hpp"
+#include "amr/placement/chunked_cdp.hpp"
+#include "amr/placement/cplx.hpp"
+
+namespace amr {
+namespace {
+
+std::vector<double> costs_for(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<double> costs(n);
+  for (auto& c : costs) c = rng.exponential(1.0);
+  return costs;
+}
+
+Placement trivial_split(std::size_t n, std::int32_t nranks) {
+  Placement p(n);
+  for (std::size_t i = 0; i < n; ++i)
+    p[i] = static_cast<std::int32_t>(i) % nranks;
+  return p;
+}
+
+TEST(CdpSplitCache, SecondLookupHitsAndReturnsStoredPlacement) {
+  CdpSplitCache cache;
+  const auto costs = costs_for(3, 40);
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return trivial_split(costs.size(), 4);
+  };
+  const Placement a = cache.get_or_compute(costs, 4, 512, compute);
+  const Placement b = cache.get_or_compute(costs, 4, 512, compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CdpSplitCache, KeyIncludesShapeNotJustCosts) {
+  CdpSplitCache cache;
+  const auto costs = costs_for(5, 40);
+  int computes = 0;
+  const auto compute4 = [&] {
+    ++computes;
+    return trivial_split(costs.size(), 4);
+  };
+  const auto compute8 = [&] {
+    ++computes;
+    return trivial_split(costs.size(), 8);
+  };
+  (void)cache.get_or_compute(costs, 4, 512, compute4);
+  (void)cache.get_or_compute(costs, 8, 512, compute8);   // nranks differs
+  (void)cache.get_or_compute(costs, 4, 256, compute4);   // chunk differs
+  EXPECT_EQ(computes, 3);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(CdpSplitCache, CostVectorIsVerifiedNotJustHashed) {
+  CdpSplitCache cache;
+  auto costs = costs_for(7, 40);
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return trivial_split(costs.size(), 4);
+  };
+  (void)cache.get_or_compute(costs, 4, 512, compute);
+  costs[10] += 0.5;  // same shape, different content
+  (void)cache.get_or_compute(costs, 4, 512, compute);
+  EXPECT_EQ(computes, 2);
+}
+
+TEST(CdpSplitCache, EvictsLeastRecentlyUsedAtCapacity) {
+  CdpSplitCache cache(/*capacity=*/2);
+  std::vector<std::vector<double>> inputs;
+  for (std::uint64_t s = 0; s < 3; ++s) inputs.push_back(costs_for(s, 20));
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return trivial_split(20, 2);
+  };
+  (void)cache.get_or_compute(inputs[0], 2, 512, compute);  // miss
+  (void)cache.get_or_compute(inputs[1], 2, 512, compute);  // miss
+  (void)cache.get_or_compute(inputs[0], 2, 512, compute);  // hit, refresh
+  (void)cache.get_or_compute(inputs[2], 2, 512, compute);  // miss, evict [1]
+  (void)cache.get_or_compute(inputs[0], 2, 512, compute);  // hit (kept)
+  (void)cache.get_or_compute(inputs[1], 2, 512, compute);  // miss (evicted)
+  EXPECT_EQ(computes, 4);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(CdpSplitCache, ClearForgetsEverything) {
+  CdpSplitCache cache;
+  const auto costs = costs_for(11, 30);
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return trivial_split(costs.size(), 4);
+  };
+  (void)cache.get_or_compute(costs, 4, 512, compute);
+  cache.clear();
+  (void)cache.get_or_compute(costs, 4, 512, compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CdpSplitCache, CplxThroughCacheMatchesDirectChunkedCdp) {
+  // End-to-end: CplxPolicy(0) routes its base split through the
+  // process-wide cache; cached or not, the result must equal what the
+  // uncached DP computes.
+  const auto costs = costs_for(13, 96);
+  const ChunkedCdpPolicy cdp;
+  const CplxPolicy cpl0(0.0);
+  const Placement direct = cdp.place(costs, 8);
+  const Placement first = cpl0.place(costs, 8);   // may miss or hit
+  const Placement second = cpl0.place(costs, 8);  // must hit
+  EXPECT_EQ(first, direct);
+  EXPECT_EQ(second, direct);
+}
+
+}  // namespace
+}  // namespace amr

@@ -111,6 +111,37 @@ TEST(Cplx, SingleRankIsIdentity) {
   EXPECT_EQ(CplxPolicy::rebalance(costs, base, 1, 100.0), base);
 }
 
+TEST(Cplx, RebalanceX100ReassignsEveryBlockLikeLpt) {
+  // X=100 selects all ranks, so the rebalance is a full LPT re-place:
+  // the makespan must match pure LPT's over the same costs.
+  const auto costs = skewed_costs(96, 103);
+  const Placement base = ChunkedCdpPolicy().place(costs, 12);
+  const Placement out = CplxPolicy::rebalance(costs, base, 12, 100.0);
+  ASSERT_TRUE(placement_valid(out, costs.size(), 12));
+  const LptPolicy lpt;
+  EXPECT_DOUBLE_EQ(makespan_of(costs, out, 12),
+                   makespan_of(costs, lpt.place(costs, 12), 12));
+}
+
+TEST(Cplx, AllEqualCostsStayPerfectlyBalanced) {
+  // Uniform costs on a balanced contiguous base: rebalance at any X must
+  // not make the makespan worse, and the result must stay a valid
+  // placement. (This is the kRebalanceFloor regime in place(), but
+  // rebalance() itself must also be safe on flat profiles.)
+  const std::vector<double> costs(64, 1.0);
+  const Placement base = ChunkedCdpPolicy().place(costs, 8);
+  const double before = makespan_of(costs, base, 8);
+  for (const double x : {0.0, 25.0, 100.0}) {
+    const Placement out = CplxPolicy::rebalance(costs, base, 8, x);
+    ASSERT_TRUE(placement_valid(out, costs.size(), 8)) << "X=" << x;
+    EXPECT_LE(makespan_of(costs, out, 8), before + 1e-9) << "X=" << x;
+  }
+  // And the full policy short-circuits below the rebalance floor:
+  // uniform costs keep the contiguous placement exactly.
+  const CplxPolicy cpl50(50.0);
+  EXPECT_EQ(cpl50.place(costs, 8), base);
+}
+
 TEST(Cplx, SmallXStillRebalancesAtLeastTwoRanks) {
   // X=1% of 8 ranks rounds to 0 selected, but rebalancing needs a source
   // and a destination: the policy clamps to 2.

@@ -1,0 +1,17 @@
+# Asserts the parallel-sweep determinism contract end-to-end: the bench
+# named in -DBENCH must produce byte-identical stdout at --jobs=1 and
+# --jobs=8. Invoked from bench/CMakeLists.txt as a ctest entry.
+execute_process(COMMAND "${BENCH}" --quick --jobs=1
+                OUTPUT_VARIABLE out1 RESULT_VARIABLE rc1)
+execute_process(COMMAND "${BENCH}" --quick --jobs=8
+                OUTPUT_VARIABLE out8 RESULT_VARIABLE rc8)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "--jobs=1 run failed (exit ${rc1})")
+endif()
+if(NOT rc8 EQUAL 0)
+  message(FATAL_ERROR "--jobs=8 run failed (exit ${rc8})")
+endif()
+if(NOT out1 STREQUAL out8)
+  message(FATAL_ERROR "--jobs=8 stdout differs from --jobs=1: the sweep "
+                      "determinism contract is broken")
+endif()
