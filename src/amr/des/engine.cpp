@@ -42,25 +42,61 @@ TimeNs Engine::next_time() {
   return front_time_;
 }
 
+void Engine::rebucket_all(TimeNs new_min) {
+  // front_time_ is the reference every pending entry is bucketed
+  // against, and the radix invariant needs it to stay a lower bound of
+  // every schedulable time. run_until (via next_time/refill_front) can
+  // advance it to the earliest *pending* time, which may sit above now_
+  // when that event lies past t_end — so a later schedule_at(t) with
+  // now_ <= t < front_time_ is legal yet cannot be bucketed against the
+  // larger reference. Restore the invariant by re-bucketing everything
+  // against t, the new global minimum. Equal-time entries always share
+  // one bucket and are re-appended in order, so FIFO survives. Only
+  // drivers that mix run_until with earlier re-scheduling reach this;
+  // O(pending) is fine for that path.
+  std::vector<Entry> live;
+  live.reserve(pending_);
+  live.insert(live.end(),
+              front_.begin() + static_cast<std::ptrdiff_t>(front_head_),
+              front_.end());
+  front_.clear();
+  front_head_ = 0;
+  for (std::vector<Entry>& bucket : buckets_) {
+    live.insert(live.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  front_time_ = new_min;
+  for (const Entry& e : live) {
+    const unsigned i = bucket_index(e.time, new_min);
+    if (i == 0)
+      front_.push_back(e);
+    else
+      buckets_[i].push_back(e);
+  }
+}
+
 void Engine::schedule_at(TimeNs t, EventHandler* handler,
                          std::uint64_t tag) {
   AMR_CHECK_MSG(t >= now_, "cannot schedule into the past");
   AMR_CHECK(handler != nullptr);
+  if (t < front_time_) [[unlikely]]
+    rebucket_all(t);
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
-    arena_[slot] = Body{handler, tag};
+    arena_[slot] = Body{handler, tag, next_seq_++};
   } else {
     slot = static_cast<std::uint32_t>(arena_.size());
-    arena_.push_back(Body{handler, tag});
+    arena_.push_back(Body{handler, tag, next_seq_++});
   }
-  const Entry entry{t, next_seq_++, slot};
+  const Entry entry{t, slot};
   // Always bucket relative to front_time_, the one monotone reference
   // every pending entry was bucketed against (updated only by
-  // refill_front). Mixing references would break the equal-time
-  // colocation the FIFO guarantee rests on. Entries at exactly the
-  // front time join the FIFO tail of the front bucket.
+  // refill_front, and by rebucket_all above when a legal earlier time
+  // arrives). Mixing references would break the equal-time colocation
+  // the FIFO guarantee rests on. Entries at exactly the front time join
+  // the FIFO tail of the front bucket.
   const unsigned i = bucket_index(t, front_time_);
   if (i == 0)
     front_.push_back(entry);
@@ -103,7 +139,7 @@ bool Engine::step() {
   if (tracer_ != nullptr) [[unlikely]]
     tracer_->instant(Tracer::kTrackSim, TraceCat::kDes, "dispatch", now_,
                      static_cast<std::int64_t>(body.tag),
-                     static_cast<std::int64_t>(ev.seq));
+                     static_cast<std::int64_t>(body.seq));
   body.handler->on_event(*this, body.tag);
   return true;
 }

@@ -13,8 +13,8 @@
 //
 // The pending-event set is a monotone radix queue (Ahuja et al. 1990)
 // over a pooled event arena, exploiting the DES invariant that events
-// are never scheduled into the past: 16-byte entries (time, seq, arena
-// slot) live in 65 buckets keyed by the highest bit in which the time
+// are never scheduled into the past: 16-byte entries (time, arena slot)
+// live in 65 buckets keyed by the highest bit in which the time
 // differs from the current minimum. Scheduling is an O(1) append;
 // dispatch pops the equal-minimum bucket and refills it by
 // redistributing the lowest non-empty bucket (each entry moves at most
@@ -100,18 +100,21 @@ class Engine {
   /// separate front bucket. buckets_[0] is never used.
   static constexpr unsigned kNumBuckets = 65;
 
-  /// Queue entry: dispatch key + arena slot. The seq is informational
-  /// (trace output); ordering comes from the radix structure itself.
+  /// Queue entry: dispatch key + arena slot. Ordering comes from the
+  /// radix structure itself; per-event metadata lives in the Body so the
+  /// entries the buckets shuffle stay 16 bytes.
   struct Entry {
     TimeNs time;
-    std::uint32_t seq;
     std::uint32_t slot;
   };
 
-  /// Pooled payload; slots are free-listed across events.
+  /// Pooled payload; slots are free-listed across events. The seq is a
+  /// 64-bit global schedule counter, informational only (trace output),
+  /// touched once at dispatch.
   struct Body {
     EventHandler* handler;
     std::uint64_t tag;
+    std::uint64_t seq;
   };
 
   /// Adapter so call_at can reuse the POD event path.
@@ -134,9 +137,14 @@ class Engine {
   /// Earliest pending time. Requires pending_ > 0.
   TimeNs next_time();
 
+  /// Re-bucket every pending entry against new_min (< front_time_).
+  /// Rare slow path: run_until can advance front_time_ past now_, and a
+  /// later legal schedule_at below it must become the new reference.
+  void rebucket_all(TimeNs new_min);
+
   TimeNs now_ = 0;
   Tracer* tracer_ = nullptr;
-  std::uint32_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t pending_ = 0;
   TimeNs front_time_ = 0;  ///< all entries in front_ carry this time

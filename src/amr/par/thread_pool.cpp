@@ -33,6 +33,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   std::size_t target;
   {
+    // in_flight_ must rise before the push: a worker could otherwise
+    // pop and finish the task first and sink in_flight_ below zero.
     std::lock_guard<std::mutex> lock(state_mu_);
     target = next_queue_++ % queues_.size();
     ++in_flight_;
@@ -40,6 +42,15 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // pending_ rises under state_mu_ *after* the push and *before* the
+    // notify. A worker deciding to sleep holds state_mu_ while it
+    // checks pending_, so it either sees this increment (and goes back
+    // to popping) or is already inside wait() when the notify lands —
+    // the notify can never fall into a recheck-to-wait window.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++pending_;
   }
   work_cv_.notify_one();
 }
@@ -73,25 +84,24 @@ void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
     std::function<void()> task;
     if (try_pop(self, task)) {
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        --pending_;
+      }
       task();
       std::lock_guard<std::mutex> lock(state_mu_);
       if (--in_flight_ == 0) idle_cv_.notify_all();
       continue;
     }
+    // Sleep only while no pushed task is unclaimed. The predicate runs
+    // under state_mu_, the same mutex submit bumps pending_ under, so
+    // the sleep decision is atomic against submission: pending_ > 0
+    // implies some deque holds a task (it was pushed before the bump),
+    // and a bump after our check finds us already in wait() where its
+    // notify reaches us.
     std::unique_lock<std::mutex> lock(state_mu_);
+    work_cv_.wait(lock, [this] { return shutdown_ || pending_ > 0; });
     if (shutdown_) return;
-    // Re-check under the lock: a submit between our failed scan and here
-    // would otherwise be sleepable-through.
-    bool any = false;
-    for (const auto& q : queues_) {
-      std::lock_guard<std::mutex> qlock(q->mu);
-      if (!q->tasks.empty()) {
-        any = true;
-        break;
-      }
-    }
-    if (any) continue;
-    work_cv_.wait(lock);
   }
 }
 

@@ -65,6 +65,12 @@ class ThreadPool {
   std::condition_variable idle_cv_;  ///< waiters: in_flight hit zero
   std::uint64_t in_flight_ = 0;      ///< queued + executing tasks
   std::uint64_t next_queue_ = 0;     ///< round-robin submission cursor
+  /// Tasks pushed to a deque but not yet popped. Signed: a task can be
+  /// stolen between submit's push and its counter increment, briefly
+  /// driving this negative. Workers sleep on pending_ <= 0; because the
+  /// increment happens under state_mu_ before the notify, a sleep
+  /// decision can never race past a submission (no lost wakeups).
+  std::int64_t pending_ = 0;
   bool shutdown_ = false;
 };
 

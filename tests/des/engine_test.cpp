@@ -99,6 +99,63 @@ TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
   EXPECT_EQ(rec.log.size(), 2u);
 }
 
+TEST(Engine, ScheduleBelowPendingMinimumAfterRunUntil) {
+  // run_until can advance the radix bucketing reference to the earliest
+  // *pending* time (here 100) while now() stops at t_end (50). A later
+  // schedule at now() <= t < 100 is legal and must still dispatch in
+  // (time, schedule order) — this used to corrupt the bucket invariant
+  // and abort.
+  Engine engine;
+  Recorder rec;
+  engine.schedule_at(100, &rec, 100);
+  engine.run_until(50);
+  EXPECT_EQ(engine.now(), 50);
+  EXPECT_EQ(rec.log.size(), 0u);
+  engine.schedule_at(60, &rec, 60);
+  engine.schedule_at(55, &rec, 55);
+  engine.schedule_at(60, &rec, 61);  // equal-time FIFO across the rebucket
+  engine.run();
+  ASSERT_EQ(rec.log.size(), 4u);
+  EXPECT_EQ(rec.log[0], std::make_pair(TimeNs{55}, std::uint64_t{55}));
+  EXPECT_EQ(rec.log[1], std::make_pair(TimeNs{60}, std::uint64_t{60}));
+  EXPECT_EQ(rec.log[2], std::make_pair(TimeNs{60}, std::uint64_t{61}));
+  EXPECT_EQ(rec.log[3], std::make_pair(TimeNs{100}, std::uint64_t{100}));
+}
+
+TEST(Engine, FuzzRunUntilInterleavedSchedulesMatchStableSortReference) {
+  // Drive the engine the way external harnesses do: bursts of schedules
+  // (often below the advanced bucketing reference, always >= now()) and
+  // run_until in small increments. Dispatch order must still equal a
+  // stable sort by time of everything scheduled.
+  for (const std::uint64_t seed : {3u, 11u, 2024u}) {
+    std::mt19937_64 rng(seed);
+    Engine engine;
+    Recorder rec;
+    std::vector<std::pair<TimeNs, std::uint64_t>> model;
+    std::uint64_t tag = 0;
+    TimeNs horizon = 0;
+    for (int round = 0; round < 300; ++round) {
+      const int burst = static_cast<int>(rng() % 4);
+      for (int k = 0; k < burst; ++k) {
+        const TimeNs t = engine.now() + static_cast<TimeNs>(rng() % 256);
+        model.emplace_back(t, tag);
+        engine.schedule_at(t, &rec, tag++);
+      }
+      horizon += static_cast<TimeNs>(rng() % 64);
+      engine.run_until(horizon);
+    }
+    engine.run();
+    std::stable_sort(
+        model.begin(), model.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    ASSERT_EQ(rec.log.size(), model.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      ASSERT_EQ(rec.log[i], model[i]) << "seed " << seed << " position "
+                                      << i;
+    }
+  }
+}
+
 TEST(Engine, RunUntilOnEmptyQueueAdvancesClock) {
   Engine engine;
   engine.run_until(1000);

@@ -108,6 +108,21 @@ TEST(ThreadPool, WorkIsStolenAcrossQueues) {
   EXPECT_EQ(count.load(), 21);
 }
 
+TEST(ThreadPool, SingleTaskWakeupsAreNeverLost) {
+  // Regression for a lost-wakeup race: submit pushed the task and
+  // notified outside state_mu_, so the notify could land between a
+  // worker's empty-recheck and its wait(), stranding the task. A
+  // 1-thread pool with one task per wait_idle cycle maximizes the
+  // window — the worker is asleep (or falling asleep) at every submit.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 2000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(count.load(), 2000);
+}
+
 TEST(ThreadPool, HardwareJobsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_jobs(), 1);
 }
