@@ -1,0 +1,262 @@
+// Incremental step pipeline benchmark: what the versioned exchange-plan
+// cache and delta SFC renumbering buy on the host wall-clock.
+//
+// Three sections:
+//   1. sedov steps/sec at paper scales (512 and 2048 ranks), with the
+//      incremental pipeline off (from-scratch plans every step) and on
+//      (plan-cache hits between regrids, delta renumbering, flat
+//      telemetry carry), plus the cache hit/miss split and a field-level
+//      equality check of the two RunReports (the determinism contract;
+//      ctest step_pipeline_determinism diffs full stdout separately);
+//   2. plan-build microcosts: build_step_work from scratch vs a cache
+//      hit patch on a frozen mesh+placement;
+//   3. DES event-dispatch throughput (M events/s), tracking the engine
+//      the pipeline executes on.
+//
+// Numbers land in the --json=FILE record (one JSON object per line,
+// appended) so BENCH_step_pipeline.json tracks the trajectory across
+// commits. Stdout includes wall-clock values and is NOT byte-stable.
+//
+// Flags: --steps=N (default 40) --trials=N (default 3) --quick
+//        --json=FILE
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "amr/des/engine.hpp"
+#include "amr/exec/plan_cache.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/sim/simulation.hpp"
+#include "amr/workloads/sedov.hpp"
+
+namespace {
+
+using namespace amr;
+using namespace amr::bench;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ModeResult {
+  double best_ms = 1e30;
+  RunReport report;
+  StepPipelineStats stats;
+};
+
+ModeResult run_sedov(std::int32_t ranks, std::int64_t steps,
+                     bool incremental, int trials) {
+  ModeResult r;
+  for (int t = 0; t < trials; ++t) {
+    SimulationConfig cfg;
+    cfg.nranks = ranks;
+    cfg.ranks_per_node = 16;
+    cfg.root_grid = grid_for_ranks(ranks);
+    cfg.steps = steps;
+    cfg.incremental_plans = incremental;
+    SedovParams sp;
+    sp.total_steps = steps;
+    sp.max_level = 1;
+    SedovWorkload sedov(sp);
+    const PolicyPtr policy = make_policy("cpl50");
+    Simulation sim(cfg, sedov, *policy);
+    const double t0 = now_ms();
+    RunReport report = sim.run();
+    const double ms = now_ms() - t0;
+    if (ms < r.best_ms) {
+      r.best_ms = ms;
+      r.report = std::move(report);
+      r.stats = sim.pipeline_stats();
+    }
+  }
+  return r;
+}
+
+/// Simulated results the two modes must agree on (full stdout diffing is
+/// ctest step_pipeline_determinism's job; this is the in-bench guard).
+bool reports_match(const RunReport& a, const RunReport& b) {
+  return a.wall_seconds == b.wall_seconds &&
+         a.phases.compute == b.phases.compute &&
+         a.phases.comm == b.phases.comm && a.phases.sync == b.phases.sync &&
+         a.phases.rebalance == b.phases.rebalance &&
+         a.lb_invocations == b.lb_invocations &&
+         a.final_blocks == b.final_blocks &&
+         a.msgs_local == b.msgs_local && a.msgs_remote == b.msgs_remote &&
+         a.blocks_migrated == b.blocks_migrated;
+}
+
+struct ScaleRow {
+  std::int32_t ranks = 0;
+  double off_ms = 0.0;
+  double on_ms = 0.0;
+  double off_steps_per_s = 0.0;
+  double on_steps_per_s = 0.0;
+  std::int64_t plan_hits = 0;
+  std::int64_t plan_misses = 0;
+  bool identical = false;
+};
+
+ScaleRow bench_scale(std::int32_t ranks, std::int64_t steps, int trials) {
+  const ModeResult off = run_sedov(ranks, steps, false, trials);
+  const ModeResult on = run_sedov(ranks, steps, true, trials);
+  ScaleRow row;
+  row.ranks = ranks;
+  row.off_ms = off.best_ms;
+  row.on_ms = on.best_ms;
+  row.off_steps_per_s =
+      static_cast<double>(steps) / (off.best_ms / 1000.0);
+  row.on_steps_per_s = static_cast<double>(steps) / (on.best_ms / 1000.0);
+  row.plan_hits = on.stats.plan_hits;
+  row.plan_misses = on.stats.plan_misses;
+  row.identical = reports_match(off.report, on.report);
+  return row;
+}
+
+/// Microcost of one plan construction vs one cache-hit patch on a frozen
+/// (mesh, placement): the per-step saving the cache delivers.
+void plan_microcost(std::int32_t ranks, double& build_us, double& hit_us) {
+  AmrMesh mesh(grid_for_ranks(ranks));
+  // Refine a band of blocks so refinement boundaries (flux messages,
+  // mixed-level neighbors) are part of the plan like in a real run.
+  std::vector<std::int32_t> tags;
+  for (std::size_t b = 0; b < mesh.size() / 8; ++b)
+    tags.push_back(static_cast<std::int32_t>(b * 4));
+  mesh.refine(tags);
+  Placement p(mesh.size());
+  for (std::size_t b = 0; b < mesh.size(); ++b)
+    p[b] = static_cast<std::int32_t>(b % static_cast<std::size_t>(ranks));
+  std::vector<TimeNs> costs(mesh.size());
+  for (std::size_t b = 0; b < mesh.size(); ++b)
+    costs[b] = us(100) + static_cast<TimeNs>(b % 37);
+  const MessageSizeModel sizes{};
+
+  const int reps = 20;
+  double t0 = now_ms();
+  for (int i = 0; i < reps; ++i) {
+    const auto work = build_step_work(mesh, p, costs, ranks, sizes, true);
+    if (work.empty()) std::abort();
+  }
+  build_us = (now_ms() - t0) * 1000.0 / reps;
+
+  ExchangePlanCache cache;
+  (void)cache.step_work(mesh, p, 0, costs, ranks, sizes, true);
+  t0 = now_ms();
+  for (int i = 0; i < reps; ++i) {
+    costs[0] = us(100) + i;  // hits re-patch durations every step
+    const auto work = cache.step_work(mesh, p, 0, costs, ranks, sizes, true);
+    if (work.empty()) std::abort();
+  }
+  hit_us = (now_ms() - t0) * 1000.0 / reps;
+}
+
+/// bench_par_sweep's DES workload shape: pre-scheduled one-shot events
+/// plus a self-rescheduling tick, drained in one run(). M events/s.
+double des_throughput(std::size_t events) {
+  Engine eng;
+  eng.reserve(events + 4);
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < events; ++i)
+    eng.call_at(static_cast<TimeNs>(1 + i * 7 % 1000000),
+                [&sink, i](Engine&) { sink += i; });
+  struct Tick : EventHandler {
+    std::uint64_t* sink;
+    TimeNs step = 500;
+    void on_event(Engine& engine, std::uint64_t tag) override {
+      *sink += tag;
+      if (engine.now() + step < 1000000)
+        engine.schedule_at(engine.now() + step, this, tag + 1);
+    }
+  } tick;
+  tick.sink = &sink;
+  eng.schedule_at(0, &tick, 0);
+  const double t0 = now_ms();
+  eng.run_until(2000000);
+  const double ms = now_ms() - t0;
+  const double n = static_cast<double>(eng.events_processed());
+  return ms > 0.0 ? n / ms / 1e3 : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::int64_t steps = flags.get_int("steps", flags.quick() ? 12 : 40);
+  const int trials =
+      static_cast<int>(flags.get_int("trials", flags.quick() ? 1 : 3));
+
+  print_header("sedov steps/sec: incremental pipeline off vs on");
+  std::vector<ScaleRow> rows;
+  const std::vector<std::int32_t> scales =
+      flags.quick() ? std::vector<std::int32_t>{64}
+                    : std::vector<std::int32_t>{512, 2048};
+  bool all_identical = true;
+  for (const std::int32_t ranks : scales) {
+    const ScaleRow row = bench_scale(ranks, steps, trials);
+    rows.push_back(row);
+    all_identical = all_identical && row.identical;
+    std::printf(
+        "%5d ranks x %lld steps: off %8.1f ms (%6.2f steps/s)  "
+        "on %8.1f ms (%6.2f steps/s)  speedup %.2fx\n",
+        ranks, static_cast<long long>(steps), row.off_ms,
+        row.off_steps_per_s, row.on_ms, row.on_steps_per_s,
+        row.off_ms > 0 ? row.off_ms / row.on_ms : 0.0);
+    std::printf(
+        "        plan cache: %lld hits / %lld misses   "
+        "reports identical: %s\n",
+        static_cast<long long>(row.plan_hits),
+        static_cast<long long>(row.plan_misses),
+        row.identical ? "yes" : "NO");
+  }
+
+  print_header("plan microcost: from-scratch build vs cache-hit patch");
+  double build_us = 0.0;
+  double hit_us = 0.0;
+  plan_microcost(flags.quick() ? 64 : 512, build_us, hit_us);
+  std::printf("  build %10.1f us/step   hit patch %10.1f us/step "
+              "(%.1fx cheaper)\n",
+              build_us, hit_us, hit_us > 0 ? build_us / hit_us : 0.0);
+
+  print_header("DES event dispatch (monotone radix queue)");
+  const std::size_t events = flags.quick() ? 100000 : 400000;
+  const double warm = des_throughput(events);
+  const double rate = des_throughput(events);
+  std::printf("%zu events: %.2f M events/s (warmup %.2f)\n", events, rate,
+              warm);
+
+  if (!flags.json_path().empty()) {
+    std::FILE* f = flags.json_path() == "-"
+                       ? stdout
+                       : std::fopen(flags.json_path().c_str(), "a");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\"bench\":\"step_pipeline\",\"steps\":%lld,"
+                   "\"trials\":%d,\"scales\":[",
+                   static_cast<long long>(steps), trials);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ScaleRow& r = rows[i];
+        std::fprintf(
+            f,
+            "%s{\"ranks\":%d,\"off_ms\":%.1f,\"on_ms\":%.1f,"
+            "\"off_steps_per_s\":%.2f,\"on_steps_per_s\":%.2f,"
+            "\"speedup\":%.3f,\"plan_hits\":%lld,\"plan_misses\":%lld,"
+            "\"identical\":%s}",
+            i == 0 ? "" : ",", r.ranks, r.off_ms, r.on_ms,
+            r.off_steps_per_s, r.on_steps_per_s,
+            r.on_ms > 0 ? r.off_ms / r.on_ms : 0.0,
+            static_cast<long long>(r.plan_hits),
+            static_cast<long long>(r.plan_misses),
+            r.identical ? "true" : "false");
+      }
+      std::fprintf(f,
+                   "],\"plan_build_us\":%.1f,\"plan_hit_us\":%.1f,"
+                   "\"des_mevents_per_s\":%.3f}\n",
+                   build_us, hit_us, rate);
+      if (f != stdout) std::fclose(f);
+    }
+  }
+  return all_identical ? 0 : 1;
+}

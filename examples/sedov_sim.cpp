@@ -8,6 +8,7 @@
 //
 // Usage: ./sedov_sim [policy[,policy...]] [ranks] [steps]
 //                    [--jobs=N] [--timing] [--trace-out=FILE.json]
+//                    [--no-incremental]
 //   policy  baseline | cpl0 | cpl25 | cpl50 | cpl75 | cpl100 | lpt | cdp
 //           a comma-separated list runs each policy (in parallel with
 //           --jobs>1; reports print in list order regardless)
@@ -16,6 +17,9 @@
 //   --timing    adds host-measured placement wall-clock (nondeterministic)
 //   --trace-out writes an event-level Perfetto/chrome://tracing trace
 //               (single-policy runs only)
+//   --no-incremental  rebuild exchange plans from scratch every step
+//               (reference path; output must be byte-identical — ctest
+//               step_pipeline_determinism diffs the two modes)
 #include <algorithm>
 #include <atomic>
 #include <charconv>
@@ -132,12 +136,15 @@ int main(int argc, char** argv) {
   std::string trace_out;
   int jobs = 1;
   bool timing = false;
+  bool incremental = true;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--timing") == 0) {
       timing = true;
+    } else if (std::strcmp(argv[i], "--no-incremental") == 0) {
+      incremental = false;
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       const std::int64_t j = parse_int(argv[i] + 7, "--jobs");
       jobs = j == 0 ? ThreadPool::hardware_jobs() : static_cast<int>(j);
@@ -185,6 +192,7 @@ int main(int argc, char** argv) {
       cfg.root_grid = grid_for_ranks(ranks);
       cfg.steps = steps;
       cfg.trace_enabled = tracing;
+      cfg.incremental_plans = incremental;
 
       SedovParams sp;
       sp.total_steps = steps;

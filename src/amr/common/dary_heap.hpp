@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -56,6 +57,9 @@ class DaryHeap {
     slots_.front() = std::move(value);
     sift_down(0);
   }
+
+  /// All elements in heap (not sorted) order, for whole-container scans.
+  std::span<const T> items() const { return slots_; }
 
  private:
   // Hole-insertion sifts: the displaced element is held in a register

@@ -463,10 +463,10 @@ StepResult OverlapExecutor::execute(std::span<const OverlapRankWork> work,
   StepResult result;
   result.step_start = engine_.now();
 
-  std::vector<std::int32_t> expected(work.size());
+  expected_scratch_.resize(work.size());
   for (std::size_t r = 0; r < work.size(); ++r)
-    expected[r] = work[r].expected_recvs;
-  comm_.begin_exchange(window, std::move(expected));
+    expected_scratch_[r] = work[r].expected_recvs;
+  comm_.begin_exchange(window, expected_scratch_);
 
   for (std::size_t r = 0; r < work.size(); ++r) {
     runtimes_[r]->begin_step(work[r], window, result.step_start);

@@ -95,6 +95,7 @@ class OverlapExecutor {
   Comm& comm_;
   Tracer* tracer_;
   std::vector<std::unique_ptr<OverlapRankRuntime>> runtimes_;
+  std::vector<std::int32_t> expected_scratch_;  // reused across steps
 };
 
 }  // namespace amr

@@ -1,0 +1,52 @@
+#include "amr/exec/plan_cache.hpp"
+
+namespace amr {
+
+std::span<const RankStepWork> ExchangePlanCache::step_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::uint64_t placement_version, std::span<const TimeNs> block_costs,
+    std::int32_t nranks, const MessageSizeModel& sizes, bool include_flux) {
+  if (fresh(mesh.version(), placement_version, have_bsp_)) {
+    ++stats_.hits;
+    for (auto& rank : bsp_) {
+      for (auto& c : rank.computes)
+        c.duration = block_costs[static_cast<std::size_t>(c.block)];
+      for (auto& c : rank.computes_after_wait)
+        c.duration = block_costs[static_cast<std::size_t>(c.block)];
+    }
+    return bsp_;
+  }
+  ++stats_.misses;
+  bsp_ = build_step_work(mesh, placement, block_costs, nranks, sizes,
+                         include_flux);
+  have_bsp_ = true;
+  // A key change invalidates both shapes; only the requested one is
+  // rebuilt, the other stays stale and must not be served.
+  have_overlap_ = false;
+  mesh_version_ = mesh.version();
+  placement_version_ = placement_version;
+  return bsp_;
+}
+
+std::span<const OverlapRankWork> ExchangePlanCache::overlap_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::uint64_t placement_version, std::span<const TimeNs> block_costs,
+    std::int32_t nranks, const MessageSizeModel& sizes) {
+  if (fresh(mesh.version(), placement_version, have_overlap_)) {
+    ++stats_.hits;
+    for (auto& rank : overlap_) {
+      for (auto& b : rank.blocks)
+        b.compute = block_costs[static_cast<std::size_t>(b.block)];
+    }
+    return overlap_;
+  }
+  ++stats_.misses;
+  overlap_ = build_overlap_work(mesh, placement, block_costs, nranks, sizes);
+  have_overlap_ = true;
+  have_bsp_ = false;
+  mesh_version_ = mesh.version();
+  placement_version_ = placement_version;
+  return overlap_;
+}
+
+}  // namespace amr

@@ -1,0 +1,75 @@
+// Versioned cache of per-rank step-work plans.
+//
+// Between regrids and rebalances the mesh topology and the placement are
+// frozen, so the boundary-exchange structure — neighbor pairs, message
+// sizes, local/remote classification, flux-correction messages, receive
+// counts — is identical from step to step; only the per-block compute
+// durations change (workload jitter, fault inflation). Rebuilding the
+// whole plan every step makes that invariant expensive: neighbor
+// collection plus plan construction dominates small-step wall-clock
+// (BENCH_step_pipeline.json quantifies it).
+//
+// ExchangePlanCache keys the built plan on (mesh version, placement
+// version). A hit re-patches only the compute durations — every other
+// byte of the plan is reused — so executing from a cached plan is
+// bit-identical to building it fresh: build_step_work/build_overlap_work
+// emit computes in block order with duration = block_costs[block], which
+// is exactly what the patch loop re-applies. Any regrid or rebalance
+// bumps a version and the next step misses once.
+//
+// One cache instance serves one run: nranks, the message-size model, and
+// the flux-correction flag must not change across calls (the key does
+// not include them).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "amr/exec/overlap.hpp"
+#include "amr/exec/work.hpp"
+
+namespace amr {
+
+class ExchangePlanCache {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+  };
+
+  /// BSP plan for (mesh, placement). `placement_version` must change
+  /// whenever the placement vector does. On a hit only compute durations
+  /// are refreshed from `block_costs`.
+  std::span<const RankStepWork> step_work(
+      const AmrMesh& mesh, const Placement& placement,
+      std::uint64_t placement_version, std::span<const TimeNs> block_costs,
+      std::int32_t nranks, const MessageSizeModel& sizes, bool include_flux);
+
+  /// Overlap-mode analogue of step_work.
+  std::span<const OverlapRankWork> overlap_work(
+      const AmrMesh& mesh, const Placement& placement,
+      std::uint64_t placement_version, std::span<const TimeNs> block_costs,
+      std::int32_t nranks, const MessageSizeModel& sizes);
+
+  const Stats& stats() const { return stats_; }
+
+  /// Drop the cached plans (the next call rebuilds).
+  void invalidate() { have_bsp_ = have_overlap_ = false; }
+
+ private:
+  bool fresh(std::uint64_t mesh_version, std::uint64_t placement_version,
+             bool have) const {
+    return have && mesh_version_ == mesh_version &&
+           placement_version_ == placement_version;
+  }
+
+  std::uint64_t mesh_version_ = 0;
+  std::uint64_t placement_version_ = 0;
+  bool have_bsp_ = false;
+  bool have_overlap_ = false;
+  std::vector<RankStepWork> bsp_;
+  std::vector<OverlapRankWork> overlap_;
+  Stats stats_;
+};
+
+}  // namespace amr

@@ -40,6 +40,7 @@ class StepExecutor {
   Comm& comm_;
   Tracer* tracer_;
   std::vector<std::unique_ptr<RankRuntime>> runtimes_;
+  std::vector<std::int32_t> expected_scratch_;  // reused across steps
 };
 
 }  // namespace amr

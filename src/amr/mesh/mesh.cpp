@@ -10,23 +10,11 @@
 namespace amr {
 namespace {
 
-/// SFC sort key: primary = curve key of the root octree, secondary = the
-/// block's position within its root tree. For Z-order, padding the local
-/// Morton key to kMaxLevel digits yields the index of the block's first
-/// descendant at kMaxLevel, which orders disjoint leaves exactly as a
-/// depth-first traversal does. For Hilbert the same construction is valid
-/// because every axis-aligned 2^k cube is a contiguous index range of the
-/// curve, so disjoint leaves map to disjoint ranges.
-struct SfcKey {
-  std::uint64_t root;
-  std::uint64_t path;
+constexpr int kStrength(NeighborKind k) { return static_cast<int>(k); }
 
-  friend bool operator<(const SfcKey& a, const SfcKey& b) {
-    return a.root != b.root ? a.root < b.root : a.path < b.path;
-  }
-};
+}  // namespace
 
-SfcKey sfc_key(const BlockCoord& c, SfcKind kind) {
+AmrMesh::SfcKey AmrMesh::sfc_key(const BlockCoord& c, SfcKind kind) {
   const std::uint32_t rx = c.x >> c.level;
   const std::uint32_t ry = c.y >> c.level;
   const std::uint32_t rz = c.z >> c.level;
@@ -44,10 +32,6 @@ SfcKey sfc_key(const BlockCoord& c, SfcKind kind) {
           local << (3 * (kMaxLevel - c.level))};
 }
 
-constexpr int kStrength(NeighborKind k) { return static_cast<int>(k); }
-
-}  // namespace
-
 AmrMesh::AmrMesh(RootGrid grid, bool periodic, SfcKind sfc)
     : grid_(grid), periodic_(periodic), sfc_(sfc) {
   AMR_CHECK(grid.nx > 0 && grid.ny > 0 && grid.nz > 0);
@@ -60,10 +44,24 @@ AmrMesh::AmrMesh(RootGrid grid, bool periodic, SfcKind sfc)
 }
 
 void AmrMesh::rebuild_order() {
-  std::sort(leaves_.begin(), leaves_.end(),
-            [this](const BlockCoord& a, const BlockCoord& b) {
-              return sfc_key(a, sfc_) < sfc_key(b, sfc_);
-            });
+  // Full sort (construction only). Keys are computed once per leaf, not
+  // once per comparison, and cached for later incremental merges.
+  std::vector<std::pair<SfcKey, BlockCoord>> order;
+  order.reserve(leaves_.size());
+  for (const auto& b : leaves_) order.emplace_back(sfc_key(b, sfc_), b);
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  keys_.clear();
+  keys_.reserve(order.size());
+  leaves_.clear();
+  for (const auto& [key, b] : order) {
+    keys_.push_back(key);
+    leaves_.push_back(b);
+  }
+  rebuild_index();
+}
+
+void AmrMesh::rebuild_index() {
   index_.clear();
   index_.reserve(leaves_.size() * 2);
   for (std::size_t i = 0; i < leaves_.size(); ++i) {
@@ -73,6 +71,67 @@ void AmrMesh::rebuild_order() {
     AMR_CHECK_MSG(inserted, "duplicate leaf");
   }
   neighbor_cache_valid_ = false;
+}
+
+void AmrMesh::apply_delta(const std::vector<char>& removed,
+                          std::vector<AddedLeaf> added) {
+  // Encode SFC keys only for the blocks this regrid created, then merge
+  // them into the surviving (already sorted) previous order.
+  std::vector<std::pair<SfcKey, AddedLeaf>> incoming;
+  incoming.reserve(added.size());
+  for (const auto& a : added) incoming.emplace_back(sfc_key(a.coord, sfc_), a);
+  std::sort(incoming.begin(), incoming.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const std::size_t old_n = leaves_.size();
+  MeshRemap remap;
+  remap.from_version = version_;
+  remap.to_version = version_ + 1;
+  remap.old_size = old_n;
+
+  std::vector<BlockCoord> new_leaves;
+  std::vector<SfcKey> new_keys;
+  const std::size_t new_n = old_n - static_cast<std::size_t>(std::count(
+                                        removed.begin(), removed.end(), 1)) +
+                            incoming.size();
+  new_leaves.reserve(new_n);
+  new_keys.reserve(new_n);
+  remap.src.reserve(new_n);
+  remap.kind.reserve(new_n);
+
+  std::size_t ai = 0;
+  auto take_added = [&]() {
+    new_keys.push_back(incoming[ai].first);
+    new_leaves.push_back(incoming[ai].second.coord);
+    remap.src.push_back(incoming[ai].second.src);
+    remap.kind.push_back(incoming[ai].second.kind);
+    ++ai;
+  };
+  for (std::size_t i = 0; i < old_n; ++i) {
+    if (removed[i]) continue;
+    while (ai < incoming.size() && incoming[ai].first < keys_[i]) take_added();
+    new_keys.push_back(keys_[i]);
+    new_leaves.push_back(leaves_[i]);
+    remap.src.push_back(static_cast<std::int32_t>(i));
+    remap.kind.push_back(RemapKind::kCarried);
+    ++remap.carried;
+  }
+  while (ai < incoming.size()) take_added();
+
+  leaves_ = std::move(new_leaves);
+  keys_ = std::move(new_keys);
+  rebuild_index();
+  ++version_;
+  remaps_.push_back(std::move(remap));
+  if (remaps_.size() > kMaxRemapHistory)
+    remaps_.erase(remaps_.begin(),
+                  remaps_.end() - static_cast<std::ptrdiff_t>(kMaxRemapHistory));
+}
+
+const MeshRemap* AmrMesh::remap_to(std::uint64_t to_version) const {
+  for (auto it = remaps_.rbegin(); it != remaps_.rend(); ++it)
+    if (it->to_version == to_version) return &*it;
+  return nullptr;
 }
 
 std::int32_t AmrMesh::find(const BlockCoord& c) const {
@@ -208,7 +267,8 @@ std::size_t AmrMesh::refine(std::span<const std::int32_t> tagged) {
   }
   if (to_refine.empty()) return 0;
 
-  // Leaf set by key for in-place edits.
+  // Leaf set by key for in-place edits. leaves_/index_ stay untouched
+  // until apply_delta, so original-leaf IDs remain valid throughout.
   std::unordered_map<std::uint64_t, BlockCoord> leafset;
   leafset.reserve(leaves_.size() * 2);
   for (const auto& b : leaves_) leafset.emplace(block_key(b), b);
@@ -222,6 +282,12 @@ std::size_t AmrMesh::refine(std::span<const std::int32_t> tagged) {
     }
   };
 
+  // Delta bookkeeping: which original leaves disappeared, and which
+  // blocks were created (with the old ID of the refined ancestor they
+  // descend from — chain-refined grandchildren inherit the ancestor).
+  std::vector<char> removed(leaves_.size(), 0);
+  std::unordered_map<std::uint64_t, AddedLeaf> added_info;
+
   std::size_t refined = 0;
   std::vector<std::uint64_t> wave(to_refine.begin(), to_refine.end());
   std::unordered_set<std::uint64_t> scheduled = to_refine;
@@ -233,9 +299,20 @@ std::size_t AmrMesh::refine(std::span<const std::int32_t> tagged) {
       const BlockCoord b = it->second;
       leafset.erase(it);
       ++refined;
+      std::int32_t src;
+      const auto ait = added_info.find(key);
+      if (ait != added_info.end()) {
+        src = ait->second.src;  // chain-refine of a block added this call
+        added_info.erase(ait);
+      } else {
+        src = index_.at(key);
+        removed[static_cast<std::size_t>(src)] = 1;
+      }
       for (std::uint32_t c = 0; c < 8; ++c) {
         const BlockCoord ch = b.child(c & 1u, (c >> 1) & 1u, (c >> 2) & 1u);
         leafset.emplace(block_key(ch), ch);
+        added_info.emplace(block_key(ch),
+                           AddedLeaf{ch, RemapKind::kRefined, src});
       }
       // Ripple: any neighbor coarser than b now violates 2:1 against the
       // new children and must itself refine.
@@ -257,10 +334,10 @@ std::size_t AmrMesh::refine(std::span<const std::int32_t> tagged) {
     wave = std::move(next);
   }
 
-  leaves_.clear();
-  leaves_.reserve(leafset.size());
-  for (const auto& [key, b] : leafset) leaves_.push_back(b);
-  rebuild_order();
+  std::vector<AddedLeaf> added;
+  added.reserve(added_info.size());
+  for (const auto& [key, a] : added_info) added.push_back(a);
+  apply_delta(removed, std::move(added));
   return refined;
 }
 
@@ -310,19 +387,23 @@ std::size_t AmrMesh::coarsen(std::span<const std::int32_t> tagged) {
   }
   if (parents.empty()) return 0;
 
-  std::unordered_set<std::uint64_t> removed;
-  for (const auto& p : parents)
-    for (std::uint32_t c = 0; c < 8; ++c)
-      removed.insert(
-          block_key(p.child(c & 1u, (c >> 1) & 1u, (c >> 2) & 1u)));
-
-  std::vector<BlockCoord> kept;
-  kept.reserve(leaves_.size());
-  for (const auto& b : leaves_)
-    if (!removed.contains(block_key(b))) kept.push_back(b);
-  for (const auto& p : parents) kept.push_back(p);
-  leaves_ = std::move(kept);
-  rebuild_order();
+  std::vector<char> removed(leaves_.size(), 0);
+  std::vector<AddedLeaf> added;
+  added.reserve(parents.size());
+  for (const auto& p : parents) {
+    // The eight children are SFC-consecutive leaves; the parent's
+    // provenance is the first (lowest old ID) of them.
+    std::int32_t first = -1;
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      const std::int32_t id =
+          find(p.child(c & 1u, (c >> 1) & 1u, (c >> 2) & 1u));
+      AMR_CHECK(id >= 0);
+      removed[static_cast<std::size_t>(id)] = 1;
+      if (first < 0 || id < first) first = id;
+    }
+    added.push_back(AddedLeaf{p, RemapKind::kCoarsened, first});
+  }
+  apply_delta(removed, std::move(added));
   return parents.size();
 }
 
@@ -384,6 +465,20 @@ bool AmrMesh::check_coverage() const {
     }
   }
   return std::abs(static_cast<double>(volume) - 1.0) < 1e-9;
+}
+
+bool AmrMesh::check_sfc_order() const {
+  if (keys_.size() != leaves_.size() || index_.size() != leaves_.size())
+    return false;
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    const SfcKey fresh = sfc_key(leaves_[i], sfc_);
+    if (!(fresh == keys_[i])) return false;
+    if (i > 0 && !(keys_[i - 1] < keys_[i])) return false;
+    const auto it = index_.find(block_key(leaves_[i]));
+    if (it == index_.end() || it->second != static_cast<std::int32_t>(i))
+      return false;
+  }
+  return true;
 }
 
 }  // namespace amr

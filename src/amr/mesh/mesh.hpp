@@ -6,6 +6,15 @@
 // IDs are positions in the SFC-ordered leaf vector and are reassigned
 // after every refine/coarsen, exactly as in the redistribution flow the
 // paper describes (IDs first, then placement, then migration).
+//
+// Renumbering is incremental: the mesh caches each leaf's SFC key, and a
+// refine/coarsen merges the (sorted) surviving leaves with the (sorted)
+// newly created ones instead of re-sorting the whole forest — the
+// Hilbert/Morton encode runs only for blocks that actually changed. Every
+// regrid bumps a monotone version counter and records a MeshRemap
+// (new block ID -> provenance in the previous numbering), which is what
+// lets the simulation carry per-block telemetry and cached exchange plans
+// across regrids without rebuilding them from scratch.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +43,27 @@ constexpr const char* to_string(SfcKind kind) {
   return kind == SfcKind::kZOrder ? "z-order" : "hilbert";
 }
 
+/// Provenance of a block across one regrid.
+enum class RemapKind : std::uint8_t {
+  kCarried = 0,    ///< same block; src = its ID in the previous numbering
+  kRefined = 1,    ///< new child; src = old ID of the refined ancestor
+  kCoarsened = 2,  ///< new parent; src = old ID of its first child (the
+                   ///< eight collapsed children are SFC-consecutive, so
+                   ///< they occupy old IDs src..src+7)
+};
+
+/// Per-regrid renumbering record: for every block ID in the new ordering,
+/// where it came from in the previous one. Consumers compose consecutive
+/// remaps to track blocks across several regrid epochs.
+struct MeshRemap {
+  std::uint64_t from_version = 0;
+  std::uint64_t to_version = 0;
+  std::vector<std::int32_t> src;  ///< per new ID, see RemapKind
+  std::vector<RemapKind> kind;    ///< per new ID
+  std::size_t carried = 0;        ///< count of kCarried entries
+  std::size_t old_size = 0;       ///< leaf count before the regrid
+};
+
 class AmrMesh {
  public:
   /// Create a mesh whose leaves are exactly the root grid (all level 0).
@@ -46,6 +76,16 @@ class AmrMesh {
   const RootGrid& root_grid() const { return grid_; }
   bool periodic() const { return periodic_; }
   SfcKind sfc_kind() const { return sfc_; }
+
+  /// Monotone counter bumped by every refine/coarsen that changes the
+  /// leaf set. Together with a placement version it keys the exchange
+  /// plan cache: equal versions guarantee identical blocks() and
+  /// neighbor_lists().
+  std::uint64_t version() const { return version_; }
+
+  /// The renumbering record that produced `to_version`, or nullptr if it
+  /// never existed or has aged out of the bounded history.
+  const MeshRemap* remap_to(std::uint64_t to_version) const;
 
   /// Block ID of the leaf with the given coordinates, or -1.
   std::int32_t find(const BlockCoord& c) const;
@@ -84,8 +124,46 @@ class AmrMesh {
   /// Invariant: leaves tile the domain exactly (no gaps, no overlaps).
   bool check_coverage() const;
 
+  /// Invariant: leaves_ is exactly the full SFC sort (keys recomputed
+  /// from scratch, strictly increasing) and index_ matches. Test hook for
+  /// the incremental renumbering path.
+  bool check_sfc_order() const;
+
  private:
+  /// SFC sort key: primary = curve key of the root octree, secondary =
+  /// the block's position within its root tree. Padding the local key to
+  /// kMaxLevel digits yields the index of the block's first descendant at
+  /// kMaxLevel, which orders disjoint leaves exactly as a depth-first
+  /// traversal does (valid for Hilbert too: every axis-aligned 2^k cube
+  /// is a contiguous index range of the curve).
+  struct SfcKey {
+    std::uint64_t root;
+    std::uint64_t path;
+
+    friend bool operator<(const SfcKey& a, const SfcKey& b) {
+      return a.root != b.root ? a.root < b.root : a.path < b.path;
+    }
+    friend bool operator==(const SfcKey& a, const SfcKey& b) {
+      return a.root == b.root && a.path == b.path;
+    }
+  };
+
+  static SfcKey sfc_key(const BlockCoord& c, SfcKind kind);
+
+  /// Newly created leaf with its provenance, accumulated during a regrid.
+  struct AddedLeaf {
+    BlockCoord coord;
+    RemapKind kind;
+    std::int32_t src;
+  };
+
   void rebuild_order();
+  void rebuild_index();
+  /// Replace leaves_ by merging the surviving old leaves with `added`
+  /// (keys computed only for the latter), record the MeshRemap, and bump
+  /// the version. `removed` flags old IDs that no longer exist.
+  void apply_delta(const std::vector<char>& removed,
+                   std::vector<AddedLeaf> added);
   std::int32_t covering_in(
       const std::unordered_map<std::uint64_t, std::int32_t>& index,
       BlockCoord c) const;
@@ -96,11 +174,17 @@ class AmrMesh {
   void collect_neighbors(std::size_t id,
                          std::vector<Neighbor>& out) const;
 
+  /// Regrids remembered for telemetry carry-over; older records age out.
+  static constexpr std::size_t kMaxRemapHistory = 32;
+
   RootGrid grid_;
   bool periodic_;
   SfcKind sfc_;
   std::vector<BlockCoord> leaves_;                      // SFC order
+  std::vector<SfcKey> keys_;                            // cached, ∥ leaves_
   std::unordered_map<std::uint64_t, std::int32_t> index_;  // key -> block ID
+  std::uint64_t version_ = 0;
+  std::vector<MeshRemap> remaps_;  // bounded at kMaxRemapHistory
   mutable std::vector<std::vector<Neighbor>> neighbor_cache_;
   mutable bool neighbor_cache_valid_ = false;
 };

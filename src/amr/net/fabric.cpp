@@ -34,10 +34,12 @@ Fabric::Fabric(const ClusterTopology& topo, FabricParams params, Rng rng)
 void Fabric::reset() {
   stats_ = FabricStats{};
   nic_busy_until_.assign(static_cast<std::size_t>(topo_.num_nodes()), 0);
-  shm_slot_free_.assign(
-      static_cast<std::size_t>(topo_.num_nodes()),
-      std::vector<TimeNs>(static_cast<std::size_t>(params_.shm_queue_slots),
-                          0));
+  shm_slot_free_.assign(static_cast<std::size_t>(topo_.num_nodes()), {});
+  for (auto& slots : shm_slot_free_) {
+    slots.reserve(static_cast<std::size_t>(params_.shm_queue_slots));
+    for (std::int32_t s = 0; s < params_.shm_queue_slots; ++s)
+      slots.push(0);
+  }
 }
 
 TimeNs Fabric::serialize_ns(std::int64_t bytes,
@@ -59,21 +61,18 @@ TransferTiming Fabric::transfer(std::int32_t src_rank, std::int32_t dst_rank,
     // at post time, spin in retry_delay quanta until one is.
     t.used_shm = true;
     auto& slots = shm_slot_free_[static_cast<std::size_t>(src_node)];
-    const auto slot =
-        std::min_element(slots.begin(), slots.end()) - slots.begin();
     if (tracer_ != nullptr) {
       // Queue occupancy at post time: the counter the paper's queue-size
       // tuning (Fig 3, right) was flying blind without.
       std::int64_t busy = 0;
-      for (const TimeNs free_at : slots)
+      for (const TimeNs free_at : slots.items())
         if (free_at > post_time) ++busy;
       tracer_->counter(Tracer::fabric_track(src_node), TraceCat::kFabric,
                        "shm_queue_busy", post_time, busy);
     }
     TimeNs start = post_time;
-    if (slots[static_cast<std::size_t>(slot)] > post_time) {
-      const TimeNs gap =
-          slots[static_cast<std::size_t>(slot)] - post_time;
+    if (slots.top() > post_time) {
+      const TimeNs gap = slots.top() - post_time;
       const auto retries = static_cast<std::int32_t>(
           (gap + params_.shm_retry_delay - 1) / params_.shm_retry_delay);
       t.shm_retries = retries;
@@ -85,7 +84,7 @@ TransferTiming Fabric::transfer(std::int32_t src_rank, std::int32_t dst_rank,
     }
     const TimeNs xfer = serialize_ns(bytes, params_.shm_gbytes_per_sec);
     t.delivery = start + params_.shm_latency + xfer;
-    slots[static_cast<std::size_t>(slot)] = t.delivery;
+    slots.replace_top(t.delivery);  // delivery >= the slot's old free time
     // Sender hands the buffer to the queue as soon as it has a slot.
     t.sender_release = start + params_.post_overhead;
     ++stats_.shm_msgs;

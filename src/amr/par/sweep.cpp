@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "amr/common/check.hpp"
 #include "amr/common/rng.hpp"
@@ -68,6 +69,17 @@ void Sweep::run() {
   if (jobs_ <= 1) {
     for (std::size_t i = 0; i < tasks_.size(); ++i) run_one(i);
   } else {
+    // Oversubscribing cores is a pure loss for CPU-bound trials
+    // (BENCH_par_sweep.json measured 0.713x with jobs=4 on one CPU);
+    // clamp and tell the user rather than silently running slower.
+    const int hw = ThreadPool::hardware_jobs();
+    if (jobs_ > hw) {
+      std::fprintf(stderr,
+                   "sweep: --jobs=%d exceeds hardware concurrency (%d); "
+                   "clamping to %d\n",
+                   jobs_, hw, hw);
+      jobs_ = hw;
+    }
     const int threads =
         std::min<std::size_t>(static_cast<std::size_t>(jobs_),
                               std::max<std::size_t>(1, tasks_.size()));

@@ -6,6 +6,7 @@
 #include "amr/common/check.hpp"
 #include "amr/common/log.hpp"
 #include "amr/common/stats.hpp"
+#include "amr/exec/plan_cache.hpp"
 #include "amr/exec/step_executor.hpp"
 #include "amr/placement/baseline.hpp"
 #include "amr/placement/metrics.hpp"
@@ -36,55 +37,87 @@ Simulation::Simulation(SimulationConfig config, Workload& workload,
   }
 }
 
-std::vector<TimeNs> Simulation::estimated_costs(const AmrMesh& mesh) const {
-  std::vector<TimeNs> costs(mesh.size());
-  if (!config_.telemetry_driven_costs || measured_costs_.empty()) {
-    // Framework default: every block costs 1 (paper §V-A3).
-    std::fill(costs.begin(), costs.end(), TimeNs{1});
-    return costs;
+bool Simulation::sync_measured_costs(const AmrMesh& mesh) {
+  if (!measured_valid_) return false;
+  while (measured_version_ != mesh.version()) {
+    const MeshRemap* r = mesh.remap_to(measured_version_ + 1);
+    if (r == nullptr || r->old_size != measured_flat_.size()) {
+      // The regrid record aged out of the mesh's bounded history; the
+      // carried telemetry can no longer be renumbered. Drop it — the
+      // next placement sees uniform costs, exactly as on a cold start.
+      measured_valid_ = false;
+      ++pipeline_stats_.telemetry_drops;
+      return false;
+    }
+    cost_scratch_.resize(r->src.size());
+    for (std::size_t b = 0; b < r->src.size(); ++b) {
+      const auto src = static_cast<std::size_t>(r->src[b]);
+      switch (r->kind[b]) {
+        case RemapKind::kCarried:
+          cost_scratch_[b] = measured_flat_[src];
+          break;
+        case RemapKind::kRefined:
+          // Fresh refinement: inherit the measured cost of the ancestor.
+          cost_scratch_[b] = measured_flat_[src];
+          break;
+        case RemapKind::kCoarsened: {
+          // Fresh coarsening: average of the eight collapsed children,
+          // which occupy consecutive old IDs starting at src.
+          TimeNs sum = 0;
+          for (std::size_t c = 0; c < 8; ++c)
+            sum += measured_flat_[src + c];
+          cost_scratch_[b] = sum / 8;
+          break;
+        }
+      }
+    }
+    measured_flat_.swap(cost_scratch_);
+    ++measured_version_;
   }
-  // Median of measured costs as the fallback for never-seen blocks.
-  std::vector<TimeNs> all;
-  all.reserve(measured_costs_.size());
-  for (const auto& [key, cost] : measured_costs_) all.push_back(cost);
-  std::nth_element(all.begin(), all.begin() + all.size() / 2, all.end());
-  const TimeNs fallback = all[all.size() / 2];
+  return true;
+}
 
-  for (std::size_t b = 0; b < mesh.size(); ++b) {
-    const BlockCoord& c = mesh.block(b);
-    // Exact match, else inherit from the parent (fresh refinement), else
-    // from any child (fresh coarsening), else the fallback.
-    if (const auto it = measured_costs_.find(block_key(c));
-        it != measured_costs_.end()) {
-      costs[b] = it->second;
-      continue;
-    }
-    if (c.level > 0) {
-      if (const auto it = measured_costs_.find(block_key(c.parent()));
-          it != measured_costs_.end()) {
-        costs[b] = it->second;
-        continue;
-      }
-    }
-    TimeNs child_sum = 0;
-    int child_count = 0;
-    for (std::uint32_t ch = 0; ch < 8; ++ch) {
-      const auto it = measured_costs_.find(block_key(
-          c.child(ch & 1u, (ch >> 1) & 1u, (ch >> 2) & 1u)));
-      if (it != measured_costs_.end()) {
-        child_sum += it->second;
-        ++child_count;
-      }
-    }
-    costs[b] = child_count > 0 ? child_sum / child_count : fallback;
+void Simulation::estimated_costs(const AmrMesh& mesh,
+                                 std::vector<TimeNs>& out) {
+  out.resize(mesh.size());
+  if (!config_.telemetry_driven_costs || !sync_measured_costs(mesh)) {
+    // Framework default: every block costs 1 (paper §V-A3).
+    std::fill(out.begin(), out.end(), TimeNs{1});
+    return;
   }
-  return costs;
+  std::copy(measured_flat_.begin(), measured_flat_.end(), out.begin());
 }
 
 void Simulation::remember_costs(const AmrMesh& mesh,
                                 std::span<const TimeNs> measured) {
-  for (std::size_t b = 0; b < mesh.size(); ++b)
-    measured_costs_[block_key(mesh.block(b))] = measured[b];
+  measured_flat_.assign(measured.begin(), measured.end());
+  measured_version_ = mesh.version();
+  measured_valid_ = true;
+}
+
+void Simulation::previous_ranks(const AmrMesh& mesh,
+                                std::uint64_t from_version,
+                                const Placement& placement,
+                                std::vector<std::int32_t>& prev_rank) {
+  // Compose the renumbering records forward from the version the
+  // placement was computed at: a block keeps its previous rank only while
+  // it is carried; blocks created by refine/coarsen have none (-1).
+  rank_scratch_a_.assign(placement.begin(), placement.end());
+  for (std::uint64_t v = from_version + 1; v <= mesh.version(); ++v) {
+    const MeshRemap* r = mesh.remap_to(v);
+    if (r == nullptr || r->old_size != rank_scratch_a_.size()) {
+      prev_rank.assign(mesh.size(), -1);
+      return;
+    }
+    rank_scratch_b_.resize(r->src.size());
+    for (std::size_t b = 0; b < r->src.size(); ++b)
+      rank_scratch_b_[b] =
+          r->kind[b] == RemapKind::kCarried
+              ? rank_scratch_a_[static_cast<std::size_t>(r->src[b])]
+              : -1;
+    rank_scratch_a_.swap(rank_scratch_b_);
+  }
+  prev_rank = rank_scratch_a_;
 }
 
 RunReport Simulation::run() {
@@ -110,11 +143,24 @@ RunReport Simulation::run() {
   std::vector<ActiveFault> prev_faults;
 
   AmrMesh mesh(config_.root_grid);
+  pipeline_stats_ = {};
+  measured_valid_ = false;
   RunReport report;
   report.policy = policy_.name();
   report.initial_blocks = mesh.size();
   report.rank_compute_seconds.assign(
       static_cast<std::size_t>(config_.nranks), 0.0);
+
+  // Pre-size the telemetry tables for the expected row volume so the
+  // per-step appends never reallocate mid-run.
+  if (config_.collect_telemetry) {
+    const auto steps = static_cast<std::size_t>(config_.steps);
+    const auto nranks = static_cast<std::size_t>(config_.nranks);
+    collector_.reserve(steps * nranks * 4, steps * nranks,
+                       config_.collect_block_telemetry
+                           ? steps * mesh.size()
+                           : 0);
+  }
 
   // Initial placement: no telemetry exists yet, costs default to uniform.
   Placement placement;
@@ -122,22 +168,49 @@ RunReport Simulation::run() {
     const std::vector<double> uniform(mesh.size(), 1.0);
     placement = policy_.place(uniform, config_.nranks);
   }
-  // Placements are tracked by block coordinates so migrations can be
-  // counted across renumbering.
-  std::unordered_map<std::uint64_t, std::int32_t> rank_by_key;
-  for (std::size_t b = 0; b < mesh.size(); ++b)
-    rank_by_key[block_key(mesh.block(b))] = placement[b];
+  // The version pair (mesh.version(), placement_version) keys the
+  // exchange-plan cache; a rebalance bumps the placement side, a regrid
+  // the mesh side. placement_mesh_version remembers which numbering the
+  // current placement refers to, for migration accounting across regrids.
+  std::uint64_t placement_version = 0;
+  std::uint64_t placement_mesh_version = mesh.version();
+  ExchangePlanCache plan_cache;
+  bool have_plan_key = false;
+  std::uint64_t last_plan_mesh = 0, last_plan_placement = 0;
+
+  // Step-loop scratch, reused across all steps.
+  std::vector<TimeNs> est;
+  std::vector<double> est_d;
+  std::vector<std::int32_t> prev_rank;
+  std::vector<std::int64_t> migrate_bytes;
+  std::vector<TimeNs> costs;
+  std::vector<RankStepWork> fresh_bsp;
+  std::vector<OverlapRankWork> fresh_overlap;
 
   double last_imbalance = 1.0;  // measured max/mean compute of last step
 
   for (std::int64_t step = 0; step < config_.steps; ++step) {
     // -- Mesh evolution + redistribution ------------------------------
+    const std::uint64_t pre_evolve_version = mesh.version();
     const bool changed = workload_.evolve(mesh, step);
+    if (tracer != nullptr && mesh.version() != pre_evolve_version) {
+      // How much of the renumbering the delta merge preserved: carried
+      // blocks re-keyed for free vs. total blocks, per regrid epoch.
+      for (std::uint64_t v = pre_evolve_version + 1; v <= mesh.version();
+           ++v) {
+        const MeshRemap* r = mesh.remap_to(v);
+        if (r != nullptr && !r->src.empty())
+          tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance,
+                          "delta-carried-permille", engine.now(),
+                          static_cast<std::int64_t>(r->carried * 1000 /
+                                                    r->src.size()));
+      }
+    }
     if (changed || placement.size() != mesh.size() ||
         config_.trigger.fire(false, step, last_imbalance)) {
       ++report.lb_invocations;
-      const auto est = estimated_costs(mesh);
-      std::vector<double> est_d(est.size());
+      estimated_costs(mesh, est);
+      est_d.resize(est.size());
       for (std::size_t i = 0; i < est.size(); ++i)
         est_d[i] = static_cast<double>(est[i]);
 
@@ -156,14 +229,14 @@ RunReport Simulation::run() {
 
       // Migration: blocks whose rank changed move their payload; charge
       // the slowest rank's transfer plus the placement-computation
-      // budget as the rebalance wall for this invocation.
-      std::vector<std::int64_t> migrate_bytes(
-          static_cast<std::size_t>(config_.nranks), 0);
+      // budget as the rebalance wall for this invocation. A block's
+      // previous rank follows the renumbering records; freshly
+      // refined/coarsened blocks have none and migrate for free.
+      previous_ranks(mesh, placement_mesh_version, placement, prev_rank);
+      migrate_bytes.assign(static_cast<std::size_t>(config_.nranks), 0);
       std::int64_t moved = 0;
       for (std::size_t b = 0; b < mesh.size(); ++b) {
-        const auto it = rank_by_key.find(block_key(mesh.block(b)));
-        const std::int32_t old_rank =
-            it != rank_by_key.end() ? it->second : -1;
+        const std::int32_t old_rank = prev_rank[b];
         if (old_rank >= 0 && old_rank != next[b]) {
           ++moved;
           migrate_bytes[static_cast<std::size_t>(old_rank)] +=
@@ -194,9 +267,8 @@ RunReport Simulation::run() {
       }
 
       placement = std::move(next);
-      rank_by_key.clear();
-      for (std::size_t b = 0; b < mesh.size(); ++b)
-        rank_by_key[block_key(mesh.block(b))] = placement[b];
+      ++placement_version;
+      placement_mesh_version = mesh.version();
     }
 
     // -- Fault transitions (trace instants at onset/clear edges) -------
@@ -224,7 +296,7 @@ RunReport Simulation::run() {
     }
 
     // -- True per-block compute costs (workload x hardware faults) ----
-    std::vector<TimeNs> costs(mesh.size());
+    costs.resize(mesh.size());
     for (std::size_t b = 0; b < mesh.size(); ++b) {
       const double factor = config_.faults.compute_multiplier(
           topo.node_of(placement[b]), step);
@@ -234,18 +306,55 @@ RunReport Simulation::run() {
     }
 
     // -- Execute the step ----------------------------------------------
+    // Predicted cache behaviour depends only on the version pair, so it
+    // is identical whether or not the cache actually runs — which keeps
+    // the emitted counters byte-identical across pipeline modes.
+    const bool predicted_hit = have_plan_key &&
+                               last_plan_mesh == mesh.version() &&
+                               last_plan_placement == placement_version;
+    ++(predicted_hit ? pipeline_stats_.predicted_hits
+                     : pipeline_stats_.predicted_misses);
+    have_plan_key = true;
+    last_plan_mesh = mesh.version();
+    last_plan_placement = placement_version;
+    if (tracer != nullptr) {
+      tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance,
+                      "plan-cache-hits", engine.now(),
+                      pipeline_stats_.predicted_hits);
+      tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance,
+                      "plan-cache-misses", engine.now(),
+                      pipeline_stats_.predicted_misses);
+    }
+
     StepResult result;
     std::int64_t intra_rank_msgs = 0;
     if (config_.execution == ExecutionMode::kBsp) {
-      const auto work = build_step_work(
-          mesh, placement, costs, config_.nranks, config_.msg_sizes,
-          config_.include_flux_correction);
+      std::span<const RankStepWork> work;
+      if (config_.incremental_plans) {
+        work = plan_cache.step_work(mesh, placement, placement_version,
+                                    costs, config_.nranks,
+                                    config_.msg_sizes,
+                                    config_.include_flux_correction);
+      } else {
+        fresh_bsp = build_step_work(
+            mesh, placement, costs, config_.nranks, config_.msg_sizes,
+            config_.include_flux_correction);
+        work = fresh_bsp;
+      }
       result = bsp_executor->execute(work, config_.ordering,
                                      static_cast<std::uint64_t>(step));
       for (const auto& w : work) intra_rank_msgs += w.local_copy_msgs;
     } else {
-      const auto work = build_overlap_work(
-          mesh, placement, costs, config_.nranks, config_.msg_sizes);
+      std::span<const OverlapRankWork> work;
+      if (config_.incremental_plans) {
+        work = plan_cache.overlap_work(mesh, placement, placement_version,
+                                       costs, config_.nranks,
+                                       config_.msg_sizes);
+      } else {
+        fresh_overlap = build_overlap_work(
+            mesh, placement, costs, config_.nranks, config_.msg_sizes);
+        work = fresh_overlap;
+      }
       result = overlap_executor->execute(
           work, static_cast<std::uint64_t>(step));
       for (const auto& w : work) intra_rank_msgs += w.local_copy_msgs;
@@ -313,6 +422,9 @@ RunReport Simulation::run() {
       }
     }
   }
+
+  pipeline_stats_.plan_hits = plan_cache.stats().hits;
+  pipeline_stats_.plan_misses = plan_cache.stats().misses;
 
   report.steps = config_.steps;
   report.final_blocks = mesh.size();

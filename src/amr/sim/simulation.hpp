@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "amr/common/time.hpp"
@@ -92,6 +91,14 @@ struct SimulationConfig {
   bool trace_enabled = false;
   TraceConfig trace{};
 
+  /// Incremental step pipeline: reuse exchange plans across steps until a
+  /// regrid or rebalance bumps the (mesh, placement) version pair. Off =
+  /// rebuild every plan from scratch each step. Both paths produce
+  /// byte-identical RunReports, telemetry, and traces (ctest
+  /// step_pipeline_determinism holds them to it); off exists as the
+  /// reference for that contract and for A/B benchmarking.
+  bool incremental_plans = true;
+
   FaultInjector faults;
 };
 
@@ -125,6 +132,18 @@ struct RunReport {
   CriticalPathStats critical_path;
 };
 
+/// Incrementality counters for the last run() — diagnostics only, kept
+/// out of RunReport so reports stay byte-identical across pipeline modes.
+struct StepPipelineStats {
+  std::int64_t plan_hits = 0;    ///< steps served from the plan cache
+  std::int64_t plan_misses = 0;  ///< steps that (re)built plans
+  /// Mode-independent predictions from (mesh, placement) version changes;
+  /// with incremental_plans on, the actual counters must match these.
+  std::int64_t predicted_hits = 0;
+  std::int64_t predicted_misses = 0;
+  std::int64_t telemetry_drops = 0;  ///< cost carries lost to aged remaps
+};
+
 class Simulation {
  public:
   /// The workload and policy are borrowed for the lifetime of the run.
@@ -141,19 +160,41 @@ class Simulation {
   /// exporters can consume the buffer afterwards.
   const Tracer* tracer() const { return tracer_.get(); }
 
+  /// Cache behaviour of the last run().
+  const StepPipelineStats& pipeline_stats() const { return pipeline_stats_; }
+
  private:
-  std::vector<TimeNs> estimated_costs(const AmrMesh& mesh) const;
+  void estimated_costs(const AmrMesh& mesh, std::vector<TimeNs>& out);
   void remember_costs(const AmrMesh& mesh,
                       std::span<const TimeNs> measured);
+  /// Carry measured_flat_ forward to mesh.version() by composing the
+  /// mesh's renumbering records; false if telemetry had to be dropped
+  /// (no measurements yet, or a remap aged out of the mesh's history).
+  bool sync_measured_costs(const AmrMesh& mesh);
+  /// prev_rank[b] = rank block b had under `placement` computed at mesh
+  /// version `from_version` (-1 if b did not exist then): the carried-only
+  /// composition of the renumbering records from that version to now.
+  void previous_ranks(const AmrMesh& mesh, std::uint64_t from_version,
+                      const Placement& placement,
+                      std::vector<std::int32_t>& prev_rank);
 
   SimulationConfig config_;
   Workload& workload_;
   const PlacementPolicy& policy_;
   Collector collector_;
   std::unique_ptr<Tracer> tracer_;
-  // Measured per-block costs keyed by block coordinates (stable across
-  // SFC renumbering).
-  std::unordered_map<std::uint64_t, TimeNs> measured_costs_;
+  StepPipelineStats pipeline_stats_;
+  // Measured per-block costs in block-ID order at mesh version
+  // measured_version_, carried across renumberings by sync (no per-step
+  // hash-map rebuild).
+  std::vector<TimeNs> measured_flat_;
+  std::uint64_t measured_version_ = 0;
+  bool measured_valid_ = false;
+  // Scratch reused across steps/remaps to keep the hot loop free of
+  // per-step allocations.
+  std::vector<TimeNs> cost_scratch_;
+  std::vector<std::int32_t> rank_scratch_a_;
+  std::vector<std::int32_t> rank_scratch_b_;
 };
 
 }  // namespace amr

@@ -24,28 +24,45 @@ void Comm::set_endpoint(std::int32_t rank, RankEndpoint* endpoint) {
   endpoints_[static_cast<std::size_t>(rank)] = endpoint;
 }
 
+std::ptrdiff_t Comm::find_exchange(std::uint64_t window) const {
+  for (std::size_t i = 0; i < exchanges_.size(); ++i)
+    if (exchanges_[i].open && exchanges_[i].window == window)
+      return static_cast<std::ptrdiff_t>(i);
+  return -1;
+}
+
 void Comm::begin_exchange(std::uint64_t window,
-                          std::vector<std::int32_t> expected) {
+                          std::span<const std::int32_t> expected) {
   AMR_CHECK(window < (1ULL << 31));
   AMR_CHECK(expected.size() == static_cast<std::size_t>(nranks_));
-  AMR_CHECK_MSG(!exchanges_.contains(window), "window id already open");
-  ExchangeState state;
-  state.expected = std::move(expected);
+  AMR_CHECK_MSG(find_exchange(window) < 0, "window id already open");
+  std::size_t slot = exchanges_.size();
+  for (std::size_t i = 0; i < exchanges_.size(); ++i) {
+    if (!exchanges_[i].open) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == exchanges_.size()) exchanges_.emplace_back();
+  ExchangeState& state = exchanges_[slot];
+  state.window = window;
+  state.open = true;
+  state.expected.assign(expected.begin(), expected.end());
   state.arrived.assign(static_cast<std::size_t>(nranks_), 0);
   state.last_delivery.assign(static_cast<std::size_t>(nranks_), 0);
   state.waiting.assign(static_cast<std::size_t>(nranks_), 0);
+  state.outstanding = 0;
   for (const std::int32_t e : state.expected) {
     AMR_CHECK(e >= 0);
     state.outstanding += e;
   }
-  exchanges_.emplace(window, std::move(state));
 }
 
 TimeNs Comm::isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
                    std::uint64_t window, TimeNs post_time,
                    std::int64_t dst_tag) {
   AMR_CHECK(src != dst);
-  AMR_CHECK_MSG(exchanges_.contains(window),
+  AMR_CHECK_MSG(find_exchange(window) >= 0,
                 "isend outside an open exchange window");
   const TransferTiming t = fabric_.transfer(src, dst, bytes, post_time);
   std::uint64_t flow_id = 0;
@@ -73,9 +90,9 @@ TimeNs Comm::isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
 
 bool Comm::wait_recvs(std::int32_t rank, std::uint64_t window,
                       TimeNs wait_start) {
-  auto it = exchanges_.find(window);
-  AMR_CHECK(it != exchanges_.end());
-  ExchangeState& state = it->second;
+  const std::ptrdiff_t xi = find_exchange(window);
+  AMR_CHECK(xi >= 0);
+  ExchangeState& state = exchanges_[static_cast<std::size_t>(xi)];
   const auto r = static_cast<std::size_t>(rank);
   if (state.arrived[r] >= state.expected[r]) return true;
   (void)wait_start;
@@ -85,24 +102,35 @@ bool Comm::wait_recvs(std::int32_t rank, std::uint64_t window,
 }
 
 bool Comm::exchange_complete(std::uint64_t window) const {
-  const auto it = exchanges_.find(window);
-  AMR_CHECK(it != exchanges_.end());
-  return it->second.outstanding == 0;
+  const std::ptrdiff_t xi = find_exchange(window);
+  AMR_CHECK(xi >= 0);
+  return exchanges_[static_cast<std::size_t>(xi)].outstanding == 0;
 }
 
 void Comm::end_exchange(std::uint64_t window) {
-  const auto it = exchanges_.find(window);
-  AMR_CHECK(it != exchanges_.end());
-  AMR_CHECK_MSG(it->second.outstanding == 0,
+  const std::ptrdiff_t xi = find_exchange(window);
+  AMR_CHECK(xi >= 0);
+  ExchangeState& state = exchanges_[static_cast<std::size_t>(xi)];
+  AMR_CHECK_MSG(state.outstanding == 0,
                 "closing window with undelivered messages");
-  exchanges_.erase(it);
+  state.open = false;  // slot (and its vectors) recycled by the next open
 }
 
 void Comm::enter_collective(std::uint64_t window, std::int32_t rank,
                             TimeNs entry_time) {
   AMR_CHECK(window < (1ULL << 31));
   AMR_CHECK(rank >= 0 && rank < nranks_);
-  CollectiveState& state = collectives_[window];
+  CollectiveState* found = nullptr;
+  for (auto& c : collectives_)
+    if (c.window == window) {
+      found = &c;
+      break;
+    }
+  if (found == nullptr) {
+    collectives_.push_back(CollectiveState{window, 0, 0});
+    found = &collectives_.back();
+  }
+  CollectiveState& state = *found;
   ++state.entered;
   state.max_entry = std::max(state.max_entry, entry_time);
   AMR_CHECK_MSG(state.entered <= nranks_,
@@ -116,9 +144,17 @@ void Comm::enter_collective(std::uint64_t window, std::int32_t rank,
 void Comm::on_event(Engine& engine, std::uint64_t tag) {
   if (tag & kCollectiveBit) {
     const std::uint64_t window = (tag & ~kCollectiveBit) >> 32;
-    const auto it = collectives_.find(window);
-    AMR_CHECK(it != collectives_.end());
-    collectives_.erase(it);
+    std::size_t ci = collectives_.size();
+    for (std::size_t i = 0; i < collectives_.size(); ++i)
+      if (collectives_[i].window == window) {
+        ci = i;
+        break;
+      }
+    AMR_CHECK(ci < collectives_.size());
+    // Remove before the callbacks: a rank may re-enter the next window's
+    // collective from on_collective_done.
+    collectives_[ci] = collectives_.back();
+    collectives_.pop_back();
     for (std::int32_t r = 0; r < nranks_; ++r) {
       RankEndpoint* ep = endpoints_[static_cast<std::size_t>(r)];
       AMR_CHECK(ep != nullptr);
@@ -131,20 +167,25 @@ void Comm::on_event(Engine& engine, std::uint64_t tag) {
   free_delivery_slots_.push_back(tag);
   const std::uint64_t window = d.window;
   const std::int32_t rank = d.dst;
-  const auto it = exchanges_.find(window);
-  AMR_CHECK(it != exchanges_.end());
-  ExchangeState& state = it->second;
+  const std::ptrdiff_t xi = find_exchange(window);
+  AMR_CHECK(xi >= 0);
   const auto r = static_cast<std::size_t>(rank);
-  ++state.arrived[r];
-  --state.outstanding;
-  state.last_delivery[r] = engine.now();
-  if (tracer_ != nullptr)
-    tracer_->flow_end(d.dst, TraceCat::kMsg, "p2p", engine.now(),
-                      d.flow_id, d.bytes, d.src);
-  AMR_CHECK_MSG(state.arrived[r] <= state.expected[r],
-                "more deliveries than expected; window mismatch");
+  {
+    ExchangeState& state = exchanges_[static_cast<std::size_t>(xi)];
+    ++state.arrived[r];
+    --state.outstanding;
+    state.last_delivery[r] = engine.now();
+    if (tracer_ != nullptr)
+      tracer_->flow_end(d.dst, TraceCat::kMsg, "p2p", engine.now(),
+                        d.flow_id, d.bytes, d.src);
+    AMR_CHECK_MSG(state.arrived[r] <= state.expected[r],
+                  "more deliveries than expected; window mismatch");
+  }
   if (RankEndpoint* ep = endpoints_[r]; ep != nullptr)
     ep->on_message(window, engine.now(), d.src, d.dst_tag);
+  // Re-index after the callback: slot indices are stable, but the pool
+  // vector may have grown if the endpoint opened a window.
+  ExchangeState& state = exchanges_[static_cast<std::size_t>(xi)];
   if (state.waiting[r] != 0 && state.arrived[r] == state.expected[r]) {
     state.waiting[r] = 0;
     RankEndpoint* ep = endpoints_[r];

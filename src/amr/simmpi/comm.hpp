@@ -15,7 +15,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "amr/des/engine.hpp"
@@ -76,8 +77,16 @@ class Comm final : public EventHandler {
 
   /// Open a P2P exchange window. expected[r] = number of messages rank r
   /// will receive in this window. Window ids must be unique while open.
+  /// The expected counts are copied into pooled per-window state, so the
+  /// steady-state cost is a memcpy — no allocation per step.
   void begin_exchange(std::uint64_t window,
-                      std::vector<std::int32_t> expected);
+                      std::span<const std::int32_t> expected);
+  void begin_exchange(std::uint64_t window,
+                      std::initializer_list<std::int32_t> expected) {
+    begin_exchange(window,
+                   std::span<const std::int32_t>(expected.begin(),
+                                                 expected.size()));
+  }
 
   /// Post a nonblocking send within a window. Returns the time at which
   /// an MPI_Wait on this send request would return (buffer handed off;
@@ -110,7 +119,14 @@ class Comm final : public EventHandler {
   void on_event(Engine& engine, std::uint64_t tag) override;
 
  private:
+  /// Pooled per-window exchange bookkeeping. Slots are recycled across
+  /// windows (open flag, not erasure), so at steady state a step reuses
+  /// the previous step's vectors at full capacity. Slot indices are
+  /// stable for the lifetime of the Comm — pool growth only appends —
+  /// which lets on_event hold an index across endpoint callbacks.
   struct ExchangeState {
+    std::uint64_t window = 0;
+    bool open = false;
     std::vector<std::int32_t> expected;
     std::vector<std::int32_t> arrived;
     std::vector<TimeNs> last_delivery;
@@ -118,7 +134,10 @@ class Comm final : public EventHandler {
     std::int64_t outstanding = 0;  // total expected - total arrived
   };
 
+  /// Active collectives (typically one): linear scan beats a hash map at
+  /// this population and allocates nothing after the first window.
   struct CollectiveState {
+    std::uint64_t window = 0;
     std::int32_t entered = 0;
     TimeNs max_entry = 0;
   };
@@ -142,9 +161,12 @@ class Comm final : public EventHandler {
   std::int32_t nranks_;
   CollectiveParams collective_params_;
   TimeNs collective_overhead_;  // alpha + beta*ceil(log2(nranks))
+  /// Index of the open window's slot in exchanges_; -1 if not open.
+  std::ptrdiff_t find_exchange(std::uint64_t window) const;
+
   std::vector<RankEndpoint*> endpoints_;
-  std::unordered_map<std::uint64_t, ExchangeState> exchanges_;
-  std::unordered_map<std::uint64_t, CollectiveState> collectives_;
+  std::vector<ExchangeState> exchanges_;       // pooled, see ExchangeState
+  std::vector<CollectiveState> collectives_;   // active only, swap-pop
   std::vector<PendingDelivery> deliveries_;
   std::vector<std::uint64_t> free_delivery_slots_;
 };

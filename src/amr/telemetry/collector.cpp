@@ -39,6 +39,13 @@ void Collector::record_comm(std::int64_t step, std::int32_t rank,
                     static_cast<std::int64_t>(recv_wait)});
 }
 
+void Collector::reserve(std::size_t phase_rows, std::size_t comm_rows,
+                        std::size_t block_rows) {
+  phases_.reserve(phase_rows);
+  comm_.reserve(comm_rows);
+  if (block_records_) blocks_.reserve(block_rows);
+}
+
 void Collector::clear() {
   phases_.clear();
   comm_.clear();

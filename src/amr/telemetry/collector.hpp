@@ -60,6 +60,11 @@ class Collector {
   void set_block_records(bool enabled) { block_records_ = enabled; }
   bool block_records() const { return block_records_; }
 
+  /// Pre-size the tables for an expected row volume (a run's steps x
+  /// ranks) so per-step appends never reallocate.
+  void reserve(std::size_t phase_rows, std::size_t comm_rows,
+               std::size_t block_rows);
+
   /// Drop all recorded rows (schemas survive). Long sweeps and the
   /// trace->table exporters use this to reuse one collector per run.
   void clear();

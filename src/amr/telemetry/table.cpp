@@ -83,6 +83,15 @@ std::int64_t Table::ivalue(std::size_t col, std::size_t row) const {
   return i64_cols_[col][row];
 }
 
+void Table::reserve(std::size_t rows) {
+  for (std::size_t col = 0; col < defs_.size(); ++col) {
+    if (defs_[col].type == ColType::kI64)
+      i64_cols_[col].reserve(rows);
+    else
+      f64_cols_[col].reserve(rows);
+  }
+}
+
 void Table::clear() {
   for (auto& c : i64_cols_) {
     c.clear();

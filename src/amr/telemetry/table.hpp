@@ -61,6 +61,10 @@ class Table {
   /// formats, used by binary_io and query pruning). 0/0 for empty tables.
   void column_stats(std::size_t col, double& min, double& max) const;
 
+  /// Pre-size every column for `rows` total rows; appends up to that
+  /// count never reallocate.
+  void reserve(std::size_t rows);
+
   /// Drop all rows; schema and name are kept, capacity is released.
   void clear();
 

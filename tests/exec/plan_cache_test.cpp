@@ -1,0 +1,178 @@
+// ExchangePlanCache: a cache hit patched with new costs must be
+// byte-equivalent to a from-scratch build, and any mesh or placement
+// version change must miss exactly once.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "amr/exec/plan_cache.hpp"
+
+namespace amr {
+namespace {
+
+bool same_msgs(const std::vector<OutMessage>& a,
+               const std::vector<OutMessage>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].dst_rank != b[i].dst_rank || a[i].bytes != b[i].bytes ||
+        a[i].src_block != b[i].src_block)
+      return false;
+  return true;
+}
+
+bool same_computes(const std::vector<BlockCompute>& a,
+                   const std::vector<BlockCompute>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].block != b[i].block || a[i].duration != b[i].duration)
+      return false;
+  return true;
+}
+
+void expect_equal(std::span<const RankStepWork> got,
+                  std::span<const RankStepWork> want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t r = 0; r < got.size(); ++r) {
+    EXPECT_TRUE(same_computes(got[r].computes, want[r].computes)) << r;
+    EXPECT_TRUE(same_computes(got[r].computes_after_wait,
+                              want[r].computes_after_wait))
+        << r;
+    EXPECT_TRUE(same_msgs(got[r].sends, want[r].sends)) << r;
+    EXPECT_EQ(got[r].local_copy_bytes, want[r].local_copy_bytes) << r;
+    EXPECT_EQ(got[r].local_copy_msgs, want[r].local_copy_msgs) << r;
+    EXPECT_EQ(got[r].expected_recvs, want[r].expected_recvs) << r;
+    EXPECT_EQ(got[r].recv_bytes, want[r].recv_bytes) << r;
+  }
+}
+
+void expect_equal(std::span<const OverlapRankWork> got,
+                  std::span<const OverlapRankWork> want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t r = 0; r < got.size(); ++r) {
+    ASSERT_EQ(got[r].blocks.size(), want[r].blocks.size()) << r;
+    for (std::size_t b = 0; b < got[r].blocks.size(); ++b) {
+      const BlockWork& g = got[r].blocks[b];
+      const BlockWork& w = want[r].blocks[b];
+      EXPECT_EQ(g.block, w.block);
+      EXPECT_EQ(g.compute, w.compute);
+      EXPECT_EQ(g.stage2_compute, w.stage2_compute);
+      EXPECT_EQ(g.expected_recvs, w.expected_recvs);
+      EXPECT_EQ(g.recv_bytes, w.recv_bytes);
+      EXPECT_TRUE(same_msgs(g.sends, w.sends));
+      EXPECT_EQ(g.send_dst_tags, w.send_dst_tags);
+    }
+    EXPECT_TRUE(same_msgs(got[r].sends, want[r].sends)) << r;
+    EXPECT_EQ(got[r].send_dst_tags, want[r].send_dst_tags) << r;
+    EXPECT_EQ(got[r].local_copy_bytes, want[r].local_copy_bytes) << r;
+    EXPECT_EQ(got[r].local_copy_msgs, want[r].local_copy_msgs) << r;
+    EXPECT_EQ(got[r].expected_recvs, want[r].expected_recvs) << r;
+  }
+}
+
+Placement round_robin(std::size_t blocks, std::int32_t nranks) {
+  Placement p(blocks);
+  for (std::size_t b = 0; b < blocks; ++b)
+    p[b] = static_cast<std::int32_t>(b) % nranks;
+  return p;
+}
+
+std::vector<TimeNs> costs_for(std::size_t blocks, TimeNs base) {
+  std::vector<TimeNs> costs(blocks);
+  for (std::size_t b = 0; b < blocks; ++b)
+    costs[b] = base + static_cast<TimeNs>(b);
+  return costs;
+}
+
+TEST(PlanCache, HitPatchesCostsAndMatchesFreshBuild) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  mesh.refine(std::vector<std::int32_t>{0});
+  const std::int32_t nranks = 4;
+  const Placement p = round_robin(mesh.size(), nranks);
+  const MessageSizeModel sizes{};
+
+  ExchangePlanCache cache;
+  const auto c1 = costs_for(mesh.size(), 100);
+  (void)cache.step_work(mesh, p, 0, c1, nranks, sizes, true);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 0);
+
+  // Same versions, new costs: hit, and the patched plan must equal what
+  // a from-scratch build with those costs produces.
+  const auto c2 = costs_for(mesh.size(), 5000);
+  const auto got = cache.step_work(mesh, p, 0, c2, nranks, sizes, true);
+  EXPECT_EQ(cache.stats().hits, 1);
+  const auto want = build_step_work(mesh, p, c2, nranks, sizes, true);
+  expect_equal(got, want);
+}
+
+TEST(PlanCache, MeshVersionChangeInvalidates) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  const std::int32_t nranks = 2;
+  const MessageSizeModel sizes{};
+  ExchangePlanCache cache;
+
+  Placement p = round_robin(mesh.size(), nranks);
+  (void)cache.step_work(mesh, p, 0, costs_for(mesh.size(), 10), nranks,
+                        sizes, false);
+  mesh.refine(std::vector<std::int32_t>{1});
+  p = round_robin(mesh.size(), nranks);
+  const auto c = costs_for(mesh.size(), 10);
+  const auto got = cache.step_work(mesh, p, 0, c, nranks, sizes, false);
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().hits, 0);
+  expect_equal(got, build_step_work(mesh, p, c, nranks, sizes, false));
+}
+
+TEST(PlanCache, PlacementVersionChangeInvalidates) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  const std::int32_t nranks = 2;
+  const MessageSizeModel sizes{};
+  ExchangePlanCache cache;
+  const auto c = costs_for(mesh.size(), 10);
+
+  const Placement p1 = round_robin(mesh.size(), nranks);
+  (void)cache.step_work(mesh, p1, 0, c, nranks, sizes, false);
+  // New placement (reversed), new version: must rebuild from the new
+  // placement, not patch the old plan.
+  Placement p2 = p1;
+  for (auto& r : p2) r = nranks - 1 - r;
+  const auto got = cache.step_work(mesh, p2, 1, c, nranks, sizes, false);
+  EXPECT_EQ(cache.stats().misses, 2);
+  expect_equal(got, build_step_work(mesh, p2, c, nranks, sizes, false));
+}
+
+TEST(PlanCache, OverlapHitMatchesFreshBuild) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  mesh.refine(std::vector<std::int32_t>{3});
+  const std::int32_t nranks = 4;
+  const Placement p = round_robin(mesh.size(), nranks);
+  const MessageSizeModel sizes{};
+  ExchangePlanCache cache;
+
+  (void)cache.overlap_work(mesh, p, 0, costs_for(mesh.size(), 7), nranks,
+                           sizes);
+  const auto c2 = costs_for(mesh.size(), 999);
+  const auto got = cache.overlap_work(mesh, p, 0, c2, nranks, sizes);
+  EXPECT_EQ(cache.stats().hits, 1);
+  expect_equal(got, build_overlap_work(mesh, p, c2, nranks, sizes));
+}
+
+TEST(PlanCache, ModeSwitchRebuildsInsteadOfServingStale) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  const std::int32_t nranks = 2;
+  const Placement p = round_robin(mesh.size(), nranks);
+  const MessageSizeModel sizes{};
+  const auto c = costs_for(mesh.size(), 10);
+  ExchangePlanCache cache;
+
+  (void)cache.step_work(mesh, p, 0, c, nranks, sizes, false);
+  const auto ow = cache.overlap_work(mesh, p, 0, c, nranks, sizes);
+  expect_equal(ow, build_overlap_work(mesh, p, c, nranks, sizes));
+  const auto bw = cache.step_work(mesh, p, 0, c, nranks, sizes, false);
+  expect_equal(bw, build_step_work(mesh, p, c, nranks, sizes, false));
+  // Each switch is a miss: the cache keeps one shape at a time.
+  EXPECT_EQ(cache.stats().misses, 3);
+}
+
+}  // namespace
+}  // namespace amr

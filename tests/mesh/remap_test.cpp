@@ -1,0 +1,217 @@
+// Delta SFC renumbering: version counters, the merge-based incremental
+// order, and the MeshRemap provenance records that carry telemetry and
+// placements across regrids.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "amr/common/rng.hpp"
+#include "amr/mesh/mesh.hpp"
+
+namespace amr {
+namespace {
+
+std::vector<std::int32_t> all_ids(const AmrMesh& mesh) {
+  std::vector<std::int32_t> ids(mesh.size());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    ids[i] = static_cast<std::int32_t>(i);
+  return ids;
+}
+
+TEST(MeshVersion, StartsAtZeroAndBumpsPerChange) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  EXPECT_EQ(mesh.version(), 0u);
+
+  EXPECT_GT(mesh.refine(std::vector<std::int32_t>{0}), 0u);
+  EXPECT_EQ(mesh.version(), 1u);
+
+  // No-op refine (empty tags) must not bump.
+  EXPECT_EQ(mesh.refine(std::vector<std::int32_t>{}), 0u);
+  EXPECT_EQ(mesh.version(), 1u);
+
+  // No-op coarsen (incomplete sibling group) must not bump.
+  EXPECT_EQ(mesh.coarsen(std::vector<std::int32_t>{0}), 0u);
+  EXPECT_EQ(mesh.version(), 1u);
+}
+
+TEST(MeshVersion, NoOpAtMaxLevelDoesNotBump) {
+  AmrMesh mesh(RootGrid{1, 1, 1});
+  // Drive one block to kMaxLevel by always refining block 0.
+  for (int l = 0; l < kMaxLevel; ++l)
+    ASSERT_GT(mesh.refine(std::vector<std::int32_t>{0}), 0u);
+  const std::uint64_t v = mesh.version();
+  EXPECT_EQ(mesh.refine(std::vector<std::int32_t>{0}), 0u);
+  EXPECT_EQ(mesh.version(), v);
+}
+
+TEST(MeshRemapTest, RefineRecordsCarriedAndRefined) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  const BlockCoord refined_coord = mesh.block(3);
+  mesh.refine(std::vector<std::int32_t>{3});
+
+  const MeshRemap* r = mesh.remap_to(1);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->from_version, 0u);
+  EXPECT_EQ(r->to_version, 1u);
+  EXPECT_EQ(r->old_size, 8u);
+  ASSERT_EQ(r->src.size(), mesh.size());
+  ASSERT_EQ(r->kind.size(), mesh.size());
+  EXPECT_EQ(r->carried, 7u);  // 8 roots - 1 refined
+
+  std::size_t carried = 0, refined = 0;
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    if (r->kind[b] == RemapKind::kCarried) {
+      ++carried;
+      EXPECT_NE(r->src[b], 3);  // the refined block no longer exists
+    } else {
+      ASSERT_EQ(r->kind[b], RemapKind::kRefined);
+      ++refined;
+      EXPECT_EQ(r->src[b], 3);
+      EXPECT_EQ(mesh.block(b).parent(), refined_coord);
+    }
+  }
+  EXPECT_EQ(carried, 7u);
+  EXPECT_EQ(refined, 8u);
+}
+
+TEST(MeshRemapTest, CoarsenRecordsConsecutiveChildren) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  mesh.refine(std::vector<std::int32_t>{0});
+  // Remember the current leaves so src ids can be checked post-collapse.
+  std::vector<BlockCoord> old_leaves(mesh.blocks().begin(),
+                                     mesh.blocks().end());
+  // Tag all leaves; only the complete level-1 sibling group collapses.
+  mesh.coarsen(all_ids(mesh));
+
+  const MeshRemap* r = mesh.remap_to(2);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->old_size, old_leaves.size());
+  bool saw_coarsened = false;
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    if (r->kind[b] != RemapKind::kCoarsened) continue;
+    saw_coarsened = true;
+    const auto src = static_cast<std::size_t>(r->src[b]);
+    ASSERT_LE(src + 8, old_leaves.size());
+    // The eight collapsed children occupy consecutive old IDs from src.
+    for (std::size_t c = 0; c < 8; ++c)
+      EXPECT_EQ(old_leaves[src + c].parent(), mesh.block(b))
+          << "child " << c;
+  }
+  EXPECT_TRUE(saw_coarsened);
+}
+
+TEST(MeshRemapTest, CarriedSrcPointsAtSameCoordinate) {
+  AmrMesh mesh(RootGrid{3, 2, 2}, false, SfcKind::kHilbert);
+  std::vector<BlockCoord> old_leaves(mesh.blocks().begin(),
+                                     mesh.blocks().end());
+  mesh.refine(std::vector<std::int32_t>{1, 5});
+  const MeshRemap* r = mesh.remap_to(1);
+  ASSERT_NE(r, nullptr);
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    if (r->kind[b] != RemapKind::kCarried) continue;
+    EXPECT_EQ(old_leaves[static_cast<std::size_t>(r->src[b])],
+              mesh.block(b));
+  }
+}
+
+TEST(MeshRemapTest, HistoryIsBoundedAndOldRecordsAgeOut) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  // 40 regrids: alternately refine and fully coarsen block 0's octant.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_GT(mesh.refine(std::vector<std::int32_t>{0}), 0u);
+    std::vector<std::int32_t> tags;
+    for (std::size_t b = 0; b < mesh.size(); ++b)
+      if (mesh.block(b).level > 0)
+        tags.push_back(static_cast<std::int32_t>(b));
+    ASSERT_GT(mesh.coarsen(tags), 0u);
+  }
+  EXPECT_EQ(mesh.version(), 40u);
+  EXPECT_EQ(mesh.remap_to(1), nullptr);   // aged out
+  EXPECT_NE(mesh.remap_to(40), nullptr);  // newest kept
+  EXPECT_NE(mesh.remap_to(9), nullptr);   // 32-deep history
+  EXPECT_EQ(mesh.remap_to(41), nullptr);  // never existed
+}
+
+/// The incremental merge must produce exactly the order a full sort
+/// would, for both curves, across random refine/coarsen sequences —
+/// check_sfc_order recomputes every key from scratch.
+TEST(MeshDeltaOrder, FuzzSequencesMatchFullSort) {
+  for (const SfcKind sfc : {SfcKind::kZOrder, SfcKind::kHilbert}) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      Rng rng(seed);
+      AmrMesh mesh(RootGrid{3, 2, 2}, seed % 2 == 1, sfc);
+      ASSERT_TRUE(mesh.check_sfc_order());
+      for (int op = 0; op < 10; ++op) {
+        std::vector<std::int32_t> tags;
+        for (std::size_t b = 0; b < mesh.size(); ++b)
+          if (rng.chance(0.3)) tags.push_back(static_cast<std::int32_t>(b));
+        if (mesh.size() < 40 || rng.chance(0.5)) {
+          std::erase_if(tags, [&](std::int32_t b) {
+            return mesh.block(static_cast<std::size_t>(b)).level >= 3;
+          });
+          mesh.refine(tags);
+        } else {
+          mesh.coarsen(tags);
+        }
+        ASSERT_TRUE(mesh.check_sfc_order())
+            << to_string(sfc) << " seed " << seed << " op " << op;
+        ASSERT_TRUE(mesh.check_balance());
+        ASSERT_TRUE(mesh.check_coverage());
+      }
+    }
+  }
+}
+
+/// Remap records must compose: walking every record from version 0 and
+/// applying it to a shadow cost vector gives the same result as reading
+/// costs off the final mesh coordinates directly (for carried blocks).
+TEST(MeshRemapTest, RecordsComposeAcrossEpochs) {
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  // Shadow: cost of a block = its original root id, carried along.
+  std::vector<std::int64_t> shadow(mesh.size());
+  std::vector<BlockCoord> origin(mesh.blocks().begin(),
+                                 mesh.blocks().end());
+  for (std::size_t b = 0; b < mesh.size(); ++b)
+    shadow[b] = static_cast<std::int64_t>(b);
+
+  Rng rng(7);
+  std::uint64_t applied = mesh.version();
+  for (int op = 0; op < 6; ++op) {
+    std::vector<std::int32_t> tags;
+    for (std::size_t b = 0; b < mesh.size(); ++b)
+      if (rng.chance(0.35)) tags.push_back(static_cast<std::int32_t>(b));
+    if (op % 2 == 0) {
+      std::erase_if(tags, [&](std::int32_t b) {
+        return mesh.block(static_cast<std::size_t>(b)).level >= 2;
+      });
+      mesh.refine(tags);
+    } else {
+      mesh.coarsen(tags);
+    }
+    while (applied != mesh.version()) {
+      const MeshRemap* r = mesh.remap_to(applied + 1);
+      ASSERT_NE(r, nullptr);
+      ASSERT_EQ(r->old_size, shadow.size());
+      std::vector<std::int64_t> next(r->src.size());
+      for (std::size_t b = 0; b < r->src.size(); ++b) {
+        const auto src = static_cast<std::size_t>(r->src[b]);
+        next[b] = r->kind[b] == RemapKind::kCoarsened ? -1 : shadow[src];
+      }
+      shadow = std::move(next);
+      ++applied;
+    }
+  }
+
+  // Every block that still traces to a root must trace to the root that
+  // contains it geometrically.
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    if (shadow[b] < 0) continue;  // lineage broken by a coarsen; fine
+    BlockCoord c = mesh.block(b);
+    while (c.level > 0) c = c.parent();
+    EXPECT_EQ(origin[static_cast<std::size_t>(shadow[b])], c)
+        << "block " << b;
+  }
+}
+
+}  // namespace
+}  // namespace amr

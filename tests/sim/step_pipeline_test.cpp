@@ -1,0 +1,237 @@
+// The incremental step pipeline's determinism contract: a run with
+// incremental_plans on must be byte-identical — RunReport, telemetry
+// tables, and the event trace — to the same run with it off, across
+// regrids, migrations, fault-inflated costs, and budget fallbacks.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "amr/common/rng.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/sim/simulation.hpp"
+#include "amr/trace/chrome_export.hpp"
+#include "amr/workloads/sedov.hpp"
+
+namespace amr {
+namespace {
+
+SimulationConfig pipeline_config() {
+  SimulationConfig cfg;
+  cfg.nranks = 16;
+  cfg.ranks_per_node = 4;
+  cfg.root_grid = RootGrid{4, 2, 2};
+  cfg.steps = 16;
+  cfg.fabric.remote_jitter = 0;
+  cfg.trace_enabled = true;
+  return cfg;
+}
+
+SedovParams pipeline_sedov() {
+  SedovParams p;
+  p.total_steps = 16;
+  p.max_level = 1;
+  p.base_cost = us(100);
+  return p;
+}
+
+void expect_reports_equal(const RunReport& on, const RunReport& off) {
+  EXPECT_EQ(on.policy, off.policy);
+  // Simulated time must agree to the bit, not approximately.
+  EXPECT_EQ(on.wall_seconds, off.wall_seconds);
+  EXPECT_EQ(on.phases.compute, off.phases.compute);
+  EXPECT_EQ(on.phases.comm, off.phases.comm);
+  EXPECT_EQ(on.phases.sync, off.phases.sync);
+  EXPECT_EQ(on.phases.rebalance, off.phases.rebalance);
+  EXPECT_EQ(on.steps, off.steps);
+  EXPECT_EQ(on.lb_invocations, off.lb_invocations);
+  EXPECT_EQ(on.initial_blocks, off.initial_blocks);
+  EXPECT_EQ(on.final_blocks, off.final_blocks);
+  EXPECT_EQ(on.msgs_local, off.msgs_local);
+  EXPECT_EQ(on.msgs_remote, off.msgs_remote);
+  EXPECT_EQ(on.msgs_intra_rank, off.msgs_intra_rank);
+  EXPECT_EQ(on.bytes_local, off.bytes_local);
+  EXPECT_EQ(on.bytes_remote, off.bytes_remote);
+  EXPECT_EQ(on.blocks_migrated, off.blocks_migrated);
+  EXPECT_EQ(on.budget_violations, off.budget_violations);
+  EXPECT_EQ(on.rank_compute_seconds, off.rank_compute_seconds);
+  // placement_ms is host wall-clock (nondeterministic by design): only
+  // its shape is pinned.
+  EXPECT_EQ(on.placement_ms.size(), off.placement_ms.size());
+  EXPECT_EQ(on.critical_path.windows, off.critical_path.windows);
+  EXPECT_EQ(on.critical_path.one_rank_paths, off.critical_path.one_rank_paths);
+  EXPECT_EQ(on.critical_path.two_rank_paths, off.critical_path.two_rank_paths);
+}
+
+void expect_tables_equal(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_cols(), b.num_cols()) << a.name();
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << a.name();
+  for (std::size_t c = 0; c < a.num_cols(); ++c) {
+    ASSERT_EQ(a.schema()[c].name, b.schema()[c].name);
+    for (std::size_t r = 0; r < a.num_rows(); ++r)
+      ASSERT_EQ(a.value(c, r), b.value(c, r))
+          << a.name() << " col " << a.schema()[c].name << " row " << r;
+  }
+}
+
+/// Run the same configuration with incremental plans on and off and hold
+/// every observable output identical.
+void expect_modes_identical(
+    const SimulationConfig& base, const std::string& policy_name,
+    const std::function<std::unique_ptr<Workload>()>& make_workload) {
+  auto run = [&](bool incremental) {
+    SimulationConfig cfg = base;
+    cfg.incremental_plans = incremental;
+    const auto workload = make_workload();
+    const PolicyPtr policy = make_policy(policy_name);
+    auto sim = std::make_unique<Simulation>(cfg, *workload, *policy);
+    struct Out {
+      RunReport report;
+      std::unique_ptr<Simulation> sim;
+    };
+    return Out{sim->run(), std::move(sim)};
+  };
+  const auto on = run(true);
+  const auto off = run(false);
+
+  expect_reports_equal(on.report, off.report);
+  expect_tables_equal(on.sim->collector().phases(),
+                      off.sim->collector().phases());
+  expect_tables_equal(on.sim->collector().comm(),
+                      off.sim->collector().comm());
+  expect_tables_equal(on.sim->collector().blocks(),
+                      off.sim->collector().blocks());
+  if (base.trace_enabled) {
+    ASSERT_NE(on.sim->tracer(), nullptr);
+    ASSERT_NE(off.sim->tracer(), nullptr);
+    // The rendered trace (task spans, flows, counters — including the
+    // plan-cache counter track, which records mode-independent
+    // predictions) must match byte for byte.
+    EXPECT_EQ(chrome_trace_json(*on.sim->tracer()),
+              chrome_trace_json(*off.sim->tracer()));
+  }
+
+  // The cache's actual behaviour must match the version-pair prediction,
+  // and the reference mode must never have touched the cache.
+  const StepPipelineStats& s_on = on.sim->pipeline_stats();
+  const StepPipelineStats& s_off = off.sim->pipeline_stats();
+  EXPECT_EQ(s_on.plan_hits, s_on.predicted_hits);
+  EXPECT_EQ(s_on.plan_misses, s_on.predicted_misses);
+  EXPECT_EQ(s_off.plan_hits, 0);
+  EXPECT_EQ(s_off.plan_misses, 0);
+  EXPECT_EQ(s_on.predicted_hits, s_off.predicted_hits);
+  EXPECT_EQ(s_on.predicted_misses, s_off.predicted_misses);
+}
+
+std::unique_ptr<Workload> make_sedov() {
+  return std::make_unique<SedovWorkload>(pipeline_sedov());
+}
+
+TEST(StepPipeline, SedovRegridsAreByteIdenticalAcrossModes) {
+  // Sedov regrids as the front moves and cpl50 migrates blocks: both
+  // invalidation sources are exercised.
+  expect_modes_identical(pipeline_config(), "cpl50", make_sedov);
+}
+
+TEST(StepPipeline, CacheHitsDominateBetweenRegrids) {
+  SedovWorkload sedov(pipeline_sedov());
+  const PolicyPtr policy = make_policy("cpl50");
+  SimulationConfig cfg = pipeline_config();
+  cfg.trace_enabled = false;
+  Simulation sim(cfg, sedov, *policy);
+  const RunReport r = sim.run();
+  const StepPipelineStats& s = sim.pipeline_stats();
+  EXPECT_EQ(s.plan_hits + s.plan_misses, r.steps);
+  EXPECT_GT(s.plan_hits, 0);  // sedov's check period leaves steady steps
+  EXPECT_GT(s.plan_misses, 0);  // and it does regrid/migrate
+  EXPECT_EQ(s.plan_hits, s.predicted_hits);
+  EXPECT_EQ(s.plan_misses, s.predicted_misses);
+}
+
+TEST(StepPipeline, FaultInflatedCostsStayIdentical) {
+  // Throttled nodes inflate measured costs, which feed placement and the
+  // patched compute durations — the hit path must carry them exactly.
+  SimulationConfig cfg = pipeline_config();
+  cfg.faults.add_throttle({.nodes = {1}, .factor = 4.0});
+  expect_modes_identical(cfg, "cpl50", make_sedov);
+}
+
+TEST(StepPipeline, BudgetFallbackStaysIdentical) {
+  // A negative budget deterministically rejects every placement; both
+  // modes must take the baseline fallback and agree byte-for-byte.
+  SimulationConfig cfg = pipeline_config();
+  cfg.placement_budget_ms = -1.0;
+  cfg.enforce_placement_budget = true;
+  expect_modes_identical(cfg, "cpl50", make_sedov);
+}
+
+TEST(StepPipeline, OverlapExecutionStaysIdentical) {
+  SimulationConfig cfg = pipeline_config();
+  cfg.execution = ExecutionMode::kOverlap;
+  cfg.include_flux_correction = false;  // overlap builder has no flux
+  expect_modes_identical(cfg, "cpl50", make_sedov);
+}
+
+TEST(StepPipeline, UniformCostModeStaysIdentical) {
+  SimulationConfig cfg = pipeline_config();
+  cfg.telemetry_driven_costs = false;
+  expect_modes_identical(cfg, "lpt", make_sedov);
+}
+
+/// Random refine/coarsen every step — the adversarial case for delta
+/// renumbering and telemetry carry: block IDs shuffle constantly and
+/// coarsening merges cost history.
+class FuzzRegridWorkload final : public Workload {
+ public:
+  explicit FuzzRegridWorkload(std::uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "fuzz-regrid"; }
+
+  bool evolve(AmrMesh& mesh, std::int64_t step) override {
+    if (step % 2 != 0) return false;  // leave hit-path steps in between
+    std::vector<std::int32_t> tags;
+    for (std::size_t b = 0; b < mesh.size(); ++b)
+      if (rng_.chance(0.25)) tags.push_back(static_cast<std::int32_t>(b));
+    std::uint64_t changed = 0;
+    if (mesh.size() < 96 && rng_.chance(0.7)) {
+      std::erase_if(tags, [&](std::int32_t b) {
+        return mesh.block(static_cast<std::size_t>(b)).level >= 2;
+      });
+      changed = mesh.refine(tags);
+    } else {
+      changed = mesh.coarsen(tags);
+    }
+    return changed > 0;
+  }
+
+  TimeNs block_cost(const AmrMesh& mesh, std::size_t block,
+                    std::int64_t step) const override {
+    // Deterministic in (coordinates, step): survives renumbering.
+    const BlockCoord c = mesh.block(block);
+    const std::uint64_t packed = (static_cast<std::uint64_t>(c.level) << 57) |
+                                 (static_cast<std::uint64_t>(c.x) << 38) |
+                                 (static_cast<std::uint64_t>(c.y) << 19) |
+                                 static_cast<std::uint64_t>(c.z);
+    const std::uint64_t h =
+        hash64(packed ^ hash64(static_cast<std::uint64_t>(step)));
+    return us(50) + static_cast<TimeNs>(h % us(100));
+  }
+
+ private:
+  Rng rng_;
+};
+
+TEST(StepPipeline, FuzzRegridSequencesMatchFromScratchPipeline) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SimulationConfig cfg = pipeline_config();
+    cfg.steps = 20;
+    cfg.trace_enabled = seed == 1;  // trace diff once; reports every seed
+    expect_modes_identical(cfg, "cpl25", [seed] {
+      return std::make_unique<FuzzRegridWorkload>(seed);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,20 @@
+# Asserts the incremental step pipeline's determinism contract
+# end-to-end: sedov_sim must produce byte-identical stdout with the plan
+# cache + delta renumbering on (default) and off (--no-incremental).
+# Invoked from bench/CMakeLists.txt as a ctest entry; -DSEDOV names the
+# sedov_sim binary.
+execute_process(COMMAND "${SEDOV}" cpl50,lpt,baseline 32 24
+                OUTPUT_VARIABLE out_on RESULT_VARIABLE rc_on)
+execute_process(COMMAND "${SEDOV}" cpl50,lpt,baseline 32 24 --no-incremental
+                OUTPUT_VARIABLE out_off RESULT_VARIABLE rc_off)
+if(NOT rc_on EQUAL 0)
+  message(FATAL_ERROR "incremental run failed (exit ${rc_on})")
+endif()
+if(NOT rc_off EQUAL 0)
+  message(FATAL_ERROR "--no-incremental run failed (exit ${rc_off})")
+endif()
+if(NOT out_on STREQUAL out_off)
+  message(FATAL_ERROR "stdout differs between incremental and "
+                      "--no-incremental runs: the step-pipeline "
+                      "determinism contract is broken")
+endif()
