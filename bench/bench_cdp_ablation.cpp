@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
   const auto trials = static_cast<std::int32_t>(
       flags.get_int("trials", flags.quick() ? 2 : 5));
   const bool timing = flags.has("timing");
+  const int jobs = flags.jobs();
+  const std::string json = flags.json_path();
+  flags.done();
 
   // Bounded-variability costs, as in scalebench: unbounded tails pin the
   // makespan to one block and hide the differences being measured.
@@ -55,7 +58,7 @@ int main(int argc, char** argv) {
   const std::vector<std::pair<std::size_t, std::int32_t>> chunk_cases{
       {6144, 4096}, {24576, 16384}};
 
-  Sweep variants(flags.jobs());
+  Sweep variants(jobs);
   for (const auto& [blocks, ranks] : variant_cases) {
     variants.add("cdp-variants/" + std::to_string(blocks),
                  [=, &cost_params] {
@@ -95,7 +98,7 @@ int main(int argc, char** argv) {
     });
   }
 
-  Sweep chunking(flags.jobs());
+  Sweep chunking(jobs);
   for (const auto& [blocks, ranks] : chunk_cases) {
     chunking.add("cdp-chunking/" + std::to_string(blocks), [=] {
       const CdpPolicy restricted(CdpMode::kRestricted);
@@ -156,9 +159,9 @@ int main(int argc, char** argv) {
   std::printf("\n(makespan/cdp = 0 where the unchunked reference exceeds "
               "the DP state cap; paper: chunking has minimal quality "
               "impact since CDP output is only CPLX's starting point)\n");
-  if (!flags.json_path().empty()) {
-    variants.write_json(flags.json_path(), "cdp_ablation/variants");
-    chunking.write_json(flags.json_path(), "cdp_ablation/chunking");
+  if (!json.empty()) {
+    variants.write_json(json, "cdp_ablation/variants");
+    chunking.write_json(json, "cdp_ablation/chunking");
   }
   return 0;
 }

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
       flags.get_int("rounds", flags.quick() ? 10 : 30));
   const auto meshes = static_cast<std::int32_t>(
       flags.get_int("meshes", flags.quick() ? 2 : 3));
+  flags.done();
 
   std::vector<std::int64_t> scales;
   for (std::int64_t r = 512; r <= max_ranks; r *= 2) scales.push_back(r);

@@ -26,14 +26,10 @@ int main(int argc, char** argv) {
   const auto ranks = static_cast<std::int32_t>(
       flags.get_int("ranks", flags.quick() ? 64 : 128));
   const std::int64_t steps = flags.get_int("steps", flags.quick() ? 20 : 50);
+  flags.done();
 
   auto run = [&](Workload& workload, const std::string& policy_name) {
-    SimulationConfig cfg;
-    cfg.nranks = ranks;
-    cfg.ranks_per_node = 16;
-    cfg.root_grid = grid_for_ranks(ranks);
-    cfg.steps = steps;
-    cfg.collect_telemetry = false;
+    SimulationConfig cfg = base_sim_config(ranks, steps);
     // Measured-cost placements are adopted when imbalance warrants it —
     // the trigger a production deployment would pair with CPLX, and the
     // reason a flat workload never pays the locality cost.

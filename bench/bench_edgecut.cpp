@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   const auto ranks = static_cast<std::int32_t>(
       flags.get_int("ranks", flags.quick() ? 64 : 128));
   const std::int64_t steps = flags.get_int("steps", flags.quick() ? 15 : 40);
+  flags.done();
 
   // A frozen mid-run Sedov mesh + measured-style costs.
   AmrMesh mesh(grid_for_ranks(ranks));

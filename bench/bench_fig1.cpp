@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
       static_cast<std::int32_t>(flags.get_int("ranks", flags.quick() ? 32 : 128));
   const auto rounds =
       static_cast<std::int32_t>(flags.get_int("rounds", flags.quick() ? 20 : 60));
+  flags.done();
 
   AmrMesh mesh(grid_for_ranks(ranks));
   Rng mesh_rng(11);

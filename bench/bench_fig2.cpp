@@ -22,14 +22,10 @@ int main(int argc, char** argv) {
   const std::int64_t steps = flags.get_int("steps", flags.quick() ? 20 : 50);
   const auto bad_nodes = static_cast<std::int32_t>(
       flags.get_int("bad-nodes", std::max(1, ranks / 16 / 8)));
+  flags.done();
 
   auto run = [&](bool throttled, std::vector<double>* rank_compute) {
-    SimulationConfig cfg;
-    cfg.nranks = ranks;
-    cfg.ranks_per_node = 16;
-    cfg.root_grid = grid_for_ranks(ranks);
-    cfg.steps = steps;
-    cfg.collect_telemetry = false;
+    SimulationConfig cfg = base_sim_config(ranks, steps);
     if (throttled) {
       Rng rng(99);
       cfg.faults.add_throttle(

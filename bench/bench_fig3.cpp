@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
       flags.get_int("ranks", flags.quick() ? 32 : 128));
   const auto rounds = static_cast<std::int32_t>(
       flags.get_int("rounds", flags.quick() ? 15 : 50));
+  flags.done();
 
   AmrMesh mesh(grid_for_ranks(ranks));
   Rng mesh_rng(13);

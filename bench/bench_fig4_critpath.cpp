@@ -22,15 +22,11 @@ int main(int argc, char** argv) {
   const auto ranks = static_cast<std::int32_t>(
       flags.get_int("ranks", flags.quick() ? 32 : 128));
   const std::int64_t steps = flags.get_int("steps", flags.quick() ? 20 : 60);
+  flags.done();
 
   auto run = [&](TaskOrdering ordering, double front_boost) {
-    SimulationConfig cfg;
-    cfg.nranks = ranks;
-    cfg.ranks_per_node = 16;
-    cfg.root_grid = grid_for_ranks(ranks);
-    cfg.steps = steps;
+    SimulationConfig cfg = base_sim_config(ranks, steps);
     cfg.ordering = ordering;
-    cfg.collect_telemetry = false;
     SedovParams sp;
     sp.total_steps = steps;
     sp.front_boost = front_boost;

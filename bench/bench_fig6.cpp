@@ -32,6 +32,9 @@ int main(int argc, char** argv) {
   const std::int64_t steps = flags.get_int("steps", flags.quick() ? 30 : 80);
   const std::int64_t max_ranks =
       flags.get_int("max-ranks", flags.quick() ? 512 : 4096);
+  const int jobs = flags.jobs();
+  const std::string json = flags.json_path();
+  flags.done();
 
   std::vector<std::int64_t> scales;
   for (std::int64_t r = 512; r <= max_ranks; r *= 2) scales.push_back(r);
@@ -42,19 +45,14 @@ int main(int argc, char** argv) {
   // the pool never contends and the gathered reports are
   // schedule-independent.
   std::vector<RunReport> runs(scales.size() * policies.size());
-  Sweep sweep(flags.jobs());
+  Sweep sweep(jobs);
   for (std::size_t si = 0; si < scales.size(); ++si) {
     for (std::size_t pi = 0; pi < policies.size(); ++pi) {
       const std::int64_t ranks = scales[si];
       const std::string name = policies[pi];
       RunReport* slot = &runs[si * policies.size() + pi];
       sweep.add("sedov/" + std::to_string(ranks) + "/" + name, [=] {
-        SimulationConfig cfg;
-        cfg.nranks = static_cast<std::int32_t>(ranks);
-        cfg.ranks_per_node = 16;
-        cfg.root_grid = grid_for_ranks(ranks);
-        cfg.steps = steps;
-        cfg.collect_telemetry = false;
+        SimulationConfig cfg = base_sim_config(ranks, steps);
         SedovParams sp;
         sp.total_steps = steps;
         SedovWorkload sedov(sp);
@@ -142,7 +140,6 @@ int main(int argc, char** argv) {
               "U-shaped in X; compute flat; comm up / sync down with X; "
               "remote share grows with X and is already a majority for "
               "baseline at 4096 ranks (paper: 64%%).\n");
-  if (!flags.json_path().empty())
-    sweep.write_json(flags.json_path(), "fig6");
+  if (!json.empty()) sweep.write_json(json, "fig6");
   return 0;
 }

@@ -25,12 +25,15 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto trials = static_cast<std::int32_t>(
       flags.get_int("trials", flags.quick() ? 50 : 200));
+  const int jobs = flags.jobs();
+  const std::string json = flags.json_path();
+  flags.done();
 
   const std::vector<CostDistribution> dists{CostDistribution::kExponential,
                                             CostDistribution::kGaussian,
                                             CostDistribution::kPowerLaw};
 
-  Sweep sweep(flags.jobs());
+  Sweep sweep(jobs);
   for (const auto dist : dists) {
     sweep.add(std::string("lpt-vs-exact/") + to_string(dist), [=] {
       const LptPolicy lpt;
@@ -78,7 +81,6 @@ int main(int argc, char** argv) {
       "practice indistinguishable from an ILP solver given 200 s.\n"
       "'exact-wins' = instances where the optimum strictly beat LPT;\n"
       "even there the margin (mean/max ratio) is a few percent.\n");
-  if (!flags.json_path().empty())
-    sweep.write_json(flags.json_path(), "lpt_quality");
+  if (!json.empty()) sweep.write_json(json, "lpt_quality");
   return 0;
 }

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
       flags.get_int("ranks", flags.quick() ? 32 : 64));
   const auto rounds = static_cast<std::int32_t>(
       flags.get_int("rounds", flags.quick() ? 10 : 30));
+  flags.done();
 
   // Mesh with ~4 blocks per rank.
   AmrMesh mesh(grid_for_ranks(ranks));

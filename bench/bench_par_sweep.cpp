@@ -133,6 +133,8 @@ int main(int argc, char** argv) {
   const auto ranks = static_cast<std::int32_t>(
       flags.get_int("ranks", flags.quick() ? 512 : 2048));
   const int jobs = flags.jobs();
+  const std::string json = flags.json_path();
+  flags.done();
 
   print_header("sweep scaling: CPLX placement trials, serial vs pool");
   const SweepRun serial = run_batch(1, tasks, ranks);
@@ -158,10 +160,8 @@ int main(int argc, char** argv) {
   std::printf("  4096 ranks  %8.3f ms\n", ms4k);
   if (!flags.quick()) std::printf("  65536 ranks %8.3f ms\n", ms64k);
 
-  if (!flags.json_path().empty()) {
-    std::FILE* f = flags.json_path() == "-"
-                       ? stdout
-                       : std::fopen(flags.json_path().c_str(), "a");
+  if (!json.empty()) {
+    std::FILE* f = json == "-" ? stdout : std::fopen(json.c_str(), "a");
     if (f != nullptr) {
       std::fprintf(
           f,

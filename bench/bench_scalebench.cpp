@@ -33,6 +33,10 @@ int main(int argc, char** argv) {
       flags.get_int("max-ranks", flags.quick() ? 8192 : 131072);
   const auto trials = static_cast<std::int32_t>(
       flags.get_int("trials", flags.quick() ? 2 : 3));
+  const int jobs = flags.jobs();
+  const bool with_timing = flags.has("timing");
+  const std::string json = flags.json_path();
+  flags.done();
 
   std::vector<std::int64_t> scales;
   for (std::int64_t r = 512; r <= max_ranks; r *= 4) scales.push_back(r);
@@ -53,7 +57,7 @@ int main(int argc, char** argv) {
   // Fig 7b: one task per (distribution, scale, policy) cell; each owns
   // its trial loop and derives its seeds from (ranks, trial, dist) alone
   // so the result is independent of scheduling.
-  Sweep quality(flags.jobs());
+  Sweep quality(jobs);
   for (const auto dist : dists) {
     for (const std::int64_t ranks : scales) {
       for (const auto& name : policies) {
@@ -105,8 +109,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  if (flags.has("timing")) {
-    Sweep timing(flags.jobs());
+  if (with_timing) {
+    Sweep timing(jobs);
     for (const std::int64_t ranks : scales) {
       for (const auto& name : policies) {
         std::string label =
@@ -149,8 +153,7 @@ int main(int argc, char** argv) {
         std::printf("%s", timing.results()[cell++].output.c_str());
       std::printf("\n");
     }
-    if (!flags.json_path().empty())
-      timing.write_json(flags.json_path(), "scalebench/fig7c");
+    if (!json.empty()) timing.write_json(json, "scalebench/fig7c");
   } else {
     std::printf("(pass --timing for the Fig 7c placement wall-clock "
                 "table; omitted by default so stdout is byte-stable "
@@ -161,7 +164,6 @@ int main(int argc, char** argv) {
               "captures most of the gain; placement compute stays ~10 ms "
               "to 16K ranks and ~100 ms at 128K (50 ms budget: chunk or "
               "zone beyond 64K).\n");
-  if (!flags.json_path().empty())
-    quality.write_json(flags.json_path(), "scalebench/fig7b");
+  if (!json.empty()) quality.write_json(json, "scalebench/fig7b");
   return 0;
 }

@@ -30,8 +30,12 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto ranks = static_cast<std::int32_t>(
       flags.get_int("ranks", flags.quick() ? 128 : 512));
+  const int jobs = flags.jobs();
+  const bool with_timing = flags.has("timing");
+  const std::string json = flags.json_path();
+  flags.done();
 
-  Sweep sweep(flags.jobs());
+  Sweep sweep(jobs);
   for (const char* mesh_kind : {"uniform", "refined"}) {
     for (const SfcKind kind : {SfcKind::kZOrder, SfcKind::kHilbert}) {
       sweep.add(std::string("sfc/") + mesh_kind + "/" + to_string(kind),
@@ -81,7 +85,7 @@ int main(int argc, char** argv) {
   print_rule();
   sweep.print();
 
-  if (flags.has("timing")) {
+  if (with_timing) {
     // Indexing cost: Hilbert pays per-key bit iteration; Z-order is a
     // few bit-parallel ops.
     print_header("indexing cost (1M keys, 18-bit coordinates)");
@@ -93,10 +97,11 @@ int main(int argc, char** argv) {
            static_cast<std::uint32_t>(rng.uniform_int(1u << 18))};
     volatile std::uint64_t sink = 0;
     auto t0 = std::chrono::steady_clock::now();
-    for (const auto& c : coords) sink ^= morton3_encode(c[0], c[1], c[2]);
+    for (const auto& c : coords)
+      sink = sink ^ morton3_encode(c[0], c[1], c[2]);
     auto t1 = std::chrono::steady_clock::now();
     for (const auto& c : coords)
-      sink ^= hilbert3_encode(c[0], c[1], c[2], 18);
+      sink = sink ^ hilbert3_encode(c[0], c[1], c[2], 18);
     auto t2 = std::chrono::steady_clock::now();
     const double morton_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -116,7 +121,6 @@ int main(int argc, char** argv) {
       "intrinsic to 1-D reduction -- the paper's observation that "
       "baseline placement is already majority-remote at scale holds for "
       "both curves.\n");
-  if (!flags.json_path().empty())
-    sweep.write_json(flags.json_path(), "sfc_ablation");
+  if (!json.empty()) sweep.write_json(json, "sfc_ablation");
   return 0;
 }

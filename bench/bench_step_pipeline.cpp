@@ -52,11 +52,7 @@ ModeResult run_sedov(std::int32_t ranks, std::int64_t steps,
                      bool incremental, int trials) {
   ModeResult r;
   for (int t = 0; t < trials; ++t) {
-    SimulationConfig cfg;
-    cfg.nranks = ranks;
-    cfg.ranks_per_node = 16;
-    cfg.root_grid = grid_for_ranks(ranks);
-    cfg.steps = steps;
+    SimulationConfig cfg = base_sim_config(ranks, steps);
     cfg.incremental_plans = incremental;
     SedovParams sp;
     sp.total_steps = steps;
@@ -187,6 +183,8 @@ int main(int argc, char** argv) {
   const std::int64_t steps = flags.get_int("steps", flags.quick() ? 12 : 40);
   const int trials =
       static_cast<int>(flags.get_int("trials", flags.quick() ? 1 : 3));
+  const std::string json = flags.json_path();
+  flags.done();
 
   print_header("sedov steps/sec: incremental pipeline off vs on");
   std::vector<ScaleRow> rows;
@@ -227,10 +225,8 @@ int main(int argc, char** argv) {
   std::printf("%zu events: %.2f M events/s (warmup %.2f)\n", events, rate,
               warm);
 
-  if (!flags.json_path().empty()) {
-    std::FILE* f = flags.json_path() == "-"
-                       ? stdout
-                       : std::fopen(flags.json_path().c_str(), "a");
+  if (!json.empty()) {
+    std::FILE* f = json == "-" ? stdout : std::fopen(json.c_str(), "a");
     if (f != nullptr) {
       std::fprintf(f,
                    "{\"bench\":\"step_pipeline\",\"steps\":%lld,"

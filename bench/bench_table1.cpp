@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   using namespace amr::bench;
   const Flags flags(argc, argv);
   const std::int64_t steps = flags.get_int("steps", flags.quick() ? 40 : 100);
+  flags.done();
 
   print_header("Table I: Sedov Blast Wave 3D problem configurations");
   std::printf("%6s %-10s | %8s %8s %8s %8s | %8s %8s %8s %8s\n", "ranks",
@@ -52,12 +53,7 @@ int main(int argc, char** argv) {
   for (const PaperRow& row : kPaper) {
     const std::int64_t ranks = flags.quick() ? row.ranks / 8 : row.ranks;
 
-    SimulationConfig cfg;
-    cfg.nranks = static_cast<std::int32_t>(ranks);
-    cfg.ranks_per_node = 16;
-    cfg.root_grid = grid_for_ranks(ranks);
-    cfg.steps = steps;
-    cfg.collect_telemetry = false;
+    SimulationConfig cfg = base_sim_config(ranks, steps);
 
     SedovParams sp;
     sp.total_steps = steps;

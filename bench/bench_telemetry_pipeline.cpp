@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
       flags.get_int("ranks", flags.quick() ? 128 : 512));
   const auto steps = static_cast<std::int64_t>(
       flags.get_int("steps", flags.quick() ? 50 : 200));
+  flags.done();
 
   // Synthesize a phases table of realistic shape and magnitude.
   Collector collector;

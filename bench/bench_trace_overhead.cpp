@@ -30,6 +30,7 @@
 #include "amr/trace/chrome_export.hpp"
 #include "amr/trace/trace_tables.hpp"
 #include "amr/workloads/sedov.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
@@ -40,11 +41,10 @@ constexpr std::int64_t kSteps = 30;
 constexpr int kReps = 5;
 
 SimulationConfig base_config() {
-  SimulationConfig cfg;
-  cfg.nranks = kRanks;
-  cfg.ranks_per_node = 16;
-  cfg.root_grid = RootGrid{4, 4, 4};
-  cfg.steps = kSteps;
+  SimulationConfig cfg = bench::base_sim_config(kRanks, kSteps);
+  // Overhead is measured with the telemetry path active, as in a run
+  // that actually consumes what tracing records.
+  cfg.collect_telemetry = true;
   return cfg;
 }
 

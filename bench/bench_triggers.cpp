@@ -24,14 +24,10 @@ int main(int argc, char** argv) {
   const auto ranks = static_cast<std::int32_t>(
       flags.get_int("ranks", flags.quick() ? 64 : 128));
   const std::int64_t steps = flags.get_int("steps", flags.quick() ? 25 : 60);
+  flags.done();
 
   auto run = [&](const RebalanceTrigger& trigger) {
-    SimulationConfig cfg;
-    cfg.nranks = ranks;
-    cfg.ranks_per_node = 16;
-    cfg.root_grid = grid_for_ranks(ranks);
-    cfg.steps = steps;
-    cfg.collect_telemetry = false;
+    SimulationConfig cfg = base_sim_config(ranks, steps);
     cfg.trigger = trigger;
     CoolingParams cp;
     cp.max_level = 1;

@@ -17,13 +17,21 @@
 
 #include "amr/mesh/coords.hpp"
 #include "amr/par/thread_pool.hpp"
+#include "amr/sim/simulation.hpp"
 
 namespace amr::bench {
 
-/// --flag=value parser. Unrecognized flags and malformed values abort
-/// with a usage message: a typo'd --trials=1O silently parsing as 1
-/// (the old std::atoll behaviour) corrupts a day of sweep data; failing
-/// fast costs nothing.
+/// --flag=value parser with self-registering help. Malformed values
+/// abort with a usage message: a typo'd --trials=1O silently parsing as
+/// 1 (the old std::atoll behaviour) corrupts a day of sweep data;
+/// failing fast costs nothing.
+///
+/// Every getter registers its flag (name + default) as a side effect, so
+/// after the main has read all its flags a single done() call can (a)
+/// answer --help with the full flag list and defaults, and (b) reject
+/// unrecognized --flags by listing the known ones — no per-binary usage
+/// text to keep in sync. Arguments not starting with "--" are positional
+/// and ignored by the validation.
 class Flags {
  public:
   Flags(int argc, char** argv) {
@@ -32,10 +40,12 @@ class Flags {
   }
 
   bool has(const std::string& name) const {
+    note(name, "", true);
     return find(name) != nullptr || flag_set(name);
   }
 
   std::int64_t get_int(const std::string& name, std::int64_t def) const {
+    note(name, std::to_string(def), false);
     const char* v = find(name);
     if (v == nullptr) return def;
     std::int64_t out = 0;
@@ -47,6 +57,9 @@ class Flags {
   }
 
   double get_double(const std::string& name, double def) const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", def);
+    note(name, buf, false);
     const char* v = find(name);
     if (v == nullptr) return def;
     // strtod rather than from_chars<double>: libstdc++'s FP from_chars
@@ -62,13 +75,17 @@ class Flags {
 
   std::string get_str(const std::string& name,
                       const std::string& def) const {
+    note(name, def.empty() ? "\"\"" : def, false);
     const char* v = find(name);
     return v != nullptr ? std::string(v) : def;
   }
 
   /// True if --quick was passed: benches shrink scales/steps for smoke
   /// runs while preserving orderings.
-  bool quick() const { return flag_set("quick"); }
+  bool quick() const {
+    note("quick", "", true);
+    return flag_set("quick");
+  }
 
   /// Sweep parallelism from --jobs=N. Default 1 (serial); 0 means "one
   /// worker per hardware thread". Output is byte-identical across jobs
@@ -84,7 +101,58 @@ class Flags {
   /// (appended; "-" for stdout). Empty when absent.
   std::string json_path() const { return get_str("json", ""); }
 
+  /// Arguments not starting with "--", in command-line order.
+  std::vector<std::string> positionals() const {
+    std::vector<std::string> out;
+    for (const auto& a : args_)
+      if (a.rfind("--", 0) != 0) out.push_back(a);
+    return out;
+  }
+
+  /// Call once after all flags have been read. --help prints every
+  /// registered flag with its default and exits 0; an unrecognized
+  /// --flag aborts listing the known ones.
+  void done() const {
+    if (flag_set("help")) {
+      std::printf("usage: %s [flags]\nflags:\n", prog_.c_str());
+      for (const auto& r : registered_) {
+        if (r.is_switch)
+          std::printf("  --%s\n", r.name.c_str());
+        else
+          std::printf("  --%s=<value>  (default %s)\n", r.name.c_str(),
+                      r.def.c_str());
+      }
+      std::exit(0);
+    }
+    for (const auto& a : args_) {
+      if (a.rfind("--", 0) != 0) continue;  // positional argument
+      const std::string name = a.substr(2, a.find('=') - 2);
+      if (name == "help" || known(name)) continue;
+      std::fprintf(stderr, "%s: unrecognized flag --%s; known flags:\n",
+                   prog_.c_str(), name.c_str());
+      for (const auto& r : registered_)
+        std::fprintf(stderr, "  --%s\n", r.name.c_str());
+      std::exit(2);
+    }
+  }
+
  private:
+  struct Registered {
+    std::string name;
+    std::string def;  ///< rendered default (empty for switches)
+    bool is_switch;
+  };
+
+  bool known(const std::string& name) const {
+    for (const auto& r : registered_)
+      if (r.name == name) return true;
+    return false;
+  }
+  void note(const std::string& name, std::string def,
+            bool is_switch) const {
+    if (!known(name))
+      registered_.push_back({name, std::move(def), is_switch});
+  }
   const char* find(const std::string& name) const {
     const std::string prefix = "--" + name + "=";
     for (const auto& a : args_)
@@ -105,6 +173,8 @@ class Flags {
   }
   std::string prog_;
   std::vector<std::string> args_;
+  /// Flags seen by the getters, in first-read order (for done()).
+  mutable std::vector<Registered> registered_;
 };
 
 /// Paper Table I mesh sizes: 512 -> 128^3 cells = 8^3 root blocks of
@@ -120,6 +190,21 @@ inline RootGrid grid_for_ranks(std::int64_t ranks) {
     axis = (axis + 2) % 3;
   }
   return RootGrid{nx, ny, nz};
+}
+
+/// Canonical run configuration shared by the figure benches and the
+/// CLIs: the paper cluster shape (16 ranks/node), the Table I root grid
+/// for `ranks`, and per-(step,rank) telemetry off (harnesses that want
+/// the collector turn it back on).
+inline SimulationConfig base_sim_config(std::int64_t ranks,
+                                        std::int64_t steps) {
+  SimulationConfig cfg;
+  cfg.nranks = static_cast<std::int32_t>(ranks);
+  cfg.ranks_per_node = 16;
+  cfg.root_grid = grid_for_ranks(ranks);
+  cfg.steps = steps;
+  cfg.collect_telemetry = false;
+  return cfg;
 }
 
 /// printf into a growing string: sweep tasks build their report text

@@ -27,10 +27,19 @@
 #include "amr/trace/chrome_export.hpp"
 #include "amr/workloads/cooling.hpp"
 #include "amr/workloads/sedov.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
 using namespace amr;
+using bench::grid_for_ranks;
+
+bool has_flag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 2; i < argc; ++i)
+    if (flag == argv[i]) return true;
+  return false;
+}
 
 const char* arg_value(int argc, char** argv, const char* name,
                       const char* def) {
@@ -65,16 +74,6 @@ int arg_jobs(int argc, char** argv) {
     std::exit(2);
   }
   return j == 0 ? ThreadPool::hardware_jobs() : static_cast<int>(j);
-}
-
-RootGrid grid_for(std::int64_t ranks) {
-  std::uint32_t d[3] = {1, 1, 1};
-  int axis = 2;
-  for (std::int64_t r = ranks; r > 1; r /= 2) {
-    d[axis] *= 2;
-    axis = (axis + 2) % 3;
-  }
-  return RootGrid{d[0], d[1], d[2]};
 }
 
 std::unique_ptr<Workload> make_workload(const std::string& name,
@@ -130,6 +129,19 @@ void print_report(const RunReport& r) {
 }
 
 int cmd_run(int argc, char** argv) {
+  if (has_flag(argc, argv, "help")) {
+    std::printf(
+        "usage: amrcplx run [--flag=value]\n"
+        "  --workload=sedov|cooling (default sedov)\n"
+        "  --policy=NAME            (default cpl50)\n"
+        "  --ranks=N                (default 64)\n"
+        "  --steps=N                (default 40)\n"
+        "  --execution=bsp|overlap  (default bsp)\n"
+        "  --trace-out=FILE.json [--trace-capacity=N]\n"
+        "  --checkpoint-every=K --checkpoint-dir=D\n"
+        "  --restore=FILE | --replay=FILE\n");
+    return 0;
+  }
   const std::int64_t ranks = arg_int(argc, argv, "ranks", 64);
   const std::int64_t steps = arg_int(argc, argv, "steps", 40);
   const std::string policy_name = arg_value(argc, argv, "policy", "cpl50");
@@ -139,12 +151,22 @@ int cmd_run(int argc, char** argv) {
   const std::string trace_out = arg_value(argc, argv, "trace-out", "");
   const std::int64_t trace_capacity =
       arg_int(argc, argv, "trace-capacity", 0);
+  const std::string restore = arg_value(argc, argv, "restore", "");
+  const std::string replay = arg_value(argc, argv, "replay", "");
+  if (!restore.empty() && !replay.empty()) {
+    std::fprintf(stderr,
+                 "amrcplx: --restore and --replay are mutually exclusive\n");
+    return 2;
+  }
+  const std::string snapshot = !restore.empty() ? restore : replay;
 
   SimulationConfig cfg;
   cfg.nranks = static_cast<std::int32_t>(ranks);
   cfg.ranks_per_node = 16;
-  cfg.root_grid = grid_for(ranks);
+  cfg.root_grid = grid_for_ranks(ranks);
   cfg.steps = steps;
+  cfg.checkpoint_every = arg_int(argc, argv, "checkpoint-every", 0);
+  cfg.checkpoint_dir = arg_value(argc, argv, "checkpoint-dir", ".");
   cfg.execution =
       execution == "overlap" ? ExecutionMode::kOverlap : ExecutionMode::kBsp;
   cfg.include_flux_correction = cfg.execution == ExecutionMode::kBsp;
@@ -164,6 +186,21 @@ int cmd_run(int argc, char** argv) {
     return 1;
   }
   Simulation sim(cfg, *workload, *policy);
+  if (!snapshot.empty()) {
+    // Restore diagnostics go to stderr so a restored run's stdout stays
+    // byte-identical to the uninterrupted run's.
+    try {
+      sim.restore_checkpoint(snapshot);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "amrcplx: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "amrcplx: %s %s at step %lld (policy=%s)\n",
+                 replay.empty() ? "restored" : "replaying",
+                 snapshot.c_str(),
+                 static_cast<long long>(sim.current_step()),
+                 policy->name().c_str());
+  }
   print_report(sim.run());
   if (!trace_out.empty()) {
     const Tracer& tracer = *sim.tracer();
@@ -191,7 +228,7 @@ int cmd_sweep(int argc, char** argv) {
       SimulationConfig cfg;
       cfg.nranks = static_cast<std::int32_t>(ranks);
       cfg.ranks_per_node = 16;
-      cfg.root_grid = grid_for(ranks);
+      cfg.root_grid = grid_for_ranks(ranks);
       cfg.steps = steps;
       cfg.collect_telemetry = false;
       SedovParams sp;
@@ -215,7 +252,7 @@ int cmd_mesh(int argc, char** argv) {
   const SfcKind sfc =
       sfc_name == "hilbert" ? SfcKind::kHilbert : SfcKind::kZOrder;
 
-  AmrMesh mesh(grid_for(ranks), false, sfc);
+  AmrMesh mesh(grid_for_ranks(ranks), false, sfc);
   Rng rng(7);
   grow_to_block_count(mesh, rng, static_cast<std::size_t>(2 * ranks), 2);
   const ClusterTopology topo(static_cast<std::int32_t>(ranks), 16);
@@ -256,6 +293,8 @@ int main(int argc, char** argv) {
                "--ranks=N --steps=N --execution=bsp|overlap\n"
                "         --trace-out=FILE.json [--trace-capacity=N] "
                "(Perfetto / chrome://tracing)\n"
+               "         --checkpoint-every=K --checkpoint-dir=D "
+               "--restore=FILE | --replay=FILE (see run --help)\n"
                "  sweep  --ranks=N --steps=N --jobs=N [--json=FILE]\n"
                "  mesh   --ranks=N --sfc=z-order|hilbert\n");
   return cmd.empty() ? 1 : 2;

@@ -6,73 +6,59 @@
 // runs every step on the discrete-event cluster. Prints a per-phase
 // runtime breakdown and redistribution statistics.
 //
-// Usage: ./sedov_sim [policy[,policy...]] [ranks] [steps]
-//                    [--jobs=N] [--timing] [--trace-out=FILE.json]
-//                    [--no-incremental]
+// Usage: ./sedov_sim [policy[,policy...]] [ranks] [steps] [--flags]
 //   policy  baseline | cpl0 | cpl25 | cpl50 | cpl75 | cpl100 | lpt | cdp
 //           a comma-separated list runs each policy (in parallel with
 //           --jobs>1; reports print in list order regardless)
 //   ranks   simulated MPI ranks (default 64; 16 per node)
 //   steps   timesteps (default 60)
 //   --timing    adds host-measured placement wall-clock (nondeterministic)
-//   --trace-out writes an event-level Perfetto/chrome://tracing trace
-//               (single-policy runs only)
+//   --trace-out=FILE writes an event-level Perfetto/chrome://tracing
+//               trace (single-policy runs only)
 //   --no-incremental  rebuild exchange plans from scratch every step
 //               (reference path; output must be byte-identical — ctest
 //               step_pipeline_determinism diffs the two modes)
+//   --faults=N  throttle N nodes (x4 compute) for the middle half of the
+//               run; victims are picked deterministically from the seed
+//   --checkpoint-every=K  write ckpt_<step>.amrs every K steps into
+//   --checkpoint-dir=D    (default ".")
+//   --restore=FILE  resume from a snapshot and continue to `steps`;
+//               stdout is byte-identical to the uninterrupted run
+//               (restore diagnostics go to stderr)
+//   --replay=FILE   like --restore, but intended for re-driving the run
+//               with a different placement policy than the recorded one
+//   --help      list all flags
 #include <algorithm>
 #include <atomic>
 #include <charconv>
-#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "amr/faults/injector.hpp"
 #include "amr/par/sweep.hpp"
-#include "amr/par/thread_pool.hpp"
 #include "amr/placement/registry.hpp"
 #include "amr/sim/simulation.hpp"
 #include "amr/trace/chrome_export.hpp"
 #include "amr/workloads/sedov.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
-amr::RootGrid grid_for_ranks(std::int32_t ranks) {
-  // One root block per rank, factored as evenly as possible into 3D.
-  std::uint32_t nx = 1;
-  std::uint32_t ny = 1;
-  std::uint32_t nz = 1;
-  std::int32_t remaining = ranks;
-  for (int axis = 0; remaining > 1;) {
-    (axis == 0 ? nx : axis == 1 ? ny : nz) *= 2;
-    remaining /= 2;
-    axis = (axis + 1) % 3;
-  }
-  return amr::RootGrid{nx, ny, nz};
-}
+using amr::bench::appendf;
 
-std::int64_t parse_int(const char* v, const char* what) {
+std::int64_t parse_int(const std::string& v, const char* what) {
   std::int64_t out = 0;
-  const char* end = v + std::strlen(v);
-  const auto [ptr, ec] = std::from_chars(v, end, out);
+  const char* begin = v.c_str();
+  const char* end = begin + v.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
   if (ec != std::errc{} || ptr != end) {
-    std::fprintf(stderr, "sedov_sim: invalid %s: '%s'\n", what, v);
+    std::fprintf(stderr, "sedov_sim: invalid %s: '%s'\n", what, v.c_str());
     std::exit(2);
   }
   return out;
-}
-
-void appendf(std::string& out, const char* fmt, ...)
-    __attribute__((format(printf, 2, 3)));
-void appendf(std::string& out, const char* fmt, ...) {
-  char buf[512];
-  va_list args;
-  va_start(args, fmt);
-  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
-  va_end(args);
-  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n), sizeof(buf) - 1));
 }
 
 std::string report_text(const amr::RunReport& report, bool timing) {
@@ -132,34 +118,37 @@ std::string report_text(const amr::RunReport& report, bool timing) {
 
 int main(int argc, char** argv) {
   using namespace amr;
+  using namespace amr::bench;
   // Flags may appear anywhere; the rest are positional.
-  std::string trace_out;
-  int jobs = 1;
-  bool timing = false;
-  bool incremental = true;
-  std::vector<const char*> pos;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
-      trace_out = argv[i] + 12;
-    } else if (std::strcmp(argv[i], "--timing") == 0) {
-      timing = true;
-    } else if (std::strcmp(argv[i], "--no-incremental") == 0) {
-      incremental = false;
-    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      const std::int64_t j = parse_int(argv[i] + 7, "--jobs");
-      jobs = j == 0 ? ThreadPool::hardware_jobs() : static_cast<int>(j);
-    } else {
-      pos.push_back(argv[i]);
-    }
-  }
-  const std::string policy_arg = pos.size() > 0 ? pos[0] : "cpl50";
+  const Flags flags(argc, argv);
+  const bool timing = flags.has("timing");
+  const bool incremental = !flags.has("no-incremental");
+  const std::string trace_out = flags.get_str("trace-out", "");
+  const int jobs = flags.jobs();
+  const std::int64_t checkpoint_every =
+      flags.get_int("checkpoint-every", 0);
+  const std::string checkpoint_dir = flags.get_str("checkpoint-dir", ".");
+  const std::string restore = flags.get_str("restore", "");
+  const std::string replay = flags.get_str("replay", "");
+  const auto fault_nodes =
+      static_cast<std::int32_t>(flags.get_int("faults", 0));
+  flags.done();
+
+  const std::vector<std::string> pos = flags.positionals();
+  const std::string policy_arg = !pos.empty() ? pos[0] : "cpl50";
   const auto ranks = static_cast<std::int32_t>(
       pos.size() > 1 ? parse_int(pos[1], "ranks") : 64);
-  const std::int64_t steps = pos.size() > 2 ? parse_int(pos[2], "steps") : 60;
+  const std::int64_t steps =
+      pos.size() > 2 ? parse_int(pos[2], "steps") : 60;
   if (ranks <= 0 || (ranks & (ranks - 1)) != 0) {
     std::fprintf(stderr, "ranks must be a positive power of two\n");
     return 1;
   }
+  if (!restore.empty() && !replay.empty()) {
+    std::fprintf(stderr, "--restore and --replay are mutually exclusive\n");
+    return 1;
+  }
+  const std::string snapshot = !restore.empty() ? restore : replay;
 
   std::vector<std::string> policy_names;
   for (std::size_t at = 0; at <= policy_arg.size();) {
@@ -180,19 +169,40 @@ int main(int argc, char** argv) {
                  policy_names.size());
     return 1;
   }
+  if ((!snapshot.empty() || checkpoint_every > 0) &&
+      policy_names.size() > 1) {
+    std::fprintf(stderr,
+                 "checkpoint/restore flags require a single policy "
+                 "(got %zu)\n",
+                 policy_names.size());
+    return 1;
+  }
   const bool tracing = !trace_out.empty();
 
-  std::atomic<bool> trace_failed{false};
+  std::atomic<bool> failed{false};
   Sweep sweep(jobs);
   for (const std::string& policy_name : policy_names) {
-    sweep.add(policy_name, [=, &trace_failed] {
-      SimulationConfig cfg;
-      cfg.nranks = ranks;
-      cfg.ranks_per_node = 16;
-      cfg.root_grid = grid_for_ranks(ranks);
-      cfg.steps = steps;
+    sweep.add(policy_name, [=, &failed] {
+      SimulationConfig cfg = base_sim_config(ranks, steps);
       cfg.trace_enabled = tracing;
       cfg.incremental_plans = incremental;
+      cfg.checkpoint_every = checkpoint_every;
+      cfg.checkpoint_dir = checkpoint_dir;
+      if (fault_nodes > 0) {
+        // Deterministic fail-slow schedule: throttle `fault_nodes` nodes
+        // x4 for the middle half of the run, so a restore inside, at, or
+        // after the fault window must reproduce both edges.
+        const std::int32_t nodes =
+            std::max(1, cfg.nranks / cfg.ranks_per_node);
+        Rng victims(cfg.seed ^ 0xfa17u);
+        ThrottleFault fault;
+        fault.nodes =
+            pick_victim_nodes(nodes, std::min(fault_nodes, nodes), victims);
+        fault.factor = 4.0;
+        fault.onset_step = steps / 4;
+        fault.end_step = (3 * steps) / 4;
+        cfg.faults.add_throttle(fault);
+      }
 
       SedovParams sp;
       sp.total_steps = steps;
@@ -202,6 +212,23 @@ int main(int argc, char** argv) {
       const PolicyPtr policy = make_policy(policy_name);
       Simulation sim(cfg, sedov, *policy);
       std::string out;
+      if (!snapshot.empty()) {
+        // Diagnostics go to stderr: a restored run's stdout must stay
+        // byte-identical to the uninterrupted run's (ctest
+        // checkpoint_determinism diffs them).
+        try {
+          sim.restore_checkpoint(snapshot);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "sedov_sim: %s\n", e.what());
+          failed.store(true, std::memory_order_relaxed);
+          return out;
+        }
+        std::fprintf(stderr, "%s %s at step %lld (policy=%s)\n",
+                     replay.empty() ? "restored" : "replaying",
+                     snapshot.c_str(),
+                     static_cast<long long>(sim.current_step()),
+                     policy->name().c_str());
+      }
       appendf(out,
               "running sedov3d: policy=%s ranks=%d steps=%lld "
               "grid=%ux%ux%u\n",
@@ -213,7 +240,7 @@ int main(int argc, char** argv) {
         const Tracer& tracer = *sim.tracer();
         if (!write_chrome_trace(tracer, trace_out)) {
           appendf(out, "failed to write trace to %s\n", trace_out.c_str());
-          trace_failed.store(true, std::memory_order_relaxed);
+          failed.store(true, std::memory_order_relaxed);
         } else {
           appendf(out, "trace                %llu events (%llu dropped) "
                        "-> %s\n",
@@ -227,5 +254,5 @@ int main(int argc, char** argv) {
   }
   sweep.run();
   sweep.print();
-  return trace_failed.load(std::memory_order_relaxed) ? 1 : 0;
+  return failed.load(std::memory_order_relaxed) ? 1 : 0;
 }

@@ -58,8 +58,14 @@ class DaryHeap {
     sift_down(0);
   }
 
-  /// All elements in heap (not sorted) order, for whole-container scans.
+  /// All elements in heap (not sorted) order, for whole-container scans
+  /// and checkpointing (restore() accepts this layout back verbatim).
   std::span<const T> items() const { return slots_; }
+
+  /// Adopt a storage image previously captured via items(). The caller
+  /// guarantees the vector already satisfies the heap invariant (any
+  /// snapshot of a live heap does).
+  void restore(std::vector<T> slots) { slots_ = std::move(slots); }
 
  private:
   // Hole-insertion sifts: the displaced element is held in a register

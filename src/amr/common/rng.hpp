@@ -54,6 +54,17 @@ class Rng {
   /// Split off an independent stream (hash of current state + salt).
   Rng split(std::uint64_t salt);
 
+  /// Full generator state for checkpoint/restart: restoring it resumes
+  /// the stream at exactly the next draw (including the Box-Muller cache,
+  /// so normal() sequences survive a mid-pair checkpoint).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const;
+  void set_state(const State& state);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -29,6 +29,29 @@ class RunningStats {
   /// Coefficient of variation (stddev / mean); 0 if mean is 0.
   double cv() const;
 
+  /// Raw accumulator image for checkpoint/restart: restoring it and
+  /// continuing to add() produces bit-identical moments to an
+  /// uninterrupted accumulation.
+  struct Moments {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+  };
+  Moments moments() const { return {n_, mean_, m2_, min_, max_, sum_}; }
+  static RunningStats from_moments(const Moments& m) {
+    RunningStats s;
+    s.n_ = m.n;
+    s.mean_ = m.mean;
+    s.m2_ = m.m2;
+    s.min_ = m.min;
+    s.max_ = m.max;
+    s.sum_ = m.sum;
+    return s;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

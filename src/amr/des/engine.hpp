@@ -95,6 +95,28 @@ class Engine {
   /// the trace config to see raw event dispatch.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  /// Scalar engine state for checkpoint/restart. Checkpoints are taken at
+  /// step boundaries, where the BSP/overlap executors have drained the
+  /// queue (pending events hold raw handler pointers and cannot be
+  /// serialized), so the clock is the engine's entire surviving state.
+  struct Clock {
+    TimeNs now = 0;
+    TimeNs front_time = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t processed = 0;
+  };
+  Clock clock() const { return {now_, front_time_, next_seq_, processed_}; }
+  /// Restore a checkpointed clock; the queue must be empty on both the
+  /// saving and the restoring side.
+  void restore_clock(const Clock& clock) {
+    AMR_CHECK_MSG(pending_ == 0,
+                  "restore_clock requires a drained event queue");
+    now_ = clock.now;
+    front_time_ = clock.front_time;
+    next_seq_ = clock.next_seq;
+    processed_ = clock.processed;
+  }
+
  private:
   /// 64 key bits -> highest-differing-bit indices 1..64; index 0 is the
   /// separate front bucket. buckets_[0] is never used.

@@ -53,6 +53,9 @@ class CriticalPathAnalyzer {
 
   const CriticalPathStats& stats() const { return stats_; }
 
+  /// Adopt checkpointed accumulators (checkpoint/restart).
+  void restore_stats(const CriticalPathStats& stats) { stats_ = stats; }
+
   /// The straggler (latest collective entry) of a step result.
   static std::int32_t straggler_of(const StepResult& result);
 

@@ -47,6 +47,10 @@ class FaultInjector {
 
   bool empty() const { return throttles_.empty(); }
 
+  /// The configured schedule, in insertion order (checkpoint fingerprint:
+  /// a restored run must carry the same fault schedule).
+  const std::vector<ThrottleFault>& throttles() const { return throttles_; }
+
  private:
   std::vector<ThrottleFault> throttles_;
 };

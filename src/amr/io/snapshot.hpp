@@ -1,0 +1,163 @@
+// Versioned binary snapshot framing for checkpoint/restart.
+//
+// A snapshot is a sequence of named, length-prefixed sections inside a
+// checksummed envelope — the same little-endian length-prefixed framing
+// style as telemetry/binary_io, generalized so every subsystem's state
+// (mesh, DES clock, RNG streams, telemetry tables, trace ring) can be
+// packed into one file and restored field-for-field.
+//
+// File layout (little-endian):
+//   magic "AMRS", u32 format version
+//   u64 payload_size, payload bytes (the concatenated sections)
+//   u64 FNV-1a checksum of the payload
+//
+// Section layout (inside the payload):
+//   u32 name_len, name bytes, u64 body_len, body bytes
+//
+// Compatibility rule: the format version gates the whole file (a reader
+// rejects versions it does not know); within a version, readers consume
+// sections in written order and may skip sections they do not recognize
+// (SnapshotReader::peek_section + skip_section), so new sections can be
+// appended without breaking older readers of the same version.
+//
+// Every read is bounds- and checksum-checked: a truncated or bit-flipped
+// file fails with a SnapshotError diagnostic, never undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace amr::io {
+
+/// Raised on any malformed, truncated, or corrupt snapshot input.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Builds a snapshot payload in memory, then writes the enveloped file.
+class SnapshotWriter {
+ public:
+  /// Open a named section; all subsequent writes land in its body until
+  /// end_section(). Sections cannot nest.
+  void begin_section(std::string_view name);
+  void end_section();
+
+  void u8(std::uint8_t v) { pod(v); }
+  void u32(std::uint32_t v) { pod(v); }
+  void u64(std::uint64_t v) { pod(v); }
+  void i32(std::int32_t v) { pod(v); }
+  void i64(std::int64_t v) { pod(v); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  /// Doubles round-trip bit-exactly (raw IEEE-754 image).
+  void f64(double v) { pod(v); }
+
+  void str(std::string_view s);
+
+  /// u64 element count followed by the raw bytes of a trivially copyable
+  /// element vector.
+  template <typename T>
+  void vec_pod(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64(v.size());
+    append(v.data(), v.size() * sizeof(T));
+  }
+  template <typename T>
+  void vec_pod(const std::vector<T>& v) {
+    vec_pod(std::span<const T>(v));
+  }
+
+  /// Finish (no section may be open) and write the enveloped file.
+  /// Returns false on I/O failure.
+  bool write_file(const std::string& path);
+
+  /// The enveloped bytes (magic/version/size/payload/checksum) without
+  /// touching the filesystem — for in-memory round-trip tests.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    append(&v, sizeof(T));
+  }
+  void append(const void* data, std::size_t n);
+
+  std::vector<std::uint8_t> payload_;
+  std::size_t section_body_at_ = 0;  ///< offset of the open body_len field
+  bool in_section_ = false;
+};
+
+/// Validates the envelope (magic, version, size, checksum) up front, then
+/// hands out bounds-checked reads section by section.
+class SnapshotReader {
+ public:
+  /// Read and validate a snapshot file. Throws SnapshotError with a
+  /// diagnostic on any problem (missing file, bad magic, truncation,
+  /// checksum mismatch, unsupported version).
+  explicit SnapshotReader(const std::string& path);
+  /// Same, over in-memory enveloped bytes.
+  explicit SnapshotReader(std::vector<std::uint8_t> bytes);
+
+  /// Name of the next section, or empty once the payload is exhausted.
+  std::string peek_section();
+  /// Enter the next section; it must carry exactly this name.
+  void begin_section(std::string_view name);
+  /// Leave the current section; throws if its body was not fully read.
+  void end_section();
+  /// Skip the next section wholesale (forward compatibility).
+  void skip_section();
+
+  std::uint8_t u8() { return pod<std::uint8_t>(); }
+  std::uint32_t u32() { return pod<std::uint32_t>(); }
+  std::uint64_t u64() { return pod<std::uint64_t>(); }
+  std::int32_t i32() { return pod<std::int32_t>(); }
+  std::int64_t i64() { return pod<std::int64_t>(); }
+  bool b() { return u8() != 0; }
+  double f64() { return pod<double>(); }
+
+  std::string str();
+
+  template <typename T>
+  std::vector<T> vec_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = u64();
+    check_available(n, sizeof(T));
+    std::vector<T> out(static_cast<std::size_t>(n));
+    take(out.data(), static_cast<std::size_t>(n) * sizeof(T));
+    return out;
+  }
+
+ private:
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    take(&v, sizeof(T));
+    return v;
+  }
+  void validate_envelope();
+  void take(void* out, std::size_t n);
+  void check_available(std::uint64_t count, std::size_t elem_size) const;
+  [[noreturn]] void fail(const std::string& why) const;
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t at_ = 0;          ///< cursor within payload
+  std::size_t payload_end_ = 0;
+  std::size_t section_end_ = 0;
+  bool in_section_ = false;
+};
+
+/// FNV-1a 64-bit hash (the envelope checksum).
+std::uint64_t fnv1a64(const void* data, std::size_t n);
+
+}  // namespace amr::io

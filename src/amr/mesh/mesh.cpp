@@ -128,6 +128,24 @@ void AmrMesh::apply_delta(const std::vector<char>& removed,
                   remaps_.end() - static_cast<std::ptrdiff_t>(kMaxRemapHistory));
 }
 
+void AmrMesh::restore_state(std::vector<BlockCoord> leaves,
+                            std::uint64_t version,
+                            std::vector<MeshRemap> remaps) {
+  AMR_CHECK_MSG(!leaves.empty(), "restored mesh has no leaves");
+  leaves_ = std::move(leaves);
+  keys_.clear();
+  keys_.reserve(leaves_.size());
+  for (const auto& b : leaves_) keys_.push_back(sfc_key(b, sfc_));
+  for (std::size_t i = 1; i < keys_.size(); ++i)
+    AMR_CHECK_MSG(keys_[i - 1] < keys_[i],
+                  "restored leaves are not in SFC order");
+  rebuild_index();
+  AMR_CHECK_MSG(check_coverage() && check_balance(),
+                "restored mesh violates coverage/balance invariants");
+  version_ = version;
+  remaps_ = std::move(remaps);
+}
+
 const MeshRemap* AmrMesh::remap_to(std::uint64_t to_version) const {
   for (auto it = remaps_.rbegin(); it != remaps_.rend(); ++it)
     if (it->to_version == to_version) return &*it;

@@ -87,6 +87,20 @@ class AmrMesh {
   /// never existed or has aged out of the bounded history.
   const MeshRemap* remap_to(std::uint64_t to_version) const;
 
+  /// The retained renumbering records, oldest first (checkpointing: the
+  /// whole bounded history is what lets carried telemetry survive a
+  /// restart exactly as it would an uninterrupted run).
+  std::span<const MeshRemap> remap_history() const { return remaps_; }
+
+  /// Adopt checkpointed state: `leaves` must already be in this mesh's
+  /// exact SFC order (a snapshot of blocks() is). SFC keys and the leaf
+  /// index are rebuilt; the SFC ordering, coverage, and balance
+  /// invariants are re-validated, so a corrupt leaf set fails loudly
+  /// instead of silently mis-simulating. The root grid, periodicity, and
+  /// curve kind must match the constructed mesh.
+  void restore_state(std::vector<BlockCoord> leaves, std::uint64_t version,
+                     std::vector<MeshRemap> remaps);
+
   /// Block ID of the leaf with the given coordinates, or -1.
   std::int32_t find(const BlockCoord& c) const;
 

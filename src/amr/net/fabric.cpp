@@ -42,6 +42,37 @@ void Fabric::reset() {
   }
 }
 
+Fabric::State Fabric::export_state() const {
+  State st;
+  st.rng = rng_.state();
+  st.stats = stats_;
+  st.nic_busy_until = nic_busy_until_;
+  st.shm_slot_free.reserve(shm_slot_free_.size());
+  for (const auto& heap : shm_slot_free_) {
+    const std::span<const TimeNs> items = heap.items();
+    st.shm_slot_free.emplace_back(items.begin(), items.end());
+  }
+  return st;
+}
+
+void Fabric::import_state(const State& state) {
+  AMR_CHECK_MSG(
+      state.nic_busy_until.size() ==
+              static_cast<std::size_t>(topo_.num_nodes()) &&
+          state.shm_slot_free.size() ==
+              static_cast<std::size_t>(topo_.num_nodes()),
+      "fabric state does not match this topology");
+  rng_.set_state(state.rng);
+  stats_ = state.stats;
+  nic_busy_until_ = state.nic_busy_until;
+  for (std::size_t n = 0; n < shm_slot_free_.size(); ++n) {
+    AMR_CHECK_MSG(state.shm_slot_free[n].size() ==
+                      static_cast<std::size_t>(params_.shm_queue_slots),
+                  "fabric state does not match the shm slot count");
+    shm_slot_free_[n].restore(state.shm_slot_free[n]);
+  }
+}
+
 TimeNs Fabric::serialize_ns(std::int64_t bytes,
                             double gbytes_per_sec) const {
   return static_cast<TimeNs>(static_cast<double>(bytes) /

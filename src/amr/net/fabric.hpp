@@ -122,6 +122,20 @@ class Fabric {
   /// measurement window without reconstructing the object.
   void reset();
 
+  /// Full dynamic state for checkpoint/restart: the jitter RNG position,
+  /// run counters, and the NIC/shm-queue occupancy model. Restoring it
+  /// makes every subsequent transfer() bit-identical to an uninterrupted
+  /// fabric.
+  struct State {
+    Rng::State rng;
+    FabricStats stats;
+    std::vector<TimeNs> nic_busy_until;              ///< per node
+    std::vector<std::vector<TimeNs>> shm_slot_free;  ///< per node, heap order
+  };
+  State export_state() const;
+  /// Sizes must match this fabric's topology and slot count.
+  void import_state(const State& state);
+
  private:
   TimeNs serialize_ns(std::int64_t bytes, double gbytes_per_sec) const;
 

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "amr/common/check.hpp"
 #include "amr/common/log.hpp"
 #include "amr/common/stats.hpp"
-#include "amr/exec/plan_cache.hpp"
-#include "amr/exec/step_executor.hpp"
 #include "amr/placement/baseline.hpp"
 #include "amr/placement/metrics.hpp"
+#include "amr/sim/sim_state.hpp"
 
 namespace amr {
 namespace {
@@ -22,6 +22,10 @@ double timed_ms(Fn&& fn) {
   fn();
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+std::string checkpoint_path(const std::string& dir, std::int64_t step) {
+  return dir + "/ckpt_" + std::to_string(step) + ".amrs";
 }
 
 }  // namespace
@@ -37,42 +41,55 @@ Simulation::Simulation(SimulationConfig config, Workload& workload,
   }
 }
 
+Simulation::~Simulation() = default;
+
+std::int64_t Simulation::current_step() const {
+  return state_ ? state_->step : 0;
+}
+
+const StepPipelineStats& Simulation::pipeline_stats() const {
+  static const StepPipelineStats kEmpty;
+  return state_ ? state_->pipeline_stats : kEmpty;
+}
+
 bool Simulation::sync_measured_costs(const AmrMesh& mesh) {
-  if (!measured_valid_) return false;
-  while (measured_version_ != mesh.version()) {
-    const MeshRemap* r = mesh.remap_to(measured_version_ + 1);
-    if (r == nullptr || r->old_size != measured_flat_.size()) {
+  SimState& st = *state_;
+  if (!st.measured_valid) return false;
+  while (st.measured_version != mesh.version()) {
+    const MeshRemap* r = mesh.remap_to(st.measured_version + 1);
+    if (r == nullptr || r->old_size != st.measured_flat.size()) {
       // The regrid record aged out of the mesh's bounded history; the
       // carried telemetry can no longer be renumbered. Drop it — the
       // next placement sees uniform costs, exactly as on a cold start.
-      measured_valid_ = false;
-      ++pipeline_stats_.telemetry_drops;
+      st.measured_valid = false;
+      ++st.pipeline_stats.telemetry_drops;
       return false;
     }
-    cost_scratch_.resize(r->src.size());
+    auto& scratch = runtime_->cost_scratch;
+    scratch.resize(r->src.size());
     for (std::size_t b = 0; b < r->src.size(); ++b) {
       const auto src = static_cast<std::size_t>(r->src[b]);
       switch (r->kind[b]) {
         case RemapKind::kCarried:
-          cost_scratch_[b] = measured_flat_[src];
+          scratch[b] = st.measured_flat[src];
           break;
         case RemapKind::kRefined:
           // Fresh refinement: inherit the measured cost of the ancestor.
-          cost_scratch_[b] = measured_flat_[src];
+          scratch[b] = st.measured_flat[src];
           break;
         case RemapKind::kCoarsened: {
           // Fresh coarsening: average of the eight collapsed children,
           // which occupy consecutive old IDs starting at src.
           TimeNs sum = 0;
           for (std::size_t c = 0; c < 8; ++c)
-            sum += measured_flat_[src + c];
-          cost_scratch_[b] = sum / 8;
+            sum += st.measured_flat[src + c];
+          scratch[b] = sum / 8;
           break;
         }
       }
     }
-    measured_flat_.swap(cost_scratch_);
-    ++measured_version_;
+    st.measured_flat.swap(scratch);
+    ++st.measured_version;
   }
   return true;
 }
@@ -85,14 +102,15 @@ void Simulation::estimated_costs(const AmrMesh& mesh,
     std::fill(out.begin(), out.end(), TimeNs{1});
     return;
   }
-  std::copy(measured_flat_.begin(), measured_flat_.end(), out.begin());
+  std::copy(state_->measured_flat.begin(), state_->measured_flat.end(),
+            out.begin());
 }
 
 void Simulation::remember_costs(const AmrMesh& mesh,
                                 std::span<const TimeNs> measured) {
-  measured_flat_.assign(measured.begin(), measured.end());
-  measured_version_ = mesh.version();
-  measured_valid_ = true;
+  state_->measured_flat.assign(measured.begin(), measured.end());
+  state_->measured_version = mesh.version();
+  state_->measured_valid = true;
 }
 
 void Simulation::previous_ranks(const AmrMesh& mesh,
@@ -102,53 +120,33 @@ void Simulation::previous_ranks(const AmrMesh& mesh,
   // Compose the renumbering records forward from the version the
   // placement was computed at: a block keeps its previous rank only while
   // it is carried; blocks created by refine/coarsen have none (-1).
-  rank_scratch_a_.assign(placement.begin(), placement.end());
+  auto& a = runtime_->rank_scratch_a;
+  auto& b_scr = runtime_->rank_scratch_b;
+  a.assign(placement.begin(), placement.end());
   for (std::uint64_t v = from_version + 1; v <= mesh.version(); ++v) {
     const MeshRemap* r = mesh.remap_to(v);
-    if (r == nullptr || r->old_size != rank_scratch_a_.size()) {
+    if (r == nullptr || r->old_size != a.size()) {
       prev_rank.assign(mesh.size(), -1);
       return;
     }
-    rank_scratch_b_.resize(r->src.size());
+    b_scr.resize(r->src.size());
     for (std::size_t b = 0; b < r->src.size(); ++b)
-      rank_scratch_b_[b] =
-          r->kind[b] == RemapKind::kCarried
-              ? rank_scratch_a_[static_cast<std::size_t>(r->src[b])]
-              : -1;
-    rank_scratch_a_.swap(rank_scratch_b_);
+      b_scr[b] = r->kind[b] == RemapKind::kCarried
+                     ? a[static_cast<std::size_t>(r->src[b])]
+                     : -1;
+    a.swap(b_scr);
   }
-  prev_rank = rank_scratch_a_;
+  prev_rank = a;
 }
 
-RunReport Simulation::run() {
-  const ClusterTopology topo(config_.nranks, config_.ranks_per_node);
-  Engine engine;
-  Rng rng(config_.seed);
-  Fabric fabric(topo, config_.fabric, rng.split(0xfab));
-  Comm comm(engine, fabric, config_.nranks, config_.collective);
-  Tracer* const tracer = tracer_.get();
-  engine.set_tracer(tracer);
-  fabric.set_tracer(tracer);
-  comm.set_tracer(tracer);
-  // Exactly one executor registers rank endpoints on the comm.
-  std::unique_ptr<StepExecutor> bsp_executor;
-  std::unique_ptr<OverlapExecutor> overlap_executor;
-  if (config_.execution == ExecutionMode::kBsp)
-    bsp_executor = std::make_unique<StepExecutor>(engine, comm,
-                                                  config_.exec, tracer);
-  else
-    overlap_executor = std::make_unique<OverlapExecutor>(
-        engine, comm, config_.exec, tracer);
-  CriticalPathAnalyzer critical_path;
-  std::vector<ActiveFault> prev_faults;
+void Simulation::begin_run() {
+  runtime_ = std::make_unique<SimRuntime>(config_, tracer_.get());
+  state_ = std::make_unique<SimState>(config_);
+  SimState& st = *state_;
 
-  AmrMesh mesh(config_.root_grid);
-  pipeline_stats_ = {};
-  measured_valid_ = false;
-  RunReport report;
-  report.policy = policy_.name();
-  report.initial_blocks = mesh.size();
-  report.rank_compute_seconds.assign(
+  st.report.policy = policy_.name();
+  st.report.initial_blocks = st.mesh.size();
+  st.report.rank_compute_seconds.assign(
       static_cast<std::size_t>(config_.nranks), 0.0);
 
   // Pre-size the telemetry tables for the expected row volume so the
@@ -158,279 +156,307 @@ RunReport Simulation::run() {
     const auto nranks = static_cast<std::size_t>(config_.nranks);
     collector_.reserve(steps * nranks * 4, steps * nranks,
                        config_.collect_block_telemetry
-                           ? steps * mesh.size()
+                           ? steps * st.mesh.size()
                            : 0);
   }
 
   // Initial placement: no telemetry exists yet, costs default to uniform.
-  Placement placement;
   {
-    const std::vector<double> uniform(mesh.size(), 1.0);
-    placement = policy_.place(uniform, config_.nranks);
+    const std::vector<double> uniform(st.mesh.size(), 1.0);
+    st.placement = policy_.place(uniform, config_.nranks);
   }
-  // The version pair (mesh.version(), placement_version) keys the
-  // exchange-plan cache; a rebalance bumps the placement side, a regrid
-  // the mesh side. placement_mesh_version remembers which numbering the
-  // current placement refers to, for migration accounting across regrids.
-  std::uint64_t placement_version = 0;
-  std::uint64_t placement_mesh_version = mesh.version();
-  ExchangePlanCache plan_cache;
-  bool have_plan_key = false;
-  std::uint64_t last_plan_mesh = 0, last_plan_placement = 0;
+  begun_ = true;
+}
 
-  // Step-loop scratch, reused across all steps.
-  std::vector<TimeNs> est;
-  std::vector<double> est_d;
-  std::vector<std::int32_t> prev_rank;
-  std::vector<std::int64_t> migrate_bytes;
-  std::vector<TimeNs> costs;
-  std::vector<RankStepWork> fresh_bsp;
-  std::vector<OverlapRankWork> fresh_overlap;
+void Simulation::step_once() {
+  SimState& st = *state_;
+  SimRuntime& rt = *runtime_;
+  AmrMesh& mesh = st.mesh;
+  Engine& engine = rt.engine;
+  Tracer* const tracer = tracer_.get();
+  RunReport& report = st.report;
+  const std::int64_t step = st.step;
 
-  double last_imbalance = 1.0;  // measured max/mean compute of last step
+  // -- Mesh evolution + redistribution ------------------------------
+  const std::uint64_t pre_evolve_version = mesh.version();
+  const bool changed = workload_.evolve(mesh, step);
+  if (tracer != nullptr && mesh.version() != pre_evolve_version) {
+    // How much of the renumbering the delta merge preserved: carried
+    // blocks re-keyed for free vs. total blocks, per regrid epoch.
+    for (std::uint64_t v = pre_evolve_version + 1; v <= mesh.version();
+         ++v) {
+      const MeshRemap* r = mesh.remap_to(v);
+      if (r != nullptr && !r->src.empty())
+        tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance,
+                        "delta-carried-permille", engine.now(),
+                        static_cast<std::int64_t>(r->carried * 1000 /
+                                                  r->src.size()));
+    }
+  }
+  if (changed || st.placement.size() != mesh.size() ||
+      config_.trigger.fire(false, step, st.last_imbalance)) {
+    ++report.lb_invocations;
+    estimated_costs(mesh, rt.est);
+    rt.est_d.resize(rt.est.size());
+    for (std::size_t i = 0; i < rt.est.size(); ++i)
+      rt.est_d[i] = static_cast<double>(rt.est[i]);
 
-  for (std::int64_t step = 0; step < config_.steps; ++step) {
-    // -- Mesh evolution + redistribution ------------------------------
-    const std::uint64_t pre_evolve_version = mesh.version();
-    const bool changed = workload_.evolve(mesh, step);
-    if (tracer != nullptr && mesh.version() != pre_evolve_version) {
-      // How much of the renumbering the delta merge preserved: carried
-      // blocks re-keyed for free vs. total blocks, per regrid epoch.
-      for (std::uint64_t v = pre_evolve_version + 1; v <= mesh.version();
-           ++v) {
-        const MeshRemap* r = mesh.remap_to(v);
-        if (r != nullptr && !r->src.empty())
-          tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance,
-                          "delta-carried-permille", engine.now(),
-                          static_cast<std::int64_t>(r->carried * 1000 /
-                                                    r->src.size()));
+    Placement next;
+    report.placement_ms.push_back(timed_ms(
+        [&] { next = policy_.place(rt.est_d, config_.nranks); }));
+    AMR_CHECK(placement_valid(next, mesh.size(), config_.nranks));
+    if (report.placement_ms.back() > config_.placement_budget_ms) {
+      ++report.budget_violations;
+      if (config_.enforce_placement_budget) {
+        // Over budget: fall back to the always-cheap baseline split
+        // for this invocation (the paper's hard 50 ms constraint).
+        next = BaselinePolicy().place(rt.est_d, config_.nranks);
       }
     }
-    if (changed || placement.size() != mesh.size() ||
-        config_.trigger.fire(false, step, last_imbalance)) {
-      ++report.lb_invocations;
-      estimated_costs(mesh, est);
-      est_d.resize(est.size());
-      for (std::size_t i = 0; i < est.size(); ++i)
-        est_d[i] = static_cast<double>(est[i]);
 
-      Placement next;
-      report.placement_ms.push_back(timed_ms(
-          [&] { next = policy_.place(est_d, config_.nranks); }));
-      AMR_CHECK(placement_valid(next, mesh.size(), config_.nranks));
-      if (report.placement_ms.back() > config_.placement_budget_ms) {
-        ++report.budget_violations;
-        if (config_.enforce_placement_budget) {
-          // Over budget: fall back to the always-cheap baseline split
-          // for this invocation (the paper's hard 50 ms constraint).
-          next = BaselinePolicy().place(est_d, config_.nranks);
-        }
-      }
-
-      // Migration: blocks whose rank changed move their payload; charge
-      // the slowest rank's transfer plus the placement-computation
-      // budget as the rebalance wall for this invocation. A block's
-      // previous rank follows the renumbering records; freshly
-      // refined/coarsened blocks have none and migrate for free.
-      previous_ranks(mesh, placement_mesh_version, placement, prev_rank);
-      migrate_bytes.assign(static_cast<std::size_t>(config_.nranks), 0);
-      std::int64_t moved = 0;
-      for (std::size_t b = 0; b < mesh.size(); ++b) {
-        const std::int32_t old_rank = prev_rank[b];
-        if (old_rank >= 0 && old_rank != next[b]) {
-          ++moved;
-          migrate_bytes[static_cast<std::size_t>(old_rank)] +=
-              config_.migrated_block_bytes;
-          migrate_bytes[static_cast<std::size_t>(next[b])] +=
-              config_.migrated_block_bytes;
-        }
-      }
-      report.blocks_migrated += moved;
-      const std::int64_t max_bytes =
-          *std::max_element(migrate_bytes.begin(), migrate_bytes.end());
-      const TimeNs migration =
-          static_cast<TimeNs>(static_cast<double>(max_bytes) /
-                              config_.migration_gbytes_per_sec);
-      const TimeNs rebalance_wall = migration + config_.placement_charge;
-      if (tracer != nullptr)
-        tracer->complete(Tracer::kTrackSim, TraceCat::kRebalance,
-                         "rebalance", engine.now(), rebalance_wall, moved,
-                         step);
-      engine.run_until(engine.now() + rebalance_wall);
-
-      const double rebalance_s = to_sec(rebalance_wall);
-      report.phases.rebalance += rebalance_s;
-      if (config_.collect_telemetry) {
-        for (std::int32_t r = 0; r < config_.nranks; ++r)
-          collector_.record_phase(step, r, Phase::kRebalance,
-                                  rebalance_wall);
-      }
-
-      placement = std::move(next);
-      ++placement_version;
-      placement_mesh_version = mesh.version();
-    }
-
-    // -- Fault transitions (trace instants at onset/clear edges) -------
-    if (tracer != nullptr && !config_.faults.empty()) {
-      const auto active = config_.faults.active_at(step);
-      for (const ActiveFault& f : active) {
-        const bool was_active = std::any_of(
-            prev_faults.begin(), prev_faults.end(),
-            [&](const ActiveFault& p) { return p.node == f.node; });
-        if (!was_active)
-          tracer->instant(Tracer::kTrackSim, TraceCat::kFault,
-                          "fault-onset", engine.now(), f.node,
-                          static_cast<std::int64_t>(f.factor * 100.0));
-      }
-      for (const ActiveFault& p : prev_faults) {
-        const bool still_active = std::any_of(
-            active.begin(), active.end(),
-            [&](const ActiveFault& f) { return f.node == p.node; });
-        if (!still_active)
-          tracer->instant(Tracer::kTrackSim, TraceCat::kFault,
-                          "fault-clear", engine.now(), p.node,
-                          static_cast<std::int64_t>(p.factor * 100.0));
-      }
-      prev_faults = active;
-    }
-
-    // -- True per-block compute costs (workload x hardware faults) ----
-    costs.resize(mesh.size());
+    // Migration: blocks whose rank changed move their payload; charge
+    // the slowest rank's transfer plus the placement-computation
+    // budget as the rebalance wall for this invocation. A block's
+    // previous rank follows the renumbering records; freshly
+    // refined/coarsened blocks have none and migrate for free.
+    previous_ranks(mesh, st.placement_mesh_version, st.placement,
+                   rt.prev_rank);
+    rt.migrate_bytes.assign(static_cast<std::size_t>(config_.nranks), 0);
+    std::int64_t moved = 0;
     for (std::size_t b = 0; b < mesh.size(); ++b) {
-      const double factor = config_.faults.compute_multiplier(
-          topo.node_of(placement[b]), step);
-      costs[b] = static_cast<TimeNs>(
-          static_cast<double>(workload_.block_cost(mesh, b, step)) *
-          factor);
-    }
-
-    // -- Execute the step ----------------------------------------------
-    // Predicted cache behaviour depends only on the version pair, so it
-    // is identical whether or not the cache actually runs — which keeps
-    // the emitted counters byte-identical across pipeline modes.
-    const bool predicted_hit = have_plan_key &&
-                               last_plan_mesh == mesh.version() &&
-                               last_plan_placement == placement_version;
-    ++(predicted_hit ? pipeline_stats_.predicted_hits
-                     : pipeline_stats_.predicted_misses);
-    have_plan_key = true;
-    last_plan_mesh = mesh.version();
-    last_plan_placement = placement_version;
-    if (tracer != nullptr) {
-      tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance,
-                      "plan-cache-hits", engine.now(),
-                      pipeline_stats_.predicted_hits);
-      tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance,
-                      "plan-cache-misses", engine.now(),
-                      pipeline_stats_.predicted_misses);
-    }
-
-    StepResult result;
-    std::int64_t intra_rank_msgs = 0;
-    if (config_.execution == ExecutionMode::kBsp) {
-      std::span<const RankStepWork> work;
-      if (config_.incremental_plans) {
-        work = plan_cache.step_work(mesh, placement, placement_version,
-                                    costs, config_.nranks,
-                                    config_.msg_sizes,
-                                    config_.include_flux_correction);
-      } else {
-        fresh_bsp = build_step_work(
-            mesh, placement, costs, config_.nranks, config_.msg_sizes,
-            config_.include_flux_correction);
-        work = fresh_bsp;
+      const std::int32_t old_rank = rt.prev_rank[b];
+      if (old_rank >= 0 && old_rank != next[b]) {
+        ++moved;
+        rt.migrate_bytes[static_cast<std::size_t>(old_rank)] +=
+            config_.migrated_block_bytes;
+        rt.migrate_bytes[static_cast<std::size_t>(next[b])] +=
+            config_.migrated_block_bytes;
       }
-      result = bsp_executor->execute(work, config_.ordering,
-                                     static_cast<std::uint64_t>(step));
-      for (const auto& w : work) intra_rank_msgs += w.local_copy_msgs;
+    }
+    report.blocks_migrated += moved;
+    const std::int64_t max_bytes = *std::max_element(
+        rt.migrate_bytes.begin(), rt.migrate_bytes.end());
+    const TimeNs migration =
+        static_cast<TimeNs>(static_cast<double>(max_bytes) /
+                            config_.migration_gbytes_per_sec);
+    const TimeNs rebalance_wall = migration + config_.placement_charge;
+    if (tracer != nullptr)
+      tracer->complete(Tracer::kTrackSim, TraceCat::kRebalance,
+                       "rebalance", engine.now(), rebalance_wall, moved,
+                       step);
+    engine.run_until(engine.now() + rebalance_wall);
+
+    const double rebalance_s = to_sec(rebalance_wall);
+    report.phases.rebalance += rebalance_s;
+    if (config_.collect_telemetry) {
+      for (std::int32_t r = 0; r < config_.nranks; ++r)
+        collector_.record_phase(step, r, Phase::kRebalance,
+                                rebalance_wall);
+    }
+
+    st.placement = std::move(next);
+    ++st.placement_version;
+    st.placement_mesh_version = mesh.version();
+  }
+
+  // -- Fault transitions (trace instants at onset/clear edges) -------
+  if (tracer != nullptr && !config_.faults.empty()) {
+    const auto active = config_.faults.active_at(step);
+    for (const ActiveFault& f : active) {
+      const bool was_active = std::any_of(
+          st.prev_faults.begin(), st.prev_faults.end(),
+          [&](const ActiveFault& p) { return p.node == f.node; });
+      if (!was_active)
+        tracer->instant(Tracer::kTrackSim, TraceCat::kFault,
+                        "fault-onset", engine.now(), f.node,
+                        static_cast<std::int64_t>(f.factor * 100.0));
+    }
+    for (const ActiveFault& p : st.prev_faults) {
+      const bool still_active = std::any_of(
+          active.begin(), active.end(),
+          [&](const ActiveFault& f) { return f.node == p.node; });
+      if (!still_active)
+        tracer->instant(Tracer::kTrackSim, TraceCat::kFault,
+                        "fault-clear", engine.now(), p.node,
+                        static_cast<std::int64_t>(p.factor * 100.0));
+    }
+    st.prev_faults = active;
+  }
+
+  // -- True per-block compute costs (workload x hardware faults) ----
+  rt.costs.resize(mesh.size());
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    const double factor = config_.faults.compute_multiplier(
+        rt.topo.node_of(st.placement[b]), step);
+    rt.costs[b] = static_cast<TimeNs>(
+        static_cast<double>(workload_.block_cost(mesh, b, step)) * factor);
+  }
+
+  // -- Execute the step ----------------------------------------------
+  // Predicted cache behaviour depends only on the version pair, so it
+  // is identical whether or not the cache actually runs — which keeps
+  // the emitted counters byte-identical across pipeline modes (and
+  // across checkpoint/restore, where the live cache is rebuilt).
+  const bool predicted_hit = st.have_plan_key &&
+                             st.last_plan_mesh == mesh.version() &&
+                             st.last_plan_placement == st.placement_version;
+  ++(predicted_hit ? st.pipeline_stats.predicted_hits
+                   : st.pipeline_stats.predicted_misses);
+  st.have_plan_key = true;
+  st.last_plan_mesh = mesh.version();
+  st.last_plan_placement = st.placement_version;
+  if (tracer != nullptr) {
+    tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance,
+                    "plan-cache-hits", engine.now(),
+                    st.pipeline_stats.predicted_hits);
+    tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance,
+                    "plan-cache-misses", engine.now(),
+                    st.pipeline_stats.predicted_misses);
+  }
+
+  StepResult result;
+  std::int64_t intra_rank_msgs = 0;
+  if (config_.execution == ExecutionMode::kBsp) {
+    std::span<const RankStepWork> work;
+    if (config_.incremental_plans) {
+      work = rt.plan_cache.step_work(mesh, st.placement,
+                                     st.placement_version, rt.costs,
+                                     config_.nranks, config_.msg_sizes,
+                                     config_.include_flux_correction);
     } else {
-      std::span<const OverlapRankWork> work;
-      if (config_.incremental_plans) {
-        work = plan_cache.overlap_work(mesh, placement, placement_version,
-                                       costs, config_.nranks,
-                                       config_.msg_sizes);
-      } else {
-        fresh_overlap = build_overlap_work(
-            mesh, placement, costs, config_.nranks, config_.msg_sizes);
-        work = fresh_overlap;
-      }
-      result = overlap_executor->execute(
-          work, static_cast<std::uint64_t>(step));
-      for (const auto& w : work) intra_rank_msgs += w.local_copy_msgs;
+      rt.fresh_bsp = build_step_work(
+          mesh, st.placement, rt.costs, config_.nranks, config_.msg_sizes,
+          config_.include_flux_correction);
+      work = rt.fresh_bsp;
     }
-    report.msgs_intra_rank += intra_rank_msgs;
-    const WindowPath path = critical_path.observe(result);
-
-    // -- Critical-path overlay (paper §IV-D) ---------------------------
-    // A dedicated track carries one span per window naming the modeled
-    // critical path; the straggler's own track gets an instant so the
-    // path is visible in rank context too.
-    if (tracer != nullptr && path.straggler >= 0) {
-      const RankStepStats& straggler_stats =
-          result.ranks[static_cast<std::size_t>(path.straggler)];
-      tracer->complete(
-          Tracer::kTrackCrit, TraceCat::kCritPath,
-          path.two_rank ? "crit:2-rank" : "crit:1-rank",
-          result.step_start,
-          straggler_stats.collective_entry - result.step_start,
-          path.straggler, path.release_src);
-      tracer->instant(path.straggler, TraceCat::kCritPath,
-                      "on-critical-path", straggler_stats.collective_entry,
-                      step, path.release_src);
+    result = rt.bsp_executor->execute(work, config_.ordering,
+                                      static_cast<std::uint64_t>(step));
+    for (const auto& w : work) intra_rank_msgs += w.local_copy_msgs;
+  } else {
+    std::span<const OverlapRankWork> work;
+    if (config_.incremental_plans) {
+      work = rt.plan_cache.overlap_work(mesh, st.placement,
+                                        st.placement_version, rt.costs,
+                                        config_.nranks, config_.msg_sizes);
+    } else {
+      rt.fresh_overlap = build_overlap_work(
+          mesh, st.placement, rt.costs, config_.nranks, config_.msg_sizes);
+      work = rt.fresh_overlap;
     }
+    result = rt.overlap_executor->execute(
+        work, static_cast<std::uint64_t>(step));
+    for (const auto& w : work) intra_rank_msgs += w.local_copy_msgs;
+  }
+  report.msgs_intra_rank += intra_rank_msgs;
+  const WindowPath path = rt.critical_path.observe(result);
 
-    // Measured compute imbalance feeds the optional rebalance trigger.
-    {
-      RunningStats s;
-      for (const auto& r : result.ranks)
-        s.add(static_cast<double>(r.compute_ns));
-      last_imbalance = s.mean() > 0.0 ? s.max() / s.mean() : 1.0;
+  // -- Critical-path overlay (paper §IV-D) ---------------------------
+  // A dedicated track carries one span per window naming the modeled
+  // critical path; the straggler's own track gets an instant so the
+  // path is visible in rank context too.
+  if (tracer != nullptr && path.straggler >= 0) {
+    const RankStepStats& straggler_stats =
+        result.ranks[static_cast<std::size_t>(path.straggler)];
+    tracer->complete(
+        Tracer::kTrackCrit, TraceCat::kCritPath,
+        path.two_rank ? "crit:2-rank" : "crit:1-rank", result.step_start,
+        straggler_stats.collective_entry - result.step_start,
+        path.straggler, path.release_src);
+    tracer->instant(path.straggler, TraceCat::kCritPath,
+                    "on-critical-path", straggler_stats.collective_entry,
+                    step, path.release_src);
+  }
+
+  // Measured compute imbalance feeds the optional rebalance trigger.
+  {
+    RunningStats s;
+    for (const auto& r : result.ranks)
+      s.add(static_cast<double>(r.compute_ns));
+    st.last_imbalance = s.mean() > 0.0 ? s.max() / s.mean() : 1.0;
+  }
+
+  // -- Telemetry ------------------------------------------------------
+  // Measured cost = what the profiler sees: the fault-inflated kernel
+  // time. Placement models are built from this, which is precisely why
+  // fail-slow hardware must be pruned rather than "balanced around".
+  remember_costs(mesh, rt.costs);
+
+  const double inv_ranks = 1.0 / static_cast<double>(config_.nranks);
+  for (std::size_t r = 0; r < result.ranks.size(); ++r) {
+    const RankStepStats& s = result.ranks[r];
+    report.phases.compute += to_sec(s.compute_ns) * inv_ranks;
+    report.phases.comm += to_sec(s.comm_ns()) * inv_ranks;
+    report.phases.sync += to_sec(s.sync_ns) * inv_ranks;
+    report.rank_compute_seconds[r] += to_sec(s.compute_ns);
+    report.msgs_local += s.msgs_local;
+    report.msgs_remote += s.msgs_remote;
+    report.bytes_local += s.bytes_local;
+    report.bytes_remote += s.bytes_remote;
+    if (config_.collect_telemetry) {
+      const auto rank = static_cast<std::int32_t>(r);
+      collector_.record_phase(step, rank, Phase::kCompute, s.compute_ns);
+      collector_.record_phase(step, rank, Phase::kComm, s.comm_ns());
+      collector_.record_phase(step, rank, Phase::kSync, s.sync_ns);
+      collector_.record_comm(step, rank, s.msgs_local, s.msgs_remote,
+                             s.bytes_local, s.bytes_remote, s.send_wait_ns,
+                             s.recv_wait_ns);
     }
-
-    // -- Telemetry ------------------------------------------------------
-    // Measured cost = what the profiler sees: the fault-inflated kernel
-    // time. Placement models are built from this, which is precisely why
-    // fail-slow hardware must be pruned rather than "balanced around".
-    remember_costs(mesh, costs);
-
-    const double inv_ranks = 1.0 / static_cast<double>(config_.nranks);
-    for (std::size_t r = 0; r < result.ranks.size(); ++r) {
-      const RankStepStats& s = result.ranks[r];
-      report.phases.compute += to_sec(s.compute_ns) * inv_ranks;
-      report.phases.comm += to_sec(s.comm_ns()) * inv_ranks;
-      report.phases.sync += to_sec(s.sync_ns) * inv_ranks;
-      report.rank_compute_seconds[r] += to_sec(s.compute_ns);
-      report.msgs_local += s.msgs_local;
-      report.msgs_remote += s.msgs_remote;
-      report.bytes_local += s.bytes_local;
-      report.bytes_remote += s.bytes_remote;
-      if (config_.collect_telemetry) {
-        const auto rank = static_cast<std::int32_t>(r);
-        collector_.record_phase(step, rank, Phase::kCompute, s.compute_ns);
-        collector_.record_phase(step, rank, Phase::kComm, s.comm_ns());
-        collector_.record_phase(step, rank, Phase::kSync, s.sync_ns);
-        collector_.record_comm(step, rank, s.msgs_local, s.msgs_remote,
-                               s.bytes_local, s.bytes_remote,
-                               s.send_wait_ns, s.recv_wait_ns);
-      }
-      if (config_.collect_block_telemetry) {
-        for (std::size_t b = 0; b < mesh.size(); ++b)
-          if (placement[b] == static_cast<std::int32_t>(r))
-            collector_.record_block(step, static_cast<std::int32_t>(b),
-                                    placement[b], costs[b]);
-      }
+    if (config_.collect_block_telemetry) {
+      for (std::size_t b = 0; b < mesh.size(); ++b)
+        if (st.placement[b] == static_cast<std::int32_t>(r))
+          collector_.record_block(step, static_cast<std::int32_t>(b),
+                                  st.placement[b], rt.costs[b]);
     }
   }
 
-  pipeline_stats_.plan_hits = plan_cache.stats().hits;
-  pipeline_stats_.plan_misses = plan_cache.stats().misses;
+  ++st.step;
+}
 
-  report.steps = config_.steps;
-  report.final_blocks = mesh.size();
-  report.wall_seconds = to_sec(engine.now());
-  report.critical_path = critical_path.stats();
+RunReport Simulation::finish_run() {
+  SimState& st = *state_;
+  st.pipeline_stats.plan_hits =
+      st.plan_hits_base + runtime_->plan_cache.stats().hits;
+  st.pipeline_stats.plan_misses =
+      st.plan_misses_base + runtime_->plan_cache.stats().misses;
+
+  st.report.steps = config_.steps;
+  st.report.final_blocks = st.mesh.size();
+  st.report.wall_seconds = to_sec(runtime_->engine.now());
+  st.report.critical_path = runtime_->critical_path.stats();
+  return st.report;
+}
+
+RunReport Simulation::run() {
+  if (!begun_) begin_run();
+  while (state_->step < config_.steps) {
+    step_once();
+    if (config_.checkpoint_every > 0 &&
+        state_->step % config_.checkpoint_every == 0 &&
+        state_->step < config_.steps) {
+      const std::string path =
+          checkpoint_path(config_.checkpoint_dir, state_->step);
+      AMR_CHECK_MSG(save_checkpoint(path), "failed to write checkpoint");
+    }
+  }
+  RunReport report = finish_run();
+  begun_ = false;  // a further run() starts over
   return report;
+}
+
+bool Simulation::save_checkpoint(const std::string& path) const {
+  AMR_CHECK_MSG(begun_ && state_ != nullptr,
+                "save_checkpoint requires a begun run");
+  return save_snapshot(path, config_, *state_, *runtime_, workload_,
+                       collector_, tracer_.get());
+}
+
+void Simulation::restore_checkpoint(const std::string& path) {
+  begin_run();
+  restore_snapshot(path, config_, *state_, *runtime_, workload_,
+                   collector_, tracer_.get());
+  // The active policy names the run: identical for a plain restore,
+  // the replacement's name under --replay.
+  state_->report.policy = policy_.name();
 }
 
 }  // namespace amr

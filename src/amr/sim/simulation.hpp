@@ -99,6 +99,14 @@ struct SimulationConfig {
   /// reference for that contract and for A/B benchmarking.
   bool incremental_plans = true;
 
+  /// Checkpointing: every `checkpoint_every` steps (0 = never) write a
+  /// snapshot `ckpt_<step>.amrs` into `checkpoint_dir`. Snapshots are
+  /// taken at step boundaries (drained event queue); restoring one and
+  /// continuing reproduces the uninterrupted run byte-for-byte (ctest
+  /// checkpoint_determinism holds the stack to it).
+  std::int64_t checkpoint_every = 0;
+  std::string checkpoint_dir = ".";
+
   FaultInjector faults;
 };
 
@@ -144,15 +152,36 @@ struct StepPipelineStats {
   std::int64_t telemetry_drops = 0;  ///< cost carries lost to aged remaps
 };
 
+struct SimState;
+struct SimRuntime;
+
 class Simulation {
  public:
   /// The workload and policy are borrowed for the lifetime of the run.
   Simulation(SimulationConfig config, Workload& workload,
              const PlacementPolicy& policy);
+  ~Simulation();
 
-  /// Execute the configured number of steps. Telemetry accumulates in
-  /// collector(); the report summarizes the run.
+  /// Execute the configured number of steps (or the remaining ones after
+  /// restore_checkpoint). Telemetry accumulates in collector(); the
+  /// report summarizes the run. The run loop is an explicit state
+  /// machine — begin_run / step_once* / finish_run — over SimState.
   RunReport run();
+
+  /// Snapshot the full simulation (config fingerprint, SimState, DES
+  /// clock, RNG streams, fabric dynamics, workload, telemetry, trace
+  /// ring) at the current step boundary. Returns false on I/O failure.
+  bool save_checkpoint(const std::string& path) const;
+
+  /// Resume from a snapshot: the next run() continues at the saved step
+  /// and produces output byte-identical to the uninterrupted run. The
+  /// configured policy may differ from the saved one (replay); the
+  /// config fingerprint must otherwise match or io::SnapshotError is
+  /// thrown.
+  void restore_checkpoint(const std::string& path);
+
+  /// Steps completed so far (0 before any run; config.steps after one).
+  std::int64_t current_step() const;
 
   const Collector& collector() const { return collector_; }
 
@@ -161,15 +190,23 @@ class Simulation {
   const Tracer* tracer() const { return tracer_.get(); }
 
   /// Cache behaviour of the last run().
-  const StepPipelineStats& pipeline_stats() const { return pipeline_stats_; }
+  const StepPipelineStats& pipeline_stats() const;
 
  private:
+  /// Construct runtime + state and compute the initial placement.
+  void begin_run();
+  /// Execute one full step (evolve, rebalance, faults, execute,
+  /// telemetry) and advance state_->step.
+  void step_once();
+  /// Seal the report (wall clock, final blocks, critical path).
+  RunReport finish_run();
+
   void estimated_costs(const AmrMesh& mesh, std::vector<TimeNs>& out);
   void remember_costs(const AmrMesh& mesh,
                       std::span<const TimeNs> measured);
-  /// Carry measured_flat_ forward to mesh.version() by composing the
-  /// mesh's renumbering records; false if telemetry had to be dropped
-  /// (no measurements yet, or a remap aged out of the mesh's history).
+  /// Carry state_->measured_flat forward to mesh.version() by composing
+  /// the mesh's renumbering records; false if telemetry had to be
+  /// dropped (no measurements yet, or a remap aged out of the history).
   bool sync_measured_costs(const AmrMesh& mesh);
   /// prev_rank[b] = rank block b had under `placement` computed at mesh
   /// version `from_version` (-1 if b did not exist then): the carried-only
@@ -183,18 +220,11 @@ class Simulation {
   const PlacementPolicy& policy_;
   Collector collector_;
   std::unique_ptr<Tracer> tracer_;
-  StepPipelineStats pipeline_stats_;
-  // Measured per-block costs in block-ID order at mesh version
-  // measured_version_, carried across renumberings by sync (no per-step
-  // hash-map rebuild).
-  std::vector<TimeNs> measured_flat_;
-  std::uint64_t measured_version_ = 0;
-  bool measured_valid_ = false;
-  // Scratch reused across steps/remaps to keep the hot loop free of
-  // per-step allocations.
-  std::vector<TimeNs> cost_scratch_;
-  std::vector<std::int32_t> rank_scratch_a_;
-  std::vector<std::int32_t> rank_scratch_b_;
+  std::unique_ptr<SimRuntime> runtime_;
+  std::unique_ptr<SimState> state_;
+  /// True between begin_run/restore_checkpoint and the end of run();
+  /// run() on a finished simulation starts over from scratch.
+  bool begun_ = false;
 };
 
 }  // namespace amr

@@ -1,6 +1,23 @@
 #include "amr/telemetry/collector.hpp"
 
+#include <utility>
+
+#include "amr/common/check.hpp"
+
 namespace amr {
+namespace {
+
+bool same_schema(const Table& a, const Table& b) {
+  if (a.name() != b.name() || a.schema().size() != b.schema().size())
+    return false;
+  for (std::size_t i = 0; i < a.schema().size(); ++i)
+    if (a.schema()[i].name != b.schema()[i].name ||
+        a.schema()[i].type != b.schema()[i].type)
+      return false;
+  return true;
+}
+
+}  // namespace
 
 Collector::Collector()
     : phases_("phases", {{"step", ColType::kI64},
@@ -50,6 +67,15 @@ void Collector::clear() {
   phases_.clear();
   comm_.clear();
   blocks_.clear();
+}
+
+void Collector::restore(Table phases, Table comm, Table blocks) {
+  AMR_CHECK_MSG(same_schema(phases, phases_) && same_schema(comm, comm_) &&
+                    same_schema(blocks, blocks_),
+                "restored telemetry tables do not match the collector schema");
+  phases_ = std::move(phases);
+  comm_ = std::move(comm);
+  blocks_ = std::move(blocks);
 }
 
 std::size_t Collector::bytes_used() const {

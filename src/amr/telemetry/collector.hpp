@@ -69,6 +69,10 @@ class Collector {
   /// trace->table exporters use this to reuse one collector per run.
   void clear();
 
+  /// Replace all three tables with checkpointed copies. The tables must
+  /// carry this collector's schemas (schema mismatch aborts).
+  void restore(Table phases, Table comm, Table blocks);
+
   /// Total heap bytes held by the three tables' column storage.
   std::size_t bytes_used() const;
 

@@ -105,6 +105,27 @@ void Tracer::clear() {
   next_flow_id_ = 1;
 }
 
+const char* Tracer::intern(std::string_view name) {
+  return interned_names_.emplace(name).first->c_str();
+}
+
+void Tracer::restore(std::span<const TraceEvent> events,
+                     std::uint64_t dropped, std::uint64_t recorded,
+                     std::uint64_t next_flow_id) {
+  AMR_CHECK_MSG(events.size() <= ring_.size(),
+                "restored event stream exceeds the ring capacity");
+  begin_ = 0;
+  size_ = 0;
+  for (const TraceEvent& ev : events) {
+    TraceEvent owned = ev;
+    owned.name = intern(ev.name);
+    ring_[size_++] = owned;
+  }
+  dropped_ = dropped;
+  recorded_ = recorded;
+  next_flow_id_ = next_flow_id;
+}
+
 std::vector<TraceEvent> Tracer::snapshot() const {
   std::vector<TraceEvent> out;
   out.reserve(size_);

@@ -17,6 +17,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "amr/common/time.hpp"
@@ -136,7 +140,19 @@ class Tracer {
   std::size_t size() const { return size_; }
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t next_flow_id() const { return next_flow_id_; }
   void clear();
+
+  /// Restore a checkpointed event stream: replaces the buffer contents
+  /// and counters. Event names are copied into an arena owned by this
+  /// tracer (checkpointed events must not dangle on the original string
+  /// literals of another process), so callers may pass transient strings.
+  void restore(std::span<const TraceEvent> events, std::uint64_t dropped,
+               std::uint64_t recorded, std::uint64_t next_flow_id);
+
+  /// Stable owned copy of `name` (deduplicated); used by restore() and
+  /// available to exporters that rebuild events from serialized form.
+  const char* intern(std::string_view name);
 
   /// Visit buffered events oldest-first (recording order).
   template <typename Fn>
@@ -158,6 +174,9 @@ class Tracer {
   std::uint64_t dropped_ = 0;
   std::uint64_t recorded_ = 0;
   std::uint64_t next_flow_id_ = 1;
+  /// Owned storage for restored event names (node-stable container: the
+  /// const char* handed out must survive rehash/growth).
+  std::set<std::string, std::less<>> interned_names_;
 };
 
 }  // namespace amr

@@ -23,6 +23,14 @@ bool CoolingWorkload::evolve(AmrMesh& mesh, std::int64_t step) {
   return changed > 0;
 }
 
+void CoolingWorkload::save_state(std::vector<std::uint8_t>& out) const {
+  out.push_back(refined_ ? 1 : 0);
+}
+
+void CoolingWorkload::restore_state(std::span<const std::uint8_t> blob) {
+  refined_ = !blob.empty() && blob[0] != 0;
+}
+
 TimeNs CoolingWorkload::block_cost(const AmrMesh& mesh, std::size_t block,
                                    std::int64_t step) const {
   const auto c = mesh.bounds(block).center();

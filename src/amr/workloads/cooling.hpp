@@ -39,6 +39,11 @@ class CoolingWorkload final : public Workload {
 
   const CoolingParams& params() const { return params_; }
 
+  /// The refine-once latch is cross-step state: without it a restored run
+  /// would re-refine the clump region.
+  void save_state(std::vector<std::uint8_t>& out) const override;
+  void restore_state(std::span<const std::uint8_t> blob) override;
+
  private:
   CoolingParams params_;
   bool refined_ = false;

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "amr/common/time.hpp"
 #include "amr/mesh/mesh.hpp"
@@ -31,6 +33,17 @@ class Workload {
   /// telemetry from previous steps.
   virtual TimeNs block_cost(const AmrMesh& mesh, std::size_t block,
                             std::int64_t step) const = 0;
+
+  /// Checkpoint hooks: append any cross-step internal state as an opaque
+  /// blob / adopt it back. Workloads whose costs and refinement are pure
+  /// functions of (coords, step, seed) — like Sedov — keep the default
+  /// empty implementations.
+  virtual void save_state(std::vector<std::uint8_t>& out) const {
+    (void)out;
+  }
+  virtual void restore_state(std::span<const std::uint8_t> blob) {
+    (void)blob;
+  }
 };
 
 }  // namespace amr

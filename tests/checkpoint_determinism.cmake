@@ -1,0 +1,67 @@
+# Asserts the checkpoint/restart determinism contract end-to-end: a run
+# restored from any mid-run snapshot and continued to completion must
+# produce byte-identical stdout to the uninterrupted run — with fault
+# injection active (--faults) and the incremental step pipeline on (the
+# default), per the acceptance criteria. Two configurations with
+# different step counts vary the regrid schedule, so the checkpoints land
+# inside, at the edge of, and after both regrids and the fault window.
+#
+# Invoked from bench/CMakeLists.txt; -DSEDOV names the sedov_sim binary,
+# -DWORK_DIR a scratch directory for checkpoint files.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Each entry: policy ranks steps checkpoint-every.
+set(configs
+  "cpl50 32 24 5"
+  "lpt 32 17 7"
+)
+
+foreach(config IN LISTS configs)
+  separate_arguments(config)
+  list(GET config 0 policy)
+  list(GET config 1 ranks)
+  list(GET config 2 steps)
+  list(GET config 3 every)
+  set(dir "${WORK_DIR}/${policy}_${steps}")
+  file(MAKE_DIRECTORY "${dir}")
+
+  execute_process(
+    COMMAND "${SEDOV}" ${policy} ${ranks} ${steps} --faults=2
+    OUTPUT_VARIABLE out_full RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "uninterrupted run failed (exit ${rc})")
+  endif()
+
+  execute_process(
+    COMMAND "${SEDOV}" ${policy} ${ranks} ${steps} --faults=2
+            --checkpoint-every=${every} --checkpoint-dir=${dir}
+    OUTPUT_VARIABLE out_ck RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "checkpointing run failed (exit ${rc})")
+  endif()
+  if(NOT out_full STREQUAL out_ck)
+    message(FATAL_ERROR "writing checkpoints changed stdout "
+                        "(${policy} ${steps} steps)")
+  endif()
+
+  file(GLOB snapshots "${dir}/ckpt_*.amrs")
+  if(snapshots STREQUAL "")
+    message(FATAL_ERROR "checkpointing run wrote no snapshots in ${dir}")
+  endif()
+  foreach(snapshot IN LISTS snapshots)
+    execute_process(
+      COMMAND "${SEDOV}" ${policy} ${ranks} ${steps} --faults=2
+              --restore=${snapshot}
+      OUTPUT_VARIABLE out_restored RESULT_VARIABLE rc
+      ERROR_QUIET)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "restore from ${snapshot} failed (exit ${rc})")
+    endif()
+    if(NOT out_full STREQUAL out_restored)
+      message(FATAL_ERROR "stdout differs between the uninterrupted run "
+                          "and the run restored from ${snapshot}: the "
+                          "checkpoint determinism contract is broken")
+    endif()
+  endforeach()
+endforeach()

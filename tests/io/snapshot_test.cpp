@@ -1,0 +1,126 @@
+#include "amr/io/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amr::io {
+namespace {
+
+std::vector<std::uint8_t> sample_snapshot() {
+  SnapshotWriter w;
+  w.begin_section("scalars");
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-7);
+  w.i64(-1234567890123ll);
+  w.b(true);
+  w.b(false);
+  w.f64(0.1);  // not exactly representable: must round-trip bit-exact
+  w.end_section();
+  w.begin_section("strings");
+  w.str("hello");
+  w.str("");
+  w.end_section();
+  w.begin_section("vectors");
+  w.vec_pod(std::vector<std::int64_t>{1, -2, 3});
+  w.vec_pod(std::vector<double>{});
+  w.end_section();
+  return w.finish();
+}
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  SnapshotReader r(sample_snapshot());
+  r.begin_section("scalars");
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -7);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.f64(), 0.1);
+  r.end_section();
+  r.begin_section("strings");
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  r.end_section();
+  r.begin_section("vectors");
+  EXPECT_EQ(r.vec_pod<std::int64_t>(), (std::vector<std::int64_t>{1, -2, 3}));
+  EXPECT_TRUE(r.vec_pod<double>().empty());
+  r.end_section();
+  EXPECT_EQ(r.peek_section(), "");
+}
+
+TEST(SnapshotTest, UnknownSectionsCanBeSkipped) {
+  // Forward compatibility: a reader consumes the sections it knows and
+  // skips the rest by name.
+  SnapshotReader r(sample_snapshot());
+  EXPECT_EQ(r.peek_section(), "scalars");
+  r.skip_section();
+  EXPECT_EQ(r.peek_section(), "strings");
+  r.skip_section();
+  r.begin_section("vectors");
+  EXPECT_EQ(r.vec_pod<std::int64_t>().size(), 3u);
+  r.vec_pod<double>();
+  r.end_section();
+}
+
+TEST(SnapshotTest, WrongSectionNameThrows) {
+  SnapshotReader r(sample_snapshot());
+  EXPECT_THROW(r.begin_section("nope"), SnapshotError);
+}
+
+TEST(SnapshotTest, PartiallyReadSectionThrowsOnEnd) {
+  SnapshotReader r(sample_snapshot());
+  r.begin_section("scalars");
+  r.u8();
+  EXPECT_THROW(r.end_section(), SnapshotError);
+}
+
+TEST(SnapshotTest, EveryTruncationFailsCleanly) {
+  const std::vector<std::uint8_t> full = sample_snapshot();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::vector<std::uint8_t> cut(full.begin(),
+                                  full.begin() + static_cast<long>(len));
+    EXPECT_THROW(SnapshotReader r(std::move(cut)), SnapshotError)
+        << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(SnapshotTest, EveryBitFlipIsDetected) {
+  // Flipping any byte must be caught at construction (magic, version,
+  // size, checksum) or at read time (bounds checks) — never silently
+  // accepted as the original data.
+  const std::vector<std::uint8_t> full = sample_snapshot();
+  for (std::size_t at = 0; at < full.size(); ++at) {
+    std::vector<std::uint8_t> bad = full;
+    bad[at] ^= 0x40;
+    EXPECT_THROW(SnapshotReader r(std::move(bad)), SnapshotError)
+        << "bit flip at byte " << at << " was accepted";
+  }
+}
+
+TEST(SnapshotTest, GarbageFileThrows) {
+  EXPECT_THROW(SnapshotReader r(std::vector<std::uint8_t>{'n', 'o'}),
+               SnapshotError);
+  EXPECT_THROW(SnapshotReader r("/nonexistent/dir/snap.amrs"),
+               SnapshotError);
+}
+
+TEST(SnapshotTest, OversizedVectorCountThrows) {
+  // A corrupted element count must hit the bounds check, not allocate.
+  SnapshotWriter w;
+  w.begin_section("v");
+  w.u64(~0ull);  // vec_pod count with no bytes behind it
+  w.end_section();
+  SnapshotReader r(w.finish());
+  r.begin_section("v");
+  EXPECT_THROW(r.vec_pod<std::int64_t>(), SnapshotError);
+}
+
+}  // namespace
+}  // namespace amr::io

@@ -83,5 +83,51 @@ TEST_F(BinaryIoTest, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST_F(BinaryIoTest, ZeroRowMultiColumnRoundTrips) {
+  // A run that never recorded telemetry still snapshots its (empty)
+  // tables; schema and stats must survive with zero rows.
+  const Table empty("phases", {{"step", ColType::kI64},
+                               {"rank", ColType::kI64},
+                               {"dur", ColType::kF64}});
+  ASSERT_TRUE(write_table(empty, path_));
+  const Table loaded = read_table(path_);
+  EXPECT_EQ(loaded.num_rows(), 0u);
+  ASSERT_EQ(loaded.num_cols(), 3u);
+  EXPECT_EQ(loaded.schema()[2].name, "dur");
+  EXPECT_EQ(loaded.schema()[2].type, ColType::kF64);
+  const auto stats = read_table_stats(path_);
+  ASSERT_EQ(stats.size(), 3u);
+}
+
+TEST_F(BinaryIoTest, EmptyStringNamesRoundTrip) {
+  // Zero-length table and column names are valid (length-prefixed
+  // strings, not NUL-terminated): nothing may misparse the empty case.
+  Table anon("", {{"", ColType::kI64}, {"x", ColType::kF64}});
+  anon.append_row({std::int64_t{7}, 2.5});
+  ASSERT_TRUE(write_table(anon, path_));
+  const Table loaded = read_table(path_);
+  EXPECT_EQ(loaded.name(), "");
+  ASSERT_EQ(loaded.num_cols(), 2u);
+  EXPECT_EQ(loaded.schema()[0].name, "");
+  ASSERT_EQ(loaded.num_rows(), 1u);
+  EXPECT_EQ(loaded.ivalue(0, 0), 7);
+  EXPECT_EQ(loaded.value(1, 0), 2.5);
+}
+
+TEST_F(BinaryIoTest, EveryTruncationFailsCleanly) {
+  // Cutting the file at any byte must throw the clean "truncated"
+  // diagnostic from read_table, never crash or return partial data.
+  ASSERT_TRUE(write_table(sample_table(), path_));
+  const auto size =
+      static_cast<std::uintmax_t>(std::filesystem::file_size(path_));
+  for (std::uintmax_t len = 0; len < size; ++len) {
+    std::filesystem::resize_file(path_, len);
+    EXPECT_THROW(read_table(path_), std::runtime_error)
+        << "truncation to " << len << " bytes was accepted";
+    // Restore for the next iteration's shorter cut.
+    ASSERT_TRUE(write_table(sample_table(), path_));
+  }
+}
+
 }  // namespace
 }  // namespace amr
