@@ -1,0 +1,291 @@
+// Message-aggregation benchmark: what per-destination packing of the
+// boundary exchange buys in host steps/sec.
+//
+// The legacy path posts one fabric transfer per directed block-neighbor
+// pair, so a 2048-rank Sedov step floods the DES with tens of thousands
+// of delivery events; with --aggregate every same-(src,dst) send of the
+// step coalesces into one packed transfer (Parthenon-style neighbor
+// buffers), cutting the exchange-phase event count by the coalescing
+// factor. Four sections:
+//   1. sedov steps/sec at paper scales, aggregation off vs on, with the
+//      coalescing factor, the byte-conservation check (aggregation must
+//      move exactly the legacy byte volume), and an on-mode determinism
+//      check (two identical runs -> identical reports);
+//   2. placement-ranking preservation: a baseline-vs-CPLX mini-sweep in
+//      both modes — aggregation must not change which policy wins
+//      (simulated wall time), or A/B studies under --aggregate would not
+//      transfer;
+//   3. plan-build microcost of the aggregated vs legacy build on the
+//      shared step-work fixture;
+//   4. the per-step message-count split before/after.
+//
+// The mesh runs denser than one block per rank (--blocks-per-rank,
+// default 4): with exactly one block per rank each neighbor pair has its
+// own destination rank and there is nothing to pack; real AMR runs hold
+// several blocks per rank, which is where per-destination aggregation
+// pays (see BENCH_comm_aggregate.json).
+//
+// Stdout includes host wall-clock values and is NOT byte-stable; the
+// --json=FILE record (one object per line, appended) is the tracked
+// artifact.
+//
+// Flags: --steps=N (default 20) --trials=N (default 2) --quick
+//        --blocks-per-rank=N (default 4) --json=FILE
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "amr/exec/work.hpp"
+#include "amr/placement/registry.hpp"
+#include "amr/sim/simulation.hpp"
+#include "amr/workloads/sedov.hpp"
+#include "step_work_fixture.hpp"
+
+namespace {
+
+using namespace amr;
+using namespace amr::bench;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ModeResult {
+  double best_ms = 1e30;
+  RunReport report;
+};
+
+SimulationConfig aggregate_config(std::int32_t ranks, std::int64_t steps,
+                                  std::int64_t blocks_per_rank,
+                                  bool aggregate) {
+  SimulationConfig cfg = base_sim_config(ranks, steps);
+  // Denser root grid than the 1-block/rank Table I default: aggregation
+  // packs same-destination sends, which only exist when a rank holds
+  // several blocks.
+  cfg.root_grid =
+      grid_for_ranks(static_cast<std::int64_t>(ranks) * blocks_per_rank);
+  cfg.aggregate_messages = aggregate;
+  return cfg;
+}
+
+ModeResult run_sedov(std::int32_t ranks, std::int64_t steps,
+                     std::int64_t blocks_per_rank, bool aggregate,
+                     const std::string& policy_name, int trials) {
+  ModeResult r;
+  for (int t = 0; t < trials; ++t) {
+    SimulationConfig cfg =
+        aggregate_config(ranks, steps, blocks_per_rank, aggregate);
+    SedovParams sp;
+    sp.total_steps = steps;
+    sp.max_level = 1;
+    SedovWorkload sedov(sp);
+    const PolicyPtr policy = make_policy(policy_name);
+    Simulation sim(cfg, sedov, *policy);
+    const double t0 = now_ms();
+    RunReport report = sim.run();
+    const double ms = now_ms() - t0;
+    if (ms < r.best_ms) {
+      r.best_ms = ms;
+      r.report = std::move(report);
+    }
+  }
+  return r;
+}
+
+/// Simulated quantities two runs of the same configuration must agree on.
+bool reports_match(const RunReport& a, const RunReport& b) {
+  return a.wall_seconds == b.wall_seconds &&
+         a.phases.compute == b.phases.compute &&
+         a.phases.comm == b.phases.comm && a.phases.sync == b.phases.sync &&
+         a.msgs_local == b.msgs_local && a.msgs_remote == b.msgs_remote &&
+         a.msgs_coalesced == b.msgs_coalesced &&
+         a.bytes_packed == b.bytes_packed &&
+         a.bytes_local == b.bytes_local &&
+         a.bytes_remote == b.bytes_remote &&
+         a.final_blocks == b.final_blocks;
+}
+
+struct ScaleRow {
+  std::int32_t ranks = 0;
+  double off_ms = 0.0;
+  double on_ms = 0.0;
+  double off_steps_per_s = 0.0;
+  double on_steps_per_s = 0.0;
+  std::int64_t msgs_off = 0;       ///< MPI transfers, legacy path
+  std::int64_t msgs_on = 0;        ///< MPI transfers, aggregated
+  std::int64_t msgs_coalesced = 0;
+  double coalesce_factor = 0.0;    ///< logical msgs per transfer
+  bool bytes_conserved = false;
+  bool deterministic = false;
+};
+
+ScaleRow bench_scale(std::int32_t ranks, std::int64_t steps,
+                     std::int64_t blocks_per_rank, int trials) {
+  const ModeResult off =
+      run_sedov(ranks, steps, blocks_per_rank, false, "cpl50", trials);
+  const ModeResult on =
+      run_sedov(ranks, steps, blocks_per_rank, true, "cpl50", trials);
+  const ModeResult on2 =
+      run_sedov(ranks, steps, blocks_per_rank, true, "cpl50", 1);
+  ScaleRow row;
+  row.ranks = ranks;
+  row.off_ms = off.best_ms;
+  row.on_ms = on.best_ms;
+  row.off_steps_per_s = static_cast<double>(steps) / (off.best_ms / 1000.0);
+  row.on_steps_per_s = static_cast<double>(steps) / (on.best_ms / 1000.0);
+  row.msgs_off = off.report.msgs_local + off.report.msgs_remote;
+  row.msgs_on = on.report.msgs_local + on.report.msgs_remote;
+  row.msgs_coalesced = on.report.msgs_coalesced;
+  row.coalesce_factor =
+      row.msgs_on > 0 ? static_cast<double>(row.msgs_on +
+                                            on.report.msgs_coalesced) /
+                            static_cast<double>(row.msgs_on)
+                      : 0.0;
+  // Aggregation repackages messages; it must move exactly the legacy
+  // byte volume (the logical message count is conserved too).
+  row.bytes_conserved =
+      off.report.bytes_local + off.report.bytes_remote ==
+          on.report.bytes_local + on.report.bytes_remote &&
+      off.report.msgs_local + off.report.msgs_remote ==
+          on.report.msgs_local + on.report.msgs_remote +
+              on.report.msgs_coalesced;
+  row.deterministic = reports_match(on.report, on2.report);
+  return row;
+}
+
+/// Aggregated vs legacy plan-build cost on the shared fixture.
+void build_microcost(std::int32_t ranks, double& legacy_us,
+                     double& aggregate_us) {
+  const StepWorkFixture f = make_step_work_fixture(ranks);
+  const int reps = 20;
+  for (const bool aggregate : {false, true}) {
+    const double t0 = now_ms();
+    for (int i = 0; i < reps; ++i) {
+      const auto work = build_step_work(f.mesh, f.placement, f.costs,
+                                        ranks, f.sizes, true, aggregate);
+      if (work.empty()) std::abort();
+    }
+    (aggregate ? aggregate_us : legacy_us) =
+        (now_ms() - t0) * 1000.0 / reps;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::int64_t steps = flags.get_int("steps", flags.quick() ? 10 : 20);
+  const int trials =
+      static_cast<int>(flags.get_int("trials", flags.quick() ? 1 : 2));
+  const std::int64_t blocks_per_rank = flags.get_int("blocks-per-rank", 4);
+  const std::string json = flags.json_path();
+  flags.done();
+
+  print_header("sedov steps/sec: message aggregation off vs on");
+  const std::vector<std::int32_t> scales =
+      flags.quick() ? std::vector<std::int32_t>{64}
+                    : std::vector<std::int32_t>{512, 2048, 4096};
+  std::vector<ScaleRow> rows;
+  bool all_ok = true;
+  for (const std::int32_t ranks : scales) {
+    const ScaleRow row = bench_scale(ranks, steps, blocks_per_rank, trials);
+    rows.push_back(row);
+    all_ok = all_ok && row.bytes_conserved && row.deterministic;
+    std::printf(
+        "%5d ranks x %lld steps: off %8.1f ms (%6.2f steps/s)  "
+        "on %8.1f ms (%6.2f steps/s)  speedup %.2fx\n",
+        ranks, static_cast<long long>(steps), row.off_ms,
+        row.off_steps_per_s, row.on_ms, row.on_steps_per_s,
+        row.on_ms > 0 ? row.off_ms / row.on_ms : 0.0);
+    std::printf(
+        "        transfers %lld -> %lld (%.2fx packed)   "
+        "bytes conserved: %s   deterministic: %s\n",
+        static_cast<long long>(row.msgs_off),
+        static_cast<long long>(row.msgs_on), row.coalesce_factor,
+        row.bytes_conserved ? "yes" : "NO",
+        row.deterministic ? "yes" : "NO");
+  }
+
+  print_header("placement ranking under aggregation (baseline vs cpl50)");
+  const std::int32_t rank_scale = flags.quick() ? 64 : 512;
+  bool rankings_preserved = true;
+  double base_off = 0.0;
+  double cplx_off = 0.0;
+  double base_on = 0.0;
+  double cplx_on = 0.0;
+  {
+    base_off = run_sedov(rank_scale, steps, blocks_per_rank, false,
+                         "baseline", 1)
+                   .report.wall_seconds;
+    cplx_off =
+        run_sedov(rank_scale, steps, blocks_per_rank, false, "cpl50", 1)
+            .report.wall_seconds;
+    base_on = run_sedov(rank_scale, steps, blocks_per_rank, true,
+                        "baseline", 1)
+                  .report.wall_seconds;
+    cplx_on =
+        run_sedov(rank_scale, steps, blocks_per_rank, true, "cpl50", 1)
+            .report.wall_seconds;
+    rankings_preserved = (cplx_off < base_off) == (cplx_on < base_on);
+    std::printf("  off: baseline %.4f s, cpl50 %.4f s (%s wins)\n",
+                base_off, cplx_off,
+                cplx_off < base_off ? "cpl50" : "baseline");
+    std::printf("  on:  baseline %.4f s, cpl50 %.4f s (%s wins)\n",
+                base_on, cplx_on, cplx_on < base_on ? "cpl50" : "baseline");
+    std::printf("  ranking preserved under aggregation: %s\n",
+                rankings_preserved ? "yes" : "NO");
+  }
+  all_ok = all_ok && rankings_preserved;
+
+  print_header("plan-build microcost: legacy vs aggregated");
+  double legacy_us = 0.0;
+  double aggregate_us = 0.0;
+  build_microcost(flags.quick() ? 64 : 512, legacy_us, aggregate_us);
+  std::printf("  legacy %10.1f us/step   aggregated %10.1f us/step\n",
+              legacy_us, aggregate_us);
+
+  if (!json.empty()) {
+    std::FILE* f = json == "-" ? stdout : std::fopen(json.c_str(), "a");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\"bench\":\"comm_aggregate\",\"steps\":%lld,"
+                   "\"trials\":%d,\"blocks_per_rank\":%lld,\"scales\":[",
+                   static_cast<long long>(steps), trials,
+                   static_cast<long long>(blocks_per_rank));
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ScaleRow& r = rows[i];
+        std::fprintf(
+            f,
+            "%s{\"ranks\":%d,\"off_ms\":%.1f,\"on_ms\":%.1f,"
+            "\"off_steps_per_s\":%.2f,\"on_steps_per_s\":%.2f,"
+            "\"speedup\":%.3f,\"msgs_off\":%lld,\"msgs_on\":%lld,"
+            "\"msgs_coalesced\":%lld,\"coalesce_factor\":%.2f,"
+            "\"bytes_conserved\":%s,\"deterministic\":%s}",
+            i == 0 ? "" : ",", r.ranks, r.off_ms, r.on_ms,
+            r.off_steps_per_s, r.on_steps_per_s,
+            r.on_ms > 0 ? r.off_ms / r.on_ms : 0.0,
+            static_cast<long long>(r.msgs_off),
+            static_cast<long long>(r.msgs_on),
+            static_cast<long long>(r.msgs_coalesced), r.coalesce_factor,
+            r.bytes_conserved ? "true" : "false",
+            r.deterministic ? "true" : "false");
+      }
+      std::fprintf(f,
+                   "],\"ranking\":{\"ranks\":%d,\"baseline_off_s\":%.4f,"
+                   "\"cpl50_off_s\":%.4f,\"baseline_on_s\":%.4f,"
+                   "\"cpl50_on_s\":%.4f,\"preserved\":%s},"
+                   "\"build_legacy_us\":%.1f,\"build_aggregate_us\":%.1f}\n",
+                   rank_scale, base_off, cplx_off, base_on, cplx_on,
+                   rankings_preserved ? "true" : "false", legacy_us,
+                   aggregate_us);
+      if (f != stdout) std::fclose(f);
+    }
+  }
+  return all_ok ? 0 : 1;
+}

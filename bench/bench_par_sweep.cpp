@@ -24,6 +24,7 @@
 
 #include "amr/des/engine.hpp"
 #include "amr/par/sweep.hpp"
+#include "amr/par/thread_pool.hpp"
 #include "amr/placement/cplx.hpp"
 #include "amr/placement/lpt.hpp"
 #include "amr/placement/metrics.hpp"
@@ -137,15 +138,28 @@ int main(int argc, char** argv) {
   flags.done();
 
   print_header("sweep scaling: CPLX placement trials, serial vs pool");
+  const int hw = ThreadPool::hardware_jobs();
   const SweepRun serial = run_batch(1, tasks, ranks);
   const SweepRun pooled = run_batch(jobs, tasks, ranks);
   const bool identical = serial.output == pooled.output;
-  std::printf("%d tasks x %d ranks\n", tasks, ranks);
+  const double speedup =
+      pooled.wall_ms > 0 ? serial.wall_ms / pooled.wall_ms : 0.0;
+  // The pool can only beat serial when the host has cores to run it on;
+  // CI containers frequently expose a single CPU, where oversubscribed
+  // threads just add scheduling noise. The determinism contract still
+  // holds there, so only the speedup expectation is skipped.
+  const bool expect_speedup = hw > 1 && jobs > 1;
+  const bool speedup_ok = !expect_speedup || speedup > 1.0;
+  std::printf("%d tasks x %d ranks (host: %d hardware threads)\n", tasks,
+              ranks, hw);
   std::printf("  jobs=1  %10.2f ms\n", serial.wall_ms);
-  std::printf("  jobs=%-2d %10.2f ms   speedup %.2fx\n", jobs,
-              pooled.wall_ms,
-              pooled.wall_ms > 0 ? serial.wall_ms / pooled.wall_ms : 0.0);
+  std::printf("  jobs=%-2d %10.2f ms   speedup %.2fx%s\n", jobs,
+              pooled.wall_ms, speedup,
+              expect_speedup ? "" : "  (single CPU: not expected)");
   std::printf("  outputs byte-identical: %s\n", identical ? "yes" : "NO");
+  if (expect_speedup && !speedup_ok)
+    std::printf("  WARNING: pool slower than serial on a %d-thread host\n",
+                hw);
 
   print_header("DES event dispatch (monotone radix queue)");
   const std::size_t events = flags.quick() ? 100000 : 400000;
@@ -166,12 +180,13 @@ int main(int argc, char** argv) {
       std::fprintf(
           f,
           "{\"bench\":\"par_sweep\",\"tasks\":%d,\"ranks\":%d,"
-          "\"jobs\":%d,\"serial_ms\":%.3f,\"pooled_ms\":%.3f,"
-          "\"speedup\":%.3f,\"deterministic\":%s,"
+          "\"jobs\":%d,\"hw_concurrency\":%d,\"serial_ms\":%.3f,"
+          "\"pooled_ms\":%.3f,\"speedup\":%.3f,\"speedup_expected\":%s,"
+          "\"deterministic\":%s,"
           "\"des_mevents_per_s\":%.3f,\"lpt_4096_ms\":%.3f,"
           "\"lpt_65536_ms\":%.3f}\n",
-          tasks, ranks, jobs, serial.wall_ms, pooled.wall_ms,
-          pooled.wall_ms > 0 ? serial.wall_ms / pooled.wall_ms : 0.0,
+          tasks, ranks, jobs, hw, serial.wall_ms, pooled.wall_ms, speedup,
+          expect_speedup ? "true" : "false",
           identical ? "true" : "false", rate, ms4k, ms64k);
       if (f != stdout) std::fclose(f);
     }

@@ -25,6 +25,8 @@
 #include <chrono>
 #include <memory>
 
+#include "step_work_fixture.hpp"
+
 #include "amr/des/engine.hpp"
 #include "amr/exec/plan_cache.hpp"
 #include "amr/placement/registry.hpp"
@@ -115,35 +117,26 @@ ScaleRow bench_scale(std::int32_t ranks, std::int64_t steps, int trials) {
 /// Microcost of one plan construction vs one cache-hit patch on a frozen
 /// (mesh, placement): the per-step saving the cache delivers.
 void plan_microcost(std::int32_t ranks, double& build_us, double& hit_us) {
-  AmrMesh mesh(grid_for_ranks(ranks));
-  // Refine a band of blocks so refinement boundaries (flux messages,
-  // mixed-level neighbors) are part of the plan like in a real run.
-  std::vector<std::int32_t> tags;
-  for (std::size_t b = 0; b < mesh.size() / 8; ++b)
-    tags.push_back(static_cast<std::int32_t>(b * 4));
-  mesh.refine(tags);
-  Placement p(mesh.size());
-  for (std::size_t b = 0; b < mesh.size(); ++b)
-    p[b] = static_cast<std::int32_t>(b % static_cast<std::size_t>(ranks));
-  std::vector<TimeNs> costs(mesh.size());
-  for (std::size_t b = 0; b < mesh.size(); ++b)
-    costs[b] = us(100) + static_cast<TimeNs>(b % 37);
-  const MessageSizeModel sizes{};
+  StepWorkFixture f = make_step_work_fixture(ranks);
 
   const int reps = 20;
   double t0 = now_ms();
   for (int i = 0; i < reps; ++i) {
-    const auto work = build_step_work(mesh, p, costs, ranks, sizes, true);
+    const auto work = build_step_work(f.mesh, f.placement, f.costs, ranks,
+                                      f.sizes, true);
     if (work.empty()) std::abort();
   }
   build_us = (now_ms() - t0) * 1000.0 / reps;
 
   ExchangePlanCache cache;
-  (void)cache.step_work(mesh, p, 0, costs, ranks, sizes, true);
+  (void)cache.step_work(f.mesh, f.placement, 0, f.costs, ranks, f.sizes,
+                        true);
   t0 = now_ms();
   for (int i = 0; i < reps; ++i) {
-    costs[0] = us(100) + i;  // hits re-patch durations every step
-    const auto work = cache.step_work(mesh, p, 0, costs, ranks, sizes, true);
+    f.costs[0] = us(100) + i;  // hits re-patch durations every step
+    const auto work =
+        cache.step_work(f.mesh, f.placement, 0, f.costs, ranks, f.sizes,
+                        true);
     if (work.empty()) std::abort();
   }
   hit_us = (now_ms() - t0) * 1000.0 / reps;

@@ -36,9 +36,10 @@ namespace {
 
 using namespace amr;
 
-constexpr std::int32_t kRanks = 64;
-constexpr std::int64_t kSteps = 30;
-constexpr int kReps = 5;
+// Defaults; --quick shrinks all three for the bench_smoke ctest label.
+std::int32_t kRanks = 64;
+std::int64_t kSteps = 30;
+int kReps = 5;
 
 SimulationConfig base_config() {
   SimulationConfig cfg = bench::base_sim_config(kRanks, kSteps);
@@ -83,7 +84,14 @@ double run_ms(bool traced, bool exported, std::uint64_t& events,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  if (flags.quick()) {
+    kRanks = 16;
+    kSteps = 8;
+    kReps = 1;
+  }
+  flags.done();
   std::printf("trace overhead: sedov, %d ranks, %lld steps, best of %d\n\n",
               kRanks, static_cast<long long>(kSteps), kReps);
 

@@ -1,0 +1,51 @@
+// Shared plan-build fixture for the step-work benches.
+//
+// One mesh + placement + cost shape used by every bench that measures
+// build_step_work and its variants (bench_step_pipeline's microcost
+// section, bench_comm_aggregate's build-cost comparison), so plan-build
+// numbers across benches are comparable and aggregation tuning has a
+// single source of truth. The message-size constants themselves live in
+// MessageSizeModel (amr/placement/metrics.hpp) — this header only wires
+// the canonical mesh shape around them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amr/mesh/mesh.hpp"
+#include "amr/placement/metrics.hpp"
+#include "amr/placement/policy.hpp"
+#include "bench_util.hpp"
+
+namespace amr::bench {
+
+/// Frozen (mesh, placement, costs) for plan-construction measurements.
+struct StepWorkFixture {
+  AmrMesh mesh;
+  Placement placement;
+  std::vector<TimeNs> costs;
+  MessageSizeModel sizes{};
+};
+
+/// The canonical plan-build workload: the Table I root grid for `ranks`
+/// with a band of refined blocks (so refinement boundaries — flux
+/// messages, mixed-level neighbors — are part of the plan like in a real
+/// run), round-robin placement, and per-block costs with a small
+/// deterministic spread.
+inline StepWorkFixture make_step_work_fixture(std::int32_t ranks) {
+  StepWorkFixture f{AmrMesh(grid_for_ranks(ranks)), {}, {}, {}};
+  std::vector<std::int32_t> tags;
+  for (std::size_t b = 0; b < f.mesh.size() / 8; ++b)
+    tags.push_back(static_cast<std::int32_t>(b * 4));
+  f.mesh.refine(tags);
+  f.placement.resize(f.mesh.size());
+  for (std::size_t b = 0; b < f.mesh.size(); ++b)
+    f.placement[b] =
+        static_cast<std::int32_t>(b % static_cast<std::size_t>(ranks));
+  f.costs.resize(f.mesh.size());
+  for (std::size_t b = 0; b < f.mesh.size(); ++b)
+    f.costs[b] = us(100) + static_cast<TimeNs>(b % 37);
+  return f;
+}
+
+}  // namespace amr::bench

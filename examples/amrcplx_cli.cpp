@@ -91,7 +91,7 @@ std::unique_ptr<Workload> make_workload(const std::string& name,
   return nullptr;
 }
 
-std::string report_text(const RunReport& r) {
+std::string report_text(const RunReport& r, bool aggregate) {
   std::string out;
   char buf[512];
   const double total = r.phases.total();
@@ -120,11 +120,19 @@ std::string report_text(const RunReport& r) {
                 static_cast<long long>(r.critical_path.one_rank_paths),
                 static_cast<long long>(r.critical_path.two_rank_paths));
   out += buf;
+  // Only in aggregate mode: legacy stdout stays byte-identical.
+  if (aggregate) {
+    std::snprintf(buf, sizeof(buf),
+                  "  aggregation: %lld msgs coalesced, %lld bytes packed\n",
+                  static_cast<long long>(r.msgs_coalesced),
+                  static_cast<long long>(r.bytes_packed));
+    out += buf;
+  }
   return out;
 }
 
-void print_report(const RunReport& r) {
-  const std::string text = report_text(r);
+void print_report(const RunReport& r, bool aggregate) {
+  const std::string text = report_text(r, aggregate);
   std::fwrite(text.data(), 1, text.size(), stdout);
 }
 
@@ -137,6 +145,7 @@ int cmd_run(int argc, char** argv) {
         "  --ranks=N                (default 64)\n"
         "  --steps=N                (default 40)\n"
         "  --execution=bsp|overlap  (default bsp)\n"
+        "  --aggregate              (pack same-(src,dst) sends; bsp only)\n"
         "  --trace-out=FILE.json [--trace-capacity=N]\n"
         "  --checkpoint-every=K --checkpoint-dir=D\n"
         "  --restore=FILE | --replay=FILE\n");
@@ -170,6 +179,13 @@ int cmd_run(int argc, char** argv) {
   cfg.execution =
       execution == "overlap" ? ExecutionMode::kOverlap : ExecutionMode::kBsp;
   cfg.include_flux_correction = cfg.execution == ExecutionMode::kBsp;
+  cfg.aggregate_messages = has_flag(argc, argv, "aggregate");
+  if (cfg.aggregate_messages && cfg.execution == ExecutionMode::kOverlap) {
+    std::fprintf(stderr,
+                 "amrcplx: --aggregate requires --execution=bsp (overlap "
+                 "tracks per-block arrivals)\n");
+    return 2;
+  }
   if (!trace_out.empty()) {
     cfg.trace_enabled = true;
     if (trace_capacity > 0)
@@ -201,7 +217,7 @@ int cmd_run(int argc, char** argv) {
                  static_cast<long long>(sim.current_step()),
                  policy->name().c_str());
   }
-  print_report(sim.run());
+  print_report(sim.run(), cfg.aggregate_messages);
   if (!trace_out.empty()) {
     const Tracer& tracer = *sim.tracer();
     if (!write_chrome_trace(tracer, trace_out)) {
@@ -220,6 +236,7 @@ int cmd_run(int argc, char** argv) {
 int cmd_sweep(int argc, char** argv) {
   const std::int64_t ranks = arg_int(argc, argv, "ranks", 64);
   const std::int64_t steps = arg_int(argc, argv, "steps", 40);
+  const bool aggregate = has_flag(argc, argv, "aggregate");
   // Each policy's simulation is independent and fully deterministic in
   // simulated time, so the fan-out preserves serial output exactly.
   Sweep sweep(arg_jobs(argc, argv));
@@ -231,12 +248,13 @@ int cmd_sweep(int argc, char** argv) {
       cfg.root_grid = grid_for_ranks(ranks);
       cfg.steps = steps;
       cfg.collect_telemetry = false;
+      cfg.aggregate_messages = aggregate;
       SedovParams sp;
       sp.total_steps = steps;
       SedovWorkload sedov(sp);
       const PolicyPtr policy = make_policy(name);
       Simulation sim(cfg, sedov, *policy);
-      return report_text(sim.run());
+      return report_text(sim.run(), aggregate);
     });
   }
   sweep.run();
@@ -295,7 +313,8 @@ int main(int argc, char** argv) {
                "(Perfetto / chrome://tracing)\n"
                "         --checkpoint-every=K --checkpoint-dir=D "
                "--restore=FILE | --replay=FILE (see run --help)\n"
-               "  sweep  --ranks=N --steps=N --jobs=N [--json=FILE]\n"
+               "  sweep  --ranks=N --steps=N --jobs=N [--aggregate] "
+               "[--json=FILE]\n"
                "  mesh   --ranks=N --sfc=z-order|hilbert\n");
   return cmd.empty() ? 1 : 2;
 }

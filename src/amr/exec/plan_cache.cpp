@@ -5,8 +5,10 @@ namespace amr {
 std::span<const RankStepWork> ExchangePlanCache::step_work(
     const AmrMesh& mesh, const Placement& placement,
     std::uint64_t placement_version, std::span<const TimeNs> block_costs,
-    std::int32_t nranks, const MessageSizeModel& sizes, bool include_flux) {
-  if (fresh(mesh.version(), placement_version, have_bsp_)) {
+    std::int32_t nranks, const MessageSizeModel& sizes, bool include_flux,
+    bool aggregate) {
+  if (fresh(mesh.version(), placement_version, have_bsp_) &&
+      aggregate_ == aggregate) {
     ++stats_.hits;
     for (auto& rank : bsp_) {
       for (auto& c : rank.computes)
@@ -18,7 +20,8 @@ std::span<const RankStepWork> ExchangePlanCache::step_work(
   }
   ++stats_.misses;
   bsp_ = build_step_work(mesh, placement, block_costs, nranks, sizes,
-                         include_flux);
+                         include_flux, aggregate);
+  aggregate_ = aggregate;
   have_bsp_ = true;
   // A key change invalidates both shapes; only the requested one is
   // rebuilt, the other stays stale and must not be served.

@@ -39,11 +39,14 @@ class ExchangePlanCache {
 
   /// BSP plan for (mesh, placement). `placement_version` must change
   /// whenever the placement vector does. On a hit only compute durations
-  /// are refreshed from `block_costs`.
+  /// are refreshed from `block_costs`. `aggregate` is part of the cache
+  /// key: a plan built per-neighbor-pair must never be served to an
+  /// aggregated step (their send lists and expected counts differ).
   std::span<const RankStepWork> step_work(
       const AmrMesh& mesh, const Placement& placement,
       std::uint64_t placement_version, std::span<const TimeNs> block_costs,
-      std::int32_t nranks, const MessageSizeModel& sizes, bool include_flux);
+      std::int32_t nranks, const MessageSizeModel& sizes, bool include_flux,
+      bool aggregate = false);
 
   /// Overlap-mode analogue of step_work.
   std::span<const OverlapRankWork> overlap_work(
@@ -65,6 +68,7 @@ class ExchangePlanCache {
 
   std::uint64_t mesh_version_ = 0;
   std::uint64_t placement_version_ = 0;
+  bool aggregate_ = false;  ///< shape of the cached BSP plan
   bool have_bsp_ = false;
   bool have_overlap_ = false;
   std::vector<RankStepWork> bsp_;

@@ -33,7 +33,7 @@ void RankRuntime::begin_step(const RankStepWork& work,
     for (const OutMessage& m : work.sends)
       tasks_.push_back(Task{TaskKind::kPackSend,
                             pack_ns(m.bytes) + params_.task_overhead,
-                            m.dst_rank, m.bytes});
+                            m.dst_rank, m.bytes, m.msgs});
     if (work.local_copy_bytes > 0) {
       const auto copy = static_cast<TimeNs>(
           static_cast<double>(work.local_copy_bytes) /
@@ -89,8 +89,8 @@ void RankRuntime::on_event(Engine& engine, std::uint64_t /*tag*/) {
     case State::kPostSend: {
       // Pack finished at now; the isend posts here.
       const Task& t = tasks_[pc_];
-      const TimeNs release =
-          comm_.isend(rank_, t.dst, t.bytes, window_, engine.now());
+      const TimeNs release = comm_.isend(rank_, t.dst, t.bytes, window_,
+                                         engine.now(), -1, t.msgs);
       max_send_release_ = std::max(max_send_release_, release);
       if (tracer_ != nullptr)
         tracer_->instant(rank_, TraceCat::kSend, "isend", engine.now(),
@@ -102,6 +102,8 @@ void RankRuntime::on_event(Engine& engine, std::uint64_t /*tag*/) {
         ++stats_.msgs_remote;
         stats_.bytes_remote += t.bytes;
       }
+      stats_.msgs_coalesced += t.msgs - 1;
+      if (t.msgs > 1) stats_.bytes_packed += t.bytes;
       state_ = State::kRunning;
       ++pc_;
       advance(engine);

@@ -37,6 +37,10 @@ struct RankStepStats {
   std::int64_t msgs_remote = 0;   ///< inter-node sends
   std::int64_t bytes_local = 0;
   std::int64_t bytes_remote = 0;
+  /// Logical boundary messages absorbed into aggregated transfers this
+  /// step (sum of msgs - 1 over the rank's sends); 0 on the legacy path.
+  std::int64_t msgs_coalesced = 0;
+  std::int64_t bytes_packed = 0;  ///< bytes sent in aggregated transfers
   std::int32_t last_release_src = -1;  ///< sender ending the last stall
 
   TimeNs comm_ns() const { return pack_ns + recv_wait_ns + send_wait_ns; }
@@ -85,6 +89,7 @@ class RankRuntime final : public RankEndpoint, public EventHandler {
     TimeNs duration = 0;       // compute / copy / pack part of send
     std::int32_t dst = -1;     // send target rank
     std::int64_t bytes = 0;
+    std::int32_t msgs = 1;     // logical messages in a kPackSend transfer
   };
   enum class State : std::uint8_t {
     kIdle,

@@ -7,7 +7,7 @@ namespace amr {
 std::vector<RankStepWork> build_step_work(
     const AmrMesh& mesh, const Placement& placement,
     std::span<const TimeNs> block_costs, std::int32_t nranks,
-    const MessageSizeModel& sizes, bool include_flux) {
+    const MessageSizeModel& sizes, bool include_flux, bool aggregate) {
   AMR_CHECK(placement.size() == mesh.size());
   AMR_CHECK(block_costs.size() == mesh.size());
   std::vector<RankStepWork> work(static_cast<std::size_t>(nranks));
@@ -26,12 +26,25 @@ std::vector<RankStepWork> build_step_work(
         if (dst == src) {
           w.local_copy_bytes += bytes;
           ++w.local_copy_msgs;
-        } else {
-          w.sends.push_back(
-              OutMessage{dst, bytes, static_cast<std::int32_t>(b)});
-          ++work[static_cast<std::size_t>(dst)].expected_recvs;
-          work[static_cast<std::size_t>(dst)].recv_bytes += bytes;
+          return;
         }
+        work[static_cast<std::size_t>(dst)].recv_bytes += bytes;
+        if (aggregate) {
+          // Fold into this rank's existing aggregate for dst if one
+          // exists. Destinations repeat in bursts (SFC-adjacent blocks
+          // share neighbor ranks), so scan newest-first; sends per rank
+          // number in the tens, keeping this linear probe cheap.
+          for (auto it = w.sends.rbegin(); it != w.sends.rend(); ++it) {
+            if (it->dst_rank == dst) {
+              it->bytes += bytes;
+              ++it->msgs;
+              return;
+            }
+          }
+        }
+        w.sends.push_back(
+            OutMessage{dst, bytes, static_cast<std::int32_t>(b), 1});
+        ++work[static_cast<std::size_t>(dst)].expected_recvs;
       };
       emit(sizes.bytes(n.kind));
       // Flux correction: a fine block sends one extra small message to

@@ -22,7 +22,11 @@ namespace amr {
 struct OutMessage {
   std::int32_t dst_rank;
   std::int64_t bytes;
-  std::int32_t src_block;
+  std::int32_t src_block;  ///< first contributing block when aggregated
+  /// Logical boundary messages packed into this transfer. 1 on the legacy
+  /// per-neighbor-pair path; the per-destination aggregate of an exchange
+  /// window carries every same-(src,dst) message of the step.
+  std::int32_t msgs = 1;
 };
 
 struct BlockCompute {
@@ -58,9 +62,19 @@ constexpr const char* to_string(TaskOrdering o) {
 /// With `include_flux`, fine blocks additionally send flux corrections to
 /// their coarser face neighbors (paper §II-B) — small peer-to-peer
 /// messages that exist only along refinement boundaries.
+///
+/// With `aggregate`, all same-(src,dst) messages of the step coalesce
+/// into one per-destination packed transfer (how real AMR frameworks
+/// pack all ghost data for a neighbor rank into one buffer): bytes are
+/// summed, the logical message count rides in OutMessage::msgs, and the
+/// receiver expects one arrival per sending peer instead of one per
+/// block pair. Aggregates appear in first-touch (block-emission) order,
+/// so the build stays deterministic; byte totals and recv_bytes are
+/// identical to the legacy path.
 std::vector<RankStepWork> build_step_work(
     const AmrMesh& mesh, const Placement& placement,
     std::span<const TimeNs> block_costs, std::int32_t nranks,
-    const MessageSizeModel& sizes = {}, bool include_flux = false);
+    const MessageSizeModel& sizes = {}, bool include_flux = false,
+    bool aggregate = false);
 
 }  // namespace amr

@@ -42,7 +42,10 @@ class SnapshotError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+// v2: aggregate_messages in the config fingerprint, msgs_coalesced /
+// bytes_packed in the report section, packed-transfer fabric counters,
+// and two added comm-table columns.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /// Builds a snapshot payload in memory, then writes the enveloped file.
 class SnapshotWriter {

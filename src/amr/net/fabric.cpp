@@ -80,9 +80,19 @@ TimeNs Fabric::serialize_ns(std::int64_t bytes,
 }
 
 TransferTiming Fabric::transfer(std::int32_t src_rank, std::int32_t dst_rank,
-                                std::int64_t bytes, TimeNs post_time) {
+                                std::int64_t bytes, TimeNs post_time,
+                                std::int32_t msgs) {
   AMR_CHECK_MSG(src_rank != dst_rank,
                 "intra-rank copies bypass the fabric");
+  AMR_CHECK(msgs >= 1);
+  // Aggregated transfers pay a per-carried-message processing cost beyond
+  // the first; zero on the legacy path so msgs == 1 timings are bit-
+  // identical to pre-aggregation builds.
+  const TimeNs packed_cost = (msgs - 1) * params_.packed_msg_overhead;
+  if (msgs > 1) {
+    ++stats_.packed_transfers;
+    stats_.coalesced_msgs += msgs - 1;
+  }
   TransferTiming t;
   const std::int32_t src_node = topo_.node_of(src_rank);
   const std::int32_t dst_node = topo_.node_of(dst_rank);
@@ -113,7 +123,8 @@ TransferTiming Fabric::transfer(std::int32_t src_rank, std::int32_t dst_rank,
         tracer_->instant(Tracer::fabric_track(src_node), TraceCat::kFabric,
                          "shm-retry", post_time, retries, src_rank);
     }
-    const TimeNs xfer = serialize_ns(bytes, params_.shm_gbytes_per_sec);
+    const TimeNs xfer =
+        serialize_ns(bytes, params_.shm_gbytes_per_sec) + packed_cost;
     t.delivery = start + params_.shm_latency + xfer;
     slots.replace_top(t.delivery);  // delivery >= the slot's old free time
     // Sender hands the buffer to the queue as soon as it has a slot.
@@ -128,7 +139,7 @@ TransferTiming Fabric::transfer(std::int32_t src_rank, std::int32_t dst_rank,
       tracer_->counter(Tracer::fabric_track(src_node), TraceCat::kFabric,
                        "nic_backlog_ns", post_time, begin - post_time);
     const TimeNs depart =
-        begin + params_.remote_per_msg +
+        begin + params_.remote_per_msg + packed_cost +
         serialize_ns(bytes, params_.remote_gbytes_per_sec);
     nic = depart;
     const TimeNs jitter =

@@ -62,6 +62,16 @@ struct FabricParams {
   // Fixed software overhead of posting a send/recv.
   TimeNs post_overhead = us(0.3);
 
+  /// Per-coalesced-message processing cost inside an aggregated transfer
+  /// (per-block header walk + descriptor on both the shm and remote
+  /// paths), charged for every logical message beyond the first. This is
+  /// what keeps per-destination aggregation a modeled trade rather than
+  /// an accounting trick: a packed transfer still pays for each message
+  /// it carries, just far less than the full per-message latency, NIC
+  /// per_msg, and queue-slot payments it avoids. Never charged on the
+  /// legacy path (msgs == 1).
+  TimeNs packed_msg_overhead = us(0.25);
+
   /// Paper-cluster defaults after the tuning exercise: large shm queue,
   /// no ACK pathology (drain queue active as belt-and-braces).
   static FabricParams tuned();
@@ -89,6 +99,8 @@ struct FabricStats {
   std::int64_t shm_retries = 0;
   std::int64_t acks_lost = 0;
   TimeNs ack_block_time = 0;  ///< total sender time lost to ACK recovery
+  std::int64_t packed_transfers = 0;  ///< transfers carrying msgs > 1
+  std::int64_t coalesced_msgs = 0;    ///< sum of (msgs - 1) over transfers
 };
 
 class Fabric {
@@ -99,9 +111,13 @@ class Fabric {
   /// (ranks; must differ — intra-rank copies bypass the fabric). Advances
   /// internal NIC/queue state; calls must be issued in nondecreasing
   /// post_time order per source node for the NIC model to be physical
-  /// (the DES guarantees this).
+  /// (the DES guarantees this). `msgs` > 1 marks an aggregated transfer
+  /// carrying that many logical messages: it occupies one queue slot /
+  /// NIC serialization window and pays latency once, plus
+  /// (msgs - 1) * packed_msg_overhead of per-message processing.
   TransferTiming transfer(std::int32_t src_rank, std::int32_t dst_rank,
-                          std::int64_t bytes, TimeNs post_time);
+                          std::int64_t bytes, TimeNs post_time,
+                          std::int32_t msgs = 1);
 
   const FabricStats& stats() const { return stats_; }
   const FabricParams& params() const { return params_; }

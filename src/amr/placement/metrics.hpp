@@ -53,6 +53,13 @@ struct MessageSizeModel {
     const std::int64_t c = cells;
     return (c / 2) * (c / 2) * nvars * bytes_per_value;
   }
+
+  /// Full interior payload of one block (cells³ x nvars doubles): what a
+  /// block migration moves during redistribution.
+  std::int64_t block_payload_bytes() const {
+    const std::int64_t c = cells;
+    return c * c * c * nvars * bytes_per_value;
+  }
 };
 
 /// Directed message statistics for one full boundary exchange under a

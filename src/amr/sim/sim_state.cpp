@@ -132,6 +132,7 @@ void write_meta(io::SnapshotWriter& w, const SimulationConfig& config,
   w.u8(static_cast<std::uint8_t>(config.execution));
   w.u8(static_cast<std::uint8_t>(config.ordering));
   w.b(config.include_flux_correction);
+  w.b(config.aggregate_messages);
   w.b(config.telemetry_driven_costs);
   w.b(config.incremental_plans);
   w.b(config.collect_telemetry);
@@ -168,6 +169,7 @@ void check_meta(io::SnapshotReader& r, const SimulationConfig& config,
   require(r.u8() == static_cast<std::uint8_t>(config.ordering),
           "task ordering");
   require(r.b() == config.include_flux_correction, "flux correction");
+  require(r.b() == config.aggregate_messages, "message aggregation");
   require(r.b() == config.telemetry_driven_costs, "telemetry-driven costs");
   require(r.b() == config.incremental_plans, "incremental plans");
   require(r.b() == config.collect_telemetry, "collect_telemetry");
@@ -236,6 +238,8 @@ bool save_snapshot(const std::string& path, const SimulationConfig& config,
   w.i64(rep.msgs_intra_rank);
   w.i64(rep.bytes_local);
   w.i64(rep.bytes_remote);
+  w.i64(rep.msgs_coalesced);
+  w.i64(rep.bytes_packed);
   w.i64(rep.blocks_migrated);
   w.i64(rep.budget_violations);
   w.vec_pod(rep.rank_compute_seconds);
@@ -286,6 +290,8 @@ bool save_snapshot(const std::string& path, const SimulationConfig& config,
   w.i64(fab.stats.shm_retries);
   w.i64(fab.stats.acks_lost);
   w.i64(fab.stats.ack_block_time);
+  w.i64(fab.stats.packed_transfers);
+  w.i64(fab.stats.coalesced_msgs);
   w.vec_pod(fab.nic_busy_until);
   w.u32(static_cast<std::uint32_t>(fab.shm_slot_free.size()));
   for (const auto& slots : fab.shm_slot_free) w.vec_pod(slots);
@@ -377,6 +383,8 @@ void restore_snapshot(const std::string& path,
   rep.msgs_intra_rank = r.i64();
   rep.bytes_local = r.i64();
   rep.bytes_remote = r.i64();
+  rep.msgs_coalesced = r.i64();
+  rep.bytes_packed = r.i64();
   rep.blocks_migrated = r.i64();
   rep.budget_violations = r.i64();
   rep.rank_compute_seconds = r.vec_pod<double>();
@@ -436,6 +444,8 @@ void restore_snapshot(const std::string& path,
   fab.stats.shm_retries = r.i64();
   fab.stats.acks_lost = r.i64();
   fab.stats.ack_block_time = r.i64();
+  fab.stats.packed_transfers = r.i64();
+  fab.stats.coalesced_msgs = r.i64();
   fab.nic_busy_until = r.vec_pod<TimeNs>();
   fab.shm_slot_free.resize(r.u32());
   for (auto& slots : fab.shm_slot_free) slots = r.vec_pod<TimeNs>();

@@ -140,6 +140,10 @@ void Simulation::previous_ranks(const AmrMesh& mesh,
 }
 
 void Simulation::begin_run() {
+  AMR_CHECK_MSG(!(config_.aggregate_messages &&
+                  config_.execution == ExecutionMode::kOverlap),
+                "message aggregation requires BSP execution (overlap "
+                "tracks per-block arrivals)");
   runtime_ = std::make_unique<SimRuntime>(config_, tracer_.get());
   state_ = std::make_unique<SimState>(config_);
   SimState& st = *state_;
@@ -322,11 +326,12 @@ void Simulation::step_once() {
       work = rt.plan_cache.step_work(mesh, st.placement,
                                      st.placement_version, rt.costs,
                                      config_.nranks, config_.msg_sizes,
-                                     config_.include_flux_correction);
+                                     config_.include_flux_correction,
+                                     config_.aggregate_messages);
     } else {
       rt.fresh_bsp = build_step_work(
           mesh, st.placement, rt.costs, config_.nranks, config_.msg_sizes,
-          config_.include_flux_correction);
+          config_.include_flux_correction, config_.aggregate_messages);
       work = rt.fresh_bsp;
     }
     result = rt.bsp_executor->execute(work, config_.ordering,
@@ -392,6 +397,8 @@ void Simulation::step_once() {
     report.msgs_remote += s.msgs_remote;
     report.bytes_local += s.bytes_local;
     report.bytes_remote += s.bytes_remote;
+    report.msgs_coalesced += s.msgs_coalesced;
+    report.bytes_packed += s.bytes_packed;
     if (config_.collect_telemetry) {
       const auto rank = static_cast<std::int32_t>(r);
       collector_.record_phase(step, rank, Phase::kCompute, s.compute_ns);
@@ -399,7 +406,8 @@ void Simulation::step_once() {
       collector_.record_phase(step, rank, Phase::kSync, s.sync_ns);
       collector_.record_comm(step, rank, s.msgs_local, s.msgs_remote,
                              s.bytes_local, s.bytes_remote, s.send_wait_ns,
-                             s.recv_wait_ns);
+                             s.recv_wait_ns, s.msgs_coalesced,
+                             s.bytes_packed);
     }
     if (config_.collect_block_telemetry) {
       for (std::size_t b = 0; b < mesh.size(); ++b)
@@ -407,6 +415,15 @@ void Simulation::step_once() {
           collector_.record_block(step, static_cast<std::int32_t>(b),
                                   st.placement[b], rt.costs[b]);
     }
+  }
+
+  // Cumulative aggregation counters on the sim track. Emitted only in
+  // aggregate mode so legacy traces stay byte-identical.
+  if (tracer != nullptr && config_.aggregate_messages) {
+    tracer->counter(Tracer::kTrackSim, TraceCat::kMsg, "msgs_coalesced",
+                    engine.now(), report.msgs_coalesced);
+    tracer->counter(Tracer::kTrackSim, TraceCat::kMsg, "bytes_packed",
+                    engine.now(), report.bytes_packed);
   }
 
   ++st.step;

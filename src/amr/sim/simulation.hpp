@@ -47,6 +47,12 @@ struct SimulationConfig {
   /// Fine->coarse flux-correction messages along refinement boundaries
   /// (paper §II-B).
   bool include_flux_correction = true;
+  /// Per-destination message aggregation: coalesce all same-(src,dst)
+  /// boundary sends of a step into one packed transfer (Parthenon-style
+  /// neighbor-buffer packing). Off = legacy per-neighbor-pair path,
+  /// byte-identical to builds without this option. BSP execution only
+  /// (overlap mode needs per-block arrivals and rejects it).
+  bool aggregate_messages = false;
   FabricParams fabric = FabricParams::tuned();
   CollectiveParams collective{};
   ExecParams exec{};
@@ -73,8 +79,10 @@ struct SimulationConfig {
   double placement_budget_ms = 50.0;
   bool enforce_placement_budget = false;
   double migration_gbytes_per_sec = 4.0;
+  /// Payload of one migrated block; defaults to the message-size model's
+  /// block interior so the two stay one source of truth.
   std::int64_t migrated_block_bytes =
-      16LL * 16 * 16 * 5 * 8;  ///< payload of one migrated block
+      MessageSizeModel{}.block_payload_bytes();
 
   /// When to redistribute beyond mandatory mesh changes.
   RebalanceTrigger trigger{};
@@ -133,6 +141,10 @@ struct RunReport {
   std::int64_t msgs_intra_rank = 0;  ///< memcpy'd neighbor pairs
   std::int64_t bytes_local = 0;
   std::int64_t bytes_remote = 0;
+  /// Aggregation effect (0 unless aggregate_messages): logical messages
+  /// absorbed into packed transfers, and the bytes those transfers moved.
+  std::int64_t msgs_coalesced = 0;
+  std::int64_t bytes_packed = 0;
   std::int64_t blocks_migrated = 0;
   std::int64_t budget_violations = 0;  ///< placements over the budget
   std::vector<double> rank_compute_seconds;  ///< per-rank compute totals

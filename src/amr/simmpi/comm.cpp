@@ -60,11 +60,12 @@ void Comm::begin_exchange(std::uint64_t window,
 
 TimeNs Comm::isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
                    std::uint64_t window, TimeNs post_time,
-                   std::int64_t dst_tag) {
+                   std::int64_t dst_tag, std::int32_t msgs) {
   AMR_CHECK(src != dst);
   AMR_CHECK_MSG(find_exchange(window) >= 0,
                 "isend outside an open exchange window");
-  const TransferTiming t = fabric_.transfer(src, dst, bytes, post_time);
+  const TransferTiming t =
+      fabric_.transfer(src, dst, bytes, post_time, msgs);
   std::uint64_t flow_id = 0;
   if (tracer_ != nullptr) {
     // Flow origin sits 1 ns inside the sender's pack span (which ends at

@@ -91,10 +91,14 @@ class Comm final : public EventHandler {
   /// Post a nonblocking send within a window. Returns the time at which
   /// an MPI_Wait on this send request would return (buffer handed off;
   /// inflated by ACK-recovery blocking when that pathology is active).
-  /// `dst_tag` rides along to the receiver's on_message hook.
+  /// `dst_tag` rides along to the receiver's on_message hook. `msgs` > 1
+  /// posts an aggregated transfer (one delivery event carrying that many
+  /// logical boundary messages; counts as ONE arrival against the
+  /// window's expected count, so aggregated windows must size `expected`
+  /// per peer rather than per block pair).
   TimeNs isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
                std::uint64_t window, TimeNs post_time,
-               std::int64_t dst_tag = -1);
+               std::int64_t dst_tag = -1, std::int32_t msgs = 1);
 
   /// Rank's waitall on its receives for the window. If all messages have
   /// already arrived, returns true (rank proceeds at wait_start). If not,

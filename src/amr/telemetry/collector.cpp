@@ -31,7 +31,9 @@ Collector::Collector()
                      {"bytes_local", ColType::kI64},
                      {"bytes_remote", ColType::kI64},
                      {"send_wait_ns", ColType::kI64},
-                     {"recv_wait_ns", ColType::kI64}}),
+                     {"recv_wait_ns", ColType::kI64},
+                     {"msgs_coalesced", ColType::kI64},
+                     {"bytes_packed", ColType::kI64}}),
       blocks_("blocks", {{"step", ColType::kI64},
                          {"block", ColType::kI64},
                          {"rank", ColType::kI64},
@@ -49,11 +51,13 @@ void Collector::record_comm(std::int64_t step, std::int32_t rank,
                             std::int64_t msgs_remote,
                             std::int64_t bytes_local,
                             std::int64_t bytes_remote, TimeNs send_wait,
-                            TimeNs recv_wait) {
+                            TimeNs recv_wait, std::int64_t msgs_coalesced,
+                            std::int64_t bytes_packed) {
   comm_.append_row({step, static_cast<std::int64_t>(rank), msgs_local,
                     msgs_remote, bytes_local, bytes_remote,
                     static_cast<std::int64_t>(send_wait),
-                    static_cast<std::int64_t>(recv_wait)});
+                    static_cast<std::int64_t>(recv_wait), msgs_coalesced,
+                    bytes_packed});
 }
 
 void Collector::reserve(std::size_t phase_rows, std::size_t comm_rows,

@@ -41,11 +41,17 @@ class Collector {
                     TimeNs dur);
 
   /// comm(step, rank, msgs_local i64, msgs_remote i64, bytes_local i64,
-  ///      bytes_remote i64, send_wait_ns i64, recv_wait_ns i64)
+  ///      bytes_remote i64, send_wait_ns i64, recv_wait_ns i64,
+  ///      msgs_coalesced i64, bytes_packed i64)
+  /// The last two count message aggregation (0 on the legacy path), so
+  /// msgs_local/msgs_remote before vs after --aggregate are directly
+  /// queryable from the same table.
   void record_comm(std::int64_t step, std::int32_t rank,
                    std::int64_t msgs_local, std::int64_t msgs_remote,
                    std::int64_t bytes_local, std::int64_t bytes_remote,
-                   TimeNs send_wait, TimeNs recv_wait);
+                   TimeNs send_wait, TimeNs recv_wait,
+                   std::int64_t msgs_coalesced = 0,
+                   std::int64_t bytes_packed = 0);
 
   /// blocks(step, block i64, rank i64, cost_ns i64)
   void record_block(std::int64_t step, std::int32_t block,

@@ -1,0 +1,85 @@
+# Asserts the message-aggregation determinism contract end-to-end:
+# sedov_sim --aggregate must produce byte-identical stdout
+#   1. across --jobs (the sweep runtime must not perturb aggregated
+#      plans or their report),
+#   2. across checkpoint/restore (a run restored from a mid-run
+#      snapshot written under --aggregate continues with identical
+#      coalescing), and
+#   3. a snapshot written with aggregation ON must refuse to restore
+#      into a run with it OFF (config fingerprint mismatch), because
+#      replayed windows would carry different expected counts.
+# Invoked from bench/CMakeLists.txt; -DSEDOV names the sedov_sim binary,
+# -DWORK_DIR a scratch directory for checkpoint files.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${SEDOV}" cpl50,lpt,baseline 32 24 --aggregate --jobs=1
+  OUTPUT_VARIABLE out_j1 RESULT_VARIABLE rc1)
+execute_process(
+  COMMAND "${SEDOV}" cpl50,lpt,baseline 32 24 --aggregate --jobs=4
+  OUTPUT_VARIABLE out_j4 RESULT_VARIABLE rc4)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "--aggregate --jobs=1 run failed (exit ${rc1})")
+endif()
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "--aggregate --jobs=4 run failed (exit ${rc4})")
+endif()
+if(NOT out_j1 STREQUAL out_j4)
+  message(FATAL_ERROR "stdout differs between --jobs=1 and --jobs=4 "
+                      "under --aggregate: aggregated plans are not "
+                      "deterministic across the sweep runtime")
+endif()
+
+execute_process(
+  COMMAND "${SEDOV}" cpl50 32 24 --aggregate --faults=2
+  OUTPUT_VARIABLE out_full RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "uninterrupted --aggregate run failed (exit ${rc})")
+endif()
+execute_process(
+  COMMAND "${SEDOV}" cpl50 32 24 --aggregate --faults=2
+          --checkpoint-every=7 --checkpoint-dir=${WORK_DIR}
+  OUTPUT_VARIABLE out_ck RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "checkpointing --aggregate run failed (exit ${rc})")
+endif()
+if(NOT out_full STREQUAL out_ck)
+  message(FATAL_ERROR "writing checkpoints changed --aggregate stdout")
+endif()
+
+file(GLOB snapshots "${WORK_DIR}/ckpt_*.amrs")
+if(snapshots STREQUAL "")
+  message(FATAL_ERROR "checkpointing run wrote no snapshots")
+endif()
+foreach(snapshot IN LISTS snapshots)
+  execute_process(
+    COMMAND "${SEDOV}" cpl50 32 24 --aggregate --faults=2
+            --restore=${snapshot}
+    OUTPUT_VARIABLE out_restored RESULT_VARIABLE rc
+    ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "restore from ${snapshot} failed (exit ${rc})")
+  endif()
+  if(NOT out_full STREQUAL out_restored)
+    message(FATAL_ERROR "stdout differs between the uninterrupted "
+                        "--aggregate run and the run restored from "
+                        "${snapshot}: the aggregation determinism "
+                        "contract is broken")
+  endif()
+endforeach()
+
+# Aggregation flag is part of the config fingerprint: restoring an
+# aggregated snapshot without --aggregate must fail with a diagnostic.
+list(GET snapshots 0 snapshot)
+execute_process(
+  COMMAND "${SEDOV}" cpl50 32 24 --faults=2 --restore=${snapshot}
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "restoring an --aggregate snapshot without "
+                      "--aggregate unexpectedly succeeded")
+endif()
+if(NOT err MATCHES "aggregation")
+  message(FATAL_ERROR "mismatched-aggregation restore failed without "
+                      "naming the aggregation flag: ${err}")
+endif()

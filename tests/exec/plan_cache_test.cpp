@@ -15,7 +15,7 @@ bool same_msgs(const std::vector<OutMessage>& a,
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i)
     if (a[i].dst_rank != b[i].dst_rank || a[i].bytes != b[i].bytes ||
-        a[i].src_block != b[i].src_block)
+        a[i].src_block != b[i].src_block || a[i].msgs != b[i].msgs)
       return false;
   return true;
 }
@@ -155,6 +155,38 @@ TEST(PlanCache, OverlapHitMatchesFreshBuild) {
   const auto got = cache.overlap_work(mesh, p, 0, c2, nranks, sizes);
   EXPECT_EQ(cache.stats().hits, 1);
   expect_equal(got, build_overlap_work(mesh, p, c2, nranks, sizes));
+}
+
+TEST(PlanCache, AggregateFlagIsPartOfTheKey) {
+  // Toggling aggregation changes the plan shape (folded sends, per-peer
+  // expected counts), so a hit must never serve a plan built under the
+  // other flag — even with identical mesh/placement versions.
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  mesh.refine(std::vector<std::int32_t>{0});
+  const std::int32_t nranks = 2;  // several blocks per rank: folds exist
+  const Placement p = round_robin(mesh.size(), nranks);
+  const MessageSizeModel sizes{};
+  const auto c = costs_for(mesh.size(), 10);
+  ExchangePlanCache cache;
+
+  (void)cache.step_work(mesh, p, 0, c, nranks, sizes, true, false);
+  const auto agg = cache.step_work(mesh, p, 0, c, nranks, sizes, true,
+                                   true);
+  EXPECT_EQ(cache.stats().misses, 2);
+  expect_equal(agg, build_step_work(mesh, p, c, nranks, sizes, true, true));
+  // And back: the cache keeps one flavor at a time.
+  const auto legacy =
+      cache.step_work(mesh, p, 0, c, nranks, sizes, true, false);
+  EXPECT_EQ(cache.stats().misses, 3);
+  expect_equal(legacy,
+               build_step_work(mesh, p, c, nranks, sizes, true, false));
+  // An aggregated hit with patched costs still equals the fresh build.
+  (void)cache.step_work(mesh, p, 0, c, nranks, sizes, true, true);
+  const auto c2 = costs_for(mesh.size(), 777);
+  const auto hit = cache.step_work(mesh, p, 0, c2, nranks, sizes, true,
+                                   true);
+  EXPECT_EQ(cache.stats().hits, 1);
+  expect_equal(hit, build_step_work(mesh, p, c2, nranks, sizes, true, true));
 }
 
 TEST(PlanCache, ModeSwitchRebuildsInsteadOfServingStale) {

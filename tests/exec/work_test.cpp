@@ -76,5 +76,60 @@ TEST(BuildStepWork, TotalComputeConservedAcrossPlacements) {
   EXPECT_EQ(total(a), total(b));
 }
 
+TEST(BuildStepWork, AggregateFoldsSendsPerDestination) {
+  // 3x3x3 over 5 ranks: every rank holds several blocks, so most
+  // (src,dst) pairs carry more than one boundary message. Aggregation
+  // must fold them into one send per pair, conserve the logical message
+  // count and byte volume, and keep expected counts per-peer.
+  AmrMesh mesh(RootGrid{3, 3, 3});
+  Placement placement(mesh.size());
+  for (std::size_t b = 0; b < mesh.size(); ++b)
+    placement[b] = static_cast<std::int32_t>(b % 5);
+  const std::vector<TimeNs> costs(mesh.size(), us(10));
+  const MessageSizeModel sizes;
+  const auto legacy =
+      build_step_work(mesh, placement, costs, 5, sizes, false, false);
+  const auto agg =
+      build_step_work(mesh, placement, costs, 5, sizes, false, true);
+  ASSERT_EQ(agg.size(), legacy.size());
+
+  std::int64_t legacy_sends = 0;
+  std::int64_t legacy_bytes = 0;
+  for (const auto& w : legacy) {
+    legacy_sends += static_cast<std::int64_t>(w.sends.size());
+    for (const auto& s : w.sends) {
+      legacy_bytes += s.bytes;
+      EXPECT_EQ(s.msgs, 1);
+    }
+  }
+  std::int64_t agg_sends = 0;
+  std::int64_t agg_bytes = 0;
+  std::int64_t agg_logical = 0;
+  std::vector<std::int64_t> incoming(5, 0);
+  for (std::size_t r = 0; r < agg.size(); ++r) {
+    const auto& w = agg[r];
+    agg_sends += static_cast<std::int64_t>(w.sends.size());
+    std::vector<bool> dst_seen(5, false);
+    for (const auto& s : w.sends) {
+      agg_bytes += s.bytes;
+      agg_logical += s.msgs;
+      EXPECT_GE(s.msgs, 1);
+      // One packed transfer per destination, at most.
+      EXPECT_FALSE(dst_seen[static_cast<std::size_t>(s.dst_rank)]);
+      dst_seen[static_cast<std::size_t>(s.dst_rank)] = true;
+      ++incoming[static_cast<std::size_t>(s.dst_rank)];
+    }
+    // Local copies and per-rank recv bytes are unaffected by packing.
+    EXPECT_EQ(w.local_copy_msgs, legacy[r].local_copy_msgs);
+    EXPECT_EQ(w.local_copy_bytes, legacy[r].local_copy_bytes);
+    EXPECT_EQ(w.recv_bytes, legacy[r].recv_bytes);
+  }
+  EXPECT_EQ(agg_logical, legacy_sends);
+  EXPECT_EQ(agg_bytes, legacy_bytes);
+  EXPECT_LT(agg_sends, legacy_sends);
+  for (std::size_t r = 0; r < agg.size(); ++r)
+    EXPECT_EQ(incoming[r], agg[r].expected_recvs);
+}
+
 }  // namespace
 }  // namespace amr

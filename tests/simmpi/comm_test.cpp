@@ -147,6 +147,66 @@ TEST(Comm, SenderReleaseReflectsAckPathology) {
   h.comm.end_exchange(12);
 }
 
+TEST(Comm, ZeroMessageWindowCompletesImmediately) {
+  // A regrid step can produce a window where no rank exchanges anything
+  // (e.g. every neighbor is intra-rank). The window must be complete
+  // from the start, waits must return without parking, and closing it
+  // must not trip the undelivered-messages check.
+  Harness h(4);
+  h.comm.begin_exchange(20, {0, 0, 0, 0});
+  EXPECT_TRUE(h.comm.exchange_complete(20));
+  for (std::int32_t r = 0; r < 4; ++r)
+    EXPECT_TRUE(h.comm.wait_recvs(r, 20, 0));
+  h.engine.run();
+  for (const auto& ep : h.endpoints) EXPECT_EQ(ep.recv_ready_calls, 0);
+  h.comm.end_exchange(20);
+}
+
+TEST(Comm, SenderWithNoRecvsNeverParks) {
+  // Rank 0 only sends in this window; its wait must pass immediately
+  // (expected[0] == 0) regardless of whether its own sends have landed.
+  Harness h(4);
+  h.comm.begin_exchange(21, {0, 2, 0, 0});
+  h.comm.isend(0, 1, 1000, 21, 0);
+  h.comm.isend(0, 1, 2000, 21, 0);
+  EXPECT_TRUE(h.comm.wait_recvs(0, 21, 0));
+  EXPECT_FALSE(h.comm.exchange_complete(21));
+  h.engine.run();
+  EXPECT_EQ(h.endpoints[0].recv_ready_calls, 0);
+  EXPECT_TRUE(h.comm.exchange_complete(21));
+  h.comm.end_exchange(21);
+}
+
+TEST(Comm, AggregatedSendCountsAsOneArrival) {
+  // An aggregated isend (msgs > 1) is one packed transfer: one delivery
+  // against the window's expected count, released later than the
+  // equivalent single message by the fabric's per-message overhead.
+  Harness h(4);
+  h.comm.begin_exchange(22, {0, 1, 0, 0});
+  h.comm.isend(0, 1, 4000, 22, 0, -1, 5);
+  EXPECT_FALSE(h.comm.exchange_complete(22));
+  h.engine.run();
+  EXPECT_TRUE(h.comm.exchange_complete(22));
+  EXPECT_EQ(h.fabric.stats().packed_transfers, 1);
+  EXPECT_EQ(h.fabric.stats().coalesced_msgs, 4);
+  h.comm.end_exchange(22);
+
+  // Same bytes unpacked: the packed delivery must land strictly later.
+  h.comm.begin_exchange(23, {0, 1, 0, 0});
+  h.comm.isend(0, 1, 4000, 23, h.engine.now());
+  const TimeNs plain_start = h.engine.now();
+  h.engine.run();
+  const TimeNs plain = h.engine.now() - plain_start;
+  h.comm.end_exchange(23);
+  h.comm.begin_exchange(24, {0, 1, 0, 0});
+  h.comm.isend(0, 1, 4000, 24, h.engine.now(), -1, 5);
+  const TimeNs packed_start = h.engine.now();
+  h.engine.run();
+  const TimeNs packed = h.engine.now() - packed_start;
+  h.comm.end_exchange(24);
+  EXPECT_EQ(packed, plain + 4 * quiet_params().packed_msg_overhead);
+}
+
 TEST(CommDeath, DoubleWaitOnSameWindowAborts) {
   Harness h(4);
   h.comm.begin_exchange(13, {0, 1, 0, 0});
