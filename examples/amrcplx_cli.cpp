@@ -146,6 +146,8 @@ int cmd_run(int argc, char** argv) {
         "  --steps=N                (default 40)\n"
         "  --execution=bsp|overlap  (default bsp)\n"
         "  --aggregate              (pack same-(src,dst) sends; bsp only)\n"
+        "  --des-shards=N           (parallel sharded DES; bsp only;\n"
+        "                            0 = sequential legacy engine)\n"
         "  --trace-out=FILE.json [--trace-capacity=N]\n"
         "  --checkpoint-every=K --checkpoint-dir=D\n"
         "  --restore=FILE | --replay=FILE\n");
@@ -184,6 +186,14 @@ int cmd_run(int argc, char** argv) {
     std::fprintf(stderr,
                  "amrcplx: --aggregate requires --execution=bsp (overlap "
                  "tracks per-block arrivals)\n");
+    return 2;
+  }
+  cfg.des_shards =
+      static_cast<std::int32_t>(arg_int(argc, argv, "des-shards", 0));
+  if (cfg.des_shards > 0 && cfg.execution == ExecutionMode::kOverlap) {
+    std::fprintf(stderr,
+                 "amrcplx: --des-shards requires --execution=bsp (overlap "
+                 "self-events carry no dispatch keys)\n");
     return 2;
   }
   if (!trace_out.empty()) {
@@ -237,6 +247,8 @@ int cmd_sweep(int argc, char** argv) {
   const std::int64_t ranks = arg_int(argc, argv, "ranks", 64);
   const std::int64_t steps = arg_int(argc, argv, "steps", 40);
   const bool aggregate = has_flag(argc, argv, "aggregate");
+  const auto des_shards =
+      static_cast<std::int32_t>(arg_int(argc, argv, "des-shards", 0));
   // Each policy's simulation is independent and fully deterministic in
   // simulated time, so the fan-out preserves serial output exactly.
   Sweep sweep(arg_jobs(argc, argv));
@@ -249,6 +261,7 @@ int cmd_sweep(int argc, char** argv) {
       cfg.steps = steps;
       cfg.collect_telemetry = false;
       cfg.aggregate_messages = aggregate;
+      cfg.des_shards = des_shards;
       SedovParams sp;
       sp.total_steps = steps;
       SedovWorkload sedov(sp);
@@ -314,7 +327,7 @@ int main(int argc, char** argv) {
                "         --checkpoint-every=K --checkpoint-dir=D "
                "--restore=FILE | --replay=FILE (see run --help)\n"
                "  sweep  --ranks=N --steps=N --jobs=N [--aggregate] "
-               "[--json=FILE]\n"
+               "[--des-shards=N] [--json=FILE]\n"
                "  mesh   --ranks=N --sfc=z-order|hilbert\n");
   return cmd.empty() ? 1 : 2;
 }

@@ -16,6 +16,11 @@
 //   --aggregate coalesce all same-(src,dst) boundary sends of a step into
 //               one packed transfer per destination rank (BSP only);
 //               off by default — the legacy path stays byte-identical
+//   --des-shards=N  partition the DES by cluster node into N shards run
+//               concurrently under conservative lookahead (BSP only).
+//               0 (default) = legacy sequential engine. Output is
+//               identical for every N >= 1 but not to N=0 (sharded runs
+//               use per-node fabric RNG streams)
 //   --trace-out=FILE writes an event-level Perfetto/chrome://tracing
 //               trace (single-policy runs only)
 //   --no-incremental  rebuild exchange plans from scratch every step
@@ -139,6 +144,8 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const bool timing = flags.has("timing");
   const bool aggregate = flags.has("aggregate");
+  const auto des_shards =
+      static_cast<std::int32_t>(flags.get_int("des-shards", 0));
   const bool incremental = !flags.has("no-incremental");
   const std::string trace_out = flags.get_str("trace-out", "");
   const int jobs = flags.jobs();
@@ -203,6 +210,7 @@ int main(int argc, char** argv) {
       SimulationConfig cfg = base_sim_config(ranks, steps);
       cfg.trace_enabled = tracing;
       cfg.aggregate_messages = aggregate;
+      cfg.des_shards = des_shards;
       cfg.incremental_plans = incremental;
       cfg.checkpoint_every = checkpoint_every;
       cfg.checkpoint_dir = checkpoint_dir;

@@ -1,5 +1,6 @@
 #include "amr/des/engine.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "amr/trace/tracer.hpp"
@@ -25,8 +26,11 @@ void Engine::refill_front() {
     if (e.time < min) min = e.time;
   front_time_ = min;
   // Stable redistribution: every entry lands strictly below j (it shares
-  // bit j-1 of the key with the new minimum), equal-minimum entries land
-  // in front_ in their original, schedule-FIFO order.
+  // bit j-1 of the time with the new minimum); equal-minimum entries
+  // land in front_ in their original append order, then a stable sort
+  // puts them in dispatch-key order. Legacy keys are monotone in append
+  // order, so for the sequential schedule_at path the sort is an
+  // already-sorted pass and the drain order stays exact schedule FIFO.
   for (const Entry& e : buckets_[j]) {
     const unsigned i = bucket_index(e.time, min);
     if (i == 0)
@@ -35,6 +39,10 @@ void Engine::refill_front() {
       buckets_[i].push_back(e);
   }
   buckets_[j].clear();
+  std::stable_sort(front_.begin(), front_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.key < b.key;
+                   });
 }
 
 TimeNs Engine::next_time() {
@@ -73,10 +81,21 @@ void Engine::rebucket_all(TimeNs new_min) {
     else
       buckets_[i].push_back(e);
   }
+  std::stable_sort(front_.begin(), front_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.key < b.key;
+                   });
 }
 
 void Engine::schedule_at(TimeNs t, EventHandler* handler,
                          std::uint64_t tag) {
+  // The legacy key is the global schedule counter: monotone, so
+  // equal-time dispatch order is exactly schedule FIFO.
+  schedule_keyed(t, event_key::kClassLegacy | next_seq_, handler, tag);
+}
+
+void Engine::schedule_keyed(TimeNs t, std::uint64_t key,
+                            EventHandler* handler, std::uint64_t tag) {
   AMR_CHECK_MSG(t >= now_, "cannot schedule into the past");
   AMR_CHECK(handler != nullptr);
   if (t < front_time_) [[unlikely]]
@@ -90,18 +109,28 @@ void Engine::schedule_at(TimeNs t, EventHandler* handler,
     slot = static_cast<std::uint32_t>(arena_.size());
     arena_.push_back(Body{handler, tag, next_seq_++});
   }
-  const Entry entry{t, slot};
+  const Entry entry{t, key, slot};
   // Always bucket relative to front_time_, the one monotone reference
   // every pending entry was bucketed against (updated only by
   // refill_front, and by rebucket_all above when a legal earlier time
   // arrives). Mixing references would break the equal-time colocation
-  // the FIFO guarantee rests on. Entries at exactly the front time join
-  // the FIFO tail of the front bucket.
+  // the key-order guarantee rests on. Entries at exactly the front time
+  // join the front bucket at their key position — for monotone legacy
+  // keys that is always the tail, a plain O(1) append.
   const unsigned i = bucket_index(t, front_time_);
-  if (i == 0)
-    front_.push_back(entry);
-  else
+  if (i == 0) {
+    if (front_.empty() || key >= front_.back().key) {
+      front_.push_back(entry);
+    } else {
+      auto it = std::upper_bound(
+          front_.begin() + static_cast<std::ptrdiff_t>(front_head_),
+          front_.end(), key,
+          [](std::uint64_t k, const Entry& e) { return k < e.key; });
+      front_.insert(it, entry);
+    }
+  } else {
     buckets_[i].push_back(entry);
+  }
   ++pending_;
 }
 
@@ -155,6 +184,12 @@ std::uint64_t Engine::run_until(TimeNs t_end) {
   const std::uint64_t start = processed_;
   while (pending_ != 0 && next_time() <= t_end) step();
   if (now_ < t_end) now_ = t_end;
+  return processed_ - start;
+}
+
+std::uint64_t Engine::run_before(TimeNs horizon) {
+  const std::uint64_t start = processed_;
+  while (pending_ != 0 && next_time() < horizon) step();
   return processed_ - start;
 }
 

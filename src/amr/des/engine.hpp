@@ -13,22 +13,34 @@
 //
 // The pending-event set is a monotone radix queue (Ahuja et al. 1990)
 // over a pooled event arena, exploiting the DES invariant that events
-// are never scheduled into the past: 16-byte entries (time, arena slot)
-// live in 65 buckets keyed by the highest bit in which the time
-// differs from the current minimum. Scheduling is an O(1) append;
-// dispatch pops the equal-minimum bucket and refills it by
-// redistributing the lowest non-empty bucket (each entry moves at most
-// 64 times over its lifetime, amortized ~O(1) for the near-sorted
+// are never scheduled into the past: 24-byte entries (time, dispatch
+// key, arena slot) live in 65 buckets keyed by the highest bit in which
+// the time differs from the current minimum. Scheduling is an O(1)
+// append (amortized; an equal-minimum entry with an out-of-order key
+// pays a sorted insert into the front bucket, which the monotone legacy
+// keys never do); dispatch pops the equal-minimum bucket and refills it
+// by redistributing the lowest non-empty bucket (each entry moves at
+// most 64 times over its lifetime, amortized ~O(1) for the near-sorted
 // schedules a DES produces). The (handler, tag) payload sits in
 // free-listed arena slots, touched once per dispatch, so nothing
 // allocates per event on either the handler or the callback path.
 //
 // Determinism: equal-time entries always occupy the same bucket (bucket
 // index depends only on (time, current-min)), appends and
-// redistributions are order-stable, and the front bucket drains FIFO —
-// so dispatch order is exactly (time, schedule order), bit-identical to
-// the std::priority_queue over (time, seq) this replaced, and ~35%
-// faster at simulator event populations.
+// redistributions are order-stable, and the front bucket drains in
+// ascending dispatch-key order — so dispatch order is exactly
+// (time, key). The default schedule_at path assigns monotonically
+// increasing legacy keys, which makes equal-time order exactly schedule
+// FIFO, bit-identical to the std::priority_queue over (time, seq) this
+// replaced, and ~35% faster at simulator event populations.
+//
+// Keyed scheduling (schedule_keyed) exists for the sharded engine: when
+// shards dispatch concurrently, "schedule order" is no longer a global
+// notion, so producers supply canonical keys (event_key below) that
+// depend only on simulation content — making equal-time order invariant
+// under the shard count. The two key regimes never mix within a run:
+// the sequential sim stack uses schedule_at exclusively; the sharded
+// stack uses schedule_keyed exclusively.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +54,36 @@ namespace amr {
 
 class Engine;
 class Tracer;
+
+/// Canonical dispatch keys for sharded (keyed) scheduling. Equal-time
+/// events dispatch in ascending key order; the class in the top two bits
+/// fixes the cross-kind ordering (all message deliveries before any rank
+/// continuation before any collective completion), and the low bits make
+/// keys unique within a class from simulation content alone:
+///   delivery    — (source rank, per-source monotone send sequence)
+///   rank        — the rank id (a rank has at most one self-event pending)
+///   collective  — the collective's window id
+/// The legacy class is what schedule_at assigns (global schedule counter,
+/// monotone, so equal-time order degenerates to exact schedule FIFO).
+namespace event_key {
+inline constexpr std::uint64_t kClassDelivery = 0ULL << 62;
+inline constexpr std::uint64_t kClassRank = 1ULL << 62;
+inline constexpr std::uint64_t kClassCollective = 2ULL << 62;
+inline constexpr std::uint64_t kClassLegacy = 3ULL << 62;
+
+inline std::uint64_t delivery(std::int32_t src_rank, std::uint64_t send_seq) {
+  return kClassDelivery | (static_cast<std::uint64_t>(
+                               static_cast<std::uint32_t>(src_rank))
+                           << 32) |
+         (send_seq & 0xffffffffULL);
+}
+inline std::uint64_t rank(std::int32_t r) {
+  return kClassRank | static_cast<std::uint32_t>(r);
+}
+inline std::uint64_t collective(std::uint64_t window) {
+  return kClassCollective | (window & ~(3ULL << 62));
+}
+}  // namespace event_key
 
 /// Receiver of scheduled events. The 64-bit tag is caller-defined (e.g.
 /// rank id, request id) and round-trips unchanged.
@@ -57,6 +99,14 @@ class Engine {
 
   /// Schedule an event at absolute simulated time t (must be >= now()).
   void schedule_at(TimeNs t, EventHandler* handler, std::uint64_t tag = 0);
+
+  /// Schedule with an explicit dispatch key (see event_key). Equal-time
+  /// events dispatch in ascending key order regardless of the order the
+  /// schedule calls were made in — the sharded engine's determinism
+  /// anchor. schedule_at is exactly schedule_keyed with a monotone
+  /// legacy key.
+  void schedule_keyed(TimeNs t, std::uint64_t key, EventHandler* handler,
+                      std::uint64_t tag = 0);
 
   /// Schedule an event dt nanoseconds from now.
   void schedule_after(TimeNs dt, EventHandler* handler,
@@ -80,8 +130,27 @@ class Engine {
   /// queue drained earlier. Returns events processed.
   std::uint64_t run_until(TimeNs t_end);
 
+  /// Run while events exist at time strictly < horizon, WITHOUT advancing
+  /// now() to the horizon afterwards — the per-epoch slice of the sharded
+  /// engine's conservative lookahead loop (now() must stay a valid lower
+  /// bound for events injected by other shards at >= horizon). Returns
+  /// events processed.
+  std::uint64_t run_before(TimeNs horizon);
+
   bool empty() const { return pending_ == 0; }
+  bool has_pending() const { return pending_ != 0; }
+  /// Earliest pending event time. Requires has_pending().
+  TimeNs peek_next_time() {
+    AMR_CHECK(pending_ != 0);
+    return next_time();
+  }
   std::uint64_t events_processed() const { return processed_; }
+
+  /// Shard id stamped by the sharded engine (0 in the sequential case).
+  /// Handlers shared across shards (Comm) use it to route per-shard
+  /// bookkeeping without a map lookup.
+  std::int32_t shard_id() const { return shard_id_; }
+  void set_shard_id(std::int32_t id) { shard_id_ = id; }
 
   /// Pre-size the event arena for a known pending-event population;
   /// optional, avoids growth reallocations mid-run.
@@ -122,11 +191,13 @@ class Engine {
   /// separate front bucket. buckets_[0] is never used.
   static constexpr unsigned kNumBuckets = 65;
 
-  /// Queue entry: dispatch key + arena slot. Ordering comes from the
-  /// radix structure itself; per-event metadata lives in the Body so the
-  /// entries the buckets shuffle stay 16 bytes.
+  /// Queue entry: (time, dispatch key) + arena slot. Time ordering comes
+  /// from the radix structure; the key orders equal-time entries in the
+  /// front bucket. Per-event metadata lives in the Body so the entries
+  /// the buckets shuffle stay 24 bytes.
   struct Entry {
     TimeNs time;
+    std::uint64_t key;
     std::uint32_t slot;
   };
 
@@ -166,11 +237,13 @@ class Engine {
 
   TimeNs now_ = 0;
   Tracer* tracer_ = nullptr;
+  std::int32_t shard_id_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t pending_ = 0;
   TimeNs front_time_ = 0;  ///< all entries in front_ carry this time
-  std::vector<Entry> front_;  ///< equal-minimum bucket, FIFO via head_
+  /// Equal-minimum bucket; key-sorted ascending from front_head_ on.
+  std::vector<Entry> front_;
   std::size_t front_head_ = 0;
   std::vector<Entry> buckets_[kNumBuckets];
   std::vector<Body> arena_;

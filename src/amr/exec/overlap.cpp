@@ -240,8 +240,8 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
     }
   }
 
-  void on_message(std::uint64_t window, TimeNs t, std::int32_t src,
-                  std::int64_t dst_tag) override {
+  void on_message(Engine& engine, std::uint64_t window, TimeNs t,
+                  std::int32_t src, std::int64_t dst_tag) override {
     if (window != window_) return;
     AMR_CHECK(dst_tag >= 0);
     const std::size_t slot =
@@ -254,15 +254,17 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
       if (tracer_ != nullptr)
         tracer_->end(rank_, TraceCat::kRecvWait, "stall", t, src);
       state_ = State::kRunning;
-      advance(comm_.engine());
+      advance(engine);
     }
   }
 
-  void on_recvs_ready(std::uint64_t, TimeNs, std::int32_t) override {
+  void on_recvs_ready(Engine&, std::uint64_t, TimeNs,
+                      std::int32_t) override {
     AMR_CHECK_MSG(false, "overlap runtime never blocks in wait_recvs");
   }
 
-  void on_collective_done(std::uint64_t window, TimeNs t) override {
+  void on_collective_done(Engine& /*engine*/, std::uint64_t window,
+                          TimeNs t) override {
     AMR_CHECK(window == window_);
     AMR_CHECK(state_ == State::kInCollective);
     stats_.sync_ns += t - stats_.collective_entry;

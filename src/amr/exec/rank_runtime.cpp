@@ -68,12 +68,19 @@ void RankRuntime::begin_step(const RankStepWork& work,
   tasks_.push_back(Task{TaskKind::kWaitSends, 0, -1, 0});
 }
 
+void RankRuntime::self_schedule(Engine& engine, TimeNs t) {
+  if (comm_.sharded() != nullptr)
+    engine.schedule_keyed(t, event_key::rank(rank_), this, 0);
+  else
+    engine.schedule_at(t, this, 0);
+}
+
 void RankRuntime::start(Engine& engine) {
   AMR_CHECK(state_ == State::kIdle);
   state_ = State::kRunning;
   // Begin at the configured start time (== engine.now() for lockstep
   // steps); schedule rather than recurse so all ranks start fairly.
-  engine.schedule_at(engine.now(), this, 0);
+  self_schedule(engine, engine.now());
 }
 
 void RankRuntime::on_event(Engine& engine, std::uint64_t /*tag*/) {
@@ -135,7 +142,7 @@ void RankRuntime::advance(Engine& engine) {
         if (tracer_ != nullptr)
           tracer_->complete(rank_, TraceCat::kCompute, "compute",
                             engine.now(), t.duration, ordering_tag_);
-        engine.schedule_after(t.duration, this, 0);
+        self_schedule(engine, engine.now() + t.duration);
         return;
       case TaskKind::kLocalCopy:
       case TaskKind::kUnpack:
@@ -147,7 +154,7 @@ void RankRuntime::advance(Engine& engine) {
                                                         : "local-copy",
                             engine.now(), t.duration, t.bytes,
                             ordering_tag_);
-        engine.schedule_after(t.duration, this, 0);
+        self_schedule(engine, engine.now() + t.duration);
         return;
       case TaskKind::kPackSend:
         stats_.pack_ns += t.duration;
@@ -155,7 +162,7 @@ void RankRuntime::advance(Engine& engine) {
         if (tracer_ != nullptr)
           tracer_->complete(rank_, TraceCat::kPack, "pack", engine.now(),
                             t.duration, t.bytes, t.dst);
-        engine.schedule_after(t.duration, this, 0);
+        self_schedule(engine, engine.now() + t.duration);
         return;
       case TaskKind::kWaitRecvs:
         if (comm_.wait_recvs(rank_, window_, engine.now())) {
@@ -178,7 +185,7 @@ void RankRuntime::advance(Engine& engine) {
         if (tracer_ != nullptr)
           tracer_->begin(rank_, TraceCat::kSendWait, "send-wait",
                          engine.now());
-        engine.schedule_at(max_send_release_, this, 0);
+        self_schedule(engine, max_send_release_);
         return;
       }
     }
@@ -192,8 +199,8 @@ void RankRuntime::advance(Engine& engine) {
   comm_.enter_collective(window_, rank_, engine.now());
 }
 
-void RankRuntime::on_recvs_ready(std::uint64_t window, TimeNs t,
-                                 std::int32_t releasing_src) {
+void RankRuntime::on_recvs_ready(Engine& engine, std::uint64_t window,
+                                 TimeNs t, std::int32_t releasing_src) {
   AMR_CHECK(window == window_);
   AMR_CHECK(state_ == State::kWaitingRecvs);
   stats_.recv_wait_ns += t - wait_start_;
@@ -203,11 +210,13 @@ void RankRuntime::on_recvs_ready(std::uint64_t window, TimeNs t,
                  releasing_src);
   state_ = State::kRunning;
   ++pc_;
-  // We are inside the delivery event at time t; continue inline.
-  advance(comm_.engine());
+  // We are inside the delivery event at time t; continue inline on the
+  // dispatching engine (the rank's own shard under sharding).
+  advance(engine);
 }
 
-void RankRuntime::on_collective_done(std::uint64_t window, TimeNs t) {
+void RankRuntime::on_collective_done(Engine& /*engine*/,
+                                     std::uint64_t window, TimeNs t) {
   AMR_CHECK(window == window_);
   AMR_CHECK(state_ == State::kInCollective);
   stats_.sync_ns += t - stats_.collective_entry;

@@ -68,9 +68,10 @@ class RankRuntime final : public RankEndpoint, public EventHandler {
   std::int32_t rank() const { return rank_; }
 
   // RankEndpoint
-  void on_recvs_ready(std::uint64_t window, TimeNs t,
+  void on_recvs_ready(Engine& engine, std::uint64_t window, TimeNs t,
                       std::int32_t releasing_src) override;
-  void on_collective_done(std::uint64_t window, TimeNs t) override;
+  void on_collective_done(Engine& engine, std::uint64_t window,
+                          TimeNs t) override;
 
   // EventHandler (self-scheduled continuations)
   void on_event(Engine& engine, std::uint64_t tag) override;
@@ -103,6 +104,12 @@ class RankRuntime final : public RankEndpoint, public EventHandler {
 
   void advance(Engine& engine);
   TimeNs pack_ns(std::int64_t bytes) const;
+  /// Schedule the rank's next self-event. Sequential mode keeps the
+  /// legacy FIFO key (exact seed behaviour); sharded mode uses the
+  /// canonical rank key — legal because the state machine has at most
+  /// one outstanding self-event per rank, so the key is unique among
+  /// pending events of its class.
+  void self_schedule(Engine& engine, TimeNs t);
 
   std::int32_t rank_;
   Comm& comm_;

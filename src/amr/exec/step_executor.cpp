@@ -18,8 +18,9 @@ StepResult StepExecutor::execute(std::span<const RankStepWork> work,
                                  TaskOrdering ordering,
                                  std::uint64_t window) {
   AMR_CHECK(work.size() == runtimes_.size());
+  ShardedEngine* sharded = comm_.sharded();
   StepResult result;
-  result.step_start = engine_.now();
+  result.step_start = sharded != nullptr ? sharded->now() : engine_.now();
 
   expected_scratch_.resize(work.size());
   for (std::size_t r = 0; r < work.size(); ++r)
@@ -29,9 +30,17 @@ StepResult StepExecutor::execute(std::span<const RankStepWork> work,
   for (std::size_t r = 0; r < work.size(); ++r) {
     runtimes_[r]->begin_step(work[r], ordering, window,
                              result.step_start);
-    runtimes_[r]->start(engine_);
+    runtimes_[r]->start(
+        sharded != nullptr
+            ? sharded->engine_for_rank(static_cast<std::int32_t>(r))
+            : engine_);
   }
-  engine_.run();
+  if (sharded != nullptr) {
+    sharded->run_all();
+    result.shards = sharded->last_stats();
+  } else {
+    engine_.run();
+  }
 
   result.ranks.reserve(work.size());
   for (const auto& rt : runtimes_) {
@@ -40,7 +49,7 @@ StepResult StepExecutor::execute(std::span<const RankStepWork> work,
   }
   AMR_CHECK(comm_.exchange_complete(window));
   comm_.end_exchange(window);
-  result.step_end = engine_.now();
+  result.step_end = sharded != nullptr ? sharded->now() : engine_.now();
   if (tracer_ != nullptr)
     tracer_->complete(Tracer::kTrackSim, TraceCat::kStep, "step",
                       result.step_start, result.wall_ns(),

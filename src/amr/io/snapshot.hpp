@@ -45,7 +45,10 @@ class SnapshotError : public std::runtime_error {
 // v2: aggregate_messages in the config fingerprint, msgs_coalesced /
 // bytes_packed in the report section, packed-transfer fabric counters,
 // and two added comm-table columns.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+// v3: sharded-DES bit in the config fingerprint, per-node fabric
+// RNG/stats in the fabric section when sharded, and the collector's
+// fourth (shards) table.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 3;
 
 /// Builds a snapshot payload in memory, then writes the enveloped file.
 class SnapshotWriter {

@@ -110,4 +110,32 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Private latch, same counted-push/predicate-wait shape as the
+  // pending_ fix in submit(): `remaining` falls under `mu` before the
+  // notify, and the waiter's predicate runs under `mu`, so the final
+  // decrement either precedes the wait (predicate true immediately) or
+  // finds the waiter parked where the notify reaches it. The notify
+  // stays INSIDE the lock: the latch lives on the waiter's stack, and a
+  // post-unlock notify could touch the cv after the woken waiter has
+  // already returned and destroyed it (TSan: notify vs ~Latch).
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+  };
+  Latch latch{.remaining = n};
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&latch, &fn, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(latch.mu);
+      if (--latch.remaining == 0) latch.cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+}
+
 }  // namespace amr

@@ -42,6 +42,14 @@ class ThreadPool {
   /// does not execute tasks.
   void wait_idle();
 
+  /// Run fn(0..n-1) across the pool and block until all n calls return —
+  /// the sharded DES's per-epoch barrier. Unlike wait_idle this waits on
+  /// exactly these n tasks (a private latch), so it composes with other
+  /// outstanding submissions, and the pool persists across epochs
+  /// instead of being torn down and respawned per barrier. The caller's
+  /// thread does not execute tasks. Not reentrant from inside a task.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Worker count for --jobs=0 ("use the machine"): hardware

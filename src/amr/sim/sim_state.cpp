@@ -1,5 +1,6 @@
 #include "amr/sim/sim_state.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -10,14 +11,46 @@
 
 namespace amr {
 
+namespace {
+
+/// Sharded-mode construction detour: flip the fabric to per-node state
+/// (before the comm captures it) and build the shard partition + worker
+/// pool. Runs inside SimRuntime's init list so `sharded.get()` is valid
+/// by the time the comm member constructs.
+std::unique_ptr<ShardedEngine> make_sharded(
+    const SimulationConfig& config, const ClusterTopology& topo,
+    Fabric& fabric, std::unique_ptr<ThreadPool>& pool) {
+  if (config.des_shards <= 0) return nullptr;
+  fabric.enable_sharding();
+  const std::int32_t shards =
+      std::min(config.des_shards, topo.num_nodes());
+  if (shards > 1)
+    pool = std::make_unique<ThreadPool>(
+        std::min(shards, ThreadPool::hardware_jobs()));
+  return std::make_unique<ShardedEngine>(topo, config.des_shards,
+                                         config.fabric.remote_latency,
+                                         pool.get());
+}
+
+}  // namespace
+
 SimRuntime::SimRuntime(const SimulationConfig& config, Tracer* tracer)
     : topo(config.nranks, config.ranks_per_node),
       rng(config.seed),
       fabric(topo, config.fabric, rng.split(0xfab)),
-      comm(engine, fabric, config.nranks, config.collective) {
-  engine.set_tracer(tracer);
-  fabric.set_tracer(tracer);
-  comm.set_tracer(tracer);
+      sharded(make_sharded(config, topo, fabric, des_pool)),
+      comm(engine, fabric, config.nranks, config.collective,
+           sharded.get()) {
+  if (sharded) {
+    // Concurrent shards cannot funnel into the shared trace ring; the
+    // driver rejects trace_enabled + des_shards before getting here.
+    AMR_CHECK(tracer == nullptr);
+    sharded->set_barrier_callback([this] { comm.on_epoch_barrier(); });
+  } else {
+    engine.set_tracer(tracer);
+    fabric.set_tracer(tracer);
+    comm.set_tracer(tracer);
+  }
   if (config.execution == ExecutionMode::kBsp)
     bsp_executor =
         std::make_unique<StepExecutor>(engine, comm, config.exec, tracer);
@@ -133,6 +166,10 @@ void write_meta(io::SnapshotWriter& w, const SimulationConfig& config,
   w.u8(static_cast<std::uint8_t>(config.ordering));
   w.b(config.include_flux_correction);
   w.b(config.aggregate_messages);
+  // Sharded vs sequential is a fingerprint axis (the two draw different
+  // fabric jitter); the shard *count* is deliberately not — any sharded
+  // run restores any sharded snapshot (state is node-indexed).
+  w.b(config.des_shards > 0);
   w.b(config.telemetry_driven_costs);
   w.b(config.incremental_plans);
   w.b(config.collect_telemetry);
@@ -170,6 +207,7 @@ void check_meta(io::SnapshotReader& r, const SimulationConfig& config,
           "task ordering");
   require(r.b() == config.include_flux_correction, "flux correction");
   require(r.b() == config.aggregate_messages, "message aggregation");
+  require(r.b() == (config.des_shards > 0), "sharded DES");
   require(r.b() == config.telemetry_driven_costs, "telemetry-driven costs");
   require(r.b() == config.incremental_plans, "incremental plans");
   require(r.b() == config.collect_telemetry, "collect_telemetry");
@@ -268,7 +306,10 @@ bool save_snapshot(const std::string& path, const SimulationConfig& config,
   }
   w.end_section();
 
-  const Engine::Clock clock = runtime.engine.clock();
+  // Sharded runs save one merged clock (the shards agree at step
+  // boundaries), so a snapshot restores under any shard count.
+  const Engine::Clock clock =
+      runtime.sharded ? runtime.sharded->clock() : runtime.engine.clock();
   w.begin_section("engine");
   w.i64(clock.now);
   w.i64(clock.front_time);
@@ -295,6 +336,24 @@ bool save_snapshot(const std::string& path, const SimulationConfig& config,
   w.vec_pod(fab.nic_busy_until);
   w.u32(static_cast<std::uint32_t>(fab.shm_slot_free.size()));
   for (const auto& slots : fab.shm_slot_free) w.vec_pod(slots);
+  // Sharded mode: per-node stream positions and counters (node-indexed,
+  // so they restore across shard counts). Presence is pinned by the
+  // fingerprint's "sharded DES" bit.
+  if (runtime.fabric.sharded()) {
+    w.u32(static_cast<std::uint32_t>(fab.node_rngs.size()));
+    for (const Rng::State& s : fab.node_rngs) write_rng(w, s);
+    for (const FabricStats& s : fab.node_stats) {
+      w.i64(s.remote_msgs);
+      w.i64(s.shm_msgs);
+      w.i64(s.remote_bytes);
+      w.i64(s.shm_bytes);
+      w.i64(s.shm_retries);
+      w.i64(s.acks_lost);
+      w.i64(s.ack_block_time);
+      w.i64(s.packed_transfers);
+      w.i64(s.coalesced_msgs);
+    }
+  }
   w.end_section();
 
   std::vector<std::uint8_t> blob;
@@ -308,6 +367,7 @@ bool save_snapshot(const std::string& path, const SimulationConfig& config,
   write_table(w, collector.phases());
   write_table(w, collector.comm());
   write_table(w, collector.blocks());
+  write_table(w, collector.shards());
   w.end_section();
 
   w.begin_section("tracer");
@@ -427,7 +487,10 @@ void restore_snapshot(const std::string& path,
   clock.front_time = r.i64();
   clock.next_seq = r.u64();
   clock.processed = r.u64();
-  runtime.engine.restore_clock(clock);
+  if (runtime.sharded)
+    runtime.sharded->restore_clock(clock);
+  else
+    runtime.engine.restore_clock(clock);
   r.end_section();
 
   r.begin_section("rng");
@@ -449,6 +512,23 @@ void restore_snapshot(const std::string& path,
   fab.nic_busy_until = r.vec_pod<TimeNs>();
   fab.shm_slot_free.resize(r.u32());
   for (auto& slots : fab.shm_slot_free) slots = r.vec_pod<TimeNs>();
+  if (runtime.fabric.sharded()) {
+    const std::uint32_t nnodes = r.u32();
+    fab.node_rngs.resize(nnodes);
+    fab.node_stats.resize(nnodes);
+    for (Rng::State& s : fab.node_rngs) s = read_rng(r);
+    for (FabricStats& s : fab.node_stats) {
+      s.remote_msgs = r.i64();
+      s.shm_msgs = r.i64();
+      s.remote_bytes = r.i64();
+      s.shm_bytes = r.i64();
+      s.shm_retries = r.i64();
+      s.acks_lost = r.i64();
+      s.ack_block_time = r.i64();
+      s.packed_transfers = r.i64();
+      s.coalesced_msgs = r.i64();
+    }
+  }
   r.end_section();
   runtime.fabric.import_state(fab);
 
@@ -462,7 +542,9 @@ void restore_snapshot(const std::string& path,
   Table phases = read_table(r, collector.phases());
   Table comm = read_table(r, collector.comm());
   Table blocks = read_table(r, collector.blocks());
-  collector.restore(std::move(phases), std::move(comm), std::move(blocks));
+  Table shard_tab = read_table(r, collector.shards());
+  collector.restore(std::move(phases), std::move(comm), std::move(blocks),
+                    std::move(shard_tab));
   r.end_section();
 
   r.begin_section("tracer");

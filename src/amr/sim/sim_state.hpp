@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "amr/des/engine.hpp"
+#include "amr/des/sharded_engine.hpp"
 #include "amr/exec/plan_cache.hpp"
 #include "amr/exec/step_executor.hpp"
+#include "amr/par/thread_pool.hpp"
 #include "amr/sim/simulation.hpp"
 
 namespace amr {
@@ -76,6 +78,11 @@ struct SimRuntime {
   Engine engine;
   Rng rng;  ///< root stream (already split for the fabric)
   Fabric fabric;
+  /// Sharded-DES mode only (config.des_shards > 0, both null otherwise):
+  /// the worker pool and the per-node shard partition. Declared before
+  /// comm, which captures sharded.get() at construction.
+  std::unique_ptr<ThreadPool> des_pool;
+  std::unique_ptr<ShardedEngine> sharded;
   Comm comm;
   // Exactly one executor registers rank endpoints on the comm.
   std::unique_ptr<StepExecutor> bsp_executor;

@@ -3,13 +3,14 @@
 #include <bit>
 
 #include "amr/common/check.hpp"
+#include "amr/des/sharded_engine.hpp"
 #include "amr/trace/tracer.hpp"
 
 namespace amr {
 
 Comm::Comm(Engine& engine, Fabric& fabric, std::int32_t nranks,
-           CollectiveParams collective)
-    : engine_(engine), fabric_(fabric), nranks_(nranks),
+           CollectiveParams collective, ShardedEngine* sharded)
+    : engine_(engine), fabric_(fabric), sharded_(sharded), nranks_(nranks),
       collective_params_(collective),
       endpoints_(static_cast<std::size_t>(nranks), nullptr) {
   AMR_CHECK(nranks > 0);
@@ -17,6 +18,18 @@ Comm::Comm(Engine& engine, Fabric& fabric, std::int32_t nranks,
       static_cast<std::uint64_t>(nranks - 1)));  // ceil(log2(nranks))
   collective_overhead_ =
       collective_params_.alpha + collective_params_.beta * log2p;
+  const std::size_t npools =
+      sharded_ != nullptr
+          ? static_cast<std::size_t>(sharded_->num_shards())
+          : 1;
+  pools_.resize(npools);
+  send_seq_.assign(static_cast<std::size_t>(nranks), 0);
+  if (sharded_ != nullptr) {
+    AMR_CHECK_MSG(fabric_.sharded(),
+                  "sharded comm requires a sharding-enabled fabric");
+    foreign_frees_.resize(npools);
+    shard_collectives_.resize(npools);
+  }
 }
 
 void Comm::set_endpoint(std::int32_t rank, RankEndpoint* endpoint) {
@@ -51,11 +64,23 @@ void Comm::begin_exchange(std::uint64_t window,
   state.arrived.assign(static_cast<std::size_t>(nranks_), 0);
   state.last_delivery.assign(static_cast<std::size_t>(nranks_), 0);
   state.waiting.assign(static_cast<std::size_t>(nranks_), 0);
-  state.outstanding = 0;
-  for (const std::int32_t e : state.expected) {
-    AMR_CHECK(e >= 0);
-    state.outstanding += e;
+  for (const std::int32_t e : state.expected) AMR_CHECK(e >= 0);
+}
+
+std::uint64_t Comm::alloc_delivery(std::int32_t pool_shard,
+                                   const PendingDelivery& d) {
+  DeliveryPool& pool = pools_[static_cast<std::size_t>(pool_shard)];
+  std::uint64_t slot;
+  if (!pool.free_slots.empty()) {
+    slot = pool.free_slots.back();
+    pool.free_slots.pop_back();
+    pool.deliveries[slot] = d;
+  } else {
+    slot = pool.deliveries.size();
+    pool.deliveries.push_back(d);
   }
+  AMR_CHECK(slot <= kSlotMask);
+  return (static_cast<std::uint64_t>(pool_shard) << kPoolShardShift) | slot;
 }
 
 TimeNs Comm::isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
@@ -74,18 +99,26 @@ TimeNs Comm::isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
         src, TraceCat::kMsg, "p2p",
         post_time > 0 ? post_time - 1 : post_time, bytes, dst);
   }
-  std::uint64_t slot;
-  if (!free_delivery_slots_.empty()) {
-    slot = free_delivery_slots_.back();
-    free_delivery_slots_.pop_back();
-    deliveries_[slot] =
-        PendingDelivery{window, dst, src, dst_tag, bytes, flow_id};
-  } else {
-    slot = deliveries_.size();
-    deliveries_.push_back(
-        PendingDelivery{window, dst, src, dst_tag, bytes, flow_id});
+  const PendingDelivery d{window, dst, src, dst_tag, bytes, flow_id};
+  if (sharded_ == nullptr) {
+    engine_.schedule_at(t.delivery, this, alloc_delivery(0, d));
+    return t.sender_release;
   }
-  engine_.schedule_at(t.delivery, this, slot);
+  // Sharded: allocate in the sending shard's pool (single-writer), key
+  // the delivery by (source rank, per-source send sequence) so its
+  // equal-time dispatch position is independent of the shard layout, and
+  // route cross-shard deliveries through the epoch mailbox. The fabric
+  // guarantees cross-node delivery >= post_time + lookahead, so a posted
+  // event always lands beyond the destination shard's current epoch.
+  const std::int32_t src_shard = sharded_->shard_of_rank(src);
+  const std::int32_t dst_shard = sharded_->shard_of_rank(dst);
+  const std::uint64_t key =
+      event_key::delivery(src, send_seq_[static_cast<std::size_t>(src)]++);
+  const std::uint64_t tag = alloc_delivery(src_shard, d);
+  if (src_shard == dst_shard)
+    sharded_->shard(src_shard).schedule_keyed(t.delivery, key, this, tag);
+  else
+    sharded_->post(src_shard, dst_shard, t.delivery, key, this, tag);
   return t.sender_release;
 }
 
@@ -105,14 +138,17 @@ bool Comm::wait_recvs(std::int32_t rank, std::uint64_t window,
 bool Comm::exchange_complete(std::uint64_t window) const {
   const std::ptrdiff_t xi = find_exchange(window);
   AMR_CHECK(xi >= 0);
-  return exchanges_[static_cast<std::size_t>(xi)].outstanding == 0;
+  const ExchangeState& state = exchanges_[static_cast<std::size_t>(xi)];
+  for (std::size_t r = 0; r < state.expected.size(); ++r)
+    if (state.arrived[r] != state.expected[r]) return false;
+  return true;
 }
 
 void Comm::end_exchange(std::uint64_t window) {
   const std::ptrdiff_t xi = find_exchange(window);
   AMR_CHECK(xi >= 0);
   ExchangeState& state = exchanges_[static_cast<std::size_t>(xi)];
-  AMR_CHECK_MSG(state.outstanding == 0,
+  AMR_CHECK_MSG(exchange_complete(window),
                 "closing window with undelivered messages");
   state.open = false;  // slot (and its vectors) recycled by the next open
 }
@@ -121,6 +157,22 @@ void Comm::enter_collective(std::uint64_t window, std::int32_t rank,
                             TimeNs entry_time) {
   AMR_CHECK(window < (1ULL << 31));
   AMR_CHECK(rank >= 0 && rank < nranks_);
+  if (sharded_ != nullptr) {
+    // Accumulate on the caller's shard; the merge (and the completion
+    // check) happens at the next epoch barrier, where it is both
+    // race-free and order-independent (counts add, entries max).
+    auto& list =
+        shard_collectives_[static_cast<std::size_t>(
+            sharded_->shard_of_rank(rank))];
+    for (CollectiveState& c : list)
+      if (c.window == window) {
+        ++c.entered;
+        c.max_entry = std::max(c.max_entry, entry_time);
+        return;
+      }
+    list.push_back(CollectiveState{window, 1, entry_time});
+    return;
+  }
   CollectiveState* found = nullptr;
   for (auto& c : collectives_)
     if (c.window == window) {
@@ -142,9 +194,71 @@ void Comm::enter_collective(std::uint64_t window, std::int32_t rank,
   }
 }
 
+void Comm::on_epoch_barrier() {
+  // Return cross-shard delivery frees to their owning pools. The lists
+  // are per dispatching shard and appended in that shard's dispatch
+  // order, so the free-list contents stay deterministic.
+  for (std::vector<std::uint64_t>& frees : foreign_frees_) {
+    for (const std::uint64_t tag : frees)
+      pools_[tag >> kPoolShardShift].free_slots.push_back(tag & kSlotMask);
+    frees.clear();
+  }
+  // Merge per-shard collective entries (commutative, so the shard
+  // iteration order cannot matter), then fire any completed collective
+  // into every shard: each shard's dispatch notifies its own rank range.
+  for (std::vector<CollectiveState>& list : shard_collectives_) {
+    for (const CollectiveState& e : list) {
+      CollectiveState* found = nullptr;
+      for (CollectiveState& c : collectives_)
+        if (c.window == e.window) {
+          found = &c;
+          break;
+        }
+      if (found == nullptr) {
+        collectives_.push_back(e);
+      } else {
+        found->entered += e.entered;
+        found->max_entry = std::max(found->max_entry, e.max_entry);
+      }
+    }
+    list.clear();
+  }
+  for (std::size_t i = 0; i < collectives_.size();) {
+    CollectiveState& c = collectives_[i];
+    AMR_CHECK_MSG(c.entered <= nranks_,
+                  "rank entered collective twice in one window");
+    if (c.entered < nranks_) {
+      ++i;
+      continue;
+    }
+    const std::uint64_t window = c.window;
+    const TimeNs done = c.max_entry + collective_overhead_;
+    // Remove before scheduling: the sharded dispatch path does not
+    // consult collectives_ (window and time ride in the tag and event).
+    collectives_[i] = collectives_.back();
+    collectives_.pop_back();
+    for (std::int32_t s = 0; s < sharded_->num_shards(); ++s)
+      sharded_->shard(s).schedule_keyed(done, event_key::collective(window),
+                                        this,
+                                        kCollectiveBit | (window << 32));
+  }
+}
+
 void Comm::on_event(Engine& engine, std::uint64_t tag) {
   if (tag & kCollectiveBit) {
     const std::uint64_t window = (tag & ~kCollectiveBit) >> 32;
+    if (sharded_ != nullptr) {
+      // Per-shard completion event: notify only this shard's ranks (in
+      // rank order; the global notification order across shards is not
+      // observable — each rank's continuation stays in its own shard).
+      const auto [first, last] = sharded_->rank_range(engine.shard_id());
+      for (std::int32_t r = first; r < last; ++r) {
+        RankEndpoint* ep = endpoints_[static_cast<std::size_t>(r)];
+        AMR_CHECK(ep != nullptr);
+        ep->on_collective_done(engine, window, engine.now());
+      }
+      return;
+    }
     std::size_t ci = collectives_.size();
     for (std::size_t i = 0; i < collectives_.size(); ++i)
       if (collectives_[i].window == window) {
@@ -159,13 +273,20 @@ void Comm::on_event(Engine& engine, std::uint64_t tag) {
     for (std::int32_t r = 0; r < nranks_; ++r) {
       RankEndpoint* ep = endpoints_[static_cast<std::size_t>(r)];
       AMR_CHECK(ep != nullptr);
-      ep->on_collective_done(window, engine.now());
+      ep->on_collective_done(engine, window, engine.now());
     }
     return;
   }
   // Message delivery.
-  const PendingDelivery d = deliveries_[tag];
-  free_delivery_slots_.push_back(tag);
+  const std::size_t pool_shard = tag >> kPoolShardShift;
+  const std::uint64_t slot = tag & kSlotMask;
+  const PendingDelivery d = pools_[pool_shard].deliveries[slot];
+  if (sharded_ != nullptr &&
+      static_cast<std::size_t>(engine.shard_id()) != pool_shard)
+    foreign_frees_[static_cast<std::size_t>(engine.shard_id())].push_back(
+        tag);
+  else
+    pools_[pool_shard].free_slots.push_back(slot);
   const std::uint64_t window = d.window;
   const std::int32_t rank = d.dst;
   const std::ptrdiff_t xi = find_exchange(window);
@@ -174,7 +295,6 @@ void Comm::on_event(Engine& engine, std::uint64_t tag) {
   {
     ExchangeState& state = exchanges_[static_cast<std::size_t>(xi)];
     ++state.arrived[r];
-    --state.outstanding;
     state.last_delivery[r] = engine.now();
     if (tracer_ != nullptr)
       tracer_->flow_end(d.dst, TraceCat::kMsg, "p2p", engine.now(),
@@ -183,7 +303,7 @@ void Comm::on_event(Engine& engine, std::uint64_t tag) {
                   "more deliveries than expected; window mismatch");
   }
   if (RankEndpoint* ep = endpoints_[r]; ep != nullptr)
-    ep->on_message(window, engine.now(), d.src, d.dst_tag);
+    ep->on_message(engine, window, engine.now(), d.src, d.dst_tag);
   // Re-index after the callback: slot indices are stable, but the pool
   // vector may have grown if the endpoint opened a window.
   ExchangeState& state = exchanges_[static_cast<std::size_t>(xi)];
@@ -191,7 +311,7 @@ void Comm::on_event(Engine& engine, std::uint64_t tag) {
     state.waiting[r] = 0;
     RankEndpoint* ep = endpoints_[r];
     AMR_CHECK(ep != nullptr);
-    ep->on_recvs_ready(window, engine.now(), d.src);
+    ep->on_recvs_ready(engine, window, engine.now(), d.src);
   }
 }
 

@@ -24,9 +24,14 @@
 
 namespace amr {
 
+class ShardedEngine;
 class Tracer;
 
 /// Callbacks into the per-rank runtime (implemented by exec::RankRuntime).
+/// `engine` is the engine that dispatched the triggering event — under
+/// sharding, the rank's own shard engine, which the endpoint must use for
+/// any continuation it schedules (in the sequential case it is simply the
+/// one global engine).
 class RankEndpoint {
  public:
   virtual ~RankEndpoint() = default;
@@ -34,17 +39,19 @@ class RankEndpoint {
   /// wait). `t` is the completing delivery's time and `releasing_src` the
   /// sender of that final message — the second rank of a two-rank
   /// critical path (paper §IV-D).
-  virtual void on_recvs_ready(std::uint64_t window, TimeNs t,
-                              std::int32_t releasing_src) = 0;
+  virtual void on_recvs_ready(Engine& engine, std::uint64_t window,
+                              TimeNs t, std::int32_t releasing_src) = 0;
   /// The collective entered in `window` completed at time `t`.
-  virtual void on_collective_done(std::uint64_t window, TimeNs t) = 0;
+  virtual void on_collective_done(Engine& engine, std::uint64_t window,
+                                  TimeNs t) = 0;
 
   /// Every message delivery (before any on_recvs_ready). `dst_tag` is the
   /// sender-supplied routing tag (e.g. destination block id) — the hook
   /// the overlap runtime uses to track per-block readiness. Default:
   /// ignored (the BSP runtime only cares about window completion).
-  virtual void on_message(std::uint64_t window, TimeNs t,
+  virtual void on_message(Engine& engine, std::uint64_t window, TimeNs t,
                           std::int32_t src, std::int64_t dst_tag) {
+    (void)engine;
     (void)window;
     (void)t;
     (void)src;
@@ -61,12 +68,22 @@ struct CollectiveParams {
 
 class Comm final : public EventHandler {
  public:
+  /// With `sharded` non-null the comm routes events through the sharded
+  /// engine instead of `engine`: deliveries and collective completions
+  /// are scheduled with canonical dispatch keys (engine.hpp event_key)
+  /// into the destination rank's shard — buffered through the sharded
+  /// engine's mailbox when source and destination shards differ — and
+  /// all mutable bookkeeping a shard thread touches is partitioned by
+  /// rank or by shard (delivery pools, collective accumulators, foreign
+  /// slot frees), with the merges happening in on_epoch_barrier(). The
+  /// fabric must have sharding enabled so transfer() is per-node too.
   Comm(Engine& engine, Fabric& fabric, std::int32_t nranks,
-       CollectiveParams collective = {});
+       CollectiveParams collective = {}, ShardedEngine* sharded = nullptr);
 
   std::int32_t nranks() const { return nranks_; }
   Engine& engine() { return engine_; }
   Fabric& fabric() { return fabric_; }
+  ShardedEngine* sharded() { return sharded_; }
 
   /// Register the runtime object receiving callbacks for `rank`.
   void set_endpoint(std::int32_t rank, RankEndpoint* endpoint);
@@ -122,6 +139,14 @@ class Comm final : public EventHandler {
   // EventHandler: message deliveries and collective completions.
   void on_event(Engine& engine, std::uint64_t tag) override;
 
+  /// Sharded mode: the sharded engine's epoch-barrier hook (registered
+  /// by the owner via ShardedEngine::set_barrier_callback). Runs single-
+  /// threaded between epochs: returns foreign-freed delivery slots to
+  /// their owning pools and merges per-shard collective accumulators,
+  /// scheduling a completion event into every shard once all ranks have
+  /// entered (each shard then notifies its own contiguous rank range).
+  void on_epoch_barrier();
+
  private:
   /// Pooled per-window exchange bookkeeping. Slots are recycled across
   /// windows (open flag, not erasure), so at steady state a step reuses
@@ -135,7 +160,9 @@ class Comm final : public EventHandler {
     std::vector<std::int32_t> arrived;
     std::vector<TimeNs> last_delivery;
     std::vector<std::uint8_t> waiting;
-    std::int64_t outstanding = 0;  // total expected - total arrived
+    // No aggregate outstanding counter: deliveries on different shards
+    // would race on it. exchange_complete/end_exchange (coordinator-only
+    // calls) sum expected - arrived on demand instead.
   };
 
   /// Active collectives (typically one): linear scan beats a hash map at
@@ -155,12 +182,29 @@ class Comm final : public EventHandler {
     std::uint64_t flow_id;  ///< trace flow pair id (0 = untraced)
   };
 
-  // Event tags: bit 63 selects delivery (0, tag = pending-delivery slot)
-  // vs collective completion (1, bits 32..62 = window id).
+  // Event tags: bit 63 selects delivery (0) vs collective completion
+  // (1, bits 32..62 = window id). A delivery tag is its pool slot in
+  // bits 0..39 plus the owning pool's shard in bits 40..62 — shard 0's
+  // tags equal the raw slot, keeping the sequential path's tags (and
+  // kDes trace output) identical to the single-pool layout.
   static constexpr std::uint64_t kCollectiveBit = 1ULL << 63;
+  static constexpr unsigned kPoolShardShift = 40;
+  static constexpr std::uint64_t kSlotMask = (1ULL << kPoolShardShift) - 1;
+
+  /// Per-shard delivery arena (one pool in the sequential case). Only
+  /// the owning shard's thread allocates from a pool; frees from other
+  /// shards detour through foreign_frees_ to the next epoch barrier.
+  struct DeliveryPool {
+    std::vector<PendingDelivery> deliveries;
+    std::vector<std::uint64_t> free_slots;
+  };
+
+  std::uint64_t alloc_delivery(std::int32_t pool_shard,
+                               const PendingDelivery& d);
 
   Engine& engine_;
   Fabric& fabric_;
+  ShardedEngine* sharded_;
   Tracer* tracer_ = nullptr;
   std::int32_t nranks_;
   CollectiveParams collective_params_;
@@ -171,8 +215,19 @@ class Comm final : public EventHandler {
   std::vector<RankEndpoint*> endpoints_;
   std::vector<ExchangeState> exchanges_;       // pooled, see ExchangeState
   std::vector<CollectiveState> collectives_;   // active only, swap-pop
-  std::vector<PendingDelivery> deliveries_;
-  std::vector<std::uint64_t> free_delivery_slots_;
+  std::vector<DeliveryPool> pools_;            // [shard]; [0] sequential
+  /// Per-source-rank monotone send counters, the per-class uniquifier of
+  /// delivery dispatch keys. Not checkpointed: no delivery is in flight
+  /// at a step boundary, so resetting them applies a common offset per
+  /// source and preserves every relative order.
+  std::vector<std::uint64_t> send_seq_;
+  /// [dispatching shard] -> delivery tags freed for another shard's
+  /// pool this epoch; returned to their owners at the barrier.
+  std::vector<std::vector<std::uint64_t>> foreign_frees_;
+  /// [shard] -> collective entries accumulated by that shard's ranks
+  /// this epoch; merged (commutatively: counts add, max_entry maxes)
+  /// into collectives_ at the barrier.
+  std::vector<std::vector<CollectiveState>> shard_collectives_;
 };
 
 }  // namespace amr

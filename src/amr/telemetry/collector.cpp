@@ -37,7 +37,13 @@ Collector::Collector()
       blocks_("blocks", {{"step", ColType::kI64},
                          {"block", ColType::kI64},
                          {"rank", ColType::kI64},
-                         {"cost_ns", ColType::kI64}}) {}
+                         {"cost_ns", ColType::kI64}}),
+      shards_("shards", {{"step", ColType::kI64},
+                         {"shard", ColType::kI64},
+                         {"events", ColType::kI64},
+                         {"epochs", ColType::kI64},
+                         {"stalls", ColType::kI64},
+                         {"mailbox", ColType::kI64}}) {}
 
 void Collector::record_phase(std::int64_t step, std::int32_t rank,
                              Phase phase, TimeNs dur) {
@@ -71,19 +77,24 @@ void Collector::clear() {
   phases_.clear();
   comm_.clear();
   blocks_.clear();
+  shards_.clear();
 }
 
-void Collector::restore(Table phases, Table comm, Table blocks) {
+void Collector::restore(Table phases, Table comm, Table blocks,
+                        Table shards) {
   AMR_CHECK_MSG(same_schema(phases, phases_) && same_schema(comm, comm_) &&
-                    same_schema(blocks, blocks_),
+                    same_schema(blocks, blocks_) &&
+                    same_schema(shards, shards_),
                 "restored telemetry tables do not match the collector schema");
   phases_ = std::move(phases);
   comm_ = std::move(comm);
   blocks_ = std::move(blocks);
+  shards_ = std::move(shards);
 }
 
 std::size_t Collector::bytes_used() const {
-  return phases_.bytes_used() + comm_.bytes_used() + blocks_.bytes_used();
+  return phases_.bytes_used() + comm_.bytes_used() + blocks_.bytes_used() +
+         shards_.bytes_used();
 }
 
 void Collector::record_block(std::int64_t step, std::int32_t block,
@@ -92,6 +103,13 @@ void Collector::record_block(std::int64_t step, std::int32_t block,
   blocks_.append_row({step, static_cast<std::int64_t>(block),
                       static_cast<std::int64_t>(rank),
                       static_cast<std::int64_t>(cost)});
+}
+
+void Collector::record_shard(std::int64_t step, std::int32_t shard,
+                             std::int64_t events, std::int64_t epochs,
+                             std::int64_t stalls, std::int64_t mailbox) {
+  shards_.append_row({step, static_cast<std::int64_t>(shard), events,
+                      epochs, stalls, mailbox});
 }
 
 }  // namespace amr

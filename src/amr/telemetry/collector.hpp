@@ -57,9 +57,19 @@ class Collector {
   void record_block(std::int64_t step, std::int32_t block,
                     std::int32_t rank, TimeNs cost);
 
+  /// shards(step, shard i64, events i64, epochs i64, stalls i64,
+  ///        mailbox i64) — per-(step, DES shard) execution counters from
+  ///        the sharded engine (empty for sequential runs). `stalls`
+  ///        counts lookahead epochs in which the shard dispatched
+  ///        nothing — the shard-imbalance signal.
+  void record_shard(std::int64_t step, std::int32_t shard,
+                    std::int64_t events, std::int64_t epochs,
+                    std::int64_t stalls, std::int64_t mailbox);
+
   const Table& phases() const { return phases_; }
   const Table& comm() const { return comm_; }
   const Table& blocks() const { return blocks_; }
+  const Table& shards() const { return shards_; }
 
   /// Enable/disable per-block records (largest table; off by default for
   /// big sweeps).
@@ -75,17 +85,18 @@ class Collector {
   /// trace->table exporters use this to reuse one collector per run.
   void clear();
 
-  /// Replace all three tables with checkpointed copies. The tables must
+  /// Replace all four tables with checkpointed copies. The tables must
   /// carry this collector's schemas (schema mismatch aborts).
-  void restore(Table phases, Table comm, Table blocks);
+  void restore(Table phases, Table comm, Table blocks, Table shards);
 
-  /// Total heap bytes held by the three tables' column storage.
+  /// Total heap bytes held by the tables' column storage.
   std::size_t bytes_used() const;
 
  private:
   Table phases_;
   Table comm_;
   Table blocks_;
+  Table shards_;
   bool block_records_ = true;
 };
 

@@ -127,5 +127,47 @@ TEST(ThreadPool, HardwareJobsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_jobs(), 1);
 }
 
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForZeroItemsReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { ADD_FAILURE(); });
+}
+
+TEST(ThreadPool, ParallelForIsABarrier) {
+  // Every invocation's side effect must be visible when the call
+  // returns, repeatedly, with more items than workers.
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 1; round <= 20; ++round) {
+    pool.parallel_for(7, [&count](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), round * 7);
+  }
+}
+
+TEST(ThreadPool, ParallelForComposesWithPlainSubmissions) {
+  ThreadPool pool(2);
+  std::atomic<int> loose{0};
+  std::atomic<int> batched{0};
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&loose] { loose.fetch_add(1, std::memory_order_relaxed); });
+  pool.parallel_for(50, [&batched](std::size_t) {
+    batched.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(batched.load(), 50);  // barrier covers only its own batch
+  pool.wait_idle();
+  EXPECT_EQ(loose.load(), 50);
+}
+
 }  // namespace
 }  // namespace amr

@@ -16,14 +16,15 @@ FabricParams quiet_params() {
 /// Minimal endpoint recording callbacks.
 class TestEndpoint final : public RankEndpoint {
  public:
-  void on_recvs_ready(std::uint64_t window, TimeNs t,
+  void on_recvs_ready(Engine& /*engine*/, std::uint64_t window, TimeNs t,
                       std::int32_t releasing_src) override {
     recv_ready_time = t;
     recv_ready_window = window;
     release_src = releasing_src;
     ++recv_ready_calls;
   }
-  void on_collective_done(std::uint64_t window, TimeNs t) override {
+  void on_collective_done(Engine& /*engine*/, std::uint64_t window,
+                          TimeNs t) override {
     collective_time = t;
     collective_window = window;
     ++collective_calls;
