@@ -17,7 +17,10 @@
 //      transfer;
 //   3. plan-build microcost of the aggregated vs legacy build on the
 //      shared step-work fixture;
-//   4. the per-step message-count split before/after.
+//   4. a packing-threshold sweep: --comm-adaptive with a global
+//      --pack-threshold ladder, tracing out bytes-per-message vs
+//      simulated steps/s between never-pack (0) and pack-all, with
+//      --aggregate as the reference endpoint.
 //
 // The mesh runs denser than one block per rank (--blocks-per-rank,
 // default 4): with exactly one block per rank each neighbor pair has its
@@ -72,6 +75,24 @@ SimulationConfig aggregate_config(std::int32_t ranks, std::int64_t steps,
       grid_for_ranks(static_cast<std::int64_t>(ranks) * blocks_per_rank);
   cfg.aggregate_messages = aggregate;
   return cfg;
+}
+
+/// One run with adaptive packing pinned to a global threshold (mean
+/// bytes/message at or under which a (src,dst) pair coalesces).
+RunReport run_threshold(std::int32_t ranks, std::int64_t steps,
+                        std::int64_t blocks_per_rank,
+                        std::int64_t threshold) {
+  SimulationConfig cfg =
+      aggregate_config(ranks, steps, blocks_per_rank, false);
+  cfg.comm_adaptive = true;
+  cfg.comm_pack_threshold = threshold;
+  SedovParams sp;
+  sp.total_steps = steps;
+  sp.max_level = 1;
+  SedovWorkload sedov(sp);
+  const PolicyPtr policy = make_policy("cpl50");
+  Simulation sim(cfg, sedov, *policy);
+  return sim.run();
 }
 
 ModeResult run_sedov(std::int32_t ranks, std::int64_t steps,
@@ -250,6 +271,41 @@ int main(int argc, char** argv) {
   std::printf("  legacy %10.1f us/step   aggregated %10.1f us/step\n",
               legacy_us, aggregate_us);
 
+  print_header("packing-threshold sweep (bytes/msg vs simulated steps/s)");
+  // Global --pack-threshold ladder spanning never-pack (0), the small
+  // payloads (vertex 320, edge 2560), the face size (20480), and
+  // pack-all; simulated wall time, so trials are irrelevant.
+  const std::int32_t sweep_ranks = flags.quick() ? 64 : 512;
+  const std::vector<std::int64_t> ladder = {0,    320,   2560,  5120,
+                                            10240, 20480, 1 << 30};
+  std::vector<double> ladder_sps;
+  std::vector<double> ladder_packed_frac;
+  for (const std::int64_t t : ladder) {
+    const RunReport r =
+        run_threshold(sweep_ranks, steps, blocks_per_rank, t);
+    const std::int64_t logical =
+        r.msgs_local + r.msgs_remote + r.msgs_coalesced;
+    const double sps = r.wall_seconds > 0
+                           ? static_cast<double>(steps) / r.wall_seconds
+                           : 0.0;
+    const double packed_frac =
+        logical > 0 ? static_cast<double>(r.msgs_coalesced) /
+                          static_cast<double>(logical)
+                    : 0.0;
+    ladder_sps.push_back(sps);
+    ladder_packed_frac.push_back(packed_frac);
+    std::printf(
+        "  threshold %10lld B/msg: %7.1f steps/s  packed frac %.3f\n",
+        static_cast<long long>(t), sps, packed_frac);
+  }
+  // The endpoints anchor the curve: threshold 0 must reproduce the
+  // legacy message split and pack-all must reach --aggregate's.
+  const bool endpoints_ok =
+      ladder_packed_frac.front() == 0.0 && ladder_packed_frac.back() > 0.0;
+  std::printf("  endpoints (never-pack flat, pack-all packed): %s\n",
+              endpoints_ok ? "yes" : "NO");
+  all_ok = all_ok && endpoints_ok;
+
   if (!json.empty()) {
     std::FILE* f = json == "-" ? stdout : std::fopen(json.c_str(), "a");
     if (f != nullptr) {
@@ -280,10 +336,18 @@ int main(int argc, char** argv) {
                    "],\"ranking\":{\"ranks\":%d,\"baseline_off_s\":%.4f,"
                    "\"cpl50_off_s\":%.4f,\"baseline_on_s\":%.4f,"
                    "\"cpl50_on_s\":%.4f,\"preserved\":%s},"
-                   "\"build_legacy_us\":%.1f,\"build_aggregate_us\":%.1f}\n",
+                   "\"build_legacy_us\":%.1f,\"build_aggregate_us\":%.1f,"
+                   "\"threshold_sweep\":{\"ranks\":%d,\"points\":[",
                    rank_scale, base_off, cplx_off, base_on, cplx_on,
                    rankings_preserved ? "true" : "false", legacy_us,
-                   aggregate_us);
+                   aggregate_us, sweep_ranks);
+      for (std::size_t i = 0; i < ladder.size(); ++i)
+        std::fprintf(f,
+                     "%s{\"bytes_per_msg\":%lld,\"steps_per_s\":%.2f,"
+                     "\"packed_frac\":%.4f}",
+                     i == 0 ? "" : ",", static_cast<long long>(ladder[i]),
+                     ladder_sps[i], ladder_packed_frac[i]);
+      std::fprintf(f, "]}}\n");
       if (f != stdout) std::fclose(f);
     }
   }

@@ -91,7 +91,7 @@ std::unique_ptr<Workload> make_workload(const std::string& name,
   return nullptr;
 }
 
-std::string report_text(const RunReport& r, bool aggregate) {
+std::string report_text(const RunReport& r, bool show_packing) {
   std::string out;
   char buf[512];
   const double total = r.phases.total();
@@ -120,8 +120,8 @@ std::string report_text(const RunReport& r, bool aggregate) {
                 static_cast<long long>(r.critical_path.one_rank_paths),
                 static_cast<long long>(r.critical_path.two_rank_paths));
   out += buf;
-  // Only in aggregate mode: legacy stdout stays byte-identical.
-  if (aggregate) {
+  // Only in packing modes: legacy stdout stays byte-identical.
+  if (show_packing) {
     std::snprintf(buf, sizeof(buf),
                   "  aggregation: %lld msgs coalesced, %lld bytes packed\n",
                   static_cast<long long>(r.msgs_coalesced),
@@ -131,8 +131,8 @@ std::string report_text(const RunReport& r, bool aggregate) {
   return out;
 }
 
-void print_report(const RunReport& r, bool aggregate) {
-  const std::string text = report_text(r, aggregate);
+void print_report(const RunReport& r, bool show_packing) {
+  const std::string text = report_text(r, show_packing);
   std::fwrite(text.data(), 1, text.size(), stdout);
 }
 
@@ -145,7 +145,16 @@ int cmd_run(int argc, char** argv) {
         "  --ranks=N                (default 64)\n"
         "  --steps=N                (default 40)\n"
         "  --execution=bsp|overlap  (default bsp)\n"
-        "  --aggregate              (pack same-(src,dst) sends; bsp only)\n"
+        "  --aggregate              (pack all same-(src,dst) sends; works\n"
+        "                            under bsp and overlap)\n"
+        "  --comm-adaptive          (per-peer adaptive packing from the\n"
+        "                            fabric eager/rendezvous threshold;\n"
+        "                            mutually exclusive with --aggregate)\n"
+        "  --pack-threshold=N       (global threshold override in mean\n"
+        "                            bytes/message; requires\n"
+        "                            --comm-adaptive; -1 = modeled)\n"
+        "  --send-priority          (schedule sends to the previous\n"
+        "                            window's straggler rank first)\n"
         "  --des-shards=N           (parallel sharded DES; bsp only;\n"
         "                            0 = sequential legacy engine)\n"
         "  --trace-out=FILE.json [--trace-capacity=N]\n"
@@ -182,10 +191,19 @@ int cmd_run(int argc, char** argv) {
       execution == "overlap" ? ExecutionMode::kOverlap : ExecutionMode::kBsp;
   cfg.include_flux_correction = cfg.execution == ExecutionMode::kBsp;
   cfg.aggregate_messages = has_flag(argc, argv, "aggregate");
-  if (cfg.aggregate_messages && cfg.execution == ExecutionMode::kOverlap) {
+  cfg.comm_adaptive = has_flag(argc, argv, "comm-adaptive");
+  cfg.comm_pack_threshold = arg_int(argc, argv, "pack-threshold", -1);
+  cfg.send_priority = has_flag(argc, argv, "send-priority");
+  if (cfg.aggregate_messages && cfg.comm_adaptive) {
     std::fprintf(stderr,
-                 "amrcplx: --aggregate requires --execution=bsp (overlap "
-                 "tracks per-block arrivals)\n");
+                 "amrcplx: --aggregate and --comm-adaptive are mutually "
+                 "exclusive (adaptive packing subsumes the aggregate "
+                 "flag)\n");
+    return 2;
+  }
+  if (cfg.comm_pack_threshold >= 0 && !cfg.comm_adaptive) {
+    std::fprintf(stderr,
+                 "amrcplx: --pack-threshold requires --comm-adaptive\n");
     return 2;
   }
   cfg.des_shards =
@@ -227,7 +245,7 @@ int cmd_run(int argc, char** argv) {
                  static_cast<long long>(sim.current_step()),
                  policy->name().c_str());
   }
-  print_report(sim.run(), cfg.aggregate_messages);
+  print_report(sim.run(), cfg.aggregate_messages || cfg.comm_adaptive);
   if (!trace_out.empty()) {
     const Tracer& tracer = *sim.tracer();
     if (!write_chrome_trace(tracer, trace_out)) {
@@ -247,6 +265,9 @@ int cmd_sweep(int argc, char** argv) {
   const std::int64_t ranks = arg_int(argc, argv, "ranks", 64);
   const std::int64_t steps = arg_int(argc, argv, "steps", 40);
   const bool aggregate = has_flag(argc, argv, "aggregate");
+  const bool comm_adaptive = has_flag(argc, argv, "comm-adaptive");
+  const bool send_priority = has_flag(argc, argv, "send-priority");
+  const std::string execution = arg_value(argc, argv, "execution", "bsp");
   const auto des_shards =
       static_cast<std::int32_t>(arg_int(argc, argv, "des-shards", 0));
   // Each policy's simulation is independent and fully deterministic in
@@ -260,14 +281,19 @@ int cmd_sweep(int argc, char** argv) {
       cfg.root_grid = grid_for_ranks(ranks);
       cfg.steps = steps;
       cfg.collect_telemetry = false;
+      cfg.execution = execution == "overlap" ? ExecutionMode::kOverlap
+                                             : ExecutionMode::kBsp;
+      cfg.include_flux_correction = cfg.execution == ExecutionMode::kBsp;
       cfg.aggregate_messages = aggregate;
+      cfg.comm_adaptive = comm_adaptive;
+      cfg.send_priority = send_priority;
       cfg.des_shards = des_shards;
       SedovParams sp;
       sp.total_steps = steps;
       SedovWorkload sedov(sp);
       const PolicyPtr policy = make_policy(name);
       Simulation sim(cfg, sedov, *policy);
-      return report_text(sim.run(), aggregate);
+      return report_text(sim.run(), aggregate || comm_adaptive);
     });
   }
   sweep.run();
@@ -327,7 +353,9 @@ int main(int argc, char** argv) {
                "         --checkpoint-every=K --checkpoint-dir=D "
                "--restore=FILE | --replay=FILE (see run --help)\n"
                "  sweep  --ranks=N --steps=N --jobs=N [--aggregate] "
-               "[--des-shards=N] [--json=FILE]\n"
+               "[--comm-adaptive] [--send-priority]\n"
+               "         [--execution=bsp|overlap] [--des-shards=N] "
+               "[--json=FILE]\n"
                "  mesh   --ranks=N --sfc=z-order|hilbert\n");
   return cmd.empty() ? 1 : 2;
 }

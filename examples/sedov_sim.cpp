@@ -13,9 +13,20 @@
 //   ranks   simulated MPI ranks (default 64; 16 per node)
 //   steps   timesteps (default 60)
 //   --timing    adds host-measured placement wall-clock (nondeterministic)
+//   --overlap   task-graph execution with compute/communication overlap
+//               instead of the default BSP step
 //   --aggregate coalesce all same-(src,dst) boundary sends of a step into
-//               one packed transfer per destination rank (BSP only);
-//               off by default — the legacy path stays byte-identical
+//               one packed transfer per destination rank (works under BSP
+//               and --overlap); off by default — the legacy path stays
+//               byte-identical
+//   --comm-adaptive  per-peer adaptive packing: each (src,dst) pair packs
+//               or sends eagerly by comparing its mean bytes/message
+//               against the fabric-derived eager/rendezvous threshold
+//               (mutually exclusive with --aggregate, which it subsumes)
+//   --pack-threshold=N  global packing-threshold override in mean
+//               bytes/message (requires --comm-adaptive; -1 = modeled)
+//   --send-priority  schedule sends destined for the previous window's
+//               critical-path straggler rank before other sends
 //   --des-shards=N  partition the DES by cluster node into N shards run
 //               concurrently under conservative lookahead (BSP only).
 //               0 (default) = legacy sequential engine. Output is
@@ -70,7 +81,7 @@ std::int64_t parse_int(const std::string& v, const char* what) {
 }
 
 std::string report_text(const amr::RunReport& report, bool timing,
-                        bool aggregate) {
+                        bool show_packing) {
   std::string out;
   appendf(out, "\n== run report: %s ==\n", report.policy.c_str());
   appendf(out, "wall time            %10.3f s (simulated)\n",
@@ -114,8 +125,8 @@ std::string report_text(const amr::RunReport& report, bool timing,
               static_cast<double>(std::max<std::int64_t>(
                   1, report.msgs_local + report.msgs_remote)),
           static_cast<long long>(report.msgs_intra_rank));
-  // Printed only in aggregate mode so legacy stdout stays byte-identical.
-  if (aggregate) {
+  // Printed only in packing modes so legacy stdout stays byte-identical.
+  if (show_packing) {
     const std::int64_t transfers = report.msgs_local + report.msgs_remote;
     appendf(out,
             "aggregation          %lld msgs coalesced into %lld transfers "
@@ -143,7 +154,11 @@ int main(int argc, char** argv) {
   // Flags may appear anywhere; the rest are positional.
   const Flags flags(argc, argv);
   const bool timing = flags.has("timing");
+  const bool overlap = flags.has("overlap");
   const bool aggregate = flags.has("aggregate");
+  const bool comm_adaptive = flags.has("comm-adaptive");
+  const bool send_priority = flags.has("send-priority");
+  const std::int64_t pack_threshold = flags.get_int("pack-threshold", -1);
   const auto des_shards =
       static_cast<std::int32_t>(flags.get_int("des-shards", 0));
   const bool incremental = !flags.has("no-incremental");
@@ -209,7 +224,16 @@ int main(int argc, char** argv) {
     sweep.add(policy_name, [=, &failed] {
       SimulationConfig cfg = base_sim_config(ranks, steps);
       cfg.trace_enabled = tracing;
+      if (overlap) {
+        cfg.execution = ExecutionMode::kOverlap;
+        // The overlap builder has no flux path; keep the fingerprint
+        // honest so restores cannot silently claim flux messages.
+        cfg.include_flux_correction = false;
+      }
       cfg.aggregate_messages = aggregate;
+      cfg.comm_adaptive = comm_adaptive;
+      cfg.comm_pack_threshold = pack_threshold;
+      cfg.send_priority = send_priority;
       cfg.des_shards = des_shards;
       cfg.incremental_plans = incremental;
       cfg.checkpoint_every = checkpoint_every;
@@ -261,7 +285,7 @@ int main(int argc, char** argv) {
               policy->name().c_str(), ranks,
               static_cast<long long>(steps), cfg.root_grid.nx,
               cfg.root_grid.ny, cfg.root_grid.nz);
-      out += report_text(sim.run(), timing, aggregate);
+      out += report_text(sim.run(), timing, aggregate || comm_adaptive);
       if (tracing) {
         const Tracer& tracer = *sim.tracer();
         if (!write_chrome_trace(tracer, trace_out)) {

@@ -53,6 +53,141 @@ std::vector<std::int32_t> make_slots(const AmrMesh& mesh,
   return slot_of_block;
 }
 
+/// One boundary message recorded before the pack decision (which needs
+/// the full (src,dst) step totals).
+struct RawMsg {
+  std::int32_t src_block;
+  std::int32_t dst;  ///< destination rank
+  std::int32_t dst_block;
+  std::int64_t bytes;
+};
+
+/// Pass 1 of the adaptive builds: local copies charge immediately,
+/// cross-rank messages are only recorded (per source rank, in the legacy
+/// emission order).
+std::vector<std::vector<RawMsg>> collect_messages(
+    const AmrMesh& mesh, const Placement& placement,
+    const MessageSizeModel& sizes, std::vector<OverlapRankWork>& work) {
+  std::vector<std::vector<RawMsg>> raw(work.size());
+  const auto& lists = mesh.neighbor_lists();
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    const std::int32_t src = placement[b];
+    auto& w = work[static_cast<std::size_t>(src)];
+    for (const Neighbor& n : lists[b]) {
+      const std::int32_t dst =
+          placement[static_cast<std::size_t>(n.index)];
+      const std::int64_t bytes = sizes.bytes(n.kind);
+      if (dst == src) {
+        w.local_copy_bytes += bytes;
+        ++w.local_copy_msgs;
+        continue;
+      }
+      raw[static_cast<std::size_t>(src)].push_back(
+          RawMsg{static_cast<std::int32_t>(b), dst, n.index, bytes});
+    }
+  }
+  return raw;
+}
+
+/// Pass 2: per-pair totals drive the eager/pack split; packed pairs
+/// become one PackedSend (first-touch order) plus receiver-side
+/// agg_credits, eager pairs keep per-message sends. `two_stage` attaches
+/// eager sends to producing blocks and makes aggregates incremental
+/// (countdown over distinct contributing blocks).
+void apply_packing(std::vector<OverlapRankWork>& work,
+                   const std::vector<std::vector<RawMsg>>& raw,
+                   std::span<const std::int32_t> slot_of_block,
+                   const PackingPolicy& packing, bool two_stage) {
+  struct Pair {
+    std::int32_t dst;
+    std::int64_t msgs = 0;
+    std::int64_t bytes = 0;
+    bool packed = false;
+    std::int32_t packed_idx = -1;  ///< into packed_sends once emitted
+  };
+  std::vector<Pair> pairs;
+  const auto nranks = static_cast<std::int32_t>(work.size());
+  for (std::int32_t src = 0; src < nranks; ++src) {
+    auto& w = work[static_cast<std::size_t>(src)];
+    const auto& msgs = raw[static_cast<std::size_t>(src)];
+    pairs.clear();
+    auto pair_of = [&](std::int32_t dst) -> Pair& {
+      for (auto it = pairs.rbegin(); it != pairs.rend(); ++it)
+        if (it->dst == dst) return *it;
+      pairs.push_back(Pair{dst});
+      return pairs.back();
+    };
+    for (const RawMsg& m : msgs) {
+      Pair& p = pair_of(m.dst);
+      ++p.msgs;
+      p.bytes += m.bytes;
+    }
+    for (Pair& p : pairs)
+      p.packed = packing.pack(src, p.dst, p.bytes, p.msgs);
+    for (const RawMsg& m : msgs) {
+      Pair& p = pair_of(m.dst);
+      auto& dw = work[static_cast<std::size_t>(m.dst)];
+      const std::int32_t slot =
+          slot_of_block[static_cast<std::size_t>(m.dst_block)];
+      BlockWork& target = dw.blocks[static_cast<std::size_t>(slot)];
+      // Per-block gating stays logical whether or not the message rides
+      // an aggregate (a packed arrival credits every destination block).
+      ++target.expected_recvs;
+      target.recv_bytes += m.bytes;
+      if (p.packed) target.packed_recv_bytes += m.bytes;
+      if (!p.packed) {
+        ++dw.expected_recvs;
+        if (two_stage) {
+          BlockWork& producer = w.blocks[static_cast<std::size_t>(
+              slot_of_block[static_cast<std::size_t>(m.src_block)])];
+          producer.sends.push_back(OutMessage{m.dst, m.bytes, m.dst_block});
+          producer.send_dst_tags.push_back(m.dst_block);
+        } else {
+          w.sends.push_back(OutMessage{m.dst, m.bytes, m.dst_block});
+          w.send_dst_tags.push_back(m.dst_block);
+        }
+        continue;
+      }
+      if (p.packed_idx < 0) {
+        p.packed_idx = static_cast<std::int32_t>(w.packed_sends.size());
+        w.packed_sends.push_back(PackedSend{
+            OutMessage{m.dst, p.bytes, m.src_block,
+                       static_cast<std::int32_t>(p.msgs)},
+            0});
+        ++dw.expected_recvs;  // one arrival for the whole aggregate
+      }
+      // Receiver credit: `count` logical messages for this block slot.
+      bool credited = false;
+      for (AggCredit& c : dw.agg_credits) {
+        if (c.src_rank == src && c.slot == slot) {
+          ++c.count;
+          credited = true;
+          break;
+        }
+      }
+      if (!credited) dw.agg_credits.push_back(AggCredit{src, slot, 1});
+      if (two_stage) {
+        // Incremental launch: the aggregate fires when its last distinct
+        // contributing block finishes stage 1.
+        BlockWork& producer = w.blocks[static_cast<std::size_t>(
+            slot_of_block[static_cast<std::size_t>(m.src_block)])];
+        bool counted = false;
+        for (const std::int32_t idx : producer.packed_out) {
+          if (idx == p.packed_idx) {
+            counted = true;
+            break;
+          }
+        }
+        if (!counted) {
+          producer.packed_out.push_back(p.packed_idx);
+          ++w.packed_sends[static_cast<std::size_t>(p.packed_idx)]
+                .contributors;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<OverlapRankWork> build_overlap_work(
@@ -75,6 +210,25 @@ std::vector<OverlapRankWork> build_overlap_work(
                    w.sends.push_back(OutMessage{dst, bytes, dst_block});
                    w.send_dst_tags.push_back(dst_block);
                  });
+  return work;
+}
+
+std::vector<OverlapRankWork> build_overlap_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    const MessageSizeModel& sizes, const PackingPolicy& packing) {
+  if (!packing.active())
+    return build_overlap_work(mesh, placement, block_costs, nranks, sizes);
+  AMR_CHECK(placement.size() == mesh.size());
+  AMR_CHECK(block_costs.size() == mesh.size());
+  std::vector<OverlapRankWork> work(static_cast<std::size_t>(nranks));
+  const auto slots = make_slots(mesh, placement, work);
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    auto& w = work[static_cast<std::size_t>(placement[b])];
+    w.blocks[static_cast<std::size_t>(slots[b])].compute = block_costs[b];
+  }
+  const auto raw = collect_messages(mesh, placement, sizes, work);
+  apply_packing(work, raw, slots, packing, /*two_stage=*/false);
   return work;
 }
 
@@ -104,6 +258,68 @@ std::vector<OverlapRankWork> build_two_stage_work(
         producer.sends.push_back(OutMessage{dst, bytes, dst_block});
         producer.send_dst_tags.push_back(dst_block);
       });
+  return work;
+}
+
+std::vector<OverlapRankWork> build_two_stage_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    double stage1_frac, const MessageSizeModel& sizes,
+    const PackingPolicy& packing) {
+  if (!packing.active())
+    return build_two_stage_work(mesh, placement, block_costs, nranks,
+                                stage1_frac, sizes);
+  AMR_CHECK(placement.size() == mesh.size());
+  AMR_CHECK(stage1_frac > 0.0 && stage1_frac < 1.0);
+  std::vector<OverlapRankWork> work(static_cast<std::size_t>(nranks));
+  const auto slots = make_slots(mesh, placement, work);
+  for (std::size_t b = 0; b < mesh.size(); ++b) {
+    auto& blk = work[static_cast<std::size_t>(placement[b])]
+                    .blocks[static_cast<std::size_t>(slots[b])];
+    const auto stage1 = static_cast<TimeNs>(
+        static_cast<double>(block_costs[b]) * stage1_frac);
+    blk.compute = stage1;
+    blk.stage2_compute = block_costs[b] - stage1;
+  }
+  const auto raw = collect_messages(mesh, placement, sizes, work);
+  apply_packing(work, raw, slots, packing, /*two_stage=*/true);
+  // Stage-1 schedule: serve aggregates shortest-contributor-set first
+  // and run each aggregate's contributors back to back, so completed
+  // aggregates stream onto the wire throughout stage 1 instead of all
+  // launching near its end (a block feeding several aggregates runs
+  // with the earliest of them). Deterministic: aggregates ordered by
+  // (contributors, dst rank), slots appended in slot order per group.
+  for (auto& w : work) {
+    if (w.packed_sends.empty()) continue;
+    std::vector<std::int32_t> agg_order(w.packed_sends.size());
+    for (std::size_t i = 0; i < agg_order.size(); ++i)
+      agg_order[i] = static_cast<std::int32_t>(i);
+    std::sort(agg_order.begin(), agg_order.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                const PackedSend& pa =
+                    w.packed_sends[static_cast<std::size_t>(a)];
+                const PackedSend& pb =
+                    w.packed_sends[static_cast<std::size_t>(b)];
+                if (pa.contributors != pb.contributors)
+                  return pa.contributors < pb.contributors;
+                return pa.msg.dst_rank < pb.msg.dst_rank;
+              });
+    w.stage1_order.reserve(w.blocks.size());
+    std::vector<char> placed(w.blocks.size(), 0);
+    for (const std::int32_t agg : agg_order) {
+      for (std::size_t s = 0; s < w.blocks.size(); ++s) {
+        if (placed[s]) continue;
+        const auto& out = w.blocks[s].packed_out;
+        if (std::find(out.begin(), out.end(), agg) != out.end()) {
+          placed[s] = 1;
+          w.stage1_order.push_back(static_cast<std::int32_t>(s));
+        }
+      }
+    }
+    for (std::size_t s = 0; s < w.blocks.size(); ++s)
+      if (!placed[s])
+        w.stage1_order.push_back(static_cast<std::int32_t>(s));
+  }
   return work;
 }
 
@@ -137,9 +353,10 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
   }
 
   void begin_step(const OverlapRankWork& work, std::uint64_t window,
-                  TimeNs start) {
+                  TimeNs start, std::int32_t priority_rank) {
     work_ = &work;
     window_ = window;
+    priority_rank_ = priority_rank;
     state_ = State::kIdle;
     arrived_.assign(work.blocks.size(), 0);
     stage1_done_.assign(work.blocks.size(), false);
@@ -152,7 +369,38 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
       pending_sends_.push_back(work.sends[i]);
       pending_tags_.push_back(work.send_dst_tags[i]);
     }
+    // Aggregates with no compute dependency (previous-step ghosts) queue
+    // at step start too; two-stage aggregates arm their contributor
+    // countdown and launch from stage-1 completions.
+    packed_remaining_.assign(work.packed_sends.size(), 0);
+    for (std::size_t i = 0; i < work.packed_sends.size(); ++i) {
+      const PackedSend& p = work.packed_sends[i];
+      if (p.contributors == 0) {
+        pending_sends_.push_back(p.msg);
+        pending_tags_.push_back(kPackedSendTag);
+      } else {
+        packed_remaining_[i] = p.contributors;
+      }
+    }
     send_head_ = 0;
+    // Critical-path compute priority: blocks feeding the predicted
+    // critical rank (via an aggregate or an eager send) run first in
+    // stage 1, so the messages it waits on launch as early as possible.
+    // stable_partition keeps the grouped order within each class.
+    order_ = work.stage1_order;
+    if (priority_rank_ >= 0 && !order_.empty()) {
+      std::stable_partition(
+          order_.begin(), order_.end(), [&](std::int32_t s) {
+            const BlockWork& b = work.blocks[static_cast<std::size_t>(s)];
+            for (const std::int32_t idx : b.packed_out)
+              if (work.packed_sends[static_cast<std::size_t>(idx)]
+                      .msg.dst_rank == priority_rank_)
+                return true;
+            for (const OutMessage& m : b.sends)
+              if (m.dst_rank == priority_rank_) return true;
+            return false;
+          });
+    }
     copy_charged_ = false;
     current_block_ = -1;
     max_send_release_ = start;
@@ -179,7 +427,9 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
         const OutMessage& m = pending_sends_[send_head_];
         const TimeNs release =
             comm_.isend(rank_, m.dst_rank, m.bytes, window_, engine.now(),
-                        pending_tags_[send_head_]);
+                        pending_tags_[send_head_], m.msgs,
+                        priority_rank_ >= 0 &&
+                            m.dst_rank == priority_rank_);
         max_send_release_ = std::max(max_send_release_, release);
         if (tracer_ != nullptr)
           tracer_->instant(rank_, TraceCat::kSend, "isend", engine.now(),
@@ -191,6 +441,8 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
           ++stats_.msgs_remote;
           stats_.bytes_remote += m.bytes;
         }
+        stats_.msgs_coalesced += m.msgs - 1;
+        if (m.msgs > 1) stats_.bytes_packed += m.bytes;
         ++send_head_;
         state_ = State::kRunning;
         advance(engine);
@@ -207,6 +459,15 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
         for (std::size_t i = 0; i < b.sends.size(); ++i) {
           pending_sends_.push_back(b.sends[i]);
           pending_tags_.push_back(b.send_dst_tags[i]);
+        }
+        // Incremental aggregates: launch each the moment this block was
+        // its last outstanding contributor.
+        for (const std::int32_t idx : b.packed_out) {
+          if (--packed_remaining_[static_cast<std::size_t>(idx)] == 0) {
+            pending_sends_.push_back(
+                work_->packed_sends[static_cast<std::size_t>(idx)].msg);
+            pending_tags_.push_back(kPackedSendTag);
+          }
         }
         if (b.stage2_compute == 0) {
           done_[s] = true;
@@ -243,11 +504,25 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
   void on_message(Engine& engine, std::uint64_t window, TimeNs t,
                   std::int32_t src, std::int64_t dst_tag) override {
     if (window != window_) return;
-    AMR_CHECK(dst_tag >= 0);
-    const std::size_t slot =
-        static_cast<std::size_t>(slot_of(static_cast<std::int32_t>(dst_tag)));
-    ++arrived_[slot];
-    AMR_CHECK(arrived_[slot] <= work_->blocks[slot].expected_recvs);
+    if (dst_tag == kPackedSendTag) {
+      // A packed transfer credits every destination block at once (at
+      // most one aggregate per sender per window, so `src` resolves it).
+      bool any = false;
+      for (const AggCredit& c : work_->agg_credits) {
+        if (c.src_rank != src) continue;
+        const auto slot = static_cast<std::size_t>(c.slot);
+        arrived_[slot] += c.count;
+        AMR_CHECK(arrived_[slot] <= work_->blocks[slot].expected_recvs);
+        any = true;
+      }
+      AMR_CHECK_MSG(any, "packed arrival with no matching credits");
+    } else {
+      AMR_CHECK(dst_tag >= 0);
+      const std::size_t slot = static_cast<std::size_t>(
+          slot_of(static_cast<std::int32_t>(dst_tag)));
+      ++arrived_[slot];
+      AMR_CHECK(arrived_[slot] <= work_->blocks[slot].expected_recvs);
+    }
     if (state_ == State::kStalled && runnable_exists()) {
       stats_.recv_wait_ns += t - wait_start_;
       stats_.last_release_src = src;
@@ -324,6 +599,25 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
                                params_.pack_gbytes_per_sec);
   }
 
+  /// Critical-path send priority: rotate the first queued send destined
+  /// for the predicted critical rank to the queue head (relative order
+  /// of the others preserved). No-op when priority is off or the head
+  /// already qualifies, so -1 keeps the legacy FIFO drain bit-identical.
+  void promote_priority_send() {
+    if (priority_rank_ < 0) return;
+    if (pending_sends_[send_head_].dst_rank == priority_rank_) return;
+    for (std::size_t i = send_head_ + 1; i < pending_sends_.size(); ++i) {
+      if (pending_sends_[i].dst_rank != priority_rank_) continue;
+      const auto head = static_cast<std::ptrdiff_t>(send_head_);
+      const auto at = static_cast<std::ptrdiff_t>(i);
+      std::rotate(pending_sends_.begin() + head, pending_sends_.begin() + at,
+                  pending_sends_.begin() + at + 1);
+      std::rotate(pending_tags_.begin() + head, pending_tags_.begin() + at,
+                  pending_tags_.begin() + at + 1);
+      return;
+    }
+  }
+
   void enter_collective(Engine& engine) {
     state_ = State::kInCollective;
     stats_.collective_entry = engine.now();
@@ -336,13 +630,23 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
   void advance(Engine& engine) {
     // Priority 1: drain pending sends (unblocks remote ranks).
     if (send_head_ < pending_sends_.size()) {
-      const TimeNs pack = pack_ns(pending_sends_[send_head_].bytes) +
-                          params_.task_overhead;
+      promote_priority_send();
+      // Per-peer aggregates are fused: each contributing block writes its
+      // ghost slab straight into the peer buffer as part of stage-1
+      // compute (the plan fixes the layout up front), so by the time the
+      // last contributor finishes the aggregate is already packed and the
+      // launch pays only the post overhead. Eager per-pair sends have no
+      // pre-laid buffer and still pay the serial CPU pack here.
+      const bool fused = pending_tags_[send_head_] == kPackedSendTag;
+      const TimeNs pack =
+          (fused ? 0 : pack_ns(pending_sends_[send_head_].bytes)) +
+          params_.task_overhead;
       stats_.pack_ns += pack;
       state_ = State::kPostSend;
       if (tracer_ != nullptr)
-        tracer_->complete(rank_, TraceCat::kPack, "pack", engine.now(),
-                          pack, pending_sends_[send_head_].bytes,
+        tracer_->complete(rank_, TraceCat::kPack, fused ? "launch" : "pack",
+                          engine.now(), pack,
+                          pending_sends_[send_head_].bytes,
                           pending_sends_[send_head_].dst_rank);
       engine.schedule_after(pack, this, 0);
       return;
@@ -366,14 +670,21 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
       }
     }
     if (blocks_left_ > 0) {
-      // Priority 3: stage-1 work (produces sends others wait on).
-      for (std::size_t s = 0; s < work_->blocks.size(); ++s) {
+      // Priority 3: stage-1 work (produces sends others wait on),
+      // walked in the plan's aggregate-grouped order when it has one.
+      for (std::size_t i = 0; i < work_->blocks.size(); ++i) {
+        const std::size_t s =
+            order_.empty() ? i : static_cast<std::size_t>(order_[i]);
         if (!stage1_ready(s)) continue;
         const BlockWork& b = work_->blocks[s];
         current_block_ = static_cast<std::int32_t>(s);
         // Single-stage blocks consume ghosts here: charge the unpack.
+        // Aggregated arrivals are read in place (the plan fixes their
+        // layout), so only the eager slice costs CPU.
         const TimeNs unpack =
-            b.stage2_compute == 0 ? pack_ns(b.recv_bytes) : 0;
+            b.stage2_compute == 0
+                ? pack_ns(b.recv_bytes - b.packed_recv_bytes)
+                : 0;
         stats_.compute_ns += b.compute + params_.task_overhead;
         stats_.pack_ns += unpack;
         state_ = State::kComputingStage1;
@@ -392,7 +703,9 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
         if (!stage2_ready(s)) continue;
         const BlockWork& b = work_->blocks[s];
         current_block_ = static_cast<std::int32_t>(s);
-        const TimeNs unpack = pack_ns(b.recv_bytes);
+        // Eager slice only: aggregated ghosts are consumed in place.
+        const TimeNs unpack =
+            pack_ns(b.recv_bytes - b.packed_recv_bytes);
         stats_.compute_ns += b.stage2_compute + params_.task_overhead;
         stats_.pack_ns += unpack;
         state_ = State::kComputingStage2;
@@ -435,6 +748,9 @@ class OverlapExecutor::OverlapRankRuntime final : public RankEndpoint,
   State state_ = State::kIdle;
   std::vector<OutMessage> pending_sends_;
   std::vector<std::int64_t> pending_tags_;
+  std::vector<std::int32_t> packed_remaining_;  ///< per packed_sends entry
+  std::vector<std::int32_t> order_;  ///< stage-1 walk (priority-partitioned)
+  std::int32_t priority_rank_ = -1;
   std::size_t send_head_ = 0;
   std::vector<std::int32_t> arrived_;
   std::vector<bool> stage1_done_;
@@ -460,7 +776,8 @@ OverlapExecutor::OverlapExecutor(Engine& engine, Comm& comm,
 OverlapExecutor::~OverlapExecutor() = default;
 
 StepResult OverlapExecutor::execute(std::span<const OverlapRankWork> work,
-                                    std::uint64_t window) {
+                                    std::uint64_t window,
+                                    std::int32_t priority_rank) {
   AMR_CHECK(work.size() == runtimes_.size());
   StepResult result;
   result.step_start = engine_.now();
@@ -471,7 +788,8 @@ StepResult OverlapExecutor::execute(std::span<const OverlapRankWork> work,
   comm_.begin_exchange(window, expected_scratch_);
 
   for (std::size_t r = 0; r < work.size(); ++r) {
-    runtimes_[r]->begin_step(work[r], window, result.step_start);
+    runtimes_[r]->begin_step(work[r], window, result.step_start,
+                             priority_rank);
     runtimes_[r]->start(engine_);
   }
   engine_.run();

@@ -32,6 +32,12 @@
 
 namespace amr {
 
+/// dst_tag of an aggregated (packed) transfer. Ordinary overlap sends tag
+/// the destination block; a packed transfer carries messages for several
+/// blocks, so the receiver resolves its per-block credits from
+/// OverlapRankWork::agg_credits keyed by the sender rank instead.
+inline constexpr std::int64_t kPackedSendTag = -2;
+
 /// Per-block work description for the overlap runtime.
 struct BlockWork {
   std::int32_t block = -1;
@@ -39,17 +45,50 @@ struct BlockWork {
   TimeNs stage2_compute = 0;    ///< 0 = single-stage block
   std::int32_t expected_recvs = 0;  ///< gates the ghost-consuming stage
   std::int64_t recv_bytes = 0;      ///< unpack volume (charged there)
+  /// Slice of recv_bytes that arrives inside per-peer aggregates. The
+  /// receiver's plan fixes the aggregate layout, so the ghost-consuming
+  /// stage reads those slabs straight out of the receive buffer and only
+  /// the eager remainder pays a CPU unpack.
+  std::int64_t packed_recv_bytes = 0;
   std::vector<OutMessage> sends;    ///< posted after stage-1 completes
   std::vector<std::int64_t> send_dst_tags;  ///< dest block per send
+  /// Aggregates (indices into OverlapRankWork::packed_sends) this block
+  /// contributes to; a two-stage aggregate launches incrementally, as
+  /// soon as its last contributing block finishes stage 1.
+  std::vector<std::int32_t> packed_out;
+};
+
+/// One per-destination aggregate of the step (OutMessage::msgs >= 2).
+struct PackedSend {
+  OutMessage msg;
+  /// Distinct producing blocks gating the launch; 0 = no compute
+  /// dependency (previous-step ghosts), queued at step start.
+  std::int32_t contributors = 0;
+};
+
+/// Receiver-side credit of a packed transfer: `count` logical messages
+/// for block slot `slot` arrive with the aggregate from `src_rank` (at
+/// most one aggregate per sender per exchange window).
+struct AggCredit {
+  std::int32_t src_rank = -1;
+  std::int32_t slot = -1;
+  std::int32_t count = 0;
 };
 
 struct OverlapRankWork {
   std::vector<BlockWork> blocks;
   std::vector<OutMessage> sends;        ///< posted up-front (prev state)
   std::vector<std::int64_t> send_dst_tags;  ///< dest block per send
+  std::vector<PackedSend> packed_sends;     ///< per-destination aggregates
+  std::vector<AggCredit> agg_credits;   ///< arrivals owed by aggregates
+  /// Stage-1 scheduling order (block slots). Contributors are grouped by
+  /// aggregate, shortest contributor set first, so aggregates finish and
+  /// launch throughout stage 1 instead of clustering at its end. Empty =
+  /// slot order (plans without aggregates).
+  std::vector<std::int32_t> stage1_order;
   std::int64_t local_copy_bytes = 0;
   std::int64_t local_copy_msgs = 0;
-  std::int32_t expected_recvs = 0;      ///< total (sum over blocks)
+  std::int32_t expected_recvs = 0;      ///< total transfers (not logical)
 };
 
 /// Build single-stage per-block work from mesh + placement (the overlap
@@ -59,6 +98,17 @@ std::vector<OverlapRankWork> build_overlap_work(
     std::span<const TimeNs> block_costs, std::int32_t nranks,
     const MessageSizeModel& sizes = {});
 
+/// Adaptive variant: (src,dst) pairs the policy packs coalesce into one
+/// PackedSend (queued at step start — previous-step ghosts have no
+/// compute dependency) while eager pairs keep per-message sends;
+/// receivers get one arrival per aggregate, credited to every
+/// destination block via agg_credits. PackingPolicy::none() is
+/// byte-identical to the plain build.
+std::vector<OverlapRankWork> build_overlap_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    const MessageSizeModel& sizes, const PackingPolicy& packing);
+
 /// Build two-stage work: each block spends stage1_frac of its cost in
 /// stage 1, sends its ghosts, and the remainder in stage 2 gated on its
 /// neighbors' arrivals. Also usable by the BSP executor via
@@ -67,6 +117,17 @@ std::vector<OverlapRankWork> build_two_stage_work(
     const AmrMesh& mesh, const Placement& placement,
     std::span<const TimeNs> block_costs, std::int32_t nranks,
     double stage1_frac, const MessageSizeModel& sizes = {});
+
+/// Adaptive two-stage variant: packed pairs become incremental
+/// aggregates — each contributing block's stage-1 completion decrements
+/// the aggregate's countdown and the transfer launches the moment the
+/// last contributor finishes, instead of waiting for the whole step's
+/// sends. Eager pairs attach to their producing block as usual.
+std::vector<OverlapRankWork> build_two_stage_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::span<const TimeNs> block_costs, std::int32_t nranks,
+    double stage1_frac, const MessageSizeModel& sizes,
+    const PackingPolicy& packing);
 
 /// The BSP rendering of the same two-stage step: stage-1 computes, sends,
 /// wait-all, stage-2 computes, collective.
@@ -86,8 +147,12 @@ class OverlapExecutor {
                   Tracer* tracer = nullptr);
   ~OverlapExecutor();
 
+  /// `priority_rank` >= 0 applies critical-path send priority: every
+  /// rank dispatches queued sends destined for that rank before its
+  /// other pending sends (relative order otherwise preserved). -1 keeps
+  /// the plain FIFO drain, byte-identical to prior behavior.
   StepResult execute(std::span<const OverlapRankWork> work,
-                     std::uint64_t window);
+                     std::uint64_t window, std::int32_t priority_rank = -1);
 
  private:
   class OverlapRankRuntime;

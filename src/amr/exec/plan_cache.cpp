@@ -7,8 +7,18 @@ std::span<const RankStepWork> ExchangePlanCache::step_work(
     std::uint64_t placement_version, std::span<const TimeNs> block_costs,
     std::int32_t nranks, const MessageSizeModel& sizes, bool include_flux,
     bool aggregate) {
+  return step_work(mesh, placement, placement_version, block_costs, nranks,
+                   sizes, include_flux,
+                   aggregate ? PackingPolicy::all() : PackingPolicy::none());
+}
+
+std::span<const RankStepWork> ExchangePlanCache::step_work(
+    const AmrMesh& mesh, const Placement& placement,
+    std::uint64_t placement_version, std::span<const TimeNs> block_costs,
+    std::int32_t nranks, const MessageSizeModel& sizes, bool include_flux,
+    const PackingPolicy& packing) {
   if (fresh(mesh.version(), placement_version, have_bsp_) &&
-      aggregate_ == aggregate) {
+      packing_ == packing) {
     ++stats_.hits;
     for (auto& rank : bsp_) {
       for (auto& c : rank.computes)
@@ -20,8 +30,8 @@ std::span<const RankStepWork> ExchangePlanCache::step_work(
   }
   ++stats_.misses;
   bsp_ = build_step_work(mesh, placement, block_costs, nranks, sizes,
-                         include_flux, aggregate);
-  aggregate_ = aggregate;
+                         include_flux, packing);
+  packing_ = packing;
   have_bsp_ = true;
   // A key change invalidates both shapes; only the requested one is
   // rebuilt, the other stays stale and must not be served.
@@ -34,17 +44,36 @@ std::span<const RankStepWork> ExchangePlanCache::step_work(
 std::span<const OverlapRankWork> ExchangePlanCache::overlap_work(
     const AmrMesh& mesh, const Placement& placement,
     std::uint64_t placement_version, std::span<const TimeNs> block_costs,
-    std::int32_t nranks, const MessageSizeModel& sizes) {
-  if (fresh(mesh.version(), placement_version, have_overlap_)) {
+    std::int32_t nranks, const MessageSizeModel& sizes,
+    const PackingPolicy& packing, double stage1_frac) {
+  if (fresh(mesh.version(), placement_version, have_overlap_) &&
+      packing_ == packing && overlap_frac_ == stage1_frac) {
     ++stats_.hits;
     for (auto& rank : overlap_) {
-      for (auto& b : rank.blocks)
-        b.compute = block_costs[static_cast<std::size_t>(b.block)];
+      for (auto& b : rank.blocks) {
+        const TimeNs cost = block_costs[static_cast<std::size_t>(b.block)];
+        if (stage1_frac > 0.0) {
+          // Same split math as build_two_stage_work, so a patched hit is
+          // bit-identical to a fresh build.
+          const auto stage1 = static_cast<TimeNs>(
+              static_cast<double>(cost) * stage1_frac);
+          b.compute = stage1;
+          b.stage2_compute = cost - stage1;
+        } else {
+          b.compute = cost;
+        }
+      }
     }
     return overlap_;
   }
   ++stats_.misses;
-  overlap_ = build_overlap_work(mesh, placement, block_costs, nranks, sizes);
+  overlap_ = stage1_frac > 0.0
+                 ? build_two_stage_work(mesh, placement, block_costs,
+                                        nranks, stage1_frac, sizes, packing)
+                 : build_overlap_work(mesh, placement, block_costs, nranks,
+                                      sizes, packing);
+  packing_ = packing;
+  overlap_frac_ = stage1_frac;
   have_overlap_ = true;
   have_bsp_ = false;
   mesh_version_ = mesh.version();

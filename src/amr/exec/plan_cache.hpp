@@ -48,11 +48,26 @@ class ExchangePlanCache {
       std::int32_t nranks, const MessageSizeModel& sizes, bool include_flux,
       bool aggregate = false);
 
-  /// Overlap-mode analogue of step_work.
+  /// Adaptive variant: the full PackingPolicy (thresholds + node split)
+  /// is the cache-key axis, so a threshold change misses once and
+  /// rebuilds rather than serving a plan with different pack decisions.
+  std::span<const RankStepWork> step_work(
+      const AmrMesh& mesh, const Placement& placement,
+      std::uint64_t placement_version, std::span<const TimeNs> block_costs,
+      std::int32_t nranks, const MessageSizeModel& sizes, bool include_flux,
+      const PackingPolicy& packing);
+
+  /// Overlap-mode analogue of step_work. `stage1_frac > 0` builds the
+  /// two-stage rendering (ghost-producing stage-1 compute, sends and
+  /// incremental aggregates on stage-1 completion, arrival-gated
+  /// stage-2); it is a cache-key axis, and hits re-apply the same
+  /// stage split when patching compute durations.
   std::span<const OverlapRankWork> overlap_work(
       const AmrMesh& mesh, const Placement& placement,
       std::uint64_t placement_version, std::span<const TimeNs> block_costs,
-      std::int32_t nranks, const MessageSizeModel& sizes);
+      std::int32_t nranks, const MessageSizeModel& sizes,
+      const PackingPolicy& packing = PackingPolicy::none(),
+      double stage1_frac = 0.0);
 
   const Stats& stats() const { return stats_; }
 
@@ -68,7 +83,8 @@ class ExchangePlanCache {
 
   std::uint64_t mesh_version_ = 0;
   std::uint64_t placement_version_ = 0;
-  bool aggregate_ = false;  ///< shape of the cached BSP plan
+  PackingPolicy packing_;  ///< shape of the cached plan (either mode)
+  double overlap_frac_ = 0.0;  ///< stage split of the cached overlap plan
   bool have_bsp_ = false;
   bool have_overlap_ = false;
   std::vector<RankStepWork> bsp_;

@@ -18,11 +18,12 @@ TimeNs RankRuntime::pack_ns(std::int64_t bytes) const {
 
 void RankRuntime::begin_step(const RankStepWork& work,
                              TaskOrdering ordering, std::uint64_t window,
-                             TimeNs start) {
+                             TimeNs start, std::int32_t priority_rank) {
   tasks_.clear();
   pc_ = 0;
   window_ = window;
   ordering_tag_ = static_cast<std::int64_t>(ordering);
+  priority_rank_ = priority_rank;
   state_ = State::kIdle;
   max_send_release_ = start;
   step_done_ = false;
@@ -30,10 +31,19 @@ void RankRuntime::begin_step(const RankStepWork& work,
   wait_start_ = start;
 
   auto add_sends = [&] {
+    // Critical-path priority: sends feeding the predicted critical rank
+    // go first. With priority_rank == -1 the first pass matches nothing
+    // and the schedule is bit-identical to the legacy order.
     for (const OutMessage& m : work.sends)
-      tasks_.push_back(Task{TaskKind::kPackSend,
-                            pack_ns(m.bytes) + params_.task_overhead,
-                            m.dst_rank, m.bytes, m.msgs});
+      if (m.dst_rank == priority_rank)
+        tasks_.push_back(Task{TaskKind::kPackSend,
+                              pack_ns(m.bytes) + params_.task_overhead,
+                              m.dst_rank, m.bytes, m.msgs});
+    for (const OutMessage& m : work.sends)
+      if (m.dst_rank != priority_rank)
+        tasks_.push_back(Task{TaskKind::kPackSend,
+                              pack_ns(m.bytes) + params_.task_overhead,
+                              m.dst_rank, m.bytes, m.msgs});
     if (work.local_copy_bytes > 0) {
       const auto copy = static_cast<TimeNs>(
           static_cast<double>(work.local_copy_bytes) /
@@ -96,8 +106,9 @@ void RankRuntime::on_event(Engine& engine, std::uint64_t /*tag*/) {
     case State::kPostSend: {
       // Pack finished at now; the isend posts here.
       const Task& t = tasks_[pc_];
-      const TimeNs release = comm_.isend(rank_, t.dst, t.bytes, window_,
-                                         engine.now(), -1, t.msgs);
+      const TimeNs release =
+          comm_.isend(rank_, t.dst, t.bytes, window_, engine.now(), -1,
+                      t.msgs, priority_rank_ >= 0 && t.dst == priority_rank_);
       max_send_release_ = std::max(max_send_release_, release);
       if (tracer_ != nullptr)
         tracer_->instant(rank_, TraceCat::kSend, "isend", engine.now(),

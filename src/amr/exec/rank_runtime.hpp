@@ -56,9 +56,13 @@ class RankRuntime final : public RankEndpoint, public EventHandler {
 
   /// Arm the rank for a step: build the task order from `work`, starting
   /// at absolute time `start`. Exchange and collective use window ids
-  /// `window` (the executor opens/closes them).
+  /// `window` (the executor opens/closes them). `priority_rank` >= 0
+  /// applies critical-path send priority: sends destined for that rank
+  /// are scheduled before the step's other sends (relative order
+  /// otherwise preserved); -1 keeps the legacy order bit-identical.
   void begin_step(const RankStepWork& work, TaskOrdering ordering,
-                  std::uint64_t window, TimeNs start);
+                  std::uint64_t window, TimeNs start,
+                  std::int32_t priority_rank = -1);
 
   /// Kick off execution (schedules the first advance).
   void start(Engine& engine);
@@ -116,6 +120,7 @@ class RankRuntime final : public RankEndpoint, public EventHandler {
   ExecParams params_;
   Tracer* tracer_;
   std::int64_t ordering_tag_ = 0;  ///< TaskOrdering of the current step
+  std::int32_t priority_rank_ = -1;  ///< critical-path send target
 
   std::vector<Task> tasks_;
   std::size_t pc_ = 0;

@@ -16,7 +16,8 @@ StepExecutor::StepExecutor(Engine& engine, Comm& comm, ExecParams params,
 
 StepResult StepExecutor::execute(std::span<const RankStepWork> work,
                                  TaskOrdering ordering,
-                                 std::uint64_t window) {
+                                 std::uint64_t window,
+                                 std::int32_t priority_rank) {
   AMR_CHECK(work.size() == runtimes_.size());
   ShardedEngine* sharded = comm_.sharded();
   StepResult result;
@@ -28,8 +29,8 @@ StepResult StepExecutor::execute(std::span<const RankStepWork> work,
   comm_.begin_exchange(window, expected_scratch_);
 
   for (std::size_t r = 0; r < work.size(); ++r) {
-    runtimes_[r]->begin_step(work[r], ordering, window,
-                             result.step_start);
+    runtimes_[r]->begin_step(work[r], ordering, window, result.step_start,
+                             priority_rank);
     runtimes_[r]->start(
         sharded != nullptr
             ? sharded->engine_for_rank(static_cast<std::int32_t>(r))

@@ -38,8 +38,12 @@ class StepExecutor {
   /// number). All ranks start simultaneously at engine.now(). When the
   /// comm is sharded, each rank starts on its own shard engine and the
   /// window runs under the sharded epoch loop instead of engine.run().
+  /// `priority_rank` >= 0 schedules every rank's sends to that rank
+  /// ahead of its other sends (critical-path send priority); -1 keeps
+  /// the legacy schedule bit-identical.
   StepResult execute(std::span<const RankStepWork> work,
-                     TaskOrdering ordering, std::uint64_t window);
+                     TaskOrdering ordering, std::uint64_t window,
+                     std::int32_t priority_rank = -1);
 
  private:
   Engine& engine_;

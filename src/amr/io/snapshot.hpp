@@ -48,7 +48,10 @@ class SnapshotError : public std::runtime_error {
 // v3: sharded-DES bit in the config fingerprint, per-node fabric
 // RNG/stats in the fabric section when sharded, and the collector's
 // fourth (shards) table.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 3;
+// v4: adaptive-comm axes (comm_adaptive, send_priority,
+// comm_pack_threshold) in the config fingerprint and last_straggler in
+// the state section.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 4;
 
 /// Builds a snapshot payload in memory, then writes the enveloped file.
 class SnapshotWriter {

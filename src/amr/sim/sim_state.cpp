@@ -166,6 +166,11 @@ void write_meta(io::SnapshotWriter& w, const SimulationConfig& config,
   w.u8(static_cast<std::uint8_t>(config.ordering));
   w.b(config.include_flux_correction);
   w.b(config.aggregate_messages);
+  // Adaptive-comm axes (format v4): packing decisions and send order
+  // shape every window, so mismatched restores must be refused.
+  w.b(config.comm_adaptive);
+  w.b(config.send_priority);
+  w.i64(config.comm_pack_threshold);
   // Sharded vs sequential is a fingerprint axis (the two draw different
   // fabric jitter); the shard *count* is deliberately not — any sharded
   // run restores any sharded snapshot (state is node-indexed).
@@ -207,6 +212,9 @@ void check_meta(io::SnapshotReader& r, const SimulationConfig& config,
           "task ordering");
   require(r.b() == config.include_flux_correction, "flux correction");
   require(r.b() == config.aggregate_messages, "message aggregation");
+  require(r.b() == config.comm_adaptive, "adaptive packing");
+  require(r.b() == config.send_priority, "send priority");
+  require(r.i64() == config.comm_pack_threshold, "packing threshold");
   require(r.b() == (config.des_shards > 0), "sharded DES");
   require(r.b() == config.telemetry_driven_costs, "telemetry-driven costs");
   require(r.b() == config.incremental_plans, "incremental plans");
@@ -246,6 +254,7 @@ bool save_snapshot(const std::string& path, const SimulationConfig& config,
   w.u64(state.last_plan_mesh);
   w.u64(state.last_plan_placement);
   w.f64(state.last_imbalance);
+  w.i32(state.last_straggler);
   w.u32(static_cast<std::uint32_t>(state.prev_faults.size()));
   for (const ActiveFault& f : state.prev_faults) {
     w.i32(f.node);
@@ -410,6 +419,7 @@ void restore_snapshot(const std::string& path,
   state.last_plan_mesh = r.u64();
   state.last_plan_placement = r.u64();
   state.last_imbalance = r.f64();
+  state.last_straggler = r.i32();
   state.prev_faults.resize(r.u32());
   for (ActiveFault& f : state.prev_faults) {
     f.node = r.i32();

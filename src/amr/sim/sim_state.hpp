@@ -49,6 +49,11 @@ struct SimState {
   std::uint64_t last_plan_mesh = 0;
   std::uint64_t last_plan_placement = 0;
   double last_imbalance = 1.0;  ///< measured max/mean compute of last step
+  /// Straggler rank of the last executed window (-1 before the first
+  /// step): the predicted critical-path successor that send_priority
+  /// schedules toward. Serialized so restored runs prioritize
+  /// identically.
+  std::int32_t last_straggler = -1;
   std::vector<ActiveFault> prev_faults;  ///< for fault-edge trace instants
 
   // Measured per-block costs in block-ID order at mesh version

@@ -28,6 +28,47 @@ std::string checkpoint_path(const std::string& dir, std::int64_t step) {
   return dir + "/ckpt_" + std::to_string(step) + ".amrs";
 }
 
+/// Stage-1 share of each block's compute when an overlap step runs
+/// two-stage (packing active). Stage 1 is the interior update plus
+/// ghost production; only the ghost-DEPENDENT boundary shell waits for
+/// arrivals in stage 2. For a 64^3 block with a 2-cell ghost shell the
+/// dependent fraction is ~1-(60/64)^3 ~ 18% of cells, so stage 1 gets
+/// ~0.8 of the cost. A larger stage 1 shrinks the arrival-gated tail
+/// that transfer latency can stall (the bench plateaus at ~0.8).
+constexpr double kOverlapStageSplit = 0.8;
+
+/// The run's packing policy as a pure function of the config: legacy
+/// --aggregate packs everything, adaptive mode derives per-path
+/// thresholds from the fabric model (or takes the global override).
+/// Under BSP the receiver waits for all arrivals anyway, so deferring a
+/// message into an aggregate is free and the model packs every pair;
+/// only under overlap does packing delay the first ghost a dependent
+/// block needs, which is where the per-peer threshold earns its keep.
+PackingPolicy packing_policy(const SimulationConfig& cfg) {
+  if (cfg.aggregate_messages) return PackingPolicy::all();
+  if (!cfg.comm_adaptive) return PackingPolicy::none();
+  PackingPolicy p;
+  p.ranks_per_node = cfg.ranks_per_node;
+  if (cfg.comm_pack_threshold >= 0) {
+    p.shm_threshold = cfg.comm_pack_threshold;
+    p.remote_threshold = cfg.comm_pack_threshold;
+    return p;
+  }
+  if (cfg.execution == ExecutionMode::kBsp) return PackingPolicy::all();
+  // Overlap runs two-stage with fused buffers: contributors write ghost
+  // slabs into per-peer aggregates during stage-1 compute and receivers
+  // read them in place, so packing costs no CPU on either side. Keeping
+  // a pair eager saves at most its launch-delay serialization
+  // (~bytes/wire_rate) but pays pack+unpack (~2*bytes/cpu_pack_rate);
+  // with the CPU pack rate well below wire bandwidth that trade never
+  // favors eager, so the modeled per-peer decision packs every
+  // multi-message pair (singleton pairs still go eager — there is
+  // nothing to coalesce). The finite fabric thresholds
+  // (FabricParams::pack_threshold) price the BSP-style phase-packed
+  // path and remain reachable via comm_pack_threshold for sweeps.
+  return PackingPolicy::all();
+}
+
 }  // namespace
 
 Simulation::Simulation(SimulationConfig config, Workload& workload,
@@ -140,10 +181,17 @@ void Simulation::previous_ranks(const AmrMesh& mesh,
 }
 
 void Simulation::begin_run() {
-  AMR_CHECK_MSG(!(config_.aggregate_messages &&
-                  config_.execution == ExecutionMode::kOverlap),
-                "message aggregation requires BSP execution (overlap "
-                "tracks per-block arrivals)");
+  // Adaptive-comm mode matrix: aggregation now composes with overlap
+  // (packed arrivals credit per-block); the adaptive policy subsumes the
+  // all-or-nothing flag, so the two are mutually exclusive, and the
+  // global threshold override only means something under the adaptive
+  // policy.
+  AMR_CHECK_MSG(!(config_.aggregate_messages && config_.comm_adaptive),
+                "aggregate_messages and comm_adaptive are mutually "
+                "exclusive (adaptive packing subsumes the aggregate "
+                "flag)");
+  AMR_CHECK_MSG(config_.comm_pack_threshold < 0 || config_.comm_adaptive,
+                "comm_pack_threshold requires comm_adaptive");
   AMR_CHECK_MSG(!(config_.des_shards > 0 &&
                   config_.execution == ExecutionMode::kOverlap),
                 "sharded DES requires BSP execution (overlap self-events "
@@ -336,6 +384,11 @@ void Simulation::step_once() {
 
   StepResult result;
   std::int64_t intra_rank_msgs = 0;
+  const PackingPolicy packing = packing_policy(config_);
+  // Critical-path send priority: the previous window's straggler is the
+  // predicted critical-path successor; its feeders launch first.
+  const std::int32_t priority_rank =
+      config_.send_priority ? st.last_straggler : -1;
   if (config_.execution == ExecutionMode::kBsp) {
     std::span<const RankStepWork> work;
     if (config_.incremental_plans) {
@@ -343,33 +396,48 @@ void Simulation::step_once() {
                                      st.placement_version, rt.costs,
                                      config_.nranks, config_.msg_sizes,
                                      config_.include_flux_correction,
-                                     config_.aggregate_messages);
+                                     packing);
     } else {
       rt.fresh_bsp = build_step_work(
           mesh, st.placement, rt.costs, config_.nranks, config_.msg_sizes,
-          config_.include_flux_correction, config_.aggregate_messages);
+          config_.include_flux_correction, packing);
       work = rt.fresh_bsp;
     }
     result = rt.bsp_executor->execute(work, config_.ordering,
-                                      static_cast<std::uint64_t>(step));
+                                      static_cast<std::uint64_t>(step),
+                                      priority_rank);
     for (const auto& w : work) intra_rank_msgs += w.local_copy_msgs;
   } else {
+    // With packing active the step runs two-stage: stage-1 compute
+    // produces the ghosts, so per-peer aggregates launch incrementally
+    // as their last contributor finishes instead of queueing the whole
+    // exchange at step start. Packing-off keeps the legacy single-stage
+    // plan (previous-step ghosts), bit-identical to pre-adaptive runs.
+    const double stage_frac = packing.active() ? kOverlapStageSplit : 0.0;
     std::span<const OverlapRankWork> work;
     if (config_.incremental_plans) {
       work = rt.plan_cache.overlap_work(mesh, st.placement,
                                         st.placement_version, rt.costs,
-                                        config_.nranks, config_.msg_sizes);
+                                        config_.nranks, config_.msg_sizes,
+                                        packing, stage_frac);
     } else {
-      rt.fresh_overlap = build_overlap_work(
-          mesh, st.placement, rt.costs, config_.nranks, config_.msg_sizes);
+      rt.fresh_overlap =
+          stage_frac > 0.0
+              ? build_two_stage_work(mesh, st.placement, rt.costs,
+                                     config_.nranks, stage_frac,
+                                     config_.msg_sizes, packing)
+              : build_overlap_work(mesh, st.placement, rt.costs,
+                                   config_.nranks, config_.msg_sizes,
+                                   packing);
       work = rt.fresh_overlap;
     }
     result = rt.overlap_executor->execute(
-        work, static_cast<std::uint64_t>(step));
+        work, static_cast<std::uint64_t>(step), priority_rank);
     for (const auto& w : work) intra_rank_msgs += w.local_copy_msgs;
   }
   report.msgs_intra_rank += intra_rank_msgs;
   const WindowPath path = rt.critical_path.observe(result);
+  st.last_straggler = path.straggler;
 
   // -- Critical-path overlay (paper §IV-D) ---------------------------
   // A dedicated track carries one span per window naming the modeled
@@ -433,9 +501,10 @@ void Simulation::step_once() {
     }
   }
 
-  // Cumulative aggregation counters on the sim track. Emitted only in
-  // aggregate mode so legacy traces stay byte-identical.
-  if (tracer != nullptr && config_.aggregate_messages) {
+  // Cumulative aggregation counters on the sim track. Emitted only when
+  // some packing mode is on so legacy traces stay byte-identical.
+  if (tracer != nullptr &&
+      (config_.aggregate_messages || config_.comm_adaptive)) {
     tracer->counter(Tracer::kTrackSim, TraceCat::kMsg, "msgs_coalesced",
                     sim_now(), report.msgs_coalesced);
     tracer->counter(Tracer::kTrackSim, TraceCat::kMsg, "bytes_packed",

@@ -50,9 +50,32 @@ struct SimulationConfig {
   /// Per-destination message aggregation: coalesce all same-(src,dst)
   /// boundary sends of a step into one packed transfer (Parthenon-style
   /// neighbor-buffer packing). Off = legacy per-neighbor-pair path,
-  /// byte-identical to builds without this option. BSP execution only
-  /// (overlap mode needs per-block arrivals and rejects it).
+  /// byte-identical to builds without this option. Works under both BSP
+  /// and overlap execution (overlap receivers credit every destination
+  /// block when the aggregate arrives). Mutually exclusive with
+  /// comm_adaptive, which subsumes it.
   bool aggregate_messages = false;
+  /// Adaptive per-peer packing: each (src,dst) pair packs or sends
+  /// eagerly by comparing its mean bytes/message against an
+  /// eager/rendezvous-style threshold derived from FabricParams
+  /// (FabricParams::pack_threshold). Under BSP the model packs every
+  /// pair (the receiver waits for all arrivals, so deferral is free);
+  /// under overlap small-message pairs pack while large-payload pairs go
+  /// eagerly so dependent blocks unblock sooner. Thresholds are pure
+  /// functions of modeled costs: runs stay deterministic and
+  /// checkpoint/replay-compatible (the axes are in the snapshot
+  /// fingerprint). Off = byte-identical legacy behavior.
+  bool comm_adaptive = false;
+  /// Global packing-threshold override in mean bytes/message (requires
+  /// comm_adaptive): >= 0 replaces both modeled thresholds — the
+  /// hand-picked global setting the adaptive split is benchmarked
+  /// against (bench_comm_adaptive). -1 = use the modeled thresholds.
+  std::int64_t comm_pack_threshold = -1;
+  /// Critical-path-aware send priority (§IV critical-path model): each
+  /// step schedules sends destined for the previous window's straggler
+  /// rank — the predicted critical-path successor — before other sends.
+  /// Off = legacy send order, byte-identical.
+  bool send_priority = false;
   /// Parallel DES sharding (the profiling-paper scaling lever): partition
   /// the event queue by cluster node into `des_shards` shards (clamped to
   /// the node count) and run them concurrently under a conservative

@@ -85,7 +85,8 @@ std::uint64_t Comm::alloc_delivery(std::int32_t pool_shard,
 
 TimeNs Comm::isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
                    std::uint64_t window, TimeNs post_time,
-                   std::int64_t dst_tag, std::int32_t msgs) {
+                   std::int64_t dst_tag, std::int32_t msgs,
+                   bool priority) {
   AMR_CHECK(src != dst);
   AMR_CHECK_MSG(find_exchange(window) >= 0,
                 "isend outside an open exchange window");
@@ -94,9 +95,11 @@ TimeNs Comm::isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
   std::uint64_t flow_id = 0;
   if (tracer_ != nullptr) {
     // Flow origin sits 1 ns inside the sender's pack span (which ends at
-    // post_time) so Perfetto binds the arrow to that slice.
+    // post_time) so Perfetto binds the arrow to that slice. Priority
+    // promotions (critical-path send ordering) get their own flow name
+    // so a trace shows which transfers jumped the queue.
     flow_id = tracer_->flow_begin(
-        src, TraceCat::kMsg, "p2p",
+        src, TraceCat::kMsg, priority ? "p2p-priority" : "p2p",
         post_time > 0 ? post_time - 1 : post_time, bytes, dst);
   }
   const PendingDelivery d{window, dst, src, dst_tag, bytes, flow_id};

@@ -112,10 +112,13 @@ class Comm final : public EventHandler {
   /// posts an aggregated transfer (one delivery event carrying that many
   /// logical boundary messages; counts as ONE arrival against the
   /// window's expected count, so aggregated windows must size `expected`
-  /// per peer rather than per block pair).
+  /// per peer rather than per block pair). `priority` marks a transfer
+  /// promoted by critical-path send ordering — timing is unchanged, but
+  /// the trace flow is named "p2p-priority" so promotions are visible.
   TimeNs isend(std::int32_t src, std::int32_t dst, std::int64_t bytes,
                std::uint64_t window, TimeNs post_time,
-               std::int64_t dst_tag = -1, std::int32_t msgs = 1);
+               std::int64_t dst_tag = -1, std::int32_t msgs = 1,
+               bool priority = false);
 
   /// Rank's waitall on its receives for the window. If all messages have
   /// already arrived, returns true (rank proceeds at wait_start). If not,

@@ -206,5 +206,39 @@ TEST(PlanCache, ModeSwitchRebuildsInsteadOfServingStale) {
   EXPECT_EQ(cache.stats().misses, 3);
 }
 
+TEST(PlanCache, PackingPolicyIsPartOfTheKey) {
+  // Adaptive thresholds change which pairs fold, so switching the policy
+  // (or its thresholds) must rebuild — and identical policies must hit.
+  AmrMesh mesh(RootGrid{2, 2, 2});
+  mesh.refine(std::vector<std::int32_t>{0});
+  const std::int32_t nranks = 2;
+  const Placement p = round_robin(mesh.size(), nranks);
+  const MessageSizeModel sizes{};
+  const auto c = costs_for(mesh.size(), 10);
+  const PackingPolicy split{4000, 9000, 16};
+  ExchangePlanCache cache;
+
+  (void)cache.step_work(mesh, p, 0, c, nranks, sizes, true, split);
+  EXPECT_EQ(cache.stats().misses, 1);
+  // Same thresholds: hit, equal to a fresh adaptive build.
+  const auto hit = cache.step_work(mesh, p, 0, c, nranks, sizes, true,
+                                   split);
+  EXPECT_EQ(cache.stats().hits, 1);
+  expect_equal(hit, build_step_work(mesh, p, c, nranks, sizes, true, split));
+  // Different thresholds: miss.
+  const PackingPolicy other{100, 100, 16};
+  (void)cache.step_work(mesh, p, 0, c, nranks, sizes, true, other);
+  EXPECT_EQ(cache.stats().misses, 2);
+
+  // The overlap shape keys on the policy too.
+  (void)cache.overlap_work(mesh, p, 0, c, nranks, sizes, split);
+  EXPECT_EQ(cache.stats().misses, 3);
+  (void)cache.overlap_work(mesh, p, 0, c, nranks, sizes, split);
+  EXPECT_EQ(cache.stats().hits, 2);
+  (void)cache.overlap_work(mesh, p, 0, c, nranks, sizes,
+                           PackingPolicy::none());
+  EXPECT_EQ(cache.stats().misses, 4);
+}
+
 }  // namespace
 }  // namespace amr

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 namespace amr {
 namespace {
 
@@ -129,6 +132,128 @@ TEST(BuildStepWork, AggregateFoldsSendsPerDestination) {
   EXPECT_LT(agg_sends, legacy_sends);
   for (std::size_t r = 0; r < agg.size(); ++r)
     EXPECT_EQ(incoming[r], agg[r].expected_recvs);
+}
+
+TEST(PackingPolicy, ThresholdAndNodeSplit) {
+  // Mean bytes/message vs the per-path threshold; same-node pairs use
+  // the shm threshold, cross-node pairs the remote one (16 ranks/node).
+  PackingPolicy p{4000, 1000, 16};
+  EXPECT_TRUE(p.active());
+  EXPECT_FALSE(p.pack_all());
+  // Single messages never pack regardless of size.
+  EXPECT_FALSE(p.pack(0, 1, 100, 1));
+  // Same node (ranks 0 and 1): mean 2000 <= 4000 packs.
+  EXPECT_TRUE(p.pack(0, 1, 4000, 2));
+  // Cross node (ranks 0 and 16): mean 2000 > 1000 stays eager.
+  EXPECT_FALSE(p.pack(0, 16, 4000, 2));
+  EXPECT_TRUE(p.pack(0, 16, 1500, 2));
+  EXPECT_FALSE(PackingPolicy::none().active());
+  EXPECT_TRUE(PackingPolicy::all().pack_all());
+  EXPECT_TRUE(PackingPolicy::all().pack(0, 99, std::int64_t{1} << 39, 2));
+}
+
+TEST(BuildStepWork, AdaptiveNoneAndAllMatchLegacyPaths) {
+  AmrMesh mesh(RootGrid{3, 3, 3});
+  Placement placement(mesh.size());
+  for (std::size_t b = 0; b < mesh.size(); ++b)
+    placement[b] = static_cast<std::int32_t>(b % 5);
+  const std::vector<TimeNs> costs(mesh.size(), us(10));
+  const MessageSizeModel sizes;
+  auto same = [](std::span<const RankStepWork> a,
+                 std::span<const RankStepWork> b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      ASSERT_EQ(a[r].sends.size(), b[r].sends.size());
+      for (std::size_t i = 0; i < a[r].sends.size(); ++i) {
+        EXPECT_EQ(a[r].sends[i].dst_rank, b[r].sends[i].dst_rank);
+        EXPECT_EQ(a[r].sends[i].bytes, b[r].sends[i].bytes);
+        EXPECT_EQ(a[r].sends[i].src_block, b[r].sends[i].src_block);
+        EXPECT_EQ(a[r].sends[i].msgs, b[r].sends[i].msgs);
+      }
+      EXPECT_EQ(a[r].expected_recvs, b[r].expected_recvs);
+      EXPECT_EQ(a[r].recv_bytes, b[r].recv_bytes);
+      EXPECT_EQ(a[r].local_copy_msgs, b[r].local_copy_msgs);
+    }
+  };
+  same(build_step_work(mesh, placement, costs, 5, sizes, true, false),
+       build_step_work(mesh, placement, costs, 5, sizes, true,
+                       PackingPolicy::none()));
+  same(build_step_work(mesh, placement, costs, 5, sizes, true, true),
+       build_step_work(mesh, placement, costs, 5, sizes, true,
+                       PackingPolicy::all()));
+}
+
+TEST(BuildStepWork, AdaptiveThresholdSplitsPairs) {
+  // Threshold between the edge payload (small) and the face payload
+  // (large): small-mean pairs pack, large-mean pairs stay eager, and
+  // the logical message count and byte volume are conserved either way.
+  AmrMesh mesh(RootGrid{3, 3, 3});
+  Placement placement(mesh.size());
+  for (std::size_t b = 0; b < mesh.size(); ++b)
+    placement[b] = static_cast<std::int32_t>(b % 5);
+  const std::vector<TimeNs> costs(mesh.size(), us(10));
+  const MessageSizeModel sizes;
+  const auto legacy =
+      build_step_work(mesh, placement, costs, 5, sizes, false, false);
+
+  // Pick a threshold strictly between the smallest and largest per-pair
+  // mean, so the split is guaranteed to separate real traffic.
+  std::int64_t pair_msgs[5][5] = {};
+  std::int64_t pair_bytes[5][5] = {};
+  for (std::size_t r = 0; r < legacy.size(); ++r) {
+    for (const auto& s : legacy[r].sends) {
+      ++pair_msgs[r][s.dst_rank];
+      pair_bytes[r][s.dst_rank] += s.bytes;
+    }
+  }
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = 0;
+  for (int s = 0; s < 5; ++s) {
+    for (int d = 0; d < 5; ++d) {
+      if (pair_msgs[s][d] < 2) continue;
+      const std::int64_t mean = pair_bytes[s][d] / pair_msgs[s][d];
+      lo = std::min(lo, mean);
+      hi = std::max(hi, mean);
+    }
+  }
+  ASSERT_LT(lo, hi);  // pair means genuinely differ on this mesh
+  const std::int64_t mid = (lo + hi) / 2;
+  const PackingPolicy policy{mid, mid, 16};
+  const auto adaptive =
+      build_step_work(mesh, placement, costs, 5, sizes, false, policy);
+
+  std::int64_t legacy_sends = 0;
+  std::int64_t legacy_bytes = 0;
+  for (const auto& w : legacy) {
+    legacy_sends += static_cast<std::int64_t>(w.sends.size());
+    for (const auto& s : w.sends) legacy_bytes += s.bytes;
+  }
+  std::int64_t logical = 0;
+  std::int64_t bytes = 0;
+  std::int64_t packed = 0;
+  std::int64_t eager = 0;
+  std::vector<std::int64_t> incoming(5, 0);
+  for (const auto& w : adaptive) {
+    for (const auto& s : w.sends) {
+      logical += s.msgs;
+      bytes += s.bytes;
+      ++incoming[static_cast<std::size_t>(s.dst_rank)];
+      if (s.msgs > 1) {
+        ++packed;
+        // A packed pair's mean stayed at or below the threshold.
+        EXPECT_LE(s.bytes, policy.remote_threshold * s.msgs);
+      } else {
+        ++eager;
+      }
+    }
+  }
+  EXPECT_EQ(logical, legacy_sends);
+  EXPECT_EQ(bytes, legacy_bytes);
+  // The split is genuine: both kinds of traffic exist at this threshold.
+  EXPECT_GT(packed, 0);
+  EXPECT_GT(eager, 0);
+  for (std::size_t r = 0; r < adaptive.size(); ++r)
+    EXPECT_EQ(incoming[r], adaptive[r].expected_recvs);
 }
 
 }  // namespace

@@ -84,6 +84,8 @@ void expect_reports_equal(const RunReport& a, const RunReport& b) {
   EXPECT_EQ(a.msgs_intra_rank, b.msgs_intra_rank);
   EXPECT_EQ(a.bytes_local, b.bytes_local);
   EXPECT_EQ(a.bytes_remote, b.bytes_remote);
+  EXPECT_EQ(a.msgs_coalesced, b.msgs_coalesced);
+  EXPECT_EQ(a.bytes_packed, b.bytes_packed);
   EXPECT_EQ(a.critical_path.windows, b.critical_path.windows);
   EXPECT_EQ(a.critical_path.one_rank_paths, b.critical_path.one_rank_paths);
   EXPECT_EQ(a.critical_path.two_rank_paths, b.critical_path.two_rank_paths);
@@ -173,6 +175,69 @@ TEST_F(CheckpointTest, MismatchedConfigIsRejected) {
   EXPECT_THROW(run_sedov(refault, "cpl50", nullptr, nullptr,
                          dir_ + "/ckpt_6.amrs"),
                io::SnapshotError);
+}
+
+TEST_F(CheckpointTest, AdaptiveCommRestoreMatchesUninterrupted) {
+  // Adaptive packing + send priority across a mid-run restore: the
+  // snapshot carries last_straggler, so the restored run must schedule
+  // identically to the uninterrupted one.
+  const std::int64_t steps = 14;
+  auto adaptive_config = [&] {
+    SimulationConfig cfg = test_config(steps);
+    cfg.comm_adaptive = true;
+    cfg.send_priority = true;
+    return cfg;
+  };
+  std::string full_trace;
+  const RunReport full =
+      run_sedov(adaptive_config(), "cpl50", &full_trace, nullptr);
+  EXPECT_GT(full.msgs_coalesced, 0);
+
+  SimulationConfig ck = adaptive_config();
+  ck.checkpoint_every = 7;
+  ck.checkpoint_dir = dir_;
+  run_sedov(ck, "cpl50", nullptr, nullptr);
+
+  std::string trace;
+  const RunReport restored = run_sedov(adaptive_config(), "cpl50", &trace,
+                                       nullptr, dir_ + "/ckpt_7.amrs");
+  expect_reports_equal(full, restored);
+  EXPECT_EQ(full_trace, trace);
+}
+
+TEST_F(CheckpointTest, AdaptiveCommAxesArePartOfTheFingerprint) {
+  SimulationConfig ck = test_config(12);
+  ck.comm_adaptive = true;
+  ck.send_priority = true;
+  ck.checkpoint_every = 6;
+  ck.checkpoint_dir = dir_;
+  run_sedov(ck, "cpl50", nullptr, nullptr);
+  const std::string path = dir_ + "/ckpt_6.amrs";
+
+  auto expect_refused = [&](const SimulationConfig& cfg,
+                            const std::string& field) {
+    try {
+      run_sedov(cfg, "cpl50", nullptr, nullptr, path);
+      FAIL() << "restore unexpectedly succeeded (" << field << ")";
+    } catch (const io::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  // Adaptive off: replayed windows would pack differently.
+  SimulationConfig off = test_config(12);
+  off.send_priority = true;
+  expect_refused(off, "adaptive packing");
+  // Priority off: replayed windows would order sends differently.
+  SimulationConfig noprio = test_config(12);
+  noprio.comm_adaptive = true;
+  expect_refused(noprio, "send priority");
+  // A different global threshold changes every packing decision.
+  SimulationConfig threshold = test_config(12);
+  threshold.comm_adaptive = true;
+  threshold.send_priority = true;
+  threshold.comm_pack_threshold = 4096;
+  expect_refused(threshold, "packing threshold");
 }
 
 TEST_F(CheckpointTest, CorruptSnapshotFailsWithDiagnostic) {

@@ -211,6 +211,137 @@ TEST(Simulation, OverlapExecutionModeCompletesAndMatchesMessageCounts) {
   EXPECT_LE(overlap.wall_seconds, bsp.wall_seconds * 1.5);
 }
 
+TEST(Simulation, AggregateWorksUnderOverlapAndConservesTraffic) {
+  // Formerly rejected: aggregation under overlap execution. The packed
+  // plan must move the same logical messages and bytes through fewer
+  // transfers.
+  auto run = [](bool aggregate) {
+    SedovWorkload sedov(small_sedov());
+    const auto policy = make_policy("cpl50");
+    SimulationConfig cfg = small_config();
+    cfg.execution = ExecutionMode::kOverlap;
+    cfg.include_flux_correction = false;
+    cfg.aggregate_messages = aggregate;
+    Simulation sim(cfg, sedov, *policy);
+    return sim.run();
+  };
+  const RunReport legacy = run(false);
+  const RunReport agg = run(true);
+  const std::int64_t legacy_transfers = legacy.msgs_local +
+                                        legacy.msgs_remote;
+  const std::int64_t agg_transfers = agg.msgs_local + agg.msgs_remote;
+  EXPECT_LT(agg_transfers, legacy_transfers);
+  EXPECT_EQ(agg_transfers + agg.msgs_coalesced, legacy_transfers);
+  EXPECT_EQ(agg.bytes_local + agg.bytes_remote,
+            legacy.bytes_local + legacy.bytes_remote);
+  EXPECT_EQ(agg.msgs_intra_rank, legacy.msgs_intra_rank);
+  EXPECT_GT(agg.bytes_packed, 0);
+  EXPECT_EQ(legacy.msgs_coalesced, 0);
+}
+
+TEST(Simulation, AdaptiveBspPacksLikeAggregate) {
+  // Under BSP the receiver waits for all arrivals, so the adaptive
+  // policy packs every pair — the run must match --aggregate exactly.
+  auto run = [](bool adaptive) {
+    SedovWorkload sedov(small_sedov());
+    const auto policy = make_policy("cpl50");
+    SimulationConfig cfg = small_config();
+    cfg.aggregate_messages = !adaptive;
+    cfg.comm_adaptive = adaptive;
+    Simulation sim(cfg, sedov, *policy);
+    return sim.run();
+  };
+  const RunReport agg = run(false);
+  const RunReport adaptive = run(true);
+  EXPECT_EQ(agg.wall_seconds, adaptive.wall_seconds);
+  EXPECT_EQ(agg.msgs_local, adaptive.msgs_local);
+  EXPECT_EQ(agg.msgs_remote, adaptive.msgs_remote);
+  EXPECT_EQ(agg.msgs_coalesced, adaptive.msgs_coalesced);
+  EXPECT_EQ(agg.bytes_packed, adaptive.bytes_packed);
+}
+
+TEST(Simulation, AdaptiveOverlapSplitsPairsAndIsDeterministic) {
+  auto run = [](std::int64_t threshold) {
+    SedovWorkload sedov(small_sedov());
+    const auto policy = make_policy("cpl50");
+    SimulationConfig cfg = small_config();
+    cfg.execution = ExecutionMode::kOverlap;
+    cfg.include_flux_correction = false;
+    cfg.comm_adaptive = true;
+    cfg.comm_pack_threshold = threshold;
+    cfg.send_priority = true;
+    Simulation sim(cfg, sedov, *policy);
+    return sim.run();
+  };
+  // Modeled policy: fused two-stage packing has no CPU cost, so every
+  // multi-message pair packs — a giant override can do no more.
+  const RunReport a = run(-1);
+  const RunReport b = run(-1);
+  EXPECT_EQ(a.wall_seconds, b.wall_seconds);
+  EXPECT_EQ(a.msgs_coalesced, b.msgs_coalesced);
+  EXPECT_GT(a.msgs_coalesced, 0);
+  const RunReport all = run(std::int64_t{1} << 30);
+  EXPECT_EQ(all.msgs_coalesced, a.msgs_coalesced);
+  // A mid threshold splits pairs: edges/vertices pack, faces go eager.
+  const RunReport mid = run(2560);
+  EXPECT_GT(mid.msgs_coalesced, 0);
+  EXPECT_LT(mid.msgs_coalesced, a.msgs_coalesced);
+  // A zero threshold packs nothing.
+  const RunReport none = run(0);
+  EXPECT_EQ(none.msgs_coalesced, 0);
+}
+
+TEST(Simulation, ShardedAdaptiveStatsMatchAcrossShardCounts) {
+  // Packing decisions are plan-derived, so the coalescing counters must
+  // agree between the sequential engine and every shard count, and
+  // sharded runs must stay identical to each other.
+  auto run = [](std::int32_t shards) {
+    SedovWorkload sedov(small_sedov());
+    const auto policy = make_policy("cpl50");
+    SimulationConfig cfg = small_config();
+    cfg.comm_adaptive = true;
+    cfg.send_priority = true;
+    cfg.des_shards = shards;
+    Simulation sim(cfg, sedov, *policy);
+    return sim.run();
+  };
+  const RunReport seq = run(0);
+  const RunReport s1 = run(1);
+  const RunReport s4 = run(4);
+  // Shard-count invariance is the existing par-DES contract.
+  EXPECT_EQ(s1.wall_seconds, s4.wall_seconds);
+  EXPECT_EQ(s1.msgs_coalesced, s4.msgs_coalesced);
+  EXPECT_EQ(s1.bytes_packed, s4.bytes_packed);
+  EXPECT_EQ(s1.msgs_local, s4.msgs_local);
+  EXPECT_EQ(s1.msgs_remote, s4.msgs_remote);
+  // Structural counters agree with the sequential engine too (timing
+  // differs: per-node RNG streams draw different jitter).
+  EXPECT_EQ(seq.msgs_coalesced, s1.msgs_coalesced);
+  EXPECT_EQ(seq.bytes_packed, s1.bytes_packed);
+  EXPECT_EQ(seq.msgs_local, s1.msgs_local);
+  EXPECT_EQ(seq.msgs_remote, s1.msgs_remote);
+  EXPECT_GT(seq.msgs_coalesced, 0);
+}
+
+TEST(SimulationDeath, AggregateAndAdaptiveAreMutuallyExclusive) {
+  SedovWorkload sedov(small_sedov());
+  const auto policy = make_policy("baseline");
+  SimulationConfig cfg = small_config();
+  cfg.aggregate_messages = true;
+  cfg.comm_adaptive = true;
+  Simulation sim(cfg, sedov, *policy);
+  EXPECT_DEATH(sim.run(), "mutually exclusive");
+}
+
+TEST(SimulationDeath, PackThresholdRequiresAdaptive) {
+  SedovWorkload sedov(small_sedov());
+  const auto policy = make_policy("baseline");
+  SimulationConfig cfg = small_config();
+  cfg.comm_pack_threshold = 1024;
+  Simulation sim(cfg, sedov, *policy);
+  EXPECT_DEATH(sim.run(), "requires comm_adaptive");
+}
+
 TEST(Simulation, BudgetGuardCountsAndEnforces) {
   SedovWorkload sedov(small_sedov());
   const auto policy = make_policy("cpl50");
