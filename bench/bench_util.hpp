@@ -17,6 +17,7 @@
 
 #include "amr/mesh/coords.hpp"
 #include "amr/par/thread_pool.hpp"
+#include "amr/sim/sim_driver.hpp"
 #include "amr/sim/simulation.hpp"
 
 namespace amr::bench {
@@ -177,35 +178,12 @@ class Flags {
   mutable std::vector<Registered> registered_;
 };
 
-/// Paper Table I mesh sizes: 512 -> 128^3 cells = 8^3 root blocks of
-/// 16^3 cells, 1024 -> 8x8x16, 2048 -> 8x16x16, 4096 -> 16^3;
-/// other powers of two continue the doubling pattern.
-inline RootGrid grid_for_ranks(std::int64_t ranks) {
-  std::uint32_t nx = 1;
-  std::uint32_t ny = 1;
-  std::uint32_t nz = 1;
-  int axis = 2;  // grow z first: 8x8x16 at 1024 like the paper
-  for (std::int64_t r = ranks; r > 1; r /= 2) {
-    (axis == 0 ? nx : axis == 1 ? ny : nz) *= 2;
-    axis = (axis + 2) % 3;
-  }
-  return RootGrid{nx, ny, nz};
-}
-
-/// Canonical run configuration shared by the figure benches and the
-/// CLIs: the paper cluster shape (16 ranks/node), the Table I root grid
-/// for `ranks`, and per-(step,rank) telemetry off (harnesses that want
-/// the collector turn it back on).
-inline SimulationConfig base_sim_config(std::int64_t ranks,
-                                        std::int64_t steps) {
-  SimulationConfig cfg;
-  cfg.nranks = static_cast<std::int32_t>(ranks);
-  cfg.ranks_per_node = 16;
-  cfg.root_grid = grid_for_ranks(ranks);
-  cfg.steps = steps;
-  cfg.collect_telemetry = false;
-  return cfg;
-}
+// The paper's rank->root-grid mapping and the canonical run config now
+// live in the shared driver (amr/sim/sim_driver.hpp) so the CLIs and
+// the serve scheduler cannot drift from the benches; re-exported here
+// to keep the ~20 bench mains unchanged.
+using amr::base_sim_config;
+using amr::grid_for_ranks;
 
 /// printf into a growing string: sweep tasks build their report text
 /// with this and return it instead of touching stdout.

@@ -15,24 +15,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "amr/mesh/generators.hpp"
 #include "amr/par/sweep.hpp"
 #include "amr/par/thread_pool.hpp"
 #include "amr/placement/metrics.hpp"
 #include "amr/placement/registry.hpp"
-#include "amr/sim/simulation.hpp"
+#include "amr/serve/sim_server.hpp"
+#include "amr/sim/sim_driver.hpp"
 #include "amr/trace/chrome_export.hpp"
-#include "amr/workloads/cooling.hpp"
-#include "amr/workloads/sedov.hpp"
-#include "bench_util.hpp"
 
 namespace {
 
 using namespace amr;
-using bench::grid_for_ranks;
 
 bool has_flag(int argc, char** argv, const char* name) {
   const std::string flag = std::string("--") + name;
@@ -76,64 +76,37 @@ int arg_jobs(int argc, char** argv) {
   return j == 0 ? ThreadPool::hardware_jobs() : static_cast<int>(j);
 }
 
-std::unique_ptr<Workload> make_workload(const std::string& name,
-                                        std::int64_t steps) {
-  if (name == "sedov") {
-    SedovParams p;
-    p.total_steps = steps;
-    return std::make_unique<SedovWorkload>(p);
-  }
-  if (name == "cooling") {
-    return std::make_unique<CoolingWorkload>(CoolingParams{});
-  }
-  std::fprintf(stderr, "unknown workload %s (sedov | cooling)\n",
-               name.c_str());
-  return nullptr;
-}
-
-std::string report_text(const RunReport& r, bool show_packing) {
-  std::string out;
-  char buf[512];
-  const double total = r.phases.total();
-  std::snprintf(buf, sizeof(buf),
-                "policy %s: wall %.4f s | compute %.1f%% comm %.1f%% sync "
-                "%.1f%% rebal %.1f%%\n",
-                r.policy.c_str(), r.wall_seconds,
-                100 * r.phases.compute / total, 100 * r.phases.comm / total,
-                100 * r.phases.sync / total,
-                100 * r.phases.rebalance / total);
-  out += buf;
-  std::snprintf(buf, sizeof(buf),
-                "  blocks %zu -> %zu | %lld redistributions, %lld moved, "
-                "%lld over budget\n",
-                r.initial_blocks, r.final_blocks,
-                static_cast<long long>(r.lb_invocations),
-                static_cast<long long>(r.blocks_migrated),
-                static_cast<long long>(r.budget_violations));
-  out += buf;
-  std::snprintf(buf, sizeof(buf),
-                "  msgs: %lld local, %lld remote, %lld memcpy | critical "
-                "paths: %lld 1-rank, %lld 2-rank\n",
-                static_cast<long long>(r.msgs_local),
-                static_cast<long long>(r.msgs_remote),
-                static_cast<long long>(r.msgs_intra_rank),
-                static_cast<long long>(r.critical_path.one_rank_paths),
-                static_cast<long long>(r.critical_path.two_rank_paths));
-  out += buf;
-  // Only in packing modes: legacy stdout stays byte-identical.
-  if (show_packing) {
-    std::snprintf(buf, sizeof(buf),
-                  "  aggregation: %lld msgs coalesced, %lld bytes packed\n",
-                  static_cast<long long>(r.msgs_coalesced),
-                  static_cast<long long>(r.bytes_packed));
-    out += buf;
-  }
-  return out;
-}
-
 void print_report(const RunReport& r, bool show_packing) {
-  const std::string text = report_text(r, show_packing);
+  const std::string text = compact_report_text(r, show_packing);
   std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+/// Flag-to-spec mapping shared by `run` and (per job line) `serve`'s
+/// defaults; validation lives in validate_job.
+JobSpec spec_from_flags(int argc, char** argv) {
+  JobSpec spec;
+  spec.workload = arg_value(argc, argv, "workload", "sedov");
+  spec.policy = arg_value(argc, argv, "policy", "cpl50");
+  spec.ranks = arg_int(argc, argv, "ranks", 64);
+  spec.steps = arg_int(argc, argv, "steps", 40);
+  spec.overlap =
+      std::string(arg_value(argc, argv, "execution", "bsp")) == "overlap";
+  spec.aggregate = has_flag(argc, argv, "aggregate");
+  spec.comm_adaptive = has_flag(argc, argv, "comm-adaptive");
+  spec.pack_threshold = arg_int(argc, argv, "pack-threshold", -1);
+  spec.send_priority = has_flag(argc, argv, "send-priority");
+  spec.des_shards =
+      static_cast<std::int32_t>(arg_int(argc, argv, "des-shards", 0));
+  spec.checkpoint_every = arg_int(argc, argv, "checkpoint-every", 0);
+  spec.checkpoint_dir = arg_value(argc, argv, "checkpoint-dir", ".");
+  spec.restore = arg_value(argc, argv, "restore", "");
+  spec.replay = arg_value(argc, argv, "replay", "");
+  spec.fault_nodes =
+      static_cast<std::int32_t>(arg_int(argc, argv, "faults", 0));
+  spec.trace = *arg_value(argc, argv, "trace-out", "") != '\0';
+  const std::int64_t cap = arg_int(argc, argv, "trace-capacity", 0);
+  if (cap > 0) spec.trace_capacity = static_cast<std::size_t>(cap);
+  return spec;
 }
 
 int cmd_run(int argc, char** argv) {
@@ -157,97 +130,35 @@ int cmd_run(int argc, char** argv) {
         "                            window's straggler rank first)\n"
         "  --des-shards=N           (parallel sharded DES; bsp only;\n"
         "                            0 = sequential legacy engine)\n"
+        "  --faults=N               (throttle N nodes x4 for the middle\n"
+        "                            half of the run; deterministic)\n"
         "  --trace-out=FILE.json [--trace-capacity=N]\n"
         "  --checkpoint-every=K --checkpoint-dir=D\n"
         "  --restore=FILE | --replay=FILE\n");
     return 0;
   }
-  const std::int64_t ranks = arg_int(argc, argv, "ranks", 64);
-  const std::int64_t steps = arg_int(argc, argv, "steps", 40);
-  const std::string policy_name = arg_value(argc, argv, "policy", "cpl50");
-  const std::string workload_name =
-      arg_value(argc, argv, "workload", "sedov");
-  const std::string execution = arg_value(argc, argv, "execution", "bsp");
+  const JobSpec spec = spec_from_flags(argc, argv);
   const std::string trace_out = arg_value(argc, argv, "trace-out", "");
-  const std::int64_t trace_capacity =
-      arg_int(argc, argv, "trace-capacity", 0);
-  const std::string restore = arg_value(argc, argv, "restore", "");
-  const std::string replay = arg_value(argc, argv, "replay", "");
-  if (!restore.empty() && !replay.empty()) {
-    std::fprintf(stderr,
-                 "amrcplx: --restore and --replay are mutually exclusive\n");
+  const std::string invalid = validate_job(spec);
+  if (!invalid.empty()) {
+    std::fprintf(stderr, "amrcplx: %s\n", invalid.c_str());
     return 2;
-  }
-  const std::string snapshot = !restore.empty() ? restore : replay;
-
-  SimulationConfig cfg;
-  cfg.nranks = static_cast<std::int32_t>(ranks);
-  cfg.ranks_per_node = 16;
-  cfg.root_grid = grid_for_ranks(ranks);
-  cfg.steps = steps;
-  cfg.checkpoint_every = arg_int(argc, argv, "checkpoint-every", 0);
-  cfg.checkpoint_dir = arg_value(argc, argv, "checkpoint-dir", ".");
-  cfg.execution =
-      execution == "overlap" ? ExecutionMode::kOverlap : ExecutionMode::kBsp;
-  cfg.include_flux_correction = cfg.execution == ExecutionMode::kBsp;
-  cfg.aggregate_messages = has_flag(argc, argv, "aggregate");
-  cfg.comm_adaptive = has_flag(argc, argv, "comm-adaptive");
-  cfg.comm_pack_threshold = arg_int(argc, argv, "pack-threshold", -1);
-  cfg.send_priority = has_flag(argc, argv, "send-priority");
-  if (cfg.aggregate_messages && cfg.comm_adaptive) {
-    std::fprintf(stderr,
-                 "amrcplx: --aggregate and --comm-adaptive are mutually "
-                 "exclusive (adaptive packing subsumes the aggregate "
-                 "flag)\n");
-    return 2;
-  }
-  if (cfg.comm_pack_threshold >= 0 && !cfg.comm_adaptive) {
-    std::fprintf(stderr,
-                 "amrcplx: --pack-threshold requires --comm-adaptive\n");
-    return 2;
-  }
-  cfg.des_shards =
-      static_cast<std::int32_t>(arg_int(argc, argv, "des-shards", 0));
-  if (cfg.des_shards > 0 && cfg.execution == ExecutionMode::kOverlap) {
-    std::fprintf(stderr,
-                 "amrcplx: --des-shards requires --execution=bsp (overlap "
-                 "self-events carry no dispatch keys)\n");
-    return 2;
-  }
-  if (!trace_out.empty()) {
-    cfg.trace_enabled = true;
-    if (trace_capacity > 0)
-      cfg.trace.capacity = static_cast<std::size_t>(trace_capacity);
   }
 
-  const auto workload = make_workload(workload_name, steps);
-  if (!workload) return 1;
-  PolicyPtr policy;
+  std::unique_ptr<SimDriver> driver;
   try {
-    policy = make_policy(policy_name);
+    driver = std::make_unique<SimDriver>(spec);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
+    std::fprintf(stderr, "amrcplx: %s\n", e.what());
     return 1;
   }
-  Simulation sim(cfg, *workload, *policy);
-  if (!snapshot.empty()) {
-    // Restore diagnostics go to stderr so a restored run's stdout stays
-    // byte-identical to the uninterrupted run's.
-    try {
-      sim.restore_checkpoint(snapshot);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "amrcplx: %s\n", e.what());
-      return 1;
-    }
-    std::fprintf(stderr, "amrcplx: %s %s at step %lld (policy=%s)\n",
-                 replay.empty() ? "restored" : "replaying",
-                 snapshot.c_str(),
-                 static_cast<long long>(sim.current_step()),
-                 policy->name().c_str());
-  }
-  print_report(sim.run(), cfg.aggregate_messages || cfg.comm_adaptive);
+  // Restore diagnostics go to stderr so a restored run's stdout stays
+  // byte-identical to the uninterrupted run's.
+  if (!driver->restore_note().empty())
+    std::fprintf(stderr, "amrcplx: %s\n", driver->restore_note().c_str());
+  print_report(driver->run(), spec.aggregate || spec.comm_adaptive);
   if (!trace_out.empty()) {
-    const Tracer& tracer = *sim.tracer();
+    const Tracer& tracer = *driver->sim().tracer();
     if (!write_chrome_trace(tracer, trace_out)) {
       std::fprintf(stderr, "failed to write trace to %s\n",
                    trace_out.c_str());
@@ -275,25 +186,19 @@ int cmd_sweep(int argc, char** argv) {
   Sweep sweep(arg_jobs(argc, argv));
   for (const auto& name : evaluation_policy_names()) {
     sweep.add(name, [=] {
-      SimulationConfig cfg;
-      cfg.nranks = static_cast<std::int32_t>(ranks);
-      cfg.ranks_per_node = 16;
-      cfg.root_grid = grid_for_ranks(ranks);
-      cfg.steps = steps;
-      cfg.collect_telemetry = false;
-      cfg.execution = execution == "overlap" ? ExecutionMode::kOverlap
-                                             : ExecutionMode::kBsp;
-      cfg.include_flux_correction = cfg.execution == ExecutionMode::kBsp;
-      cfg.aggregate_messages = aggregate;
-      cfg.comm_adaptive = comm_adaptive;
-      cfg.send_priority = send_priority;
-      cfg.des_shards = des_shards;
-      SedovParams sp;
-      sp.total_steps = steps;
-      SedovWorkload sedov(sp);
-      const PolicyPtr policy = make_policy(name);
-      Simulation sim(cfg, sedov, *policy);
-      return report_text(sim.run(), aggregate || comm_adaptive);
+      JobSpec spec;
+      spec.policy = name;
+      spec.ranks = ranks;
+      spec.steps = steps;
+      spec.overlap = execution == "overlap";
+      spec.aggregate = aggregate;
+      spec.comm_adaptive = comm_adaptive;
+      spec.send_priority = send_priority;
+      spec.des_shards = des_shards;
+      spec.collect_telemetry = false;
+      SimDriver driver(spec);
+      return compact_report_text(driver.run(),
+                                 aggregate || comm_adaptive);
     });
   }
   sweep.run();
@@ -329,6 +234,97 @@ int cmd_mesh(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  if (has_flag(argc, argv, "help")) {
+    std::printf(
+        "usage: amrcplx serve [--flag=value] < jobs  |  --file=JOBS\n"
+        "multiplex a batch of simulation jobs over one process.\n"
+        "protocol (one request per line):\n"
+        "  {\"policy\": \"cpl50\", \"ranks\": 64, \"steps\": 40, ...}\n"
+        "      submit a job; fields mirror `amrcplx run` flags\n"
+        "      (id, workload, policy, ranks, steps, execution,\n"
+        "       aggregate, comm_adaptive, pack_threshold, send_priority,\n"
+        "       des_shards, sedov_max_level, checkpoint_every,\n"
+        "       checkpoint_dir, restore, replay, faults)\n"
+        "  query <job-id> select ...   results endpoint (see README)\n"
+        "  stats                       scheduler counters\n"
+        "  # comment\n"
+        "flags:\n"
+        "  --file=JOBS          (read requests from a file, not stdin)\n"
+        "  --quantum-steps=N    (steps per tenant slice; default 16)\n"
+        "  --serve-jobs=N       (tenants sliced concurrently; default 1)\n"
+        "  --max-resident=MB    (evict cold sims to snapshots beyond this\n"
+        "                        budget; -1 unlimited, 0 evicts all idle)\n"
+        "  --spill-dir=D        (eviction snapshot directory; default .)\n"
+        "  --no-share           (disable cross-tenant plan sharing)\n"
+        "  --stats              (print scheduler counters to stderr)\n");
+    return 0;
+  }
+  // Unlike run/sweep, serve consumes stdin — a silently ignored flag
+  // typo would hang waiting for jobs, so reject unknown flags here.
+  static const char* const kServeFlags[] = {
+      "file",     "quantum-steps", "serve-jobs", "max-resident",
+      "spill-dir", "no-share",     "stats",      "help"};
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    const std::string_view body = a.substr(2, a.find('=') - 2);
+    bool known = false;
+    for (const char* f : kServeFlags) known = known || body == f;
+    if (!known) {
+      std::fprintf(stderr,
+                   "amrcplx serve: unrecognized flag --%.*s; see "
+                   "`amrcplx serve --help`\n",
+                   static_cast<int>(body.size()), body.data());
+      return 2;
+    }
+  }
+  serve::ServeOptions opts;
+  opts.quantum_steps = arg_int(argc, argv, "quantum-steps", 16);
+  opts.serve_jobs =
+      static_cast<int>(arg_int(argc, argv, "serve-jobs", 1));
+  opts.max_resident_mb = arg_int(argc, argv, "max-resident", -1);
+  opts.spill_dir = arg_value(argc, argv, "spill-dir", ".");
+  opts.share_plans = !has_flag(argc, argv, "no-share");
+  if (opts.quantum_steps <= 0) {
+    std::fprintf(stderr, "amrcplx: --quantum-steps must be positive\n");
+    return 2;
+  }
+  if (opts.serve_jobs < 1) {
+    std::fprintf(stderr, "amrcplx: --serve-jobs must be >= 1\n");
+    return 2;
+  }
+  const std::string file = arg_value(argc, argv, "file", "");
+  std::ifstream job_file;
+  std::istream* in = &std::cin;
+  if (!file.empty()) {
+    job_file.open(file);
+    if (!job_file) {
+      std::fprintf(stderr, "amrcplx: cannot open job file %s\n",
+                   file.c_str());
+      return 1;
+    }
+    in = &job_file;
+  }
+  serve::SimServer server(opts);
+  const int rc = server.run(*in, stdout);
+  if (has_flag(argc, argv, "stats")) {
+    const serve::SchedulerStats s = server.stats();
+    std::fprintf(stderr,
+                 "serve: %lld jobs, %lld slices, %lld evictions, "
+                 "%lld restores, plan cache %lld/%lld hit/miss "
+                 "(%lld shared)\n",
+                 static_cast<long long>(s.jobs),
+                 static_cast<long long>(s.slices),
+                 static_cast<long long>(s.evictions),
+                 static_cast<long long>(s.restores),
+                 static_cast<long long>(s.plan_hits),
+                 static_cast<long long>(s.plan_misses),
+                 static_cast<long long>(s.plan_share_hits));
+  }
+  return rc;
+}
+
 int cmd_policies() {
   std::printf("policies: baseline lpt cdp cdp-general cdp-bsearch "
               "chunked-cdp[/N] cpl0..cpl100 zonal/N/<inner>\n");
@@ -342,10 +338,12 @@ int main(int argc, char** argv) {
   const std::string cmd = argc > 1 ? argv[1] : "";
   if (cmd == "run") return cmd_run(argc, argv);
   if (cmd == "sweep") return cmd_sweep(argc, argv);
+  if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "mesh") return cmd_mesh(argc, argv);
   if (cmd == "policies") return cmd_policies();
   std::fprintf(stderr,
-               "usage: amrcplx <run|sweep|mesh|policies> [--flag=value]\n"
+               "usage: amrcplx <run|sweep|serve|mesh|policies> "
+               "[--flag=value]\n"
                "  run    --workload=sedov|cooling --policy=NAME "
                "--ranks=N --steps=N --execution=bsp|overlap\n"
                "         --trace-out=FILE.json [--trace-capacity=N] "
@@ -356,6 +354,8 @@ int main(int argc, char** argv) {
                "[--comm-adaptive] [--send-priority]\n"
                "         [--execution=bsp|overlap] [--des-shards=N] "
                "[--json=FILE]\n"
+               "  serve  --file=JOBS --quantum-steps=N --serve-jobs=N "
+               "--max-resident=MB (see serve --help)\n"
                "  mesh   --ranks=N --sfc=z-order|hilbert\n");
   return cmd.empty() ? 1 : 2;
 }

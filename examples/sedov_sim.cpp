@@ -47,7 +47,6 @@
 //   --replay=FILE   like --restore, but intended for re-driving the run
 //               with a different placement policy than the recorded one
 //   --help      list all flags
-#include <algorithm>
 #include <atomic>
 #include <charconv>
 #include <cstdio>
@@ -56,12 +55,9 @@
 #include <string>
 #include <vector>
 
-#include "amr/faults/injector.hpp"
 #include "amr/par/sweep.hpp"
-#include "amr/placement/registry.hpp"
-#include "amr/sim/simulation.hpp"
+#include "amr/sim/sim_driver.hpp"
 #include "amr/trace/chrome_export.hpp"
-#include "amr/workloads/sedov.hpp"
 #include "bench_util.hpp"
 
 namespace {
@@ -77,72 +73,6 @@ std::int64_t parse_int(const std::string& v, const char* what) {
     std::fprintf(stderr, "sedov_sim: invalid %s: '%s'\n", what, v.c_str());
     std::exit(2);
   }
-  return out;
-}
-
-std::string report_text(const amr::RunReport& report, bool timing,
-                        bool show_packing) {
-  std::string out;
-  appendf(out, "\n== run report: %s ==\n", report.policy.c_str());
-  appendf(out, "wall time            %10.3f s (simulated)\n",
-          report.wall_seconds);
-  const double total = report.phases.total();
-  appendf(out, "  compute            %10.3f s (%4.1f%%)\n",
-          report.phases.compute, 100 * report.phases.compute / total);
-  appendf(out, "  communication      %10.3f s (%4.1f%%)\n",
-          report.phases.comm, 100 * report.phases.comm / total);
-  appendf(out, "  synchronization    %10.3f s (%4.1f%%)\n",
-          report.phases.sync, 100 * report.phases.sync / total);
-  appendf(out, "  rebalancing        %10.3f s (%4.1f%%)\n",
-          report.phases.rebalance, 100 * report.phases.rebalance / total);
-  appendf(out, "blocks               %zu -> %zu\n", report.initial_blocks,
-          report.final_blocks);
-  appendf(out, "redistributions      %lld (moved %lld blocks)\n",
-          static_cast<long long>(report.lb_invocations),
-          static_cast<long long>(report.blocks_migrated));
-  // Placement wall-clock is host-measured (nondeterministic), so it only
-  // prints under --timing; everything else is simulated time and
-  // byte-stable across --jobs.
-  if (timing && !report.placement_ms.empty()) {
-    double max_ms = 0;
-    double sum_ms = 0;
-    for (const double m : report.placement_ms) {
-      max_ms = std::max(max_ms, m);
-      sum_ms += m;
-    }
-    appendf(out,
-            "placement compute    mean %.3f ms, max %.3f ms "
-            "(budget: 50 ms)\n",
-            sum_ms / static_cast<double>(report.placement_ms.size()),
-            max_ms);
-  }
-  appendf(out,
-          "P2P messages         %lld local, %lld remote (%.0f%% remote), "
-          "%lld memcpy'd\n",
-          static_cast<long long>(report.msgs_local),
-          static_cast<long long>(report.msgs_remote),
-          100.0 * static_cast<double>(report.msgs_remote) /
-              static_cast<double>(std::max<std::int64_t>(
-                  1, report.msgs_local + report.msgs_remote)),
-          static_cast<long long>(report.msgs_intra_rank));
-  // Printed only in packing modes so legacy stdout stays byte-identical.
-  if (show_packing) {
-    const std::int64_t transfers = report.msgs_local + report.msgs_remote;
-    appendf(out,
-            "aggregation          %lld msgs coalesced into %lld transfers "
-            "(%.2fx), %lld bytes packed\n",
-            static_cast<long long>(report.msgs_coalesced),
-            static_cast<long long>(transfers),
-            static_cast<double>(report.msgs_coalesced + transfers) /
-                static_cast<double>(std::max<std::int64_t>(1, transfers)),
-            static_cast<long long>(report.bytes_packed));
-  }
-  appendf(out,
-          "critical paths       %lld windows: %lld one-rank, "
-          "%lld two-rank\n",
-          static_cast<long long>(report.critical_path.windows),
-          static_cast<long long>(report.critical_path.one_rank_paths),
-          static_cast<long long>(report.critical_path.two_rank_paths));
   return out;
 }
 
@@ -183,10 +113,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ranks must be a positive power of two\n");
     return 1;
   }
-  if (!restore.empty() && !replay.empty()) {
-    std::fprintf(stderr, "--restore and --replay are mutually exclusive\n");
-    return 1;
-  }
   const std::string snapshot = !restore.empty() ? restore : replay;
 
   std::vector<std::string> policy_names;
@@ -222,72 +148,51 @@ int main(int argc, char** argv) {
   Sweep sweep(jobs);
   for (const std::string& policy_name : policy_names) {
     sweep.add(policy_name, [=, &failed] {
-      SimulationConfig cfg = base_sim_config(ranks, steps);
-      cfg.trace_enabled = tracing;
-      if (overlap) {
-        cfg.execution = ExecutionMode::kOverlap;
-        // The overlap builder has no flux path; keep the fingerprint
-        // honest so restores cannot silently claim flux messages.
-        cfg.include_flux_correction = false;
-      }
-      cfg.aggregate_messages = aggregate;
-      cfg.comm_adaptive = comm_adaptive;
-      cfg.comm_pack_threshold = pack_threshold;
-      cfg.send_priority = send_priority;
-      cfg.des_shards = des_shards;
-      cfg.incremental_plans = incremental;
-      cfg.checkpoint_every = checkpoint_every;
-      cfg.checkpoint_dir = checkpoint_dir;
-      if (fault_nodes > 0) {
-        // Deterministic fail-slow schedule: throttle `fault_nodes` nodes
-        // x4 for the middle half of the run, so a restore inside, at, or
-        // after the fault window must reproduce both edges.
-        const std::int32_t nodes =
-            std::max(1, cfg.nranks / cfg.ranks_per_node);
-        Rng victims(cfg.seed ^ 0xfa17u);
-        ThrottleFault fault;
-        fault.nodes =
-            pick_victim_nodes(nodes, std::min(fault_nodes, nodes), victims);
-        fault.factor = 4.0;
-        fault.onset_step = steps / 4;
-        fault.end_step = (3 * steps) / 4;
-        cfg.faults.add_throttle(fault);
-      }
+      JobSpec spec;
+      spec.policy = policy_name;
+      spec.ranks = ranks;
+      spec.steps = steps;
+      spec.overlap = overlap;
+      spec.aggregate = aggregate;
+      spec.comm_adaptive = comm_adaptive;
+      spec.pack_threshold = pack_threshold;
+      spec.send_priority = send_priority;
+      spec.des_shards = des_shards;
+      spec.incremental_plans = incremental;
+      spec.collect_telemetry = false;
+      spec.sedov_max_level = 1;
+      spec.checkpoint_every = checkpoint_every;
+      spec.checkpoint_dir = checkpoint_dir;
+      spec.restore = restore;
+      spec.replay = replay;
+      spec.fault_nodes = fault_nodes;
+      spec.trace = tracing;
 
-      SedovParams sp;
-      sp.total_steps = steps;
-      sp.max_level = 1;
-      SedovWorkload sedov(sp);
-
-      const PolicyPtr policy = make_policy(policy_name);
-      Simulation sim(cfg, sedov, *policy);
       std::string out;
-      if (!snapshot.empty()) {
-        // Diagnostics go to stderr: a restored run's stdout must stay
-        // byte-identical to the uninterrupted run's (ctest
-        // checkpoint_determinism diffs them).
-        try {
-          sim.restore_checkpoint(snapshot);
-        } catch (const std::exception& e) {
-          std::fprintf(stderr, "sedov_sim: %s\n", e.what());
-          failed.store(true, std::memory_order_relaxed);
-          return out;
-        }
-        std::fprintf(stderr, "%s %s at step %lld (policy=%s)\n",
-                     replay.empty() ? "restored" : "replaying",
-                     snapshot.c_str(),
-                     static_cast<long long>(sim.current_step()),
-                     policy->name().c_str());
+      std::unique_ptr<SimDriver> driver;
+      // Construction performs the restore; diagnostics go to stderr: a
+      // restored run's stdout must stay byte-identical to the
+      // uninterrupted run's (ctest checkpoint_determinism diffs them).
+      try {
+        driver = std::make_unique<SimDriver>(spec);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "sedov_sim: %s\n", e.what());
+        failed.store(true, std::memory_order_relaxed);
+        return out;
       }
+      if (!driver->restore_note().empty())
+        std::fprintf(stderr, "%s\n", driver->restore_note().c_str());
+      const SimulationConfig& cfg = driver->config();
       appendf(out,
               "running sedov3d: policy=%s ranks=%d steps=%lld "
               "grid=%ux%ux%u\n",
-              policy->name().c_str(), ranks,
+              driver->policy().name().c_str(), static_cast<int>(ranks),
               static_cast<long long>(steps), cfg.root_grid.nx,
               cfg.root_grid.ny, cfg.root_grid.nz);
-      out += report_text(sim.run(), timing, aggregate || comm_adaptive);
+      out += verbose_report_text(driver->run(), timing,
+                                 aggregate || comm_adaptive);
       if (tracing) {
-        const Tracer& tracer = *sim.tracer();
+        const Tracer& tracer = *driver->sim().tracer();
         if (!write_chrome_trace(tracer, trace_out)) {
           appendf(out, "failed to write trace to %s\n", trace_out.c_str());
           failed.store(true, std::memory_order_relaxed);

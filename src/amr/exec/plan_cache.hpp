@@ -20,6 +20,14 @@
 // One cache instance serves one run: nranks, the message-size model, and
 // the flux-correction flag must not change across calls (the key does
 // not include them).
+//
+// Under the serve scheduler many runs execute side by side, and
+// identical-fingerprint tenants rebuild identical plans on every regrid
+// epoch. set_shared_store() attaches a cross-tenant SharedPlanStore that
+// the version-key miss path consults (content-keyed, so cross-tenant
+// version skew cannot alias) and publishes to. A store hit still counts
+// as a local miss — the version key did change — but is also counted in
+// share_hits, and its bytes are patched exactly like a private hit.
 #pragma once
 
 #include <cstdint>
@@ -30,11 +38,17 @@
 
 namespace amr {
 
+class SharedPlanStore;
+
 class ExchangePlanCache {
  public:
   struct Stats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
+    /// Of the misses, how many were filled from the shared store instead
+    /// of built. Not serialized into snapshots: who built a plan is a
+    /// scheduling artifact, not simulation state.
+    std::int64_t share_hits = 0;
   };
 
   /// BSP plan for (mesh, placement). `placement_version` must change
@@ -74,6 +88,11 @@ class ExchangePlanCache {
   /// Drop the cached plans (the next call rebuilds).
   void invalidate() { have_bsp_ = have_overlap_ = false; }
 
+  /// Attach (or detach, with nullptr) a cross-tenant store consulted on
+  /// version-key misses. Borrowed; must outlive the cache or be detached
+  /// first.
+  void set_shared_store(SharedPlanStore* store) { shared_ = store; }
+
  private:
   bool fresh(std::uint64_t mesh_version, std::uint64_t placement_version,
              bool have) const {
@@ -81,6 +100,11 @@ class ExchangePlanCache {
            placement_version_ == placement_version;
   }
 
+  void patch_bsp(std::span<const TimeNs> block_costs);
+  void patch_overlap(std::span<const TimeNs> block_costs,
+                     double stage1_frac);
+
+  SharedPlanStore* shared_ = nullptr;
   std::uint64_t mesh_version_ = 0;
   std::uint64_t placement_version_ = 0;
   PackingPolicy packing_;  ///< shape of the cached plan (either mode)

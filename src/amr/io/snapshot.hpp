@@ -42,15 +42,49 @@ class SnapshotError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+// Format version history — every bump so far added a *config
+// fingerprint* axis (fields write_meta/check_meta in sim_state.cpp
+// diff to refuse a restore under a different simulation mode) plus the
+// sections/fields that mode needs to resume byte-identically:
+//
+// v1: the base format. Fingerprint: cluster shape (nranks,
+//     ranks_per_node, root grid), seed, execution mode, task ordering,
+//     flux correction, telemetry/trace switches, incremental_plans,
+//     workload name, and the full fault schedule. Sections: meta,
+//     state (step, placement, plan-cache key, active faults), DES
+//     clock, RNG streams, fabric, telemetry tables, trace ring.
 // v2: aggregate_messages in the config fingerprint, msgs_coalesced /
-// bytes_packed in the report section, packed-transfer fabric counters,
-// and two added comm-table columns.
-// v3: sharded-DES bit in the config fingerprint, per-node fabric
-// RNG/stats in the fabric section when sharded, and the collector's
-// fourth (shards) table.
+//     bytes_packed in the report section, packed-transfer fabric
+//     counters, and two added comm-table columns.
+// v3: sharded-DES bit in the config fingerprint (shard *count* is
+//     deliberately not an axis — spill/restore may re-shard), per-node
+//     fabric RNG/stats in the fabric section when sharded, and the
+//     collector's fourth (shards) table.
 // v4: adaptive-comm axes (comm_adaptive, send_priority,
-// comm_pack_threshold) in the config fingerprint and last_straggler in
-// the state section.
+//     comm_pack_threshold) in the config fingerprint and
+//     last_straggler in the state section.
+//
+// Version-bump checklist — the compile-time-checkable moral equivalent
+// of a static_assert, since the fingerprint is data, not types. When a
+// new SimulationConfig field changes simulated results, you MUST:
+//   1. bump kSnapshotFormatVersion and append a history line above;
+//   2. write the axis in write_meta() and require() it in check_meta()
+//      (sim/sim_state.cpp) so mismatched restores are refused with a
+//      diagnostic naming the axis;
+//   3. serialize any new runtime state the axis introduces (its own
+//      section, or appended to an existing one — readers of the same
+//      version skip unknown sections, so appending a *section* is
+//      compatible; appending fields to an existing section is not);
+//   4. extend tests/sim/checkpoint_test.cpp round-trip coverage and the
+//      mismatched-restore refusal case, and run the checkpoint_ /
+//      aggregate_ / comm_adaptive_ / par_des_ / serve_determinism ctest
+//      scripts — serve eviction spills reuse this exact format, so a
+//      missed axis shows up as multiplexed-vs-standalone stdout drift;
+//   5. never reuse or renumber an existing version: old spills and
+//      checkpoints must keep failing loudly, not misparse.
+// Counters that are scheduling artifacts rather than simulation state
+// (e.g. plan-cache share_hits) must NOT be serialized — see
+// StepPipelineStats.
 inline constexpr std::uint32_t kSnapshotFormatVersion = 4;
 
 /// Builds a snapshot payload in memory, then writes the enveloped file.

@@ -60,6 +60,9 @@ struct MessageSizeModel {
     const std::int64_t c = cells;
     return c * c * c * nvars * bytes_per_value;
   }
+
+  friend bool operator==(const MessageSizeModel&,
+                         const MessageSizeModel&) = default;
 };
 
 /// Directed message statistics for one full boundary exchange under a

@@ -57,6 +57,7 @@ SimRuntime::SimRuntime(const SimulationConfig& config, Tracer* tracer)
   else
     overlap_executor =
         std::make_unique<OverlapExecutor>(engine, comm, config.exec, tracer);
+  plan_cache.set_shared_store(config.shared_plans);
 }
 
 namespace {

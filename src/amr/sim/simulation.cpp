@@ -93,6 +93,10 @@ const StepPipelineStats& Simulation::pipeline_stats() const {
   return state_ ? state_->pipeline_stats : kEmpty;
 }
 
+std::int64_t Simulation::plan_share_hits() const {
+  return runtime_ ? runtime_->plan_cache.stats().share_hits : 0;
+}
+
 bool Simulation::sync_measured_costs(const AmrMesh& mesh) {
   SimState& st = *state_;
   if (!st.measured_valid) return false;
@@ -542,6 +546,8 @@ RunReport Simulation::finish_run() {
       st.plan_hits_base + runtime_->plan_cache.stats().hits;
   st.pipeline_stats.plan_misses =
       st.plan_misses_base + runtime_->plan_cache.stats().misses;
+  st.pipeline_stats.plan_share_hits =
+      runtime_->plan_cache.stats().share_hits;
 
   st.report.steps = config_.steps;
   st.report.final_blocks = st.mesh.size();
@@ -552,10 +558,20 @@ RunReport Simulation::finish_run() {
   return st.report;
 }
 
-RunReport Simulation::run() {
+void Simulation::begin() {
   if (!begun_) begin_run();
-  while (state_->step < config_.steps) {
+}
+
+bool Simulation::done() const {
+  return state_ != nullptr && state_->step >= config_.steps;
+}
+
+std::int64_t Simulation::advance(std::int64_t max_steps) {
+  begin();
+  std::int64_t executed = 0;
+  while (executed < max_steps && state_->step < config_.steps) {
     step_once();
+    ++executed;
     if (config_.checkpoint_every > 0 &&
         state_->step % config_.checkpoint_every == 0 &&
         state_->step < config_.steps) {
@@ -564,9 +580,36 @@ RunReport Simulation::run() {
       AMR_CHECK_MSG(save_checkpoint(path), "failed to write checkpoint");
     }
   }
+  return executed;
+}
+
+RunReport Simulation::finish() {
+  AMR_CHECK_MSG(begun_ && done(),
+                "finish() requires a begun run at its step horizon");
   RunReport report = finish_run();
-  begun_ = false;  // a further run() starts over
+  begun_ = false;  // a further run()/begin() starts over
   return report;
+}
+
+std::size_t Simulation::resident_bytes() const {
+  if (state_ == nullptr) return 0;
+  // Per-block: coords + placement + true/measured/estimated costs, plus
+  // the exchange plans' dominant share (neighbor sends, receive counts,
+  // compute slots — empirically a few hundred bytes per block at the
+  // paper's connectivity). Per-rank: fabric NIC/slot state and executor
+  // endpoints. The constant covers topology, engine arena, and scratch.
+  const std::size_t per_block = sizeof(BlockCoord) +
+                                sizeof(std::int32_t) + 3 * sizeof(TimeNs) +
+                                256;
+  return (std::size_t{1} << 16) + state_->mesh.size() * per_block +
+         static_cast<std::size_t>(config_.nranks) * 512 +
+         collector_.bytes_used();
+}
+
+RunReport Simulation::run() {
+  begin();
+  while (!done()) advance(config_.steps);
+  return finish();
 }
 
 bool Simulation::save_checkpoint(const std::string& path) const {

@@ -29,6 +29,8 @@
 
 namespace amr {
 
+class SharedPlanStore;
+
 /// Execution strategy for each BSP step (paper §II-A: task-based
 /// runtimes mask residual imbalance by overlapping independent work).
 enum class ExecutionMode : std::uint8_t { kBsp = 0, kOverlap = 1 };
@@ -151,6 +153,16 @@ struct SimulationConfig {
   std::int64_t checkpoint_every = 0;
   std::string checkpoint_dir = ".";
 
+  /// Cross-tenant exchange-plan sharing (amrcplx serve): when set, the
+  /// run's plan cache consults this store on every version-key miss and
+  /// publishes what it builds. Borrowed, thread-safe, and deliberately
+  /// outside the snapshot fingerprint — hits only change who built a
+  /// plan, never its bytes, so sharing is invisible to stdout, reports,
+  /// tables, and checkpoints. Tenants may only share a store when their
+  /// (topology, mode-matrix) fingerprints agree; SharedPlanStore
+  /// re-verifies every axis per lookup regardless.
+  SharedPlanStore* shared_plans = nullptr;
+
   FaultInjector faults;
 };
 
@@ -193,6 +205,11 @@ struct RunReport {
 struct StepPipelineStats {
   std::int64_t plan_hits = 0;    ///< steps served from the plan cache
   std::int64_t plan_misses = 0;  ///< steps that (re)built plans
+  /// Of the misses, how many were filled from a cross-tenant
+  /// SharedPlanStore. A scheduling artifact (who built first), so unlike
+  /// the counters above it is never serialized into snapshots and resets
+  /// on restore.
+  std::int64_t plan_share_hits = 0;
   /// Mode-independent predictions from (mesh, placement) version changes;
   /// with incremental_plans on, the actual counters must match these.
   std::int64_t predicted_hits = 0;
@@ -213,8 +230,37 @@ class Simulation {
   /// Execute the configured number of steps (or the remaining ones after
   /// restore_checkpoint). Telemetry accumulates in collector(); the
   /// report summarizes the run. The run loop is an explicit state
-  /// machine — begin_run / step_once* / finish_run — over SimState.
+  /// machine — begin / advance* / finish — over SimState, and those
+  /// pieces are public so a scheduler can time-slice the run:
+  /// run() == begin(); advance(all); finish().
   RunReport run();
+
+  /// Construct runtime + state and compute the initial placement. A
+  /// no-op if the run is already begun (so restore_checkpoint composes);
+  /// after finish() a further begin() starts over from scratch.
+  void begin();
+
+  /// Execute up to `max_steps` further steps (honouring the configured
+  /// checkpoint cadence) and return how many actually ran — fewer only
+  /// when the step horizon is reached. Implies begin(). The quantum
+  /// scheduler's slice primitive: any partition of the horizon into
+  /// advance() calls is byte-identical to one run() (steps are the
+  /// state-machine granularity; nothing carries across the boundary
+  /// that is not in SimState).
+  std::int64_t advance(std::int64_t max_steps);
+
+  /// True once every configured step has executed (begun or finished).
+  bool done() const;
+
+  /// Seal and return the report; requires done(). Resets the begun flag
+  /// so the next run()/begin() starts over.
+  RunReport finish();
+
+  /// Modeled resident-set estimate of a begun simulation in bytes: mesh
+  /// + placement + carried telemetry + exchange plans + collector
+  /// tables. Deterministic (capacity-based, no allocator introspection);
+  /// the serve scheduler's eviction signal, not an exact RSS.
+  std::size_t resident_bytes() const;
 
   /// Snapshot the full simulation (config fingerprint, SimState, DES
   /// clock, RNG streams, fabric dynamics, workload, telemetry, trace
@@ -239,6 +285,11 @@ class Simulation {
 
   /// Cache behaviour of the last run().
   const StepPipelineStats& pipeline_stats() const;
+
+  /// Live shared-store fill count of the current run session (the serve
+  /// scheduler harvests this before evicting, since eviction discards
+  /// the plan cache along with the runtime).
+  std::int64_t plan_share_hits() const;
 
  private:
   /// Construct runtime + state and compute the initial placement.

@@ -1,0 +1,128 @@
+# Asserts the serve byte-identity contract end-to-end through the
+# amrcplx binary: one mixed job file (policy sweep, a fault scenario, an
+# overlap-mode tenant, query lines) must produce byte-identical stdout
+# whether tenants run one at a time to completion, finely interleaved
+# across a wide pool, or forcibly evicted to snapshots and restored
+# around every slice (--max-resident=0). Each job's report block must
+# also be verbatim the standalone `amrcplx run` stdout for the same
+# flags — that is the "standalone or multiplexed, same bytes" promise —
+# and eviction spills must not outlive their jobs.
+#
+# Invoked from bench/CMakeLists.txt; -DAMRCPLX names the amrcplx
+# binary, -DWORK_DIR a scratch directory for the job file and spills.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(jobs "${WORK_DIR}/jobs.txt")
+file(WRITE "${jobs}" "# serve determinism fleet
+{\"id\": \"a\", \"policy\": \"cpl50\", \"ranks\": 64, \"steps\": 10}
+{\"id\": \"b\", \"policy\": \"lpt\", \"ranks\": 64, \"steps\": 10}
+{\"id\": \"c\", \"policy\": \"cpl50\", \"ranks\": 64, \"steps\": 10, \"faults\": 1}
+{\"id\": \"d\", \"policy\": \"cpl50\", \"ranks\": 64, \"steps\": 10, \"execution\": \"overlap\"}
+query a select sum(dur_ns) as total from phases group by step order by step limit 5
+query c select * from comm where step == 5 order by rank limit 4
+")
+
+# Scheduler shapes under test: run-to-completion, fine interleaving on a
+# wide pool, and forced eviction/restore around every slice.
+execute_process(
+  COMMAND "${AMRCPLX}" serve --file=${jobs} --quantum-steps=1000000
+  OUTPUT_VARIABLE out_whole RESULT_VARIABLE rc ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run-to-completion serve failed (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${AMRCPLX}" serve --file=${jobs} --quantum-steps=3
+          --serve-jobs=4
+  OUTPUT_VARIABLE out_sliced RESULT_VARIABLE rc ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "interleaved serve failed (exit ${rc})")
+endif()
+if(NOT out_whole STREQUAL out_sliced)
+  message(FATAL_ERROR "stdout differs between run-to-completion and "
+                      "interleaved scheduling: the serve determinism "
+                      "contract is broken")
+endif()
+
+execute_process(
+  COMMAND "${AMRCPLX}" serve --file=${jobs} --quantum-steps=2
+          --serve-jobs=2 --max-resident=0 --spill-dir=${WORK_DIR}
+  OUTPUT_VARIABLE out_evicted RESULT_VARIABLE rc ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "evicting serve failed (exit ${rc})")
+endif()
+if(NOT out_whole STREQUAL out_evicted)
+  message(FATAL_ERROR "stdout differs when tenants are evicted to "
+                      "snapshots and restored mid-run: eviction is "
+                      "visible in job output")
+endif()
+file(GLOB spills "${WORK_DIR}/serve_spill_*.amrs")
+if(NOT spills STREQUAL "")
+  message(FATAL_ERROR "eviction spills leaked after drain: ${spills}")
+endif()
+
+# Every job block must be verbatim what `amrcplx run` prints standalone,
+# fault scenario included.
+execute_process(
+  COMMAND "${AMRCPLX}" run --policy=cpl50 --ranks=64 --steps=10
+  OUTPUT_VARIABLE out_run_a RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "standalone run failed (exit ${rc})")
+endif()
+string(FIND "${out_whole}" "== job 0 ==\n${out_run_a}" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "job a's serve block is not byte-identical to the "
+                      "standalone `amrcplx run` stdout")
+endif()
+
+execute_process(
+  COMMAND "${AMRCPLX}" run --policy=cpl50 --ranks=64 --steps=10
+          --faults=1
+  OUTPUT_VARIABLE out_run_c RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "standalone fault run failed (exit ${rc})")
+endif()
+string(FIND "${out_whole}" "== job 2 ==\n${out_run_c}" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "fault job c's serve block is not byte-identical "
+                      "to the standalone `amrcplx run --faults=1` stdout")
+endif()
+
+# A fleet rerun with sharing disabled must change counters only, never
+# bytes (the content-keyed store's correctness guarantee).
+execute_process(
+  COMMAND "${AMRCPLX}" serve --file=${jobs} --quantum-steps=3
+          --serve-jobs=4 --no-share
+  OUTPUT_VARIABLE out_private RESULT_VARIABLE rc ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "no-share serve failed (exit ${rc})")
+endif()
+if(NOT out_whole STREQUAL out_private)
+  message(FATAL_ERROR "disabling cross-tenant plan sharing changed "
+                      "stdout: shared plans are not byte-identical to "
+                      "private builds")
+endif()
+
+# Bad lines are reported and survived: the server keeps draining the
+# good jobs and exits nonzero.
+set(badjobs "${WORK_DIR}/badjobs.txt")
+file(WRITE "${badjobs}" "{\"polcy\": \"lpt\"}
+{\"id\": \"ok\", \"ranks\": 64, \"steps\": 4}
+")
+execute_process(
+  COMMAND "${AMRCPLX}" serve --file=${badjobs} --quantum-steps=1000000
+  OUTPUT_VARIABLE out_bad RESULT_VARIABLE rc ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "serve exited 0 despite a rejected job line")
+endif()
+string(FIND "${out_bad}" "unknown field" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "rejected job line produced no diagnostic")
+endif()
+# The bad line never became a tenant, so the surviving job is id 0.
+string(FIND "${out_bad}" "== job 0 ==" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "a bad line stopped the server from running the "
+                      "remaining jobs")
+endif()
