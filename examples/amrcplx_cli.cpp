@@ -97,6 +97,10 @@ JobSpec spec_from_flags(int argc, char** argv) {
   spec.send_priority = has_flag(argc, argv, "send-priority");
   spec.des_shards =
       static_cast<std::int32_t>(arg_int(argc, argv, "des-shards", 0));
+  spec.auto_cplx = has_flag(argc, argv, "auto-cplx");
+  spec.cplx_budget_ms = arg_int(argc, argv, "cplx-budget-ms", -1);
+  spec.placement_incremental =
+      has_flag(argc, argv, "placement-incremental");
   spec.checkpoint_every = arg_int(argc, argv, "checkpoint-every", 0);
   spec.checkpoint_dir = arg_value(argc, argv, "checkpoint-dir", ".");
   spec.restore = arg_value(argc, argv, "restore", "");
@@ -130,6 +134,14 @@ int cmd_run(int argc, char** argv) {
         "                            window's straggler rank first)\n"
         "  --des-shards=N           (parallel sharded DES; bsp only;\n"
         "                            0 = sequential legacy engine)\n"
+        "  --auto-cplx              (self-tuning CPLX: pick X per regrid\n"
+        "                            epoch from an online step-time\n"
+        "                            surrogate; reports policy auto-cplx)\n"
+        "  --cplx-budget-ms=N       (auto-X evaluation budget; requires\n"
+        "                            --auto-cplx; default 50)\n"
+        "  --placement-incremental  (incremental parallel placement\n"
+        "                            engine for CPLX policies; output is\n"
+        "                            byte-identical to the full rebuild)\n"
         "  --faults=N               (throttle N nodes x4 for the middle\n"
         "                            half of the run; deterministic)\n"
         "  --trace-out=FILE.json [--trace-capacity=N]\n"
@@ -181,6 +193,8 @@ int cmd_sweep(int argc, char** argv) {
   const std::string execution = arg_value(argc, argv, "execution", "bsp");
   const auto des_shards =
       static_cast<std::int32_t>(arg_int(argc, argv, "des-shards", 0));
+  const bool placement_incremental =
+      has_flag(argc, argv, "placement-incremental");
   // Each policy's simulation is independent and fully deterministic in
   // simulated time, so the fan-out preserves serial output exactly.
   Sweep sweep(arg_jobs(argc, argv));
@@ -195,6 +209,7 @@ int cmd_sweep(int argc, char** argv) {
       spec.comm_adaptive = comm_adaptive;
       spec.send_priority = send_priority;
       spec.des_shards = des_shards;
+      spec.placement_incremental = placement_incremental;
       spec.collect_telemetry = false;
       SimDriver driver(spec);
       return compact_report_text(driver.run(),
@@ -244,7 +259,8 @@ int cmd_serve(int argc, char** argv) {
         "      submit a job; fields mirror `amrcplx run` flags\n"
         "      (id, workload, policy, ranks, steps, execution,\n"
         "       aggregate, comm_adaptive, pack_threshold, send_priority,\n"
-        "       des_shards, sedov_max_level, checkpoint_every,\n"
+        "       des_shards, auto_cplx, cplx_budget_ms,\n"
+        "       placement_incremental, sedov_max_level, checkpoint_every,\n"
         "       checkpoint_dir, restore, replay, faults)\n"
         "  query <job-id> select ...   results endpoint (see README)\n"
         "  stats                       scheduler counters\n"
@@ -353,7 +369,7 @@ int main(int argc, char** argv) {
                "  sweep  --ranks=N --steps=N --jobs=N [--aggregate] "
                "[--comm-adaptive] [--send-priority]\n"
                "         [--execution=bsp|overlap] [--des-shards=N] "
-               "[--json=FILE]\n"
+               "[--placement-incremental] [--json=FILE]\n"
                "  serve  --file=JOBS --quantum-steps=N --serve-jobs=N "
                "--max-resident=MB (see serve --help)\n"
                "  mesh   --ranks=N --sfc=z-order|hilbert\n");

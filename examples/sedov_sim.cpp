@@ -32,6 +32,17 @@
 //               0 (default) = legacy sequential engine. Output is
 //               identical for every N >= 1 but not to N=0 (sharded runs
 //               use per-node fabric RNG streams)
+//   --auto-cplx self-tuning CPLX: pick the cluster size X per regrid
+//               epoch from an online step-time surrogate fed by the
+//               run's own (simulated) telemetry; reports print policy
+//               "auto-cplx". Deterministic and checkpoint-stable
+//   --cplx-budget-ms=N  auto-X evaluation budget (requires --auto-cplx;
+//               default 50 ms, the paper's placement budget)
+//   --placement-incremental  incremental parallel placement engine for
+//               CPLX policies: reuse unchanged SFC-chunk solves across
+//               regrid epochs, solve the rest concurrently. Output is
+//               byte-identical to the full rebuild (ctest
+//               placement_tuning_determinism diffs the two modes)
 //   --trace-out=FILE writes an event-level Perfetto/chrome://tracing
 //               trace (single-policy runs only)
 //   --no-incremental  rebuild exchange plans from scratch every step
@@ -92,6 +103,9 @@ int main(int argc, char** argv) {
   const auto des_shards =
       static_cast<std::int32_t>(flags.get_int("des-shards", 0));
   const bool incremental = !flags.has("no-incremental");
+  const bool auto_cplx = flags.has("auto-cplx");
+  const std::int64_t cplx_budget_ms = flags.get_int("cplx-budget-ms", -1);
+  const bool placement_incremental = flags.has("placement-incremental");
   const std::string trace_out = flags.get_str("trace-out", "");
   const int jobs = flags.jobs();
   const std::int64_t checkpoint_every =
@@ -159,6 +173,9 @@ int main(int argc, char** argv) {
       spec.send_priority = send_priority;
       spec.des_shards = des_shards;
       spec.incremental_plans = incremental;
+      spec.auto_cplx = auto_cplx;
+      spec.cplx_budget_ms = cplx_budget_ms;
+      spec.placement_incremental = placement_incremental;
       spec.collect_telemetry = false;
       spec.sedov_max_level = 1;
       spec.checkpoint_every = checkpoint_every;

@@ -52,7 +52,11 @@ class ExchangePlanCache {
   };
 
   /// BSP plan for (mesh, placement). `placement_version` must change
-  /// whenever the placement vector does. On a hit only compute durations
+  /// whenever the placement vector does — and, under the placement-engine
+  /// modes, is deliberately NOT bumped when a redistribution reproduces
+  /// the identical placement under an unchanged mesh numbering (the
+  /// incremental path's no-op-rebalance fast path in sim/simulation.cpp),
+  /// so such epochs keep hitting. On a hit only compute durations
   /// are refreshed from `block_costs`. `aggregate` is part of the cache
   /// key: a plan built per-neighbor-pair must never be served to an
   /// aggregated step (their send lists and expected counts differ).

@@ -63,6 +63,10 @@ class SnapshotError : public std::runtime_error {
 // v4: adaptive-comm axes (comm_adaptive, send_priority,
 //     comm_pack_threshold) in the config fingerprint and
 //     last_straggler in the state section.
+// v5: placement-engine axes (auto_cplx, placement_incremental,
+//     cplx_budget_ms) in the config fingerprint, the "tuner" section
+//     (auto-X tuner state + epoch accumulators), and the collector's
+//     fifth (placement) table.
 //
 // Version-bump checklist — the compile-time-checkable moral equivalent
 // of a static_assert, since the fingerprint is data, not types. When a
@@ -85,7 +89,7 @@ class SnapshotError : public std::runtime_error {
 // Counters that are scheduling artifacts rather than simulation state
 // (e.g. plan-cache share_hits) must NOT be serialized — see
 // StepPipelineStats.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 4;
+inline constexpr std::uint32_t kSnapshotFormatVersion = 5;
 
 /// Builds a snapshot payload in memory, then writes the enveloped file.
 class SnapshotWriter {

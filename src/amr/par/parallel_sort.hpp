@@ -1,0 +1,64 @@
+// Deterministic parallel sort for the placement hot paths.
+//
+// Chunk-sorts on the pool, then merges adjacent runs pairwise (also on
+// the pool) until one run remains. The comparator must impose a strict
+// TOTAL order — every caller includes a unique id in the key — so the
+// sorted sequence is mathematically unique and the result is identical
+// to std::sort with the same comparator, independent of pool size,
+// scheduling, or whether a pool is supplied at all. That property is
+// what lets the placement engine sort on worker threads while keeping
+// its byte-identity contract with the sequential reference path.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "amr/par/thread_pool.hpp"
+
+namespace amr {
+
+/// Sort `v` under `less` (a strict total order). Null pool or small
+/// inputs fall back to std::sort; the cutover threshold only affects
+/// wall-clock, never the result.
+template <typename T, typename Less>
+void parallel_sort(ThreadPool* pool, std::vector<T>& v, Less less) {
+  constexpr std::size_t kMinParallel = 4096;
+  if (pool == nullptr || pool->size() < 2 || v.size() < kMinParallel) {
+    std::sort(v.begin(), v.end(), less);
+    return;
+  }
+  const auto nruns = static_cast<std::size_t>(pool->size());
+  const std::size_t run = (v.size() + nruns - 1) / nruns;
+  std::vector<std::size_t> bounds;  // run boundaries, ascending
+  for (std::size_t at = 0; at < v.size(); at += run)
+    bounds.push_back(at);
+  bounds.push_back(v.size());
+
+  pool->parallel_for(bounds.size() - 1, [&](std::size_t i) {
+    std::sort(v.begin() + static_cast<std::ptrdiff_t>(bounds[i]),
+              v.begin() + static_cast<std::ptrdiff_t>(bounds[i + 1]),
+              less);
+  });
+
+  // Pairwise merge rounds: each round halves the run count; merges are
+  // on disjoint ranges, so they run concurrently.
+  while (bounds.size() > 2) {
+    const std::size_t pairs = (bounds.size() - 1) / 2;
+    pool->parallel_for(pairs, [&](std::size_t p) {
+      const std::size_t lo = bounds[2 * p];
+      const std::size_t mid = bounds[2 * p + 1];
+      const std::size_t hi = bounds[2 * p + 2];
+      std::inplace_merge(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                         v.begin() + static_cast<std::ptrdiff_t>(mid),
+                         v.begin() + static_cast<std::ptrdiff_t>(hi),
+                         less);
+    });
+    std::vector<std::size_t> next;
+    for (std::size_t i = 0; i < bounds.size(); i += 2) next.push_back(bounds[i]);
+    if (next.back() != bounds.back()) next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+}
+
+}  // namespace amr

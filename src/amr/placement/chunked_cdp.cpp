@@ -11,25 +11,29 @@ std::string ChunkedCdpPolicy::name() const {
   return "chunked-cdp/" + std::to_string(chunk_ranks_);
 }
 
-Placement ChunkedCdpPolicy::place(std::span<const double> costs,
-                                  std::int32_t nranks) const {
-  AMR_CHECK(nranks > 0 && chunk_ranks_ > 0);
+std::vector<ChunkSpan> chunk_spans(std::span<const double> costs,
+                                   std::int32_t nranks,
+                                   std::int32_t chunk_ranks) {
+  AMR_CHECK(nranks > 0 && chunk_ranks > 0);
   const std::int32_t num_chunks =
-      (nranks + chunk_ranks_ - 1) / chunk_ranks_;
-  const CdpPolicy cdp(CdpMode::kRestricted);
-  if (num_chunks <= 1) return cdp.place(costs, nranks);
+      (nranks + chunk_ranks - 1) / chunk_ranks;
+  std::vector<ChunkSpan> spans;
+  if (num_chunks <= 1) {
+    spans.push_back(ChunkSpan{0, costs.size(), 0, nranks});
+    return spans;
+  }
+  spans.reserve(static_cast<std::size_t>(num_chunks));
 
   double total = 0.0;
   for (const double c : costs) total += c;
 
-  Placement out(costs.size(), 0);
   std::size_t block_at = 0;
   std::int32_t rank_at = 0;
   double cost_seen = 0.0;
   for (std::int32_t chunk = 0; chunk < num_chunks; ++chunk) {
     // Contiguous rank group for this chunk.
     const std::int32_t group_ranks =
-        std::min(chunk_ranks_, nranks - rank_at);
+        std::min(chunk_ranks, nranks - rank_at);
     // Cut the block range where cumulative cost reaches the group's
     // proportional share (last chunk takes the remainder).
     std::size_t block_end = costs.size();
@@ -49,14 +53,25 @@ Placement ChunkedCdpPolicy::place(std::span<const double> costs,
       // keeps CDP well-formed for zero-cost tails).
       block_end = std::min(block_end, costs.size());
     }
-    const auto sub = costs.subspan(block_at, block_end - block_at);
-    const Placement local = cdp.place(sub, group_ranks);
-    for (std::size_t i = 0; i < local.size(); ++i)
-      out[block_at + i] = rank_at + local[i];
+    spans.push_back(ChunkSpan{block_at, block_end, rank_at, group_ranks});
     block_at = block_end;
     rank_at += group_ranks;
   }
   AMR_CHECK(block_at == costs.size());
+  return spans;
+}
+
+Placement ChunkedCdpPolicy::place(std::span<const double> costs,
+                                  std::int32_t nranks) const {
+  const auto spans = chunk_spans(costs, nranks, chunk_ranks_);
+  const CdpPolicy cdp(CdpMode::kRestricted);
+  Placement out(costs.size(), 0);
+  for (const ChunkSpan& s : spans) {
+    const auto sub = costs.subspan(s.block_begin, s.block_end - s.block_begin);
+    const Placement local = cdp.place(sub, s.group_ranks);
+    for (std::size_t i = 0; i < local.size(); ++i)
+      out[s.block_begin + i] = s.rank_begin + local[i];
+  }
   return out;
 }
 

@@ -12,6 +12,26 @@
 
 namespace amr {
 
+/// One contiguous chunk of the SFC block range paired with its contiguous
+/// rank group — the unit both the chunked solve and the incremental
+/// placement engine's per-chunk memo operate on.
+struct ChunkSpan {
+  std::size_t block_begin = 0;
+  std::size_t block_end = 0;  ///< exclusive
+  std::int32_t rank_begin = 0;
+  std::int32_t group_ranks = 0;
+};
+
+/// The canonical chunk decomposition: cut the block range at the rank
+/// groups' proportional cost shares via one sequential prefix-sum scan.
+/// ChunkedCdpPolicy::place and PlacementEngine both call this, so their
+/// chunk boundaries are identical by construction — the engine's
+/// byte-identity contract rests on sharing this exact scan, because any
+/// cost change shifts `total` and with it every proportional target.
+std::vector<ChunkSpan> chunk_spans(std::span<const double> costs,
+                                   std::int32_t nranks,
+                                   std::int32_t chunk_ranks);
+
 class ChunkedCdpPolicy final : public PlacementPolicy {
  public:
   explicit ChunkedCdpPolicy(std::int32_t chunk_ranks = 512)

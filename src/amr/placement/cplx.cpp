@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "amr/common/check.hpp"
+#include "amr/par/parallel_sort.hpp"
 #include "amr/placement/cdp_cache.hpp"
 #include "amr/placement/chunked_cdp.hpp"
 #include "amr/placement/lpt.hpp"
@@ -22,7 +23,31 @@ std::string CplxPolicy::name() const {
 Placement CplxPolicy::rebalance(std::span<const double> costs,
                                 const Placement& base, std::int32_t nranks,
                                 double x_percent) {
-  if (x_percent <= 0.0 || nranks < 2) return base;
+  Placement out;
+  RebalanceScratch scratch;
+  rebalance_into(costs, base, nranks, x_percent, out, scratch);
+  return out;
+}
+
+namespace {
+
+/// Key-descending, id-ascending: the shared order of both rebalance
+/// sorts. Unique for distinct ids, so any correct sort (sequential or
+/// parallel) yields the same sequence.
+bool key_before(const RebalanceScratch::Key& a,
+                const RebalanceScratch::Key& b) {
+  return a.key != b.key ? a.key > b.key : a.id < b.id;
+}
+
+}  // namespace
+
+void CplxPolicy::rebalance_into(std::span<const double> costs,
+                                const Placement& base, std::int32_t nranks,
+                                double x_percent, Placement& out,
+                                RebalanceScratch& scratch,
+                                ThreadPool* pool) {
+  out = base;
+  if (x_percent <= 0.0 || nranks < 2) return;
 
   auto selected_count = static_cast<std::int32_t>(
       std::lround(x_percent / 100.0 * static_cast<double>(nranks)));
@@ -30,7 +55,14 @@ Placement CplxPolicy::rebalance(std::span<const double> costs,
   selected_count = std::clamp(selected_count, 2, nranks);
 
   // Sort ranks by descending load (ties by rank id for determinism).
-  const auto loads = rank_loads(costs, base, nranks);
+  // Accumulation order matches rank_loads exactly (ascending block id),
+  // so the scratch path is bit-identical to the allocating one.
+  auto& loads = scratch.loads;
+  loads.assign(static_cast<std::size_t>(nranks), 0.0);
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    AMR_CHECK(base[i] >= 0 && base[i] < nranks);
+    loads[static_cast<std::size_t>(base[i])] += costs[i];
+  }
 
   // Guard: when the contiguous placement is already balanced (flat cost
   // profiles, uniform default costs), breaking locality buys nothing —
@@ -43,22 +75,26 @@ Placement CplxPolicy::rebalance(std::span<const double> costs,
       sum += l;
     }
     const double mean = sum / static_cast<double>(nranks);
-    if (mean <= 0.0 || max_load <= kRebalanceFloor * mean) return base;
+    if (mean <= 0.0 || max_load <= kRebalanceFloor * mean) return;
   }
-  std::vector<std::int32_t> order(static_cast<std::size_t>(nranks));
-  for (std::size_t r = 0; r < order.size(); ++r)
-    order[r] = static_cast<std::int32_t>(r);
-  std::sort(order.begin(), order.end(),
-            [&](std::int32_t a, std::int32_t b) {
-              const double la = loads[static_cast<std::size_t>(a)];
-              const double lb = loads[static_cast<std::size_t>(b)];
-              return la != lb ? la > lb : a < b;
-            });
+  // Both sorts below run over packed (key, id) pairs: one contiguous
+  // array instead of an id sort chasing a separate key vector, and a
+  // shape parallel_sort can chunk. Same comparator as the historical
+  // indirect sort, so the order — and the placement — is unchanged.
+  auto& keys = scratch.keys;
+  auto& order = scratch.order;
+  keys.resize(static_cast<std::size_t>(nranks));
+  for (std::size_t r = 0; r < keys.size(); ++r)
+    keys[r] = {loads[r], static_cast<std::int32_t>(r)};
+  parallel_sort(pool, keys, key_before);
+  order.resize(keys.size());
+  for (std::size_t r = 0; r < keys.size(); ++r) order[r] = keys[r].id;
 
   // X% of ranks, drawn from both ends: most-overloaded first.
   const std::int32_t from_top = (selected_count + 1) / 2;
   const std::int32_t from_bottom = selected_count / 2;
-  std::vector<std::int32_t> targets;
+  auto& targets = scratch.targets;
+  targets.clear();
   targets.reserve(static_cast<std::size_t>(selected_count));
   for (std::int32_t i = 0; i < from_top; ++i)
     targets.push_back(order[static_cast<std::size_t>(i)]);
@@ -67,19 +103,28 @@ Placement CplxPolicy::rebalance(std::span<const double> costs,
         order[order.size() - 1 - static_cast<std::size_t>(i)]);
   std::sort(targets.begin(), targets.end());
 
-  std::vector<bool> is_target(static_cast<std::size_t>(nranks), false);
+  auto& is_target = scratch.is_target;
+  is_target.assign(static_cast<std::size_t>(nranks), false);
   for (const std::int32_t r : targets)
     is_target[static_cast<std::size_t>(r)] = true;
 
-  std::vector<std::int32_t> moved_blocks;
+  auto& moved_blocks = scratch.moved_blocks;
+  moved_blocks.clear();
   for (std::size_t b = 0; b < base.size(); ++b)
     if (is_target[static_cast<std::size_t>(base[b])])
       moved_blocks.push_back(static_cast<std::int32_t>(b));
+  if (moved_blocks.empty()) return;
 
-  Placement out = base;
-  if (!moved_blocks.empty())
-    LptPolicy::assign_subset(costs, moved_blocks, targets, out);
-  return out;
+  // LPT order (cost descending, id ascending), again via packed keys;
+  // the greedy heap loop itself is inherently sequential.
+  keys.resize(moved_blocks.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    keys[i] = {costs[static_cast<std::size_t>(moved_blocks[i])],
+               moved_blocks[i]};
+  parallel_sort(pool, keys, key_before);
+  order.resize(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) order[i] = keys[i].id;
+  LptPolicy::assign_sorted(costs, order, targets, out, scratch.lpt);
 }
 
 Placement CplxPolicy::place(std::span<const double> costs,

@@ -9,9 +9,34 @@
 // (locality-preserving); X=100 is pure LPT (load-optimal).
 #pragma once
 
+#include "amr/placement/lpt.hpp"
 #include "amr/placement/policy.hpp"
 
 namespace amr {
+
+class ThreadPool;
+
+/// Reusable storage for the rebalance step — per-rank loads, the sorted
+/// rank order, target/moved-block sets, packed sort keys, and the LPT
+/// heap scratch. Carries capacity only, never decisions: results are
+/// identical with a fresh or a reused scratch (the incremental engine
+/// keeps one per candidate slot alive across regrid epochs).
+struct RebalanceScratch {
+  /// Packed (key, id) sort element: both rebalance sorts order by key
+  /// descending with ascending-id tie-break — a strict total order, so
+  /// the sorted sequence is unique and safe to produce in parallel.
+  struct Key {
+    double key;
+    std::int32_t id;
+  };
+  std::vector<double> loads;
+  std::vector<std::int32_t> order;
+  std::vector<std::int32_t> targets;
+  std::vector<bool> is_target;
+  std::vector<std::int32_t> moved_blocks;
+  std::vector<Key> keys;
+  LptScratch lpt;
+};
 
 class CplxPolicy final : public PlacementPolicy {
  public:
@@ -24,6 +49,7 @@ class CplxPolicy final : public PlacementPolicy {
                   std::int32_t nranks) const override;
 
   double x_percent() const { return x_percent_; }
+  std::int32_t chunk_ranks() const { return chunk_ranks_; }
 
   /// Below this imbalance (makespan / mean load), the LPT pass is skipped:
   /// the contiguous placement is already balanced and breaking locality
@@ -39,6 +65,17 @@ class CplxPolicy final : public PlacementPolicy {
   static Placement rebalance(std::span<const double> costs,
                              const Placement& base, std::int32_t nranks,
                              double x_percent);
+
+  /// Same step through caller-owned output and scratch (identical result;
+  /// the incremental engine's per-candidate path, which reuses both
+  /// across regrid epochs instead of reallocating). A non-null `pool`
+  /// runs the rank-order and block-order sorts in parallel; both are
+  /// strict total orders, so the output bytes never depend on the pool.
+  static void rebalance_into(std::span<const double> costs,
+                             const Placement& base, std::int32_t nranks,
+                             double x_percent, Placement& out,
+                             RebalanceScratch& scratch,
+                             ThreadPool* pool = nullptr);
 
  private:
   double x_percent_;

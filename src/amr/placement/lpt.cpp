@@ -11,22 +11,38 @@ void LptPolicy::assign_subset(std::span<const double> costs,
                               std::span<const std::int32_t> block_ids,
                               std::span<const std::int32_t> target_ranks,
                               Placement& placement) {
-  AMR_CHECK(!target_ranks.empty());
-  std::vector<std::int32_t> order(block_ids.begin(), block_ids.end());
+  LptScratch scratch;
+  assign_subset(costs, block_ids, target_ranks, placement, scratch);
+}
+
+void LptPolicy::assign_subset(std::span<const double> costs,
+                              std::span<const std::int32_t> block_ids,
+                              std::span<const std::int32_t> target_ranks,
+                              Placement& placement, LptScratch& scratch) {
+  auto& order = scratch.order;
+  order.assign(block_ids.begin(), block_ids.end());
   std::sort(order.begin(), order.end(),
             [&](std::int32_t a, std::int32_t b) {
               const double ca = costs[static_cast<std::size_t>(a)];
               const double cb = costs[static_cast<std::size_t>(b)];
               return ca != cb ? ca > cb : a < b;
             });
+  assign_sorted(costs, order, target_ranks, placement, scratch);
+}
+
+void LptPolicy::assign_sorted(std::span<const double> costs,
+                              std::span<const std::int32_t> sorted_blocks,
+                              std::span<const std::int32_t> target_ranks,
+                              Placement& placement, LptScratch& scratch) {
+  AMR_CHECK(!target_ranks.empty());
   // Least-loaded rank selection via a 4-ary min-heap updated in place:
   // one sift-down per block instead of the pop+push pair a
   // std::priority_queue forces. Ties resolve by rank id, so the chosen
   // rank — and the resulting placement — match the scan-based LPT
   // exactly.
-  TopUpdateMinHeap<4> loads;
+  TopUpdateMinHeap<4>& loads = scratch.loads;
   loads.reset(target_ranks.size(), target_ranks.data());
-  for (const std::int32_t block : order) {
+  for (const std::int32_t block : sorted_blocks) {
     placement[static_cast<std::size_t>(block)] = loads.top_id();
     loads.add_to_top(costs[static_cast<std::size_t>(block)]);
   }

@@ -6,9 +6,20 @@
 // solver in practice. Ignores communication locality entirely.
 #pragma once
 
+#include "amr/common/dary_heap.hpp"
 #include "amr/placement/policy.hpp"
 
 namespace amr {
+
+/// Reusable storage for assign_subset: the block-ordering vector and the
+/// 4-ary load heap keep their capacity across invocations. Without this,
+/// every regrid epoch rebuilt both from scratch even when the cost vector
+/// was remap-carried unchanged; the incremental placement engine keys one
+/// scratch per candidate slot on the placement epoch and reuses it.
+struct LptScratch {
+  std::vector<std::int32_t> order;
+  TopUpdateMinHeap<4> loads;
+};
 
 class LptPolicy final : public PlacementPolicy {
  public:
@@ -23,6 +34,23 @@ class LptPolicy final : public PlacementPolicy {
                             std::span<const std::int32_t> block_ids,
                             std::span<const std::int32_t> target_ranks,
                             Placement& placement);
+
+  /// Same assignment through caller-owned scratch (identical output; the
+  /// scratch only carries allocation capacity, never decisions).
+  static void assign_subset(std::span<const double> costs,
+                            std::span<const std::int32_t> block_ids,
+                            std::span<const std::int32_t> target_ranks,
+                            Placement& placement, LptScratch& scratch);
+
+  /// The greedy heap loop alone: `sorted_blocks` must already be in LPT
+  /// order (cost descending, block id ascending on ties). Split out so
+  /// the placement engine can produce that order with a parallel sort —
+  /// the order is a unique total order, so the assignment is identical
+  /// however it was sorted.
+  static void assign_sorted(std::span<const double> costs,
+                            std::span<const std::int32_t> sorted_blocks,
+                            std::span<const std::int32_t> target_ranks,
+                            Placement& placement, LptScratch& scratch);
 };
 
 }  // namespace amr

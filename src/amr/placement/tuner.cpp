@@ -1,0 +1,284 @@
+#include "amr/placement/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "amr/common/check.hpp"
+
+namespace amr {
+
+void TunerState::reset_model() {
+  // Physics prior: predicted = mean_load · imbalance = makespan. The
+  // simulated step really is makespan plus comm/sync terms, so the prior
+  // ranks candidates sensibly before any sample arrives; w0 (constant
+  // overhead share) and w2 (remote-message penalty) are learned online.
+  w[0] = 0.0;
+  w[1] = 1.0;
+  w[2] = 0.0;
+  for (double& p : P) p = 0.0;
+  P[0] = 1.0;  // bias: adapts quickly
+  P[4] = 1.0;  // imbalance coefficient
+  P[8] = 4.0;  // remote share: least prior confidence
+  err_ewma = 0.0;
+  have_err = false;
+  err_samples = 0;
+  // Residuals are offsets against the weights being discarded; the
+  // recency stamps survive so exploration keeps cycling the arms.
+  for (double& u : resid) u = 0.0;
+}
+
+AutoXTuner::AutoXTuner(TunerConfig cfg) : cfg_(std::move(cfg)) {
+  AMR_CHECK_MSG(!cfg_.candidates.empty() &&
+                    cfg_.candidates.size() <=
+                        static_cast<std::size_t>(kTunerMaxCandidates),
+                "auto-X candidate set must have 1..8 entries");
+  for (const double x : cfg_.candidates)
+    AMR_CHECK_MSG(x >= 0.0 && x <= 100.0,
+                  "auto-X candidates must be percentages in [0, 100]");
+}
+
+void AutoXTuner::budget_candidates(const TunerState& st,
+                                   std::size_t nblocks,
+                                   std::vector<std::int32_t>& out) const {
+  out.clear();
+  const auto ncand = static_cast<std::int32_t>(cfg_.candidates.size());
+  if (st.mode == 1) {
+    if (st.probe_at < ncand) {
+      out.push_back(st.probe_at);
+      return;
+    }
+    // Probe pass complete: evaluate only the measured argmin, which
+    // choose() locks in while flipping back to surrogate mode.
+    std::int32_t best = 0;
+    double best_ns = 0.0;
+    bool have = false;
+    for (std::int32_t i = 0; i < ncand; ++i) {
+      if (!st.cand_have[i]) continue;
+      if (!have || st.cand_step_ns[i] < best_ns) {
+        best = i;
+        best_ns = st.cand_step_ns[i];
+        have = true;
+      }
+    }
+    out.push_back(best);
+    return;
+  }
+  // Surrogate mode: modeled cost gates how many candidates fit in the
+  // budget. Pure function of the block count — never wall-clock.
+  const double per_cand_ms =
+      cfg_.eval_ns_per_block * static_cast<double>(nblocks) / 1e6;
+  std::int32_t afford = ncand;
+  if (per_cand_ms > 0.0)
+    afford = static_cast<std::int32_t>(cfg_.budget_ms / per_cand_ms);
+  afford = std::clamp(afford, std::int32_t{1}, ncand);
+  if (afford >= ncand) {
+    for (std::int32_t i = 0; i < ncand; ++i) out.push_back(i);
+    return;
+  }
+  // Trimmed: expand a ring around the last choice (locality in X — the
+  // optimum drifts, it does not jump), deterministic order.
+  const std::int32_t center = st.last_choice >= 0 ? st.last_choice : 0;
+  std::int32_t lo = center;
+  std::int32_t hi = center;
+  out.push_back(center);
+  while (static_cast<std::int32_t>(out.size()) < afford) {
+    if (hi + 1 < ncand) out.push_back(++hi);
+    if (static_cast<std::int32_t>(out.size()) >= afford) break;
+    if (lo > 0) out.push_back(--lo);
+    if (hi + 1 >= ncand && lo <= 0) break;
+  }
+  std::sort(out.begin(), out.end());
+}
+
+double AutoXTuner::predict(const TunerState& st, const CandidateEval& ce,
+                           double scale) {
+  const double unit =
+      st.w[0] + st.w[1] * ce.imbalance + st.w[2] * ce.remote_share;
+  return std::max(0.0, unit * scale);
+}
+
+double AutoXTuner::scored(const TunerState& st, const CandidateEval& ce,
+                          double scale, std::int32_t cand) {
+  // Shared model plus the candidate's learned bias: what the features
+  // predict, corrected by how this arm actually measured.
+  const double unit = st.w[0] + st.w[1] * ce.imbalance +
+                      st.w[2] * ce.remote_share +
+                      st.resid[static_cast<std::size_t>(cand)];
+  return std::max(0.0, unit * scale);
+}
+
+AutoXTuner::Decision AutoXTuner::choose(
+    TunerState& st, std::span<const std::int32_t> indices,
+    std::span<const CandidateEval> evals) const {
+  AMR_CHECK(!indices.empty() && indices.size() == evals.size());
+  const auto ncand = static_cast<std::int32_t>(cfg_.candidates.size());
+  const double scale = evals[0].mean_load;
+  ++st.decisions;
+
+  Decision d;
+  if (st.mode == 1) {
+    d.slot = 0;
+    d.candidate = indices[0];
+    d.mode = 1;
+    d.predicted_ns = scale > 0.0 ? predict(st, evals[0], scale) : 0.0;
+    ++st.fallback_epochs;
+    if (st.probe_at >= ncand) {
+      // The measured argmin is locked in; hand back to the surrogate
+      // with a fresh prior (the drift that tripped the fallback makes
+      // the old fit worthless).
+      st.mode = 0;
+      st.reset_model();
+      ++st.model_resets;
+    }
+  } else if (cfg_.explore_every > 0 && st.decisions > 1 &&
+             st.decisions % cfg_.explore_every == 0) {
+    // Exploration epoch: measure the least-recently-chosen *plausible*
+    // candidate so its residual stays fresh. The error signal only sees
+    // chosen arms, so exploit-only tuning would be blind to every
+    // counterfactual; but paying a full epoch to re-measure an arm
+    // priced far off the optimum is pure tax. Plausible = corrected
+    // score within explore_margin of the best. A bad residual can only
+    // come from the arm's own measured epochs, so score-based exile is
+    // informed, not blind — and when the workload drifts, the arm's
+    // *features* move while its residual stays put, pulling it back
+    // under the margin for re-measurement. Ties break to the lowest
+    // candidate index; the first decision (decisions == 1) always goes
+    // to the prior's argmin — no cold-start probing.
+    double best_s = scale > 0.0 ? scored(st, evals[0], scale, indices[0])
+                                : 0.0;
+    for (std::size_t i = 1; i < evals.size(); ++i)
+      best_s = std::min(
+          best_s,
+          scale > 0.0 ? scored(st, evals[i], scale, indices[i]) : 0.0);
+    const double admit = best_s * cfg_.explore_margin;
+    std::size_t pick = evals.size();
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      const double s =
+          scale > 0.0 ? scored(st, evals[i], scale, indices[i]) : 0.0;
+      if (s > admit) continue;
+      if (pick == evals.size() ||
+          st.last_chosen_at[static_cast<std::size_t>(indices[i])] <
+              st.last_chosen_at[static_cast<std::size_t>(indices[pick])])
+        pick = i;
+    }
+    if (pick == evals.size()) pick = 0;  // degenerate: nothing plausible
+    d.slot = static_cast<std::int32_t>(pick);
+    d.candidate = indices[pick];
+    d.mode = 0;
+    d.predicted_ns =
+        scale > 0.0 ? scored(st, evals[pick], scale, indices[pick]) : 0.0;
+  } else {
+    std::size_t best_slot = 0;
+    double best_pred =
+        scale > 0.0 ? scored(st, evals[0], scale, indices[0]) : 0.0;
+    for (std::size_t i = 1; i < evals.size(); ++i) {
+      const double p =
+          scale > 0.0 ? scored(st, evals[i], scale, indices[i]) : 0.0;
+      if (p < best_pred) {
+        best_pred = p;
+        best_slot = i;
+      }
+    }
+    d.slot = static_cast<std::int32_t>(best_slot);
+    d.candidate = indices[best_slot];
+    d.mode = 0;
+    d.predicted_ns = best_pred;
+  }
+
+  const CandidateEval& chosen = evals[static_cast<std::size_t>(d.slot)];
+  st.last_chosen_at[static_cast<std::size_t>(d.candidate)] = st.decisions;
+  st.pending = scale > 0.0;
+  st.last_choice = d.candidate;
+  st.last_predicted = d.predicted_ns;
+  st.last_scale = scale;
+  st.last_feat[0] = 1.0;
+  st.last_feat[1] = chosen.imbalance;
+  st.last_feat[2] = chosen.remote_share;
+  return d;
+}
+
+void AutoXTuner::observe(TunerState& st, double measured_step_ns) const {
+  if (!st.pending) return;
+  st.pending = false;
+  const auto ncand = static_cast<std::int32_t>(cfg_.candidates.size());
+
+  // Per-candidate measured table (the fallback's ground truth).
+  if (st.last_choice >= 0 && st.last_choice < ncand) {
+    const std::int32_t c = st.last_choice;
+    st.cand_step_ns[c] =
+        st.cand_have[c]
+            ? (1.0 - cfg_.measured_alpha) * st.cand_step_ns[c] +
+                  cfg_.measured_alpha * measured_step_ns
+            : measured_step_ns;
+    st.cand_have[c] = true;
+  }
+  if (st.mode == 1) {
+    // Probing: record only; the stale model is not trained on probe
+    // epochs (it is reset wholesale when the pass completes), and its
+    // error signal is not tracked either — the trip already fired.
+    if (st.probe_at < ncand && st.last_choice == st.probe_at)
+      ++st.probe_at;
+    return;
+  }
+  // A zero scale marks an unscaled decision (uninformative cost
+  // estimates): the measured table above is still valid, but y =
+  // step / mean_load is meaningless, and one such sample would poison
+  // the RLS weights by orders of magnitude.
+  if (st.last_scale <= 0.0) return;
+
+  const double rel = std::abs(st.last_predicted - measured_step_ns) /
+                     std::max(measured_step_ns, 1.0);
+  st.err_ewma = st.have_err
+                    ? (1.0 - cfg_.error_alpha) * st.err_ewma +
+                          cfg_.error_alpha * rel
+                    : rel;
+  st.have_err = true;
+  ++st.err_samples;
+
+  // Recursive least squares on (f, y) with y = step / mean_load. All
+  // arithmetic is fixed-order; P stays symmetric by construction.
+  const double* x = st.last_feat;
+  const double y = measured_step_ns / st.last_scale;
+  // Candidate-specific residual: how far the measured arm landed from
+  // the shared model, in y-units. EWMA so drift re-learns; the RLS
+  // update below absorbs the shared component of the same residual.
+  // Unvisited arms decay toward the shared model — stale corrections
+  // expire at a bounded rate instead of mispricing an arm until its
+  // next exploration visit.
+  for (double& u : st.resid) u *= cfg_.resid_decay;
+  if (st.last_choice >= 0 && st.last_choice < ncand) {
+    const auto c = static_cast<std::size_t>(st.last_choice);
+    const double arm_resid =
+        y - (st.w[0] * x[0] + st.w[1] * x[1] + st.w[2] * x[2]);
+    st.resid[c] = (1.0 - cfg_.resid_alpha) * st.resid[c] +
+                  cfg_.resid_alpha * arm_resid;
+  }
+  double Px[3];
+  for (int r = 0; r < 3; ++r)
+    Px[r] = st.P[3 * r + 0] * x[0] + st.P[3 * r + 1] * x[1] +
+            st.P[3 * r + 2] * x[2];
+  const double xPx = x[0] * Px[0] + x[1] * Px[1] + x[2] * Px[2];
+  const double denom = 1.0 + xPx;
+  const double resid =
+      y - (st.w[0] * x[0] + st.w[1] * x[1] + st.w[2] * x[2]);
+  double k[3];
+  for (int r = 0; r < 3; ++r) k[r] = Px[r] / denom;
+  for (int r = 0; r < 3; ++r) st.w[r] += k[r] * resid;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) st.P[3 * r + c] -= k[r] * Px[c];
+
+  // Surrogate no longer trustworthy: start a measured probe pass. The
+  // warmup keeps the guaranteed-large first residuals (before w0 has
+  // absorbed the constant comm/sync share) from tripping it.
+  if (st.err_samples >= cfg_.error_warmup &&
+      st.err_ewma > cfg_.error_threshold) {
+    st.mode = 1;
+    st.probe_at = 0;
+    for (bool& h : st.cand_have) h = false;
+    st.err_ewma = 0.0;
+    st.have_err = false;
+    st.err_samples = 0;
+  }
+}
+
+}  // namespace amr

@@ -1,0 +1,180 @@
+// Auto-X tuner: online step-time surrogate with measured fallback.
+//
+// The paper hand-picks CPLX's cluster size X per scale (Lesson 5: the
+// locality/balance trade is empirical). This tuner closes the loop the
+// way the AMS executor pattern does — a cheap surrogate answers when it
+// is trustworthy, measurement takes over when it is not:
+//
+//   surrogate  — step_time ≈ mean_load · (w0 + w1·imbalance +
+//                w2·remote_share + resid[X]), fit online by 3-feature
+//                recursive least squares seeded with the physics prior
+//                w = (0,1,0) (predicted = makespan), so the very first
+//                decision is already the makespan-vs-locality argmin and
+//                no cold probing phase is needed. resid[X] is a
+//                per-candidate EWMA of the arm's own measured offset —
+//                the bias the shared features cannot express (e.g. a
+//                scattered placement's robustness to cost drift).
+//   explore    — every Nth decision measures the least-recently-chosen
+//                candidate within explore_margin of the best corrected
+//                score, instead of the argmin: the error signal only
+//                sees chosen arms, so exploit-only tuning would be
+//                accurate in-sample yet blind to every counterfactual;
+//                the margin keeps the tax off arms already measured far
+//                from the optimum.
+//   fallback   — an EWMA of relative prediction error above
+//                error_threshold flips the tuner into measured mode: it
+//                probes each candidate X for one regrid epoch, locks the
+//                measured argmin, resets the model to the prior, and
+//                returns to surrogate mode.
+//
+// Determinism contract: every input is simulated telemetry (mean step
+// time in simulated ns, placement features from the estimated costs) and
+// every decision is a pure function of TunerState — never host
+// wall-clock. The evaluation budget uses a MODELED per-candidate cost
+// (eval_ns_per_block · blocks), so trimming is replay-stable too.
+// TunerState is serialized in the snapshot's "tuner" section (format v5):
+// a restored run makes byte-identical decisions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "amr/placement/engine.hpp"
+
+namespace amr {
+
+/// Fixed serialization width of the per-candidate arrays in TunerState.
+inline constexpr std::int32_t kTunerMaxCandidates = 8;
+
+struct TunerConfig {
+  /// Candidate X values, ascending; at most kTunerMaxCandidates.
+  std::vector<double> candidates{0.0, 25.0, 50.0, 75.0, 100.0};
+  /// Placement budget (the paper's 50 ms): bounds how many candidates are
+  /// evaluated per epoch under the modeled cost below.
+  double budget_ms = 50.0;
+  /// Modeled evaluation cost per candidate per block. Deliberately a
+  /// conservative constant rather than measured wall-clock: the budget
+  /// must be a pure function of problem size or replay byte-identity
+  /// dies.
+  double eval_ns_per_block = 100.0;
+  /// Relative prediction-error EWMA that trips the measured fallback.
+  /// Sized above the surrogate's steady-state error on drifting
+  /// workloads (~0.3-0.4: step time includes comm/sync terms the three
+  /// features only approximate) so only gross model breakdown probes.
+  double error_threshold = 0.5;
+  double error_alpha = 0.3;      ///< EWMA smoothing for the error signal
+  double measured_alpha = 0.5;   ///< EWMA smoothing for per-candidate times
+  /// Observations RLS gets before the error EWMA may trip the fallback.
+  /// The physics prior underestimates by the constant comm/sync share;
+  /// w0 absorbs it within a couple of samples, and tripping on the first
+  /// — guaranteed-large — residual would lock the tuner into a probe
+  /// cycle that never lets the surrogate learn.
+  std::int32_t error_warmup = 4;
+  /// Every Nth decision measures the least-recently-chosen candidate
+  /// instead of the predicted argmin (0 disables). The error EWMA only
+  /// sees the chosen arm, so an exploit-only surrogate can be accurate
+  /// in-sample yet wrong about every counterfactual — systematically so
+  /// when a candidate's advantage (e.g. robustness to cost drift the
+  /// stale estimates cannot express) is invisible to the features.
+  /// Deterministic: keyed on the decision counter, never on randomness.
+  std::int32_t explore_every = 8;
+  /// Exploration only considers candidates whose feature-only prediction
+  /// is within this factor of the best — measuring an arm the features
+  /// already price far off the optimum is a full-epoch tax with no
+  /// decision value. Judged without residuals, so a stale residual can
+  /// never exclude an arm from re-measurement.
+  double explore_margin = 1.12;
+  /// EWMA smoothing for the per-candidate residual corrections. Slow
+  /// enough that one noisy epoch cannot eject the best arm from the
+  /// argmin for several epochs.
+  double resid_alpha = 0.3;
+  /// Per-observation decay applied to every arm's residual (1 = off,
+  /// the default): unvisited arms regress toward the shared model,
+  /// bounding how long a stale correction can misprice an arm between
+  /// exploration visits. Off by default because feature drift already
+  /// re-admits exiled arms (admission is re-scored every epoch) and the
+  /// decay measurably erodes the corrections that keep the argmin
+  /// honest.
+  double resid_decay = 1.0;
+};
+
+/// Everything the next decision depends on — serialized so restored runs
+/// decide identically (snapshot v5 "tuner" section).
+struct TunerState {
+  std::int32_t mode = 0;        ///< 0 = surrogate, 1 = measured probing
+  std::int32_t probe_at = 0;    ///< next candidate index to probe (mode 1)
+  std::int32_t last_choice = -1;
+  bool pending = false;         ///< a decision awaits its measured epoch
+  double last_predicted = 0.0;  ///< predicted step ns of the last choice
+  double last_scale = 0.0;      ///< mean-load ns at decision time
+  double last_feat[3] = {0.0, 0.0, 0.0};
+  double err_ewma = 0.0;
+  bool have_err = false;
+  std::int32_t err_samples = 0;  ///< observations since the last reset
+  std::int64_t decisions = 0;
+  std::int64_t fallback_epochs = 0;  ///< decisions taken in measured mode
+  std::int64_t model_resets = 0;     ///< fallback round-trips completed
+  double w[3] = {0.0, 0.0, 0.0};     ///< surrogate weights
+  double P[9] = {0.0};               ///< RLS inverse-covariance (row-major)
+  double cand_step_ns[kTunerMaxCandidates] = {0.0};
+  bool cand_have[kTunerMaxCandidates] = {false};
+  /// Per-candidate residual correction, in y-units (measured/scale minus
+  /// the shared model): candidate-specific bias the three features can't
+  /// express, learned on the arm's own (explored or chosen) epochs.
+  double resid[kTunerMaxCandidates] = {0.0};
+  /// Decision counter at which each candidate was last chosen (-1 =
+  /// never) — the exploration recency signal.
+  std::int64_t last_chosen_at[kTunerMaxCandidates] = {-1, -1, -1, -1,
+                                                      -1, -1, -1, -1};
+
+  TunerState() { reset_model(); }
+  /// Re-seed the surrogate with the physics prior (predicted = makespan).
+  void reset_model();
+};
+
+class AutoXTuner {
+ public:
+  explicit AutoXTuner(TunerConfig cfg);
+
+  const TunerConfig& config() const { return cfg_; }
+
+  /// Candidate indices to evaluate this epoch, in ascending order,
+  /// trimmed to the modeled budget (never below one). In measured mode
+  /// only the probe target is evaluated — probing is also what keeps the
+  /// fallback cheap.
+  void budget_candidates(const TunerState& st, std::size_t nblocks,
+                         std::vector<std::int32_t>& out) const;
+
+  struct Decision {
+    std::int32_t slot = 0;       ///< index into the evaluated span
+    std::int32_t candidate = 0;  ///< index into cfg.candidates
+    double predicted_ns = 0.0;
+    std::int32_t mode = 0;       ///< mode the decision was taken in
+  };
+
+  /// Pick a candidate from the evaluated slots (indices[i] names the
+  /// candidate evals[i] scored). Argmin scans slots in index order with
+  /// strict improvement, so ties resolve to the lowest candidate index.
+  Decision choose(TunerState& st, std::span<const std::int32_t> indices,
+                  std::span<const CandidateEval> evals) const;
+
+  /// Feed the measured mean step time (simulated ns) of the epoch that
+  /// ran the pending decision: updates the model, the error EWMA, the
+  /// per-candidate measured table, and the mode transitions.
+  void observe(TunerState& st, double measured_step_ns) const;
+
+  /// Surrogate prediction for one candidate at the given mean-load scale.
+  static double predict(const TunerState& st, const CandidateEval& ce,
+                        double scale);
+
+  /// predict() plus the candidate's learned residual correction — the
+  /// quantity mode-0 decisions minimize.
+  static double scored(const TunerState& st, const CandidateEval& ce,
+                       double scale, std::int32_t cand);
+
+ private:
+  TunerConfig cfg_;
+};
+
+}  // namespace amr

@@ -140,6 +140,10 @@ std::string apply_field(JobSpec& spec, const std::string& key,
   if (key == "pack_threshold") return i64(&JobSpec::pack_threshold);
   if (key == "send_priority") return boolean(&JobSpec::send_priority);
   if (key == "des_shards") return i64(&JobSpec::des_shards);
+  if (key == "auto_cplx") return boolean(&JobSpec::auto_cplx);
+  if (key == "cplx_budget_ms") return i64(&JobSpec::cplx_budget_ms);
+  if (key == "placement_incremental")
+    return boolean(&JobSpec::placement_incremental);
   if (key == "sedov_max_level") return i64(&JobSpec::sedov_max_level);
   if (key == "checkpoint_every") return i64(&JobSpec::checkpoint_every);
   if (key == "checkpoint_dir") return str(&JobSpec::checkpoint_dir);

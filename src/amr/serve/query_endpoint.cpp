@@ -123,9 +123,10 @@ std::string run_table_query(const JobTables& tables, const std::string& text,
   else if (table_name == "comm") table = tables.comm;
   else if (table_name == "blocks") table = tables.blocks;
   else if (table_name == "shards") table = tables.shards;
+  else if (table_name == "placement") table = tables.placement;
   else
     return "unknown table '" + table_name +
-           "' (phases | comm | blocks | shards)";
+           "' (phases | comm | blocks | shards | placement)";
   if (table == nullptr)
     return "table '" + table_name +
            "' was not collected for this job (telemetry off)";

@@ -7,7 +7,7 @@
 //       where phase == 1 group by step, rank order by total desc
 //
 // Grammar (keywords lowercase, one statement per line):
-//   select <*| agg[, agg...]> from <phases|comm|blocks|shards>
+//   select <*| agg[, agg...]> from <phases|comm|blocks|shards|placement>
 //       [where <col> <op> <number> [and ...]]
 //       [group by <col>[, col...]]
 //       [order by <col> [desc]] [limit <n>]
@@ -32,6 +32,7 @@ struct JobTables {
   const Table* comm = nullptr;
   const Table* blocks = nullptr;
   const Table* shards = nullptr;
+  const Table* placement = nullptr;
 };
 
 /// Execute `text` against the job's tables. On success returns "" and

@@ -71,7 +71,7 @@ struct JobResult {
   std::string error;  ///< set when !ok (construction/validation failure)
   std::string text;   ///< the job's stdout block (compact report text)
   RunReport report;
-  std::unique_ptr<Table> phases, comm, blocks, shards;
+  std::unique_ptr<Table> phases, comm, blocks, shards, placement;
 };
 
 class QuantumScheduler {

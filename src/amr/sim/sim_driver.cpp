@@ -47,6 +47,10 @@ std::string validate_job(const JobSpec& spec) {
   if (spec.des_shards > 0 && spec.overlap)
     return "--des-shards requires --execution=bsp (overlap self-events "
            "carry no dispatch keys)";
+  if (spec.cplx_budget_ms >= 0 && !spec.auto_cplx)
+    return "--cplx-budget-ms requires --auto-cplx";
+  if (spec.auto_cplx && spec.cplx_budget_ms == 0)
+    return "--cplx-budget-ms must be positive";
   return "";
 }
 
@@ -100,6 +104,10 @@ SimulationConfig job_config(const JobSpec& spec) {
   cfg.send_priority = spec.send_priority;
   cfg.des_shards = spec.des_shards;
   cfg.incremental_plans = spec.incremental_plans;
+  cfg.auto_cplx = spec.auto_cplx;
+  cfg.placement_incremental = spec.placement_incremental;
+  if (spec.cplx_budget_ms > 0)
+    cfg.cplx_budget_ms = static_cast<double>(spec.cplx_budget_ms);
   cfg.checkpoint_every = spec.checkpoint_every;
   cfg.checkpoint_dir = spec.checkpoint_dir;
   if (spec.trace) {

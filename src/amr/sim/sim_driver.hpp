@@ -38,6 +38,13 @@ struct JobSpec {
   bool send_priority = false;
   std::int32_t des_shards = 0;  ///< BSP only; 0 = sequential engine
   bool incremental_plans = true;
+  /// Self-tuning CPLX: the auto-X tuner picks X per regrid epoch.
+  bool auto_cplx = false;
+  /// Auto-X evaluation budget in ms (requires auto_cplx when >= 0);
+  /// -1 keeps the simulation default (the paper's 50 ms).
+  std::int64_t cplx_budget_ms = -1;
+  /// Incremental parallel placement engine for CPLX policies.
+  bool placement_incremental = false;
   bool collect_telemetry = true;
   /// Sedov refinement depth override; 0 keeps the workload default.
   std::int32_t sedov_max_level = 0;

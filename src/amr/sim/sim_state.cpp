@@ -58,6 +58,18 @@ SimRuntime::SimRuntime(const SimulationConfig& config, Tracer* tracer)
     overlap_executor =
         std::make_unique<OverlapExecutor>(engine, comm, config.exec, tracer);
   plan_cache.set_shared_store(config.shared_plans);
+  if (config.auto_cplx || config.placement_incremental) {
+    // Chunk solves and candidate scoring parallelize well up to the
+    // candidate count; more workers than that only cost startup.
+    placement_pool = std::make_unique<ThreadPool>(
+        std::min(ThreadPool::hardware_jobs(), 8));
+    placement_engine.set_parallel(placement_pool.get());
+  }
+  if (config.auto_cplx) {
+    TunerConfig tuner_cfg;
+    tuner_cfg.budget_ms = config.cplx_budget_ms;
+    auto_tuner = std::make_unique<AutoXTuner>(tuner_cfg);
+  }
 }
 
 namespace {
@@ -178,6 +190,11 @@ void write_meta(io::SnapshotWriter& w, const SimulationConfig& config,
   w.b(config.des_shards > 0);
   w.b(config.telemetry_driven_costs);
   w.b(config.incremental_plans);
+  // Placement-engine axes (format v5): both change which placements the
+  // run computes, and the tuner budget shapes every auto-X decision.
+  w.b(config.auto_cplx);
+  w.b(config.placement_incremental);
+  w.f64(config.cplx_budget_ms);
   w.b(config.collect_telemetry);
   w.b(config.collect_block_telemetry);
   w.b(config.trace_enabled);
@@ -219,6 +236,9 @@ void check_meta(io::SnapshotReader& r, const SimulationConfig& config,
   require(r.b() == (config.des_shards > 0), "sharded DES");
   require(r.b() == config.telemetry_driven_costs, "telemetry-driven costs");
   require(r.b() == config.incremental_plans, "incremental plans");
+  require(r.b() == config.auto_cplx, "auto-X tuning");
+  require(r.b() == config.placement_incremental, "incremental placement");
+  require(r.f64() == config.cplx_budget_ms, "auto-X budget");
   require(r.b() == config.collect_telemetry, "collect_telemetry");
   require(r.b() == config.collect_block_telemetry,
           "collect_block_telemetry");
@@ -270,6 +290,35 @@ bool save_snapshot(const std::string& path, const SimulationConfig& config,
   // Effective plan-cache counters at checkpoint time (base + live cache).
   w.i64(state.plan_hits_base + runtime.plan_cache.stats().hits);
   w.i64(state.plan_misses_base + runtime.plan_cache.stats().misses);
+  w.end_section();
+
+  // Auto-X tuner state (format v5): everything the next tuning decision
+  // depends on, so a restored run decides byte-identically. Written
+  // unconditionally (defaults when auto_cplx is off) — the fingerprint
+  // axis above already refuses cross-mode restores.
+  const TunerState& ts = state.tuner;
+  w.begin_section("tuner");
+  w.i32(ts.mode);
+  w.i32(ts.probe_at);
+  w.i32(ts.last_choice);
+  w.b(ts.pending);
+  w.f64(ts.last_predicted);
+  w.f64(ts.last_scale);
+  for (const double f : ts.last_feat) w.f64(f);
+  w.f64(ts.err_ewma);
+  w.b(ts.have_err);
+  w.i32(ts.err_samples);
+  w.i64(ts.decisions);
+  w.i64(ts.fallback_epochs);
+  w.i64(ts.model_resets);
+  for (const double v : ts.w) w.f64(v);
+  for (const double v : ts.P) w.f64(v);
+  for (const double v : ts.cand_step_ns) w.f64(v);
+  for (const bool h : ts.cand_have) w.b(h);
+  for (const double v : ts.resid) w.f64(v);
+  for (const std::int64_t v : ts.last_chosen_at) w.i64(v);
+  w.i64(state.epoch_steps);
+  w.i64(state.epoch_wall_ns);
   w.end_section();
 
   const RunReport& rep = state.report;
@@ -378,6 +427,7 @@ bool save_snapshot(const std::string& path, const SimulationConfig& config,
   write_table(w, collector.comm());
   write_table(w, collector.blocks());
   write_table(w, collector.shards());
+  write_table(w, collector.placement());
   w.end_section();
 
   w.begin_section("tracer");
@@ -438,6 +488,31 @@ void restore_snapshot(const std::string& path,
   // diagnostics only, never part of the printed output).
   state.plan_hits_base = r.i64();
   state.plan_misses_base = r.i64();
+  r.end_section();
+
+  TunerState& ts = state.tuner;
+  r.begin_section("tuner");
+  ts.mode = r.i32();
+  ts.probe_at = r.i32();
+  ts.last_choice = r.i32();
+  ts.pending = r.b();
+  ts.last_predicted = r.f64();
+  ts.last_scale = r.f64();
+  for (double& f : ts.last_feat) f = r.f64();
+  ts.err_ewma = r.f64();
+  ts.have_err = r.b();
+  ts.err_samples = r.i32();
+  ts.decisions = r.i64();
+  ts.fallback_epochs = r.i64();
+  ts.model_resets = r.i64();
+  for (double& v : ts.w) v = r.f64();
+  for (double& v : ts.P) v = r.f64();
+  for (double& v : ts.cand_step_ns) v = r.f64();
+  for (bool& h : ts.cand_have) h = r.b();
+  for (double& v : ts.resid) v = r.f64();
+  for (std::int64_t& v : ts.last_chosen_at) v = r.i64();
+  state.epoch_steps = r.i64();
+  state.epoch_wall_ns = r.i64();
   r.end_section();
 
   RunReport& rep = state.report;
@@ -554,8 +629,9 @@ void restore_snapshot(const std::string& path,
   Table comm = read_table(r, collector.comm());
   Table blocks = read_table(r, collector.blocks());
   Table shard_tab = read_table(r, collector.shards());
+  Table placement_tab = read_table(r, collector.placement());
   collector.restore(std::move(phases), std::move(comm), std::move(blocks),
-                    std::move(shard_tab));
+                    std::move(shard_tab), std::move(placement_tab));
   r.end_section();
 
   r.begin_section("tracer");

@@ -27,6 +27,7 @@
 #include "amr/exec/plan_cache.hpp"
 #include "amr/exec/step_executor.hpp"
 #include "amr/par/thread_pool.hpp"
+#include "amr/placement/tuner.hpp"
 #include "amr/sim/simulation.hpp"
 
 namespace amr {
@@ -62,6 +63,14 @@ struct SimState {
   std::uint64_t measured_version = 0;
   bool measured_valid = false;
 
+  /// Auto-X tuner state plus the simulated-time accumulators feeding it
+  /// (executed-window wall of the current placement epoch). Serialized
+  /// in the snapshot's "tuner" section (format v5) so a restored run
+  /// makes byte-identical tuning decisions. Untouched unless auto_cplx.
+  TunerState tuner;
+  std::int64_t epoch_steps = 0;
+  TimeNs epoch_wall_ns = 0;
+
   StepPipelineStats pipeline_stats;
   /// Plan-cache hit/miss counts accumulated before the last restore; the
   /// live cache counts only since then (it is rebuilt, which costs one
@@ -94,6 +103,18 @@ struct SimRuntime {
   std::unique_ptr<OverlapExecutor> overlap_executor;
   CriticalPathAnalyzer critical_path;
   ExchangePlanCache plan_cache;
+
+  /// Placement-engine mode (auto_cplx || placement_incremental, both
+  /// null/inert otherwise). The engine gets its OWN pool: sweeps run
+  /// whole Simulations inside worker tasks, and ThreadPool::parallel_for
+  /// is not reentrant, so borrowing an outer pool would deadlock.
+  std::unique_ptr<ThreadPool> placement_pool;
+  PlacementEngine placement_engine;
+  std::unique_ptr<AutoXTuner> auto_tuner;  ///< auto_cplx only
+  // Auto-X per-epoch scratch, reused across all epochs.
+  std::vector<CandidateEval> cand_evals;
+  std::vector<std::int32_t> cand_indices;
+  std::vector<double> cand_xs;
 
   // Step-loop scratch, reused across all steps.
   std::vector<TimeNs> est;

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "amr/common/check.hpp"
 #include "amr/common/log.hpp"
 #include "amr/common/stats.hpp"
 #include "amr/placement/baseline.hpp"
+#include "amr/placement/cplx.hpp"
 #include "amr/placement/metrics.hpp"
 #include "amr/sim/sim_state.hpp"
 
@@ -139,16 +142,17 @@ bool Simulation::sync_measured_costs(const AmrMesh& mesh) {
   return true;
 }
 
-void Simulation::estimated_costs(const AmrMesh& mesh,
+bool Simulation::estimated_costs(const AmrMesh& mesh,
                                  std::vector<TimeNs>& out) {
   out.resize(mesh.size());
   if (!config_.telemetry_driven_costs || !sync_measured_costs(mesh)) {
     // Framework default: every block costs 1 (paper §V-A3).
     std::fill(out.begin(), out.end(), TimeNs{1});
-    return;
+    return false;
   }
   std::copy(state_->measured_flat.begin(), state_->measured_flat.end(),
             out.begin());
+  return true;
 }
 
 void Simulation::remember_costs(const AmrMesh& mesh,
@@ -200,6 +204,8 @@ void Simulation::begin_run() {
                   config_.execution == ExecutionMode::kOverlap),
                 "sharded DES requires BSP execution (overlap self-events "
                 "carry no dispatch keys)");
+  AMR_CHECK_MSG(config_.cplx_budget_ms > 0.0,
+                "cplx_budget_ms must be positive");
   // Sharded mode: the runtime's concurrent layers run untraced (shard
   // threads cannot share the ring); the driver still records its own
   // step-level events below.
@@ -208,7 +214,9 @@ void Simulation::begin_run() {
   state_ = std::make_unique<SimState>(config_);
   SimState& st = *state_;
 
-  st.report.policy = policy_.name();
+  // Auto-X runs name the tuner, not the seed policy: the policy only
+  // contributes the initial placement and the CPLX chunk width.
+  st.report.policy = config_.auto_cplx ? "auto-cplx" : policy_.name();
   st.report.initial_blocks = st.mesh.size();
   st.report.rank_compute_seconds.assign(
       static_cast<std::size_t>(config_.nranks), 0.0);
@@ -265,14 +273,84 @@ void Simulation::step_once() {
   if (changed || st.placement.size() != mesh.size() ||
       config_.trigger.fire(false, step, st.last_imbalance)) {
     ++report.lb_invocations;
-    estimated_costs(mesh, rt.est);
+    const bool costs_informative = estimated_costs(mesh, rt.est);
     rt.est_d.resize(rt.est.size());
     for (std::size_t i = 0; i < rt.est.size(); ++i)
       rt.est_d[i] = static_cast<double>(rt.est[i]);
 
+    const bool engine_mode =
+        config_.auto_cplx || config_.placement_incremental;
+    const auto* cplx = dynamic_cast<const CplxPolicy*>(&policy_);
+    // Input-identity token for the engine's whole-base fast path: a
+    // placement input can only repeat exactly when both the mesh
+    // numbering and the telemetry epoch that produced the costs repeat.
+    const std::uint64_t cost_epoch =
+        (mesh.version() << 32) ^ static_cast<std::uint64_t>(st.step);
+
+    AutoXTuner::Decision decision;
+    double observed_ns = 0.0;
     Placement next;
-    report.placement_ms.push_back(timed_ms(
-        [&] { next = policy_.place(rt.est_d, config_.nranks); }));
+    if (config_.auto_cplx) {
+      AutoXTuner& tuner = *rt.auto_tuner;
+      // Close the loop on the previous epoch: mean executed-window wall
+      // (simulated ns per step) under the placement the tuner chose.
+      if (st.epoch_steps > 0) {
+        observed_ns = static_cast<double>(st.epoch_wall_ns) /
+                      static_cast<double>(st.epoch_steps);
+        tuner.observe(st.tuner, observed_ns);
+      }
+      st.epoch_steps = 0;
+      st.epoch_wall_ns = 0;
+      const std::int32_t chunk = cplx != nullptr ? cplx->chunk_ranks() : 512;
+      report.placement_ms.push_back(timed_ms([&] {
+        tuner.budget_candidates(st.tuner, mesh.size(), rt.cand_indices);
+        rt.cand_xs.resize(rt.cand_indices.size());
+        for (std::size_t i = 0; i < rt.cand_indices.size(); ++i)
+          rt.cand_xs[i] = tuner.config().candidates[static_cast<std::size_t>(
+              rt.cand_indices[i])];
+        rt.placement_engine.evaluate_candidates(
+            rt.est_d, config_.nranks, rt.cand_xs, chunk, cost_epoch, mesh,
+            rt.topo, config_.msg_sizes, rt.cand_evals);
+        decision = tuner.choose(st.tuner, rt.cand_indices, rt.cand_evals);
+        // Uninformative (uniform-default) cost estimates make mean_load
+        // a meaningless scale: keep the decision pending so the measured
+        // table still learns, but mark it unscaled so one garbage-scale
+        // sample cannot poison the RLS weights.
+        if (!costs_informative) st.tuner.last_scale = 0.0;
+        if (std::getenv("AMR_TUNER_DEBUG") != nullptr) {
+          for (std::size_t i = 0; i < rt.cand_evals.size(); ++i) {
+            const CandidateEval& ce = rt.cand_evals[i];
+            std::fprintf(stderr,
+                         "[tuner] step=%lld x=%.0f mean=%.3g imb=%.3f "
+                         "rs=%.3f pred=%.3g score=%.3g resid=%.3f\n",
+                         static_cast<long long>(step), ce.x_percent,
+                         ce.mean_load, ce.imbalance, ce.remote_share,
+                         AutoXTuner::predict(st.tuner, ce, ce.mean_load),
+                         AutoXTuner::scored(st.tuner, ce, ce.mean_load,
+                                            rt.cand_indices[i]),
+                         st.tuner.resid[static_cast<std::size_t>(
+                             rt.cand_indices[i])]);
+          }
+          std::fprintf(stderr,
+                       "[tuner] -> chose x=%.0f mode=%d w=(%.3g,%.3g,%.3g)\n",
+                       tuner.config().candidates[static_cast<std::size_t>(
+                           decision.candidate)],
+                       decision.mode, st.tuner.w[0], st.tuner.w[1],
+                       st.tuner.w[2]);
+        }
+        next = std::move(
+            rt.cand_evals[static_cast<std::size_t>(decision.slot)].placement);
+      }));
+    } else if (config_.placement_incremental && cplx != nullptr) {
+      report.placement_ms.push_back(timed_ms([&] {
+        next = rt.placement_engine.place_cplx(rt.est_d, config_.nranks,
+                                              cplx->x_percent(),
+                                              cplx->chunk_ranks(), cost_epoch);
+      }));
+    } else {
+      report.placement_ms.push_back(timed_ms(
+          [&] { next = policy_.place(rt.est_d, config_.nranks); }));
+    }
     AMR_CHECK(placement_valid(next, mesh.size(), config_.nranks));
     if (report.placement_ms.back() > config_.placement_budget_ms) {
       ++report.budget_violations;
@@ -326,8 +404,50 @@ void Simulation::step_once() {
                                 rebalance_wall);
     }
 
+    // Placement-phase telemetry + trace counters: engine modes only, so
+    // legacy tables/traces (and serve's resident-bytes eviction signal)
+    // stay byte-identical. Everything recorded is simulated/deterministic.
+    if (engine_mode) {
+      const double x_chosen =
+          config_.auto_cplx
+              ? rt.auto_tuner->config()
+                    .candidates[static_cast<std::size_t>(decision.candidate)]
+              : (cplx != nullptr ? cplx->x_percent() : -1.0);
+      if (config_.collect_telemetry) {
+        collector_.record_placement(
+            step, x_chosen, config_.auto_cplx ? decision.mode : -1,
+            config_.auto_cplx
+                ? static_cast<std::int64_t>(rt.cand_indices.size())
+                : 0,
+            rt.placement_engine.last_chunks_reused(),
+            rt.placement_engine.last_chunks_total(), moved,
+            decision.predicted_ns, observed_ns, st.tuner.err_ewma);
+      }
+      if (tracer != nullptr) {
+        if (config_.auto_cplx) {
+          tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance, "auto-x",
+                          sim_now(),
+                          static_cast<std::int64_t>(x_chosen));
+          tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance,
+                          "tuner-fallback-epochs", sim_now(),
+                          st.tuner.fallback_epochs);
+        }
+        tracer->counter(Tracer::kTrackSim, TraceCat::kRebalance,
+                        "placement-chunks-reused", sim_now(),
+                        rt.placement_engine.stats().chunks_reused);
+      }
+    }
+
+    // Plan-key skip: when the engine modes are on and redistribution
+    // reproduced the current placement under an unchanged mesh numbering,
+    // keep the (mesh, placement) version pair so the exchange-plan cache
+    // serves the next step instead of rebuilding identical plans. The
+    // legacy path always bumps (the off-mode byte-identity reference).
+    const bool plan_reusable = engine_mode &&
+                               mesh.version() == st.placement_mesh_version &&
+                               next == st.placement;
     st.placement = std::move(next);
-    ++st.placement_version;
+    if (!plan_reusable) ++st.placement_version;
     st.placement_mesh_version = mesh.version();
   }
 
@@ -386,6 +506,7 @@ void Simulation::step_once() {
                     st.pipeline_stats.predicted_misses);
   }
 
+  const TimeNs exec_start = sim_now();
   StepResult result;
   std::int64_t intra_rank_msgs = 0;
   const PackingPolicy packing = packing_policy(config_);
@@ -440,6 +561,12 @@ void Simulation::step_once() {
     for (const auto& w : work) intra_rank_msgs += w.local_copy_msgs;
   }
   report.msgs_intra_rank += intra_rank_msgs;
+  if (config_.auto_cplx) {
+    // Executed-window wall feeds the tuner at the next redistribution
+    // (simulated time: deterministic and checkpoint-stable).
+    ++st.epoch_steps;
+    st.epoch_wall_ns += sim_now() - exec_start;
+  }
   const WindowPath path = rt.critical_path.observe(result);
   st.last_straggler = path.straggler;
 
@@ -624,8 +751,10 @@ void Simulation::restore_checkpoint(const std::string& path) {
   restore_snapshot(path, config_, *state_, *runtime_, workload_,
                    collector_, tracer_.get());
   // The active policy names the run: identical for a plain restore,
-  // the replacement's name under --replay.
-  state_->report.policy = policy_.name();
+  // the replacement's name under --replay. Auto-X overrides either way
+  // (the tuner, not the seed policy, is making the decisions).
+  state_->report.policy =
+      config_.auto_cplx ? "auto-cplx" : policy_.name();
 }
 
 }  // namespace amr

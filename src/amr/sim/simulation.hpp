@@ -116,6 +116,29 @@ struct SimulationConfig {
   /// baseline split for that invocation (and counted in the report).
   double placement_budget_ms = 50.0;
   bool enforce_placement_budget = false;
+
+  /// Auto-X: hand redistribution decisions to the self-tuning CPLX
+  /// engine (placement/tuner.hpp). Each regrid epoch it scores a
+  /// budgeted set of candidate X values in parallel and picks the one
+  /// whose predicted step time is lowest, learning the predictor online
+  /// from the run's own simulated telemetry. The configured policy still
+  /// provides the initial placement and the CPLX chunk width; reports
+  /// carry policy name "auto-cplx". Off = byte-identical legacy
+  /// behaviour. Snapshot fingerprint axis (format v5); tuner state rides
+  /// in the snapshot so restored runs decide identically.
+  bool auto_cplx = false;
+  /// Auto-X evaluation budget in ms: bounds how many candidate X values
+  /// are scored per epoch under a MODELED per-candidate cost (a pure
+  /// function of the block count — never wall-clock, so decisions are
+  /// replay-stable). The paper's 50 ms placement budget by default.
+  double cplx_budget_ms = 50.0;
+  /// Incremental placement: route CPLX placements through the run's
+  /// PlacementEngine, which reuses unchanged SFC-chunk solves from the
+  /// previous epoch and runs the rest in parallel. Results are
+  /// byte-identical to the full rebuild (ctest
+  /// placement_tuning_determinism); off is the reference path. Inert for
+  /// non-CPLX policies. Snapshot fingerprint axis (format v5).
+  bool placement_incremental = false;
   double migration_gbytes_per_sec = 4.0;
   /// Payload of one migrated block; defaults to the message-size model's
   /// block interior so the two stay one source of truth.
@@ -300,7 +323,10 @@ class Simulation {
   /// Seal the report (wall clock, final blocks, critical path).
   RunReport finish_run();
 
-  void estimated_costs(const AmrMesh& mesh, std::vector<TimeNs>& out);
+  /// Fill per-block cost estimates for placement; false when telemetry
+  /// is not yet available and the uniform default was used (the auto-X
+  /// tuner must not scale-learn from such an epoch).
+  bool estimated_costs(const AmrMesh& mesh, std::vector<TimeNs>& out);
   void remember_costs(const AmrMesh& mesh,
                       std::span<const TimeNs> measured);
   /// Carry state_->measured_flat forward to mesh.version() by composing

@@ -43,7 +43,17 @@ Collector::Collector()
                          {"events", ColType::kI64},
                          {"epochs", ColType::kI64},
                          {"stalls", ColType::kI64},
-                         {"mailbox", ColType::kI64}}) {}
+                         {"mailbox", ColType::kI64}}),
+      placement_("placement", {{"step", ColType::kI64},
+                               {"x", ColType::kF64},
+                               {"mode", ColType::kI64},
+                               {"candidates", ColType::kI64},
+                               {"chunks_reused", ColType::kI64},
+                               {"chunks_total", ColType::kI64},
+                               {"moved", ColType::kI64},
+                               {"predicted_ns", ColType::kF64},
+                               {"measured_ns", ColType::kF64},
+                               {"err_ewma", ColType::kF64}}) {}
 
 void Collector::record_phase(std::int64_t step, std::int32_t rank,
                              Phase phase, TimeNs dur) {
@@ -78,23 +88,26 @@ void Collector::clear() {
   comm_.clear();
   blocks_.clear();
   shards_.clear();
+  placement_.clear();
 }
 
 void Collector::restore(Table phases, Table comm, Table blocks,
-                        Table shards) {
+                        Table shards, Table placement) {
   AMR_CHECK_MSG(same_schema(phases, phases_) && same_schema(comm, comm_) &&
                     same_schema(blocks, blocks_) &&
-                    same_schema(shards, shards_),
+                    same_schema(shards, shards_) &&
+                    same_schema(placement, placement_),
                 "restored telemetry tables do not match the collector schema");
   phases_ = std::move(phases);
   comm_ = std::move(comm);
   blocks_ = std::move(blocks);
   shards_ = std::move(shards);
+  placement_ = std::move(placement);
 }
 
 std::size_t Collector::bytes_used() const {
   return phases_.bytes_used() + comm_.bytes_used() + blocks_.bytes_used() +
-         shards_.bytes_used();
+         shards_.bytes_used() + placement_.bytes_used();
 }
 
 void Collector::record_block(std::int64_t step, std::int32_t block,
@@ -110,6 +123,17 @@ void Collector::record_shard(std::int64_t step, std::int32_t shard,
                              std::int64_t stalls, std::int64_t mailbox) {
   shards_.append_row({step, static_cast<std::int64_t>(shard), events,
                       epochs, stalls, mailbox});
+}
+
+void Collector::record_placement(std::int64_t step, double x,
+                                 std::int64_t mode, std::int64_t candidates,
+                                 std::int64_t chunks_reused,
+                                 std::int64_t chunks_total,
+                                 std::int64_t moved, double predicted_ns,
+                                 double measured_ns, double err_ewma) {
+  placement_.append_row({step, x, mode, candidates, chunks_reused,
+                         chunks_total, moved, predicted_ns, measured_ns,
+                         err_ewma});
 }
 
 }  // namespace amr

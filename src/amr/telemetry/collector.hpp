@@ -66,10 +66,26 @@ class Collector {
                     std::int64_t events, std::int64_t epochs,
                     std::int64_t stalls, std::int64_t mailbox);
 
+  /// placement(step i64, x f64, mode i64, candidates i64,
+  ///           chunks_reused i64, chunks_total i64, moved i64,
+  ///           predicted_ns f64, measured_ns f64, err_ewma f64) — one
+  /// row per redistribution under the placement-engine modes (empty for
+  /// legacy runs, so legacy bytes_used/eviction behaviour is unchanged).
+  /// `x` is the chosen CPLX X; `mode` is the tuner mode (0 surrogate,
+  /// 1 measured probe, -1 incremental-only); `measured_ns` is the mean
+  /// executed-window wall the tuner observed for the PREVIOUS epoch.
+  /// All values are simulated/deterministic — no host wall-clock.
+  void record_placement(std::int64_t step, double x, std::int64_t mode,
+                        std::int64_t candidates, std::int64_t chunks_reused,
+                        std::int64_t chunks_total, std::int64_t moved,
+                        double predicted_ns, double measured_ns,
+                        double err_ewma);
+
   const Table& phases() const { return phases_; }
   const Table& comm() const { return comm_; }
   const Table& blocks() const { return blocks_; }
   const Table& shards() const { return shards_; }
+  const Table& placement() const { return placement_; }
 
   /// Enable/disable per-block records (largest table; off by default for
   /// big sweeps).
@@ -85,9 +101,10 @@ class Collector {
   /// trace->table exporters use this to reuse one collector per run.
   void clear();
 
-  /// Replace all four tables with checkpointed copies. The tables must
+  /// Replace all five tables with checkpointed copies. The tables must
   /// carry this collector's schemas (schema mismatch aborts).
-  void restore(Table phases, Table comm, Table blocks, Table shards);
+  void restore(Table phases, Table comm, Table blocks, Table shards,
+               Table placement);
 
   /// Total heap bytes held by the tables' column storage.
   std::size_t bytes_used() const;
@@ -97,6 +114,7 @@ class Collector {
   Table comm_;
   Table blocks_;
   Table shards_;
+  Table placement_;
   bool block_records_ = true;
 };
 

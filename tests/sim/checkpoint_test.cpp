@@ -240,6 +240,80 @@ TEST_F(CheckpointTest, AdaptiveCommAxesArePartOfTheFingerprint) {
   expect_refused(threshold, "packing threshold");
 }
 
+TEST_F(CheckpointTest, AutoCplxRestoreMatchesUninterrupted) {
+  // Auto-X tuning across a mid-run restore: the snapshot's "tuner"
+  // section carries the surrogate weights, error EWMA, and epoch
+  // accumulators, so the restored run's tuning decisions — and thus its
+  // placements, messages, and trace — must match the uninterrupted run.
+  const std::int64_t steps = 18;
+  auto auto_config = [&] {
+    SimulationConfig cfg = test_config(steps);
+    cfg.auto_cplx = true;
+    cfg.placement_incremental = true;
+    return cfg;
+  };
+  std::string full_trace;
+  Table full_phases;
+  const RunReport full =
+      run_sedov(auto_config(), "cpl50", &full_trace, &full_phases);
+  EXPECT_EQ(full.policy, "auto-cplx");
+
+  SimulationConfig ck = auto_config();
+  ck.checkpoint_every = 5;
+  ck.checkpoint_dir = dir_;
+  run_sedov(ck, "cpl50", nullptr, nullptr);
+
+  // Step 5 lands mid-tuning: decisions and observations both straddle
+  // the snapshot; 15 exercises the tail end of the run.
+  for (const std::int64_t at : {5, 10, 15}) {
+    const std::string path =
+        dir_ + "/ckpt_" + std::to_string(at) + ".amrs";
+    std::string trace;
+    Table phases;
+    const RunReport restored =
+        run_sedov(auto_config(), "cpl50", &trace, &phases, path);
+    SCOPED_TRACE("restore at step " + std::to_string(at));
+    expect_reports_equal(full, restored);
+    EXPECT_EQ(full_trace, trace);
+    expect_tables_equal(full_phases, phases);
+  }
+}
+
+TEST_F(CheckpointTest, PlacementEngineAxesArePartOfTheFingerprint) {
+  SimulationConfig ck = test_config(12);
+  ck.auto_cplx = true;
+  ck.placement_incremental = true;
+  ck.checkpoint_every = 6;
+  ck.checkpoint_dir = dir_;
+  run_sedov(ck, "cpl50", nullptr, nullptr);
+  const std::string path = dir_ + "/ckpt_6.amrs";
+
+  auto expect_refused = [&](const SimulationConfig& cfg,
+                            const std::string& field) {
+    try {
+      run_sedov(cfg, "cpl50", nullptr, nullptr, path);
+      FAIL() << "restore unexpectedly succeeded (" << field << ")";
+    } catch (const io::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  // Tuning off: the remaining epochs would place with the static X.
+  SimulationConfig off = test_config(12);
+  off.placement_incremental = true;
+  expect_refused(off, "auto-X tuning");
+  // Engine off: a different (legacy) placement code path.
+  SimulationConfig legacy = test_config(12);
+  legacy.auto_cplx = true;
+  expect_refused(legacy, "incremental placement");
+  // A different budget trims a different candidate set every epoch.
+  SimulationConfig budget = test_config(12);
+  budget.auto_cplx = true;
+  budget.placement_incremental = true;
+  budget.cplx_budget_ms = 5.0;
+  expect_refused(budget, "auto-X budget");
+}
+
 TEST_F(CheckpointTest, CorruptSnapshotFailsWithDiagnostic) {
   SimulationConfig ck = test_config(12);
   ck.checkpoint_every = 6;
